@@ -1,0 +1,27 @@
+//! # apt-base
+//!
+//! Foundation types shared by every crate in the APT reproduction workspace:
+//!
+//! * [`SimTime`] / [`SimDuration`] — fixed-point (integer nanosecond) simulation
+//!   time. The paper's lookup table stores milliseconds with microsecond
+//!   precision; integer nanoseconds represent every entry exactly, keep the
+//!   event queue totally ordered without floating-point hazards, and make the
+//!   Figure-5 golden schedule reproducible bit-for-bit.
+//! * [`ProcKind`] — the processor *categories* of the paper (§3.2 generalizes
+//!   measured times to the CPU / GPU / FPGA category rather than the specific
+//!   device; ASIC is included for the Figure-1 system diagram and extensions).
+//! * [`ProcId`] — index of a processor instance inside a simulated system.
+//! * [`BaseError`] — the shared error type.
+//! * [`stats`] — small numeric helpers (mean / stddev per Eq. 11–12).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod proc;
+pub mod stats;
+pub mod time;
+
+pub use error::BaseError;
+pub use proc::{ProcId, ProcKind};
+pub use time::{SimDuration, SimTime};

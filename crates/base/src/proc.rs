@@ -1,0 +1,128 @@
+//! Processor categories and instance ids.
+//!
+//! The paper generalizes measured kernel times to the processor *category*
+//! (§3.2): a time measured on an Intel i7 stands in for "CPU", a Tesla K20
+//! for "GPU", a Virtex-7 for "FPGA", irrespective of the concrete device.
+//! The simulated system is a set of processor *instances*, each of one
+//! category, connected by uniform PCIe links (Figure 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processor category. Lookup-table execution times are keyed by category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcKind {
+    /// General-purpose CPU (deep pipelines, speculation; best at control-heavy code).
+    Cpu,
+    /// GPU (SIMD, massive parallelism; best at dense data-parallel kernels).
+    Gpu,
+    /// FPGA (reconfigurable custom datapaths; best at streaming/bit-level kernels).
+    Fpga,
+    /// ASIC — present in the paper's Figure-1 system diagram but not in the
+    /// evaluation (no measured times). Supported so that extension systems can
+    /// be described; the stock lookup table reports `None` for it.
+    Asic,
+}
+
+impl ProcKind {
+    /// The three categories evaluated in the paper, in lookup-table column order.
+    pub const EVALUATED: [ProcKind; 3] = [ProcKind::Cpu, ProcKind::Gpu, ProcKind::Fpga];
+
+    /// All categories, including the unevaluated ASIC.
+    pub const ALL: [ProcKind; 4] = [
+        ProcKind::Cpu,
+        ProcKind::Gpu,
+        ProcKind::Fpga,
+        ProcKind::Asic,
+    ];
+
+    /// Short uppercase label as used in the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ProcKind::Cpu => "CPU",
+            ProcKind::Gpu => "GPU",
+            ProcKind::Fpga => "FPGA",
+            ProcKind::Asic => "ASIC",
+        }
+    }
+
+    /// Column index inside the paper's lookup table (CPU=0, GPU=1, FPGA=2).
+    /// `None` for categories without measured data.
+    pub const fn table_column(self) -> Option<usize> {
+        match self {
+            ProcKind::Cpu => Some(0),
+            ProcKind::Gpu => Some(1),
+            ProcKind::Fpga => Some(2),
+            ProcKind::Asic => None,
+        }
+    }
+}
+
+impl fmt::Display for ProcKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Index of a processor instance within a simulated system.
+///
+/// Stored as `u16`: real heterogeneous nodes (Quadro-Plex, Axel, Chimera —
+/// §2.2) have a handful of devices; 65 535 is far beyond any configuration
+/// the simulator is asked to model, and the small id keeps hot scheduling
+/// structures compact (see the type-size guidance in the performance guide).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Construct from a raw index.
+    #[inline]
+    pub const fn new(idx: usize) -> Self {
+        ProcId(idx as u16)
+    }
+
+    /// The raw index, widened for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(ProcKind::Cpu.label(), "CPU");
+        assert_eq!(ProcKind::Gpu.label(), "GPU");
+        assert_eq!(ProcKind::Fpga.label(), "FPGA");
+    }
+
+    #[test]
+    fn table_columns_follow_appendix_a_order() {
+        assert_eq!(ProcKind::Cpu.table_column(), Some(0));
+        assert_eq!(ProcKind::Gpu.table_column(), Some(1));
+        assert_eq!(ProcKind::Fpga.table_column(), Some(2));
+        assert_eq!(ProcKind::Asic.table_column(), None);
+    }
+
+    #[test]
+    fn evaluated_is_a_prefix_of_all() {
+        assert_eq!(&ProcKind::ALL[..3], &ProcKind::EVALUATED[..]);
+    }
+
+    #[test]
+    fn proc_id_roundtrip() {
+        let p = ProcId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "p7");
+    }
+}

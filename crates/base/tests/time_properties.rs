@@ -1,0 +1,92 @@
+//! Property-based tests for the fixed-point time arithmetic and the small
+//! statistics helpers — the numerical bedrock everything above relies on.
+
+use apt_base::stats::{argmax_by_key, argmin_by_key, mean, mean_duration, stddev_population};
+use apt_base::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Addition/subtraction round-trip exactly (no drift, ever).
+    #[test]
+    fn time_arithmetic_roundtrips(base in 0u64..1 << 60, delta in 0u64..1 << 60) {
+        let t = SimTime::from_ns(base);
+        let d = SimDuration::from_ns(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    /// Ordering is total and compatible with the raw nanosecond values.
+    #[test]
+    fn ordering_matches_ns(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (SimTime::from_ns(a), SimTime::from_ns(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta == tb, a == b);
+    }
+
+    /// Millisecond table entries (µs-precision) convert without rounding.
+    #[test]
+    fn table_ms_conversion_is_exact(us in 0u64..10_000_000_000) {
+        let ms = us as f64 / 1_000.0;
+        let d = SimDuration::from_table_ms(ms);
+        prop_assert_eq!(d.as_ns(), us * 1_000);
+    }
+
+    /// scale_alpha with integral α is exact multiplication.
+    #[test]
+    fn scale_alpha_integral_is_exact(ns in 0u64..1 << 40, k in 1u64..64) {
+        let d = SimDuration::from_ns(ns);
+        prop_assert_eq!(d.scale_alpha(k as f64), d * k);
+    }
+
+    /// scale_alpha is monotone in α.
+    #[test]
+    fn scale_alpha_is_monotone(ns in 0u64..1 << 40, a in 1.0f64..32.0, b in 0.0f64..32.0) {
+        let d = SimDuration::from_ns(ns);
+        let (lo, hi) = if a <= a + b { (a, a + b) } else { (a + b, a) };
+        prop_assert!(d.scale_alpha(lo) <= d.scale_alpha(hi));
+    }
+
+    /// The duration mean is bounded by min and max of its inputs.
+    #[test]
+    fn mean_duration_is_bounded(values in prop::collection::vec(0u64..1 << 50, 1..50)) {
+        let ds: Vec<SimDuration> = values.iter().map(|&v| SimDuration::from_ns(v)).collect();
+        let m = mean_duration(&ds);
+        let min = *ds.iter().min().unwrap();
+        let max = *ds.iter().max().unwrap();
+        prop_assert!(min <= m && m <= max);
+    }
+
+    /// Population stddev is zero iff all values are equal, and is invariant
+    /// under translation.
+    #[test]
+    fn stddev_translation_invariance(
+        values in prop::collection::vec(-1e6f64..1e6, 2..40),
+        shift in -1e6f64..1e6,
+    ) {
+        let sd = stddev_population(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let sd2 = stddev_population(&shifted);
+        prop_assert!((sd - sd2).abs() < 1e-6 * sd.max(1.0), "{sd} vs {sd2}");
+        prop_assert!(sd >= 0.0);
+        // Mean shifts by exactly the shift.
+        prop_assert!((mean(&shifted) - mean(&values) - shift).abs() < 1e-6);
+    }
+
+    /// argmin/argmax return indices of true extrema with earliest-index ties.
+    #[test]
+    fn argmin_argmax_are_extremal(values in prop::collection::vec(any::<i64>(), 1..60)) {
+        let i = argmin_by_key(&values, |&v| v).unwrap();
+        let j = argmax_by_key(&values, |&v| v).unwrap();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(values[i], min);
+        prop_assert_eq!(values[j], max);
+        // Earliest-index tie break.
+        prop_assert_eq!(values.iter().position(|&v| v == min).unwrap(), i);
+        prop_assert_eq!(values.iter().position(|&v| v == max).unwrap(), j);
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Criterion times each configuration; the *makespans* the configurations
+//! produce are printed by `apt-repro ablation-*`. Together they answer:
+//! how sensitive is the result to α granularity, the degree of
+//! heterogeneity, the bytes-per-element convention, the machine size, and
+//! the APT-R refinement?
+
+use apt_bench::{run, type1_workload};
+use apt_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_alpha_fine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/alpha_fine");
+    g.sample_size(10);
+    let dfg = type1_workload();
+    let system = SystemConfig::paper_4gbps();
+    for alpha in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            b.iter(|| black_box(run(&dfg, &system, &mut Apt::new(a))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_heterogeneity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/heterogeneity");
+    g.sample_size(10);
+    let dfg = type1_workload();
+    let system = SystemConfig::paper_4gbps();
+    for factor in [1.0, 0.5, 0.1, 0.0] {
+        let table = LookupTable::paper().scaled_heterogeneity(factor);
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &table, |b, t| {
+            b.iter(|| {
+                let res = simulate(&dfg, &system, t, &mut Apt::new(4.0)).unwrap();
+                black_box(res.makespan().as_ns())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bytes_per_element(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/bytes_per_element");
+    g.sample_size(10);
+    let dfg = type1_workload();
+    for bytes in [0u64, 4, 8, 64] {
+        let system = SystemConfig::paper_4gbps().with_bytes_per_element(bytes);
+        g.bench_with_input(BenchmarkId::from_parameter(bytes), &system, |b, s| {
+            b.iter(|| black_box(run(&dfg, s, &mut Apt::new(4.0))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_processor_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/processor_count");
+    g.sample_size(10);
+    let dfg = type1_workload();
+    for sets in [1usize, 2, 3] {
+        let mut system = SystemConfig::empty(LinkRate::PCIE2_X8);
+        for _ in 0..sets {
+            system = system
+                .with_proc(ProcKind::Cpu)
+                .with_proc(ProcKind::Gpu)
+                .with_proc(ProcKind::Fpga);
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(sets * 3),
+            &system,
+            |b, s| b.iter(|| black_box(run(&dfg, s, &mut Apt::new(4.0)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_apt_r(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/apt_r");
+    g.sample_size(10);
+    let dfg = type1_workload();
+    let system = SystemConfig::paper_4gbps();
+    g.bench_function("apt", |b| {
+        b.iter(|| black_box(run(&dfg, &system, &mut Apt::new(4.0))))
+    });
+    g.bench_function("apt_r", |b| {
+        b.iter(|| black_box(run(&dfg, &system, &mut AptR::new(4.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alpha_fine,
+    bench_heterogeneity,
+    bench_bytes_per_element,
+    bench_processor_count,
+    bench_apt_r
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Raw substrate throughput: the event engine, the workload generators, and
+//! the lookup table. These are the pieces every experiment multiplies by
+//! hundreds of runs, so their constant factors gate the whole harness.
+
+use apt_bench::run;
+use apt_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/simulate_met");
+    let system = SystemConfig::paper_4gbps();
+    for &n in &[46usize, 93, 157] {
+        let dfg = generate(
+            DfgType::Type1,
+            &StreamConfig::new(n, 0xE610E),
+            LookupTable::paper(),
+        );
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &dfg, |b, d| {
+            b.iter(|| black_box(run(d, &system, &mut Met::new())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/generate");
+    let lookup = LookupTable::paper();
+    for ty in DfgType::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(ty.label()),
+            &ty,
+            |b, &ty| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(generate(ty, &StreamConfig::new(157, seed), lookup))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let lookup = LookupTable::paper();
+    let kernels = lookup.all_kernels();
+    c.bench_function("engine/lookup_exec_time", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &kernels {
+                for p in ProcKind::EVALUATED {
+                    acc = acc.wrapping_add(lookup.exec_time(k, p).unwrap().as_ns());
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine_scaling, bench_generators, bench_lookup);
+criterion_main!(benches);

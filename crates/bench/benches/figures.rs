@@ -1,0 +1,86 @@
+//! One Criterion group per paper figure: times the computation behind each
+//! plotted series. `apt-repro fig<N>` prints the series themselves.
+
+use apt_core::prelude::*;
+use apt_experiments::runner::run_matrix;
+use apt_experiments::workloads::figure5_graph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The APT-only sweep cell used by Figures 7/9/11/12: ten graphs at one
+/// (α, rate).
+fn apt_sweep_cell(ty: DfgType, alpha: f64, system: &SystemConfig) -> u64 {
+    let factories = apt_core::all_policy_factories(alpha);
+    let apt_only = &factories[..1];
+    run_matrix(ty, apt_only, system)
+        .iter()
+        .map(|row| row[0].makespan.as_ns())
+        .sum()
+}
+
+/// The top-4 comparison behind Figures 6/8 (APT, MET, HEFT, PEFT).
+fn top4_sweep(ty: DfgType) -> u64 {
+    let factories: Vec<_> = apt_core::all_policy_factories(1.5)
+        .into_iter()
+        .filter(|(n, _)| matches!(n.as_str(), "APT" | "MET" | "HEFT" | "PEFT"))
+        .collect();
+    run_matrix(ty, &factories, &SystemConfig::paper_4gbps())
+        .iter()
+        .flat_map(|row| row.iter().map(|s| s.makespan.as_ns()))
+        .sum()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Figure 5: the exact MET + APT(α=8) walk-through pair.
+    g.bench_function("fig5", |b| {
+        let dfg = figure5_graph();
+        let system = SystemConfig::paper_no_transfers();
+        let lookup = LookupTable::paper();
+        b.iter(|| {
+            let met = simulate(&dfg, &system, lookup, &mut Met::new()).unwrap();
+            let apt = simulate(&dfg, &system, lookup, &mut Apt::new(8.0)).unwrap();
+            black_box(met.makespan().as_ns() + apt.makespan().as_ns())
+        })
+    });
+
+    g.bench_function("fig6", |b| b.iter(|| black_box(top4_sweep(DfgType::Type1))));
+    g.bench_function("fig8", |b| b.iter(|| black_box(top4_sweep(DfgType::Type2))));
+
+    let sys4 = SystemConfig::paper_4gbps();
+    let sys8 = SystemConfig::paper_8gbps();
+    g.bench_function("fig7_cell", |b| {
+        b.iter(|| black_box(apt_sweep_cell(DfgType::Type1, 4.0, &sys4)))
+    });
+    g.bench_function("fig9_cell", |b| {
+        b.iter(|| black_box(apt_sweep_cell(DfgType::Type2, 4.0, &sys8)))
+    });
+    g.bench_function("fig11_cell", |b| {
+        b.iter(|| black_box(apt_sweep_cell(DfgType::Type1, 16.0, &sys4)))
+    });
+    g.bench_function("fig12_cell", |b| {
+        b.iter(|| black_box(apt_sweep_cell(DfgType::Type2, 16.0, &sys8)))
+    });
+
+    // Figures 8b/10: the per-experiment APT vs MET pair at α = 4.
+    g.bench_function("fig10", |b| {
+        b.iter(|| {
+            let factories: Vec<_> = apt_core::all_policy_factories(4.0)
+                .into_iter()
+                .filter(|(n, _)| matches!(n.as_str(), "APT" | "MET"))
+                .collect();
+            black_box(run_matrix(
+                DfgType::Type2,
+                &factories,
+                &SystemConfig::paper_4gbps(),
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

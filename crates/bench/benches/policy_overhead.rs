@@ -1,0 +1,80 @@
+//! Per-policy scheduling overhead.
+//!
+//! §1.2 motivates APT with "it does not need an intensive pre-computation
+//! phase like HEFT and PEFT" and §3.1 with "the scheduling policy should be
+//! quick in choosing the task and the processor". These benches quantify
+//! both claims on the largest paper workload (157 kernels):
+//!
+//! * `end_to_end/<policy>` — the full simulated run (decisions + event loop),
+//! * `precompute/heft|peft` — just the static rank/plan construction, the
+//!   phase the dynamic policies skip entirely.
+
+use apt_bench::{run, type2_workload};
+use apt_core::prelude::*;
+use apt_policies::plan::build_plan;
+use apt_policies::ranking::{oct_matrix, rank_oct, upward_ranks};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_overhead/end_to_end");
+    let dfg = type2_workload();
+    let system = SystemConfig::paper_4gbps();
+    for (name, make) in apt_core::all_policy_factories(4.0) {
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut policy = make();
+                black_box(run(&dfg, &system, policy.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_overhead/precompute");
+    let dfg = type2_workload();
+    let system = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+
+    g.bench_function("heft_ranks_and_plan", |b| {
+        b.iter(|| {
+            let ranks = upward_ranks(&dfg, lookup, &system);
+            let ctx = PrepareCtx {
+                dfg: &dfg,
+                lookup,
+                config: &system,
+            };
+            let plan = build_plan(&ctx, &ranks, |_, cands| {
+                apt_base::stats::argmin_by_key(cands, |c| c.finish).unwrap()
+            });
+            black_box(plan.planned_makespan.as_ns())
+        })
+    });
+
+    g.bench_function("peft_oct_and_plan", |b| {
+        b.iter(|| {
+            let oct = oct_matrix(&dfg, lookup, &system);
+            let ranks = rank_oct(&oct);
+            let ctx = PrepareCtx {
+                dfg: &dfg,
+                lookup,
+                config: &system,
+            };
+            let plan = build_plan(&ctx, &ranks, |node, cands| {
+                apt_base::stats::argmin_by_key(cands, |c| {
+                    apt_base::stats::FiniteF64(
+                        c.finish.as_ms_f64() + oct[node.index()][c.proc.index()],
+                    )
+                })
+                .unwrap()
+            });
+            black_box(plan.planned_makespan.as_ns())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_precompute);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! One Criterion group per paper table: times the *uncached* computation
+//! that regenerates each table (workload generation + all policy runs).
+//! The printed rows themselves come from `apt-repro <table-id>`.
+
+use apt_core::prelude::*;
+use apt_experiments::runner::run_matrix;
+use apt_experiments::tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The full seven-policy sweep behind Tables 8/9/10 (makespans) and 11/12
+/// (λ delays) at one (family, α).
+fn comparison_sweep(ty: DfgType, alpha: f64) -> u64 {
+    let factories = apt_core::all_policy_factories(alpha);
+    let matrix = run_matrix(ty, &factories, &SystemConfig::paper_4gbps());
+    matrix
+        .iter()
+        .flat_map(|row| row.iter().map(|s| s.makespan.as_ns()))
+        .sum()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    // Static tables (pure data formatting).
+    g.bench_function("table7", |b| b.iter(|| black_box(tables::table7())));
+    g.bench_function("table14", |b| b.iter(|| black_box(tables::table14())));
+
+    // Sweep-backed tables: the benchmark measures the sweep.
+    g.bench_function("table8", |b| {
+        b.iter(|| black_box(comparison_sweep(DfgType::Type1, 1.5)))
+    });
+    g.bench_function("table9", |b| {
+        b.iter(|| black_box(comparison_sweep(DfgType::Type2, 1.5)))
+    });
+    g.bench_function("table10", |b| {
+        b.iter(|| black_box(comparison_sweep(DfgType::Type2, 4.0)))
+    });
+    g.bench_function("table11", |b| {
+        b.iter(|| black_box(comparison_sweep(DfgType::Type1, 4.0)))
+    });
+    g.bench_function("table12", |b| {
+        b.iter(|| black_box(comparison_sweep(DfgType::Type2, 4.0)))
+    });
+
+    // Table 13 needs every α; benchmark one α-step of each family (the
+    // remaining steps are the same computation at different parameters).
+    g.bench_function("table13_step", |b| {
+        b.iter(|| {
+            black_box(
+                comparison_sweep(DfgType::Type1, 8.0) + comparison_sweep(DfgType::Type2, 8.0),
+            )
+        })
+    });
+
+    // Tables 15/16: the APT-only allocation sweep at one α.
+    g.bench_function("table15_step", |b| {
+        b.iter(|| {
+            let factories = apt_core::all_policy_factories(4.0);
+            let apt_only = &factories[..1];
+            black_box(run_matrix(
+                DfgType::Type1,
+                apt_only,
+                &SystemConfig::paper_4gbps(),
+            ))
+        })
+    });
+    g.bench_function("table16_step", |b| {
+        b.iter(|| {
+            let factories = apt_core::all_policy_factories(4.0);
+            let apt_only = &factories[..1];
+            black_box(run_matrix(
+                DfgType::Type2,
+                apt_only,
+                &SystemConfig::paper_4gbps(),
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

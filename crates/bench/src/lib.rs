@@ -1,0 +1,59 @@
+//! # apt-bench
+//!
+//! Shared fixtures for the Criterion benchmarks in `benches/`:
+//!
+//! * [`tables`](../benches/tables.rs) — one group per paper table (8–16):
+//!   times the uncached sweep that regenerates it.
+//! * [`figures`](../benches/figures.rs) — one group per paper figure (5–12).
+//! * [`ablation`](../benches/ablation.rs) — the DESIGN.md ablations: fine α
+//!   grid, heterogeneity scaling, transfer-volume knob, processor counts,
+//!   APT vs APT-R.
+//! * [`policy_overhead`](../benches/policy_overhead.rs) — per-policy
+//!   scheduling cost, including HEFT/PEFT's pre-computation phase (the
+//!   "intensive pre-computation" §1.2 says dynamic policies avoid).
+//! * [`engine`](../benches/engine.rs) — raw simulator/generator throughput.
+//!
+//! Run with `cargo bench --workspace`; results land in `target/criterion/`.
+
+#![forbid(unsafe_code)]
+
+use apt_core::prelude::*;
+
+/// A mid-size Type-1 workload (93 kernels — experiment 8's size).
+pub fn type1_workload() -> KernelDag {
+    generate(
+        DfgType::Type1,
+        &StreamConfig::new(93, 0xBE9C_0001),
+        LookupTable::paper(),
+    )
+}
+
+/// The largest paper workload (157 kernels) as Type-2.
+pub fn type2_workload() -> KernelDag {
+    generate(
+        DfgType::Type2,
+        &StreamConfig::new(157, 0xBE9C_0002),
+        LookupTable::paper(),
+    )
+}
+
+/// Run one policy to completion on a workload; returns the makespan so
+/// Criterion's blackbox keeps the computation alive.
+pub fn run(dfg: &KernelDag, system: &SystemConfig, policy: &mut dyn Policy) -> u64 {
+    simulate(dfg, system, LookupTable::paper(), policy)
+        .expect("bench simulation")
+        .makespan()
+        .as_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_run() {
+        let sys = SystemConfig::paper_4gbps();
+        assert!(run(&type1_workload(), &sys, &mut Met::new()) > 0);
+        assert!(run(&type2_workload(), &sys, &mut Apt::new(4.0)) > 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The thirteen Berkeley dwarfs (§2.4) and the application ↔ dwarf
+//! membership of Table 1.
+//!
+//! A *dwarf* is an algorithmic method capturing a pattern of computation and
+//! communication (Colella's original seven, expanded to thirteen by Asanović
+//! et al.). The paper uses dwarfs to argue that the chosen kernels cover a
+//! representative slice of the computation/communication design space.
+//!
+//! Table 1 in the thesis is a checkmark matrix whose marks do not survive
+//! text extraction; the memberships encoded here are reconstructed from the
+//! Rodinia / OpenDwarfs classifications the thesis cites (Krommydas et al.,
+//! Skalicky et al.), which is the same provenance the thesis used.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The thirteen Berkeley dwarfs of Asanović et al. (§2.4 list a–m).
+/// Variants marked `*` in the paper were the six added to Colella's seven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dwarf {
+    /// (a) Traditional vector/matrix operations, BLAS levels 1–3.
+    DenseLinearAlgebra,
+    /// (b) Computations on matrices with many zero entries.
+    SparseLinearAlgebra,
+    /// (c) Spectral-domain methods, typically involving FFTs.
+    SpectralMethods,
+    /// (d) Interactions among many discrete points.
+    NBody,
+    /// (e) Regular multidimensional grids updated from neighborhoods.
+    StructuredGrids,
+    /// (f) Irregular grids with irregular neighbor access.
+    UnstructuredGrids,
+    /// (g) Independent repeated execution with final aggregation (née Monte Carlo).
+    MapReduce,
+    /// (h)* Simple logical operations over large data, bit-level parallelism.
+    CombinationalLogic,
+    /// (i)* Traversal of objects in a graph with little computation per visit.
+    GraphTraversal,
+    /// (j)* Decomposition into overlapping subproblems.
+    DynamicProgramming,
+    /// (k)* Search/optimization by pruning subregions of a search space.
+    BacktrackBranchAndBound,
+    /// (l)* Graphs of variables and conditional probabilities.
+    GraphicalModels,
+    /// (m)* Systems of connected states with input-driven transitions.
+    FiniteStateMachines,
+}
+
+impl Dwarf {
+    /// All thirteen dwarfs in the paper's (a)–(m) order.
+    pub const ALL: [Dwarf; 13] = [
+        Dwarf::DenseLinearAlgebra,
+        Dwarf::SparseLinearAlgebra,
+        Dwarf::SpectralMethods,
+        Dwarf::NBody,
+        Dwarf::StructuredGrids,
+        Dwarf::UnstructuredGrids,
+        Dwarf::MapReduce,
+        Dwarf::CombinationalLogic,
+        Dwarf::GraphTraversal,
+        Dwarf::DynamicProgramming,
+        Dwarf::BacktrackBranchAndBound,
+        Dwarf::GraphicalModels,
+        Dwarf::FiniteStateMachines,
+    ];
+
+    /// True for the six dwarfs newly introduced by Asanović et al.
+    /// (marked `*` in the paper's list).
+    pub const fn is_berkeley_addition(self) -> bool {
+        matches!(
+            self,
+            Dwarf::CombinationalLogic
+                | Dwarf::GraphTraversal
+                | Dwarf::DynamicProgramming
+                | Dwarf::BacktrackBranchAndBound
+                | Dwarf::GraphicalModels
+                | Dwarf::FiniteStateMachines
+        )
+    }
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dwarf::DenseLinearAlgebra => "Dense Linear Algebra",
+            Dwarf::SparseLinearAlgebra => "Sparse Linear Algebra",
+            Dwarf::SpectralMethods => "Spectral Methods",
+            Dwarf::NBody => "N-Body Methods",
+            Dwarf::StructuredGrids => "Structured Grids",
+            Dwarf::UnstructuredGrids => "Unstructured Grids",
+            Dwarf::MapReduce => "MapReduce",
+            Dwarf::CombinationalLogic => "Combinational Logic",
+            Dwarf::GraphTraversal => "Graph Traversal",
+            Dwarf::DynamicProgramming => "Dynamic Programming",
+            Dwarf::BacktrackBranchAndBound => "Backtrack and Branch-and-Bound",
+            Dwarf::GraphicalModels => "Graphical Models",
+            Dwarf::FiniteStateMachines => "Finite State Machines",
+        }
+    }
+}
+
+impl fmt::Display for Dwarf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The eleven applications enumerated in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Application {
+    /// Optimal global sequence alignment.
+    NeedlemanWunsch,
+    /// Dense matrix inversion.
+    MatrixInverse,
+    /// Gaussian electrostatic model (molecular surface potential).
+    Gem,
+    /// Cholesky factorization of an SPD matrix.
+    CholeskyDecomposition,
+    /// Breadth-first graph search.
+    Bfs,
+    /// Dense matrix-matrix multiplication.
+    MatrixMatrixMultiplication,
+    /// Speckle-reducing anisotropic diffusion (ultrasound despeckling).
+    Srad,
+    /// Rodinia molecular-dynamics particle kernel.
+    LavaMd,
+    /// Rodinia thermal simulation on a structured grid.
+    HotSpot,
+    /// Neural-network training by error backpropagation.
+    Backpropagation,
+    /// Fast Fourier transform.
+    Fft,
+}
+
+impl Application {
+    /// All Table-1 applications, in row order.
+    pub const ALL: [Application; 11] = [
+        Application::NeedlemanWunsch,
+        Application::MatrixInverse,
+        Application::Gem,
+        Application::CholeskyDecomposition,
+        Application::Bfs,
+        Application::MatrixMatrixMultiplication,
+        Application::Srad,
+        Application::LavaMd,
+        Application::HotSpot,
+        Application::Backpropagation,
+        Application::Fft,
+    ];
+
+    /// Table-1 row label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Application::NeedlemanWunsch => "Needleman Wunsch",
+            Application::MatrixInverse => "Matrix Inverse",
+            Application::Gem => "GEM",
+            Application::CholeskyDecomposition => "Cholesky decomp.",
+            Application::Bfs => "BFS",
+            Application::MatrixMatrixMultiplication => "Mat.Mat. Multi.",
+            Application::Srad => "SRAD",
+            Application::LavaMd => "LavaMD",
+            Application::HotSpot => "HotSpot",
+            Application::Backpropagation => "Backpropagation",
+            Application::Fft => "FFT",
+        }
+    }
+
+    /// The dwarfs this application's kernels belong to (Table 1 membership).
+    pub const fn dwarfs(self) -> &'static [Dwarf] {
+        match self {
+            Application::NeedlemanWunsch => &[Dwarf::DynamicProgramming],
+            Application::MatrixInverse => &[Dwarf::DenseLinearAlgebra],
+            Application::Gem => &[Dwarf::NBody],
+            Application::CholeskyDecomposition => {
+                &[Dwarf::DenseLinearAlgebra, Dwarf::SparseLinearAlgebra]
+            }
+            Application::Bfs => &[Dwarf::GraphTraversal],
+            Application::MatrixMatrixMultiplication => &[Dwarf::DenseLinearAlgebra],
+            Application::Srad => &[Dwarf::StructuredGrids],
+            Application::LavaMd => &[Dwarf::NBody, Dwarf::UnstructuredGrids],
+            Application::HotSpot => &[Dwarf::StructuredGrids],
+            Application::Backpropagation => {
+                &[Dwarf::DenseLinearAlgebra, Dwarf::UnstructuredGrids]
+            }
+            Application::Fft => &[Dwarf::SpectralMethods],
+        }
+    }
+
+    /// Membership test for one dwarf.
+    pub fn belongs_to(self, dwarf: Dwarf) -> bool {
+        self.dwarfs().contains(&dwarf)
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Render the Table-1 membership matrix as ASCII (rows = applications,
+/// columns = the eight dwarfs that actually appear in Table 1).
+pub fn table1_matrix() -> String {
+    // Table 1 shows these eight dwarf columns.
+    const COLUMNS: [Dwarf; 8] = [
+        Dwarf::DenseLinearAlgebra,
+        Dwarf::SparseLinearAlgebra,
+        Dwarf::SpectralMethods,
+        Dwarf::NBody,
+        Dwarf::StructuredGrids,
+        Dwarf::UnstructuredGrids,
+        Dwarf::GraphTraversal,
+        Dwarf::DynamicProgramming,
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("{:<18}", "Application"));
+    for c in COLUMNS {
+        let abbrev: String = c
+            .name()
+            .split_whitespace()
+            .map(|w| w.chars().next().unwrap())
+            .collect();
+        out.push_str(&format!("{abbrev:>6}"));
+    }
+    out.push('\n');
+    for app in Application::ALL {
+        out.push_str(&format!("{:<18}", app.name()));
+        for c in COLUMNS {
+            out.push_str(&format!("{:>6}", if app.belongs_to(c) { "x" } else { "." }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_dwarfs_six_additions() {
+        assert_eq!(Dwarf::ALL.len(), 13);
+        let additions = Dwarf::ALL
+            .iter()
+            .filter(|d| d.is_berkeley_addition())
+            .count();
+        assert_eq!(additions, 6);
+    }
+
+    #[test]
+    fn every_application_has_a_dwarf() {
+        for app in Application::ALL {
+            assert!(!app.dwarfs().is_empty(), "{app} has no dwarf");
+        }
+    }
+
+    #[test]
+    fn single_kernel_applications_have_one_dwarf() {
+        // §2.4: "the BFS implementation for the shortest path problem ...
+        // has just the Graph Traversal dwarf".
+        assert_eq!(Application::Bfs.dwarfs(), &[Dwarf::GraphTraversal]);
+        assert!(Application::Bfs.belongs_to(Dwarf::GraphTraversal));
+        assert!(!Application::Bfs.belongs_to(Dwarf::NBody));
+    }
+
+    #[test]
+    fn table1_matrix_renders_all_rows() {
+        let m = table1_matrix();
+        let lines: Vec<_> = m.lines().collect();
+        assert_eq!(lines.len(), 1 + Application::ALL.len());
+        assert!(m.contains("Needleman Wunsch"));
+        assert!(m.contains("FFT"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Dwarf::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+}

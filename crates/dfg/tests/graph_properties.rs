@@ -1,0 +1,142 @@
+//! Property-based tests of the DAG container and the workload generators.
+
+use apt_dfg::generator::{
+    build_type1, build_type2, generate_kernels, type2_layout, StreamConfig, Type2Config,
+};
+use apt_dfg::{Dag, KernelKind, LookupTable, NodeId, SplitMix64};
+use proptest::prelude::*;
+
+/// A random DAG over `n` nodes: edges only from lower to higher ids, each
+/// present with probability ~`density`/100 (decided by a seeded generator so
+/// shrinking stays meaningful).
+fn random_dag(n: usize, density: u64, seed: u64) -> Dag<u32> {
+    let mut g = Dag::new();
+    for i in 0..n {
+        g.add_node(i as u32);
+    }
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_range(100) < density {
+                g.add_edge(NodeId::new(i), NodeId::new(j)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kahn's order is a certificate: every edge points forward.
+    #[test]
+    fn topo_order_is_consistent(n in 0usize..60, density in 0u64..60, seed in any::<u64>()) {
+        let g = random_dag(n, density, seed);
+        let order = g.topo_order().expect("forward-edge DAGs are acyclic");
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![0usize; n];
+        for (i, node) in order.iter().enumerate() {
+            pos[node.index()] = i;
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    /// Levels partition the nodes and respect precedence strictly.
+    #[test]
+    fn levels_partition_and_stratify(n in 1usize..60, density in 0u64..60, seed in any::<u64>()) {
+        let g = random_dag(n, density, seed);
+        let levels = g.levels().unwrap();
+        let total: usize = levels.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        let mut level_of = vec![0usize; n];
+        for (l, nodes) in levels.iter().enumerate() {
+            for node in nodes {
+                level_of[node.index()] = l;
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(level_of[u.index()] < level_of[v.index()]);
+        }
+    }
+
+    /// The critical path is monotone in node weights and bounded by the
+    /// total weight.
+    #[test]
+    fn critical_path_bounds(n in 1usize..50, density in 0u64..60, seed in any::<u64>()) {
+        let g = random_dag(n, density, seed);
+        let unit = g.critical_path(|_| 1).unwrap();
+        let heavy = g.critical_path(|_| 7).unwrap();
+        prop_assert_eq!(heavy, unit * 7);
+        prop_assert!(unit <= n as u64);
+        // Adding weight to one node can only increase the path length.
+        let bumped = g
+            .critical_path(|node| if node.index() == 0 { 3 } else { 1 })
+            .unwrap();
+        prop_assert!(bumped >= unit);
+    }
+
+    /// Inserting a back edge into any nonempty forward DAG with at least one
+    /// edge creates a cycle that validation catches.
+    #[test]
+    fn back_edge_creates_detectable_cycle(n in 2usize..40, seed in any::<u64>()) {
+        let mut g = random_dag(n, 50, seed);
+        let first_edge = g.edges().next();
+        if let Some((u, v)) = first_edge {
+            g.add_edge(v, u).unwrap();
+            prop_assert!(g.validate().is_err());
+        }
+    }
+
+    /// Type-2 layouts cover exactly the requested kernel count for any
+    /// configuration that admits the block structure.
+    #[test]
+    fn type2_layout_is_exact(
+        n in 0usize..300,
+        seed in any::<u64>(),
+        chain_len in 2usize..6,
+        chain_percent in 0u8..=100,
+    ) {
+        let cfg = Type2Config {
+            diamond_blocks: 3,
+            chain_len,
+            chain_percent,
+        };
+        let layout = type2_layout(n, seed, &cfg);
+        prop_assert_eq!(layout.total(&cfg), n);
+        let g = build_type2(
+            &generate_kernels(&StreamConfig::new(n, seed), LookupTable::paper()),
+            seed,
+            &cfg,
+        );
+        prop_assert_eq!(g.len(), n);
+        g.validate().unwrap();
+    }
+
+    /// Every generated kernel instance exists in the lookup table, and
+    /// Type-1's structure is exactly Figure 3's for any n ≥ 2.
+    #[test]
+    fn type1_structure_invariant(n in 2usize..200, seed in any::<u64>()) {
+        let kernels = generate_kernels(&StreamConfig::new(n, seed), LookupTable::paper());
+        let g = build_type1(&kernels);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        let sink = NodeId::new(n - 1);
+        prop_assert_eq!(g.in_degree(sink), n - 1);
+        prop_assert_eq!(g.sinks(), vec![sink]);
+        for k in &kernels {
+            prop_assert!(LookupTable::paper().row(k).is_ok());
+        }
+    }
+
+    /// Stream generation is stationary in distribution: every kernel kind
+    /// appears in a long enough uniform stream.
+    #[test]
+    fn uniform_streams_cover_all_kinds(seed in any::<u64>()) {
+        let kernels =
+            generate_kernels(&StreamConfig::uniform(700, seed), LookupTable::paper());
+        for kind in KernelKind::ALL {
+            prop_assert!(kernels.iter().any(|k| k.kind == kind), "{kind} missing");
+        }
+    }
+}

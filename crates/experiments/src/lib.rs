@@ -1,0 +1,131 @@
+//! # apt-experiments
+//!
+//! The experiment harness: regenerates every table (7–16) and figure (3–12)
+//! of the paper's evaluation from the reproduction pipeline. Used three
+//! ways:
+//!
+//! * the `apt-repro` binary (`cargo run -p apt-experiments --release --
+//!   <id>|all|list`) prints artifacts to stdout,
+//! * the Criterion benches in `apt-bench` time the underlying sweeps,
+//! * the integration tests assert the DESIGN.md acceptance criteria.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod figures;
+pub mod runner;
+pub mod tables;
+pub mod workloads;
+
+use apt_metrics::TextTable;
+
+/// A regenerated artifact: either a formatted table or free-form text.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A paper table (rendered via `Display` / `to_markdown`).
+    Table(TextTable),
+    /// Free-form text (Figure 5's schedules, Figure 3/4 renders).
+    Text(String),
+}
+
+impl std::fmt::Display for Artifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Artifact::Table(t) => write!(f, "{t}"),
+            Artifact::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Every artifact id, in paper order.
+pub const ARTIFACT_IDS: [&str; 19] = [
+    "table7", "table8", "table9", "table10", "table11", "table12", "table13", "table14",
+    "table15", "table16", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig8b", "fig9",
+    "fig10",
+];
+
+/// The remaining figure ids (λ sweeps) — kept separate purely so the array
+/// above stays in the paper's listing order; `all_artifact_ids` merges them.
+pub const LAMBDA_FIGURE_IDS: [&str; 2] = ["fig11", "fig12"];
+
+/// Supplementary artifacts: Table 1 (background) and the §3.2 metric-5
+/// "occurrences of better solutions" summary.
+pub const SUPPLEMENTARY_IDS: [&str; 2] = ["table1", "wins"];
+
+/// Ablation artifacts (beyond the paper's evaluation; see `ablations`).
+pub const ABLATION_IDS: [&str; 7] = [
+    "ablation-alpha-fine",
+    "ablation-heterogeneity",
+    "ablation-bytes",
+    "ablation-procs",
+    "ablation-aptr",
+    "ablation-energy",
+    "ablation-quality",
+];
+
+/// All artifact ids.
+pub fn all_artifact_ids() -> Vec<&'static str> {
+    ARTIFACT_IDS
+        .iter()
+        .chain(LAMBDA_FIGURE_IDS.iter())
+        .chain(SUPPLEMENTARY_IDS.iter())
+        .chain(ABLATION_IDS.iter())
+        .copied()
+        .collect()
+}
+
+/// Regenerate one artifact by id. `None` for unknown ids.
+pub fn run_artifact(id: &str) -> Option<Artifact> {
+    let artifact = match id {
+        "table1" => Artifact::Text(tables::table1()),
+        "wins" => Artifact::Table(tables::wins()),
+        "table7" => Artifact::Table(tables::table7()),
+        "table8" => Artifact::Table(tables::table8()),
+        "table9" => Artifact::Table(tables::table9()),
+        "table10" => Artifact::Table(tables::table10()),
+        "table11" => Artifact::Table(tables::table11()),
+        "table12" => Artifact::Table(tables::table12()),
+        "table13" => Artifact::Table(tables::table13()),
+        "table14" => Artifact::Table(tables::table14()),
+        "table15" => Artifact::Table(tables::table15()),
+        "table16" => Artifact::Table(tables::table16()),
+        "fig3" => Artifact::Text(figures::fig3()),
+        "fig4" => Artifact::Text(figures::fig4()),
+        "fig5" => Artifact::Text(figures::fig5()),
+        "fig6" => Artifact::Table(figures::fig6()),
+        "fig7" => Artifact::Table(figures::fig7()),
+        "fig8" => Artifact::Table(figures::fig8()),
+        "fig8b" => Artifact::Table(figures::fig8b()),
+        "fig9" => Artifact::Table(figures::fig9()),
+        "fig10" => Artifact::Table(figures::fig10()),
+        "fig11" => Artifact::Table(figures::fig11()),
+        "fig12" => Artifact::Table(figures::fig12()),
+        "ablation-alpha-fine" => Artifact::Table(ablations::ablation_alpha_fine()),
+        "ablation-heterogeneity" => Artifact::Table(ablations::ablation_heterogeneity()),
+        "ablation-bytes" => Artifact::Table(ablations::ablation_bytes_per_element()),
+        "ablation-procs" => Artifact::Table(ablations::ablation_processor_count()),
+        "ablation-aptr" => Artifact::Table(ablations::ablation_apt_r()),
+        "ablation-energy" => Artifact::Table(ablations::ablation_energy()),
+        "ablation-quality" => Artifact::Table(ablations::ablation_quality()),
+        _ => return None,
+    };
+    Some(artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_artifact_is_runnable() {
+        // Cheap artifacts run fully; expensive sweeps are covered by their
+        // own table/figure tests — here we check id dispatch only for the
+        // static ones and id validity for the rest.
+        for id in ["table7", "table14", "fig3", "fig4", "fig5"] {
+            assert!(run_artifact(id).is_some(), "artifact {id} missing");
+        }
+        assert!(run_artifact("nope").is_none());
+        assert_eq!(all_artifact_ids().len(), 30);
+    }
+}

@@ -1,0 +1,59 @@
+//! `apt-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! apt-repro list            # show all artifact ids
+//! apt-repro table8 fig7     # regenerate specific artifacts
+//! apt-repro all             # regenerate everything, in paper order
+//! apt-repro --markdown all  # markdown output (for EXPERIMENTS.md)
+//! ```
+
+use apt_experiments::{all_artifact_ids, run_artifact, Artifact};
+use std::io::Write as _;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = if let Some(pos) = args.iter().position(|a| a == "--markdown") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: apt-repro [--markdown] <artifact-id>... | all | list");
+        eprintln!("artifacts: {}", all_artifact_ids().join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args[0] == "list" {
+        for id in all_artifact_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        all_artifact_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut failed = false;
+    for id in ids {
+        match run_artifact(id) {
+            Some(artifact) => {
+                let rendered = match (&artifact, markdown) {
+                    (Artifact::Table(t), true) => t.to_markdown(),
+                    _ => artifact.to_string(),
+                };
+                writeln!(out, "=== {id} ===\n{rendered}").expect("stdout write");
+            }
+            None => {
+                eprintln!("unknown artifact id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

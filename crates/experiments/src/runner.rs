@@ -1,0 +1,194 @@
+//! Sweep execution with caching.
+//!
+//! Every table and figure is an aggregation over the same underlying runs
+//! (policy × experiment graph × α × link rate). The runner executes those
+//! runs in parallel across graphs (crossbeam scoped threads) and memoizes
+//! the per-run summaries (parking_lot mutex around the cache), so `apt-repro
+//! all` never simulates the same configuration twice.
+
+use crate::workloads::{experiment_graphs, NUM_EXPERIMENTS};
+use apt_core::prelude::*;
+use apt_core::PolicyFactory;
+use apt_metrics::RunSummary;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Link-rate presets used by the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rate {
+    /// PCIe 2.0 ×8 — 4 GB/s.
+    Gbps4,
+    /// PCIe 2.0 ×16 — 8 GB/s.
+    Gbps8,
+}
+
+impl Rate {
+    /// Both evaluated rates.
+    pub const ALL: [Rate; 2] = [Rate::Gbps4, Rate::Gbps8];
+
+    /// The corresponding system configuration (paper machine).
+    pub fn system(self) -> SystemConfig {
+        match self {
+            Rate::Gbps4 => SystemConfig::paper_4gbps(),
+            Rate::Gbps8 => SystemConfig::paper_8gbps(),
+        }
+    }
+
+    /// Axis label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Rate::Gbps4 => "4 GBps",
+            Rate::Gbps8 => "8 GBps",
+        }
+    }
+}
+
+/// One full policy comparison: `matrix[graph][policy]`, policies in the
+/// Tables-8/9/10 column order (APT, MET, SPN, SS, AG, HEFT, PEFT).
+pub type Matrix = Vec<Vec<RunSummary>>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    ty: DfgType,
+    alpha_bits: u64,
+    rate: Rate,
+}
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<Matrix>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Matrix>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Run (or fetch) the full seven-policy comparison for one DFG family at
+/// one α and one link rate.
+pub fn policy_matrix(ty: DfgType, alpha: f64, rate: Rate) -> Arc<Matrix> {
+    let key = Key {
+        ty,
+        alpha_bits: alpha.to_bits(),
+        rate,
+    };
+    if let Some(hit) = cache().lock().get(&key) {
+        return Arc::clone(hit);
+    }
+    let factories = apt_core::all_policy_factories(alpha);
+    let matrix = run_matrix(ty, &factories, &rate.system());
+    let arc = Arc::new(matrix);
+    cache().lock().insert(key, Arc::clone(&arc));
+    arc
+}
+
+/// Execute `factories` over all ten experiment graphs of `ty` on `system`,
+/// one worker thread per graph.
+pub fn run_matrix(
+    ty: DfgType,
+    factories: &[(String, PolicyFactory)],
+    system: &SystemConfig,
+) -> Matrix {
+    let graphs = experiment_graphs(ty);
+    let mut out: Matrix = vec![Vec::new(); graphs.len()];
+    crossbeam::thread::scope(|scope| {
+        for (graph, slot) in graphs.iter().zip(out.iter_mut()) {
+            scope.spawn(move |_| {
+                *slot = factories
+                    .iter()
+                    .map(|(_, make)| run_single(graph, make.as_ref(), system))
+                    .collect();
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out
+}
+
+/// Run one freshly constructed policy over one graph.
+pub fn run_single(
+    dfg: &KernelDag,
+    make: &(dyn Fn() -> Box<dyn Policy> + Send + Sync),
+    system: &SystemConfig,
+) -> RunSummary {
+    let mut policy = make();
+    let res = simulate(dfg, system, LookupTable::paper(), policy.as_mut())
+        .expect("experiment simulation failed");
+    RunSummary::from_result(&res)
+}
+
+/// Per-policy average makespan over the ten experiments, in milliseconds
+/// (column order as in the matrix).
+pub fn avg_makespans_ms(matrix: &Matrix) -> Vec<f64> {
+    avg_over_graphs(matrix, |s| s.makespan.as_ms_f64())
+}
+
+/// Per-policy average total λ delay over the ten experiments (ms).
+pub fn avg_lambda_ms(matrix: &Matrix) -> Vec<f64> {
+    avg_over_graphs(matrix, |s| s.lambda_total.as_ms_f64())
+}
+
+fn avg_over_graphs(matrix: &Matrix, f: impl Fn(&RunSummary) -> f64) -> Vec<f64> {
+    let npol = matrix.first().map_or(0, Vec::len);
+    (0..npol)
+        .map(|p| {
+            matrix.iter().map(|row| f(&row[p])).sum::<f64>() / matrix.len().max(1) as f64
+        })
+        .collect()
+}
+
+/// The policy column order of [`policy_matrix`].
+pub const POLICY_ORDER: [&str; 7] = ["APT", "MET", "SPN", "SS", "AG", "HEFT", "PEFT"];
+
+/// Index of a policy in the matrix columns.
+pub fn policy_index(name: &str) -> usize {
+    POLICY_ORDER
+        .iter()
+        .position(|&p| p == name)
+        .unwrap_or_else(|| panic!("unknown policy {name}"))
+}
+
+/// Convenience: all ten APT summaries (one per graph) at `(ty, α, rate)`.
+pub fn apt_column(ty: DfgType, alpha: f64, rate: Rate) -> Vec<RunSummary> {
+    let m = policy_matrix(ty, alpha, rate);
+    m.iter().map(|row| row[policy_index("APT")].clone()).collect()
+}
+
+/// Sanity constant: rows per table.
+pub const ROWS: usize = NUM_EXPERIMENTS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_and_cache_identity() {
+        let a = policy_matrix(DfgType::Type1, 1.5, Rate::Gbps4);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[0].len(), 7);
+        assert_eq!(a[0][0].policy, "APT(α=1.5)");
+        assert_eq!(a[0][1].policy, "MET");
+        // Second call is the same Arc (cache hit).
+        let b = policy_matrix(DfgType::Type1, 1.5, Rate::Gbps4);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn averages_have_one_entry_per_policy() {
+        let m = policy_matrix(DfgType::Type1, 1.5, Rate::Gbps4);
+        let avg = avg_makespans_ms(&m);
+        assert_eq!(avg.len(), 7);
+        assert!(avg.iter().all(|&v| v > 0.0));
+        let lam = avg_lambda_ms(&m);
+        assert_eq!(lam.len(), 7);
+    }
+
+    #[test]
+    fn policy_index_matches_order() {
+        assert_eq!(policy_index("APT"), 0);
+        assert_eq!(policy_index("PEFT"), 6);
+    }
+
+    #[test]
+    fn apt_column_returns_ten_rows() {
+        let col = apt_column(DfgType::Type1, 1.5, Rate::Gbps4);
+        assert_eq!(col.len(), 10);
+        assert!(col.iter().all(|s| s.policy.starts_with("APT")));
+    }
+}

@@ -1,0 +1,42 @@
+//! # apt-hetsim
+//!
+//! Discrete-event simulator for heterogeneous CPU/GPU/FPGA systems — the
+//! experimental substrate of §3.2. "We have developed a software to simulate
+//! the distributed hardware heterogeneous system, the incoming stream of
+//! applications as a work load for the system and the different scheduling
+//! policies." This crate is that software:
+//!
+//! * [`link`] — the PCI-Express interconnect model (uniform rate between all
+//!   processor pairs; 4 GB/s for ×8 lanes, 8 GB/s for ×16).
+//! * [`system`] — the simulated machine: a customizable set of processor
+//!   instances plus the link and the bytes-per-element convention.
+//! * [`policy`] — the [`Policy`] trait every scheduling heuristic
+//!   implements, and the [`Assignment`] type policies emit.
+//! * [`view`] — the read-only snapshot of simulator state handed to dynamic
+//!   policies on every decision edge.
+//! * [`engine`] — the event loop: ready-set maintenance, per-processor
+//!   queues, transfer+execute timing, λ-delay measurement.
+//! * [`trace`] — the schedule log and the derived statistics of §3.2
+//!   (makespan, per-processor busy/transfer/idle time, λ totals, Eq. 11–12).
+//!
+//! Determinism: time is integer nanoseconds, the event queue is totally
+//! ordered by `(time, sequence number)`, and every argmin in the pipeline
+//! breaks ties by the lowest index — two runs of the same configuration are
+//! bit-identical.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod link;
+pub mod policy;
+pub mod system;
+pub mod trace;
+pub mod view;
+
+pub use engine::{simulate, simulate_stream};
+pub use link::LinkRate;
+pub use policy::{Assignment, Policy, PolicyKind, PrepareCtx};
+pub use system::{ProcSpec, SystemConfig};
+pub use trace::{ProcStats, SimResult, TaskRecord, Trace};
+pub use view::{ProcView, SimView};

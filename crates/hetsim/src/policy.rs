@@ -1,0 +1,132 @@
+//! The scheduling-policy interface.
+//!
+//! A scheduling algorithm is a function `f : V → P` mapping kernels to
+//! processors (§2.5.1). The simulator drives policies through this trait:
+//!
+//! * **Static** policies (HEFT, PEFT) receive the whole DFG up front in
+//!   [`Policy::prepare`], compute a complete plan, and release it assignment
+//!   by assignment from [`Policy::decide`].
+//! * **Dynamic** policies (SPN, MET, SS, AG, APT) ignore `prepare` (beyond
+//!   caching the lookup table) and make every choice from the live
+//!   [`SimView`] snapshot on each decision edge.
+//!
+//! The engine calls `decide` to a fixpoint after every event: a policy may
+//! return any number of assignments per call; returning an empty vector
+//! means "nothing more to do right now" (e.g. MET *waiting* for a busy
+//! best processor).
+
+use crate::system::SystemConfig;
+use crate::view::SimView;
+use apt_base::{BaseError, ProcId};
+use apt_dfg::{KernelDag, LookupTable, NodeId};
+
+/// Whether a policy plans ahead or reacts to live state (Table 2 row 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Has access to the entire DFG before execution; follows a fixed plan.
+    Static,
+    /// Decides from the current system state and submitted kernels only.
+    Dynamic,
+}
+
+impl PolicyKind {
+    /// Table label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "Static",
+            PolicyKind::Dynamic => "Dynamic",
+        }
+    }
+}
+
+/// Everything a static policy may inspect before the simulation starts.
+#[derive(Clone, Copy)]
+pub struct PrepareCtx<'a> {
+    /// The complete dataflow graph.
+    pub dfg: &'a KernelDag,
+    /// Measured execution times.
+    pub lookup: &'a LookupTable,
+    /// The machine description.
+    pub config: &'a SystemConfig,
+}
+
+/// A single kernel-to-processor decision emitted by a policy.
+///
+/// If the target processor is idle the kernel starts immediately (input
+/// transfer first, then execution). If it is busy the kernel enters that
+/// processor's FIFO queue — this is how AG's per-processor queueing works;
+/// policies that prefer to *wait* (MET, APT) simply withhold the assignment
+/// instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The ready kernel being placed.
+    pub node: NodeId,
+    /// The chosen processor instance.
+    pub proc: ProcId,
+    /// True when the policy knowingly picked a non-optimal ("alternative")
+    /// processor — APT sets this so the Appendix-B allocation analyses can be
+    /// regenerated from the trace.
+    pub alt: bool,
+}
+
+impl Assignment {
+    /// An ordinary (best-processor) assignment.
+    pub const fn new(node: NodeId, proc: ProcId) -> Self {
+        Assignment {
+            node,
+            proc,
+            alt: false,
+        }
+    }
+
+    /// An alternative-processor assignment (APT's `p_alt`).
+    pub const fn alternative(node: NodeId, proc: ProcId) -> Self {
+        Assignment {
+            node,
+            proc,
+            alt: true,
+        }
+    }
+}
+
+/// A scheduling policy. Implementations must be deterministic; one instance
+/// drives one simulation (construct a fresh instance per run).
+pub trait Policy {
+    /// Display name, including parameters (e.g. `"APT(α=4)"`).
+    fn name(&self) -> String;
+
+    /// Static or dynamic (Table 2 / Table 4 first row).
+    fn kind(&self) -> PolicyKind;
+
+    /// Called once before the event loop with the full problem. Static
+    /// policies build their plan here; dynamic policies usually do nothing.
+    fn prepare(&mut self, _ctx: PrepareCtx<'_>) -> Result<(), BaseError> {
+        Ok(())
+    }
+
+    /// Called to a fixpoint after every simulation event. Return the
+    /// assignments to apply now; return an empty vector to wait.
+    ///
+    /// Every returned node must currently be in `view.ready`.
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_constructors() {
+        let a = Assignment::new(NodeId::new(3), ProcId::new(1));
+        assert!(!a.alt);
+        let b = Assignment::alternative(NodeId::new(3), ProcId::new(2));
+        assert!(b.alt);
+        assert_eq!(a.node, b.node);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(PolicyKind::Static.label(), "Static");
+        assert_eq!(PolicyKind::Dynamic.label(), "Dynamic");
+    }
+}

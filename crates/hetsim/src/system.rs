@@ -1,0 +1,230 @@
+//! The simulated heterogeneous machine.
+//!
+//! "The simulated heterogeneous system comprises of commercial-off-the-shelf
+//! CPUs, GPUs and FPGAs and each communication link is based on PCI Express.
+//! The number of processors of any type are customizable in the software and
+//! so is the communication bandwidth" (§3.2). The paper's evaluation uses
+//! one CPU, one GPU and one FPGA.
+
+use crate::link::LinkRate;
+use apt_base::{BaseError, ProcId, ProcKind};
+use serde::{Deserialize, Serialize};
+
+/// One processor instance in the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcSpec {
+    /// Category (keys the lookup table).
+    pub kind: ProcKind,
+    /// Display name ("CPU0", "GPU0", ...).
+    pub name: String,
+}
+
+impl ProcSpec {
+    /// A processor of `kind` named `name`.
+    pub fn new(kind: ProcKind, name: impl Into<String>) -> Self {
+        ProcSpec {
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+/// Full description of a simulated system: processor instances, the uniform
+/// link rate, and the bytes-per-element convention used to turn the lookup
+/// table's element counts into transfer volumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    procs: Vec<ProcSpec>,
+    /// Uniform link rate between every processor pair.
+    pub link: LinkRate,
+    /// Bytes moved per data element when a kernel's input crosses a link.
+    /// 4 (f32) reproduces the paper's setting; 0 disables transfers entirely
+    /// (used by the Figure-5 walk-through).
+    pub bytes_per_element: u64,
+}
+
+impl SystemConfig {
+    /// The paper's evaluated system: 1 CPU + 1 GPU + 1 FPGA at 4 GB/s
+    /// (PCIe 2.0 ×8), 4 bytes per element.
+    pub fn paper_4gbps() -> Self {
+        SystemConfig::cpu_gpu_fpga(LinkRate::PCIE2_X8)
+    }
+
+    /// The paper's faster variant: same processors at 8 GB/s (PCIe 2.0 ×16).
+    pub fn paper_8gbps() -> Self {
+        SystemConfig::cpu_gpu_fpga(LinkRate::PCIE2_X16)
+    }
+
+    /// The Figure-5 walk-through system: 1 CPU + 1 GPU + 1 FPGA with data
+    /// transfers disabled ("to simplify the example, we do not consider
+    /// transfer times").
+    pub fn paper_no_transfers() -> Self {
+        let mut cfg = SystemConfig::cpu_gpu_fpga(LinkRate::PCIE2_X8);
+        cfg.bytes_per_element = 0;
+        cfg
+    }
+
+    /// One processor of each evaluated category with the given link rate.
+    pub fn cpu_gpu_fpga(link: LinkRate) -> Self {
+        SystemConfig {
+            procs: vec![
+                ProcSpec::new(ProcKind::Cpu, "CPU0"),
+                ProcSpec::new(ProcKind::Gpu, "GPU0"),
+                ProcSpec::new(ProcKind::Fpga, "FPGA0"),
+            ],
+            link,
+            bytes_per_element: 4,
+        }
+    }
+
+    /// An empty system to be populated with [`SystemConfig::with_proc`].
+    pub fn empty(link: LinkRate) -> Self {
+        SystemConfig {
+            procs: Vec::new(),
+            link,
+            bytes_per_element: 4,
+        }
+    }
+
+    /// Builder: append a processor instance.
+    pub fn with_proc(mut self, kind: ProcKind) -> Self {
+        let n = self.procs.iter().filter(|p| p.kind == kind).count();
+        self.procs.push(ProcSpec::new(kind, format!("{}{}", kind.label(), n)));
+        self
+    }
+
+    /// Builder: set the bytes-per-element convention.
+    pub fn with_bytes_per_element(mut self, bytes: u64) -> Self {
+        self.bytes_per_element = bytes;
+        self
+    }
+
+    /// Builder: set the link rate.
+    pub fn with_link(mut self, link: LinkRate) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// The processor instances, index = [`ProcId`].
+    pub fn procs(&self) -> &[ProcSpec] {
+        &self.procs
+    }
+
+    /// Number of processor instances (`n_p` in §2.5.1).
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True if the system has no processors (always invalid to simulate).
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The spec of one processor.
+    pub fn proc(&self, id: ProcId) -> &ProcSpec {
+        &self.procs[id.index()]
+    }
+
+    /// The category of one processor.
+    pub fn kind_of(&self, id: ProcId) -> ProcKind {
+        self.procs[id.index()].kind
+    }
+
+    /// Ids of all processors, in index order.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.procs.len()).map(ProcId::new)
+    }
+
+    /// Ids of processors of one category.
+    pub fn procs_of(&self, kind: ProcKind) -> Vec<ProcId> {
+        self.proc_ids()
+            .filter(|&p| self.kind_of(p) == kind)
+            .collect()
+    }
+
+    /// Structural validation: a simulatable system needs at least one
+    /// processor, and at least one processor with lookup-table coverage
+    /// (i.e. not ASIC-only).
+    pub fn validate(&self) -> Result<(), BaseError> {
+        if self.procs.is_empty() {
+            return Err(BaseError::InvalidSystem {
+                reason: "system has no processors".into(),
+            });
+        }
+        if !self
+            .procs
+            .iter()
+            .any(|p| p.kind.table_column().is_some())
+        {
+            return Err(BaseError::InvalidSystem {
+                reason: "no processor has measured execution times".into(),
+            });
+        }
+        if self.link.bytes_per_sec == 0 {
+            return Err(BaseError::InvalidSystem {
+                reason: "link rate is zero".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_shape() {
+        let s = SystemConfig::paper_4gbps();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.kind_of(ProcId::new(0)), ProcKind::Cpu);
+        assert_eq!(s.kind_of(ProcId::new(1)), ProcKind::Gpu);
+        assert_eq!(s.kind_of(ProcId::new(2)), ProcKind::Fpga);
+        assert_eq!(s.link, LinkRate::PCIE2_X8);
+        assert_eq!(s.bytes_per_element, 4);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn no_transfer_variant_zeroes_bytes() {
+        let s = SystemConfig::paper_no_transfers();
+        assert_eq!(s.bytes_per_element, 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_names_instances_per_kind() {
+        let s = SystemConfig::empty(LinkRate::gbps(4))
+            .with_proc(ProcKind::Cpu)
+            .with_proc(ProcKind::Cpu)
+            .with_proc(ProcKind::Gpu);
+        assert_eq!(s.proc(ProcId::new(0)).name, "CPU0");
+        assert_eq!(s.proc(ProcId::new(1)).name, "CPU1");
+        assert_eq!(s.proc(ProcId::new(2)).name, "GPU0");
+        assert_eq!(s.procs_of(ProcKind::Cpu).len(), 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_systems() {
+        let empty = SystemConfig::empty(LinkRate::gbps(4));
+        assert!(matches!(
+            empty.validate(),
+            Err(BaseError::InvalidSystem { .. })
+        ));
+        let asic_only = SystemConfig::empty(LinkRate::gbps(4)).with_proc(ProcKind::Asic);
+        assert!(matches!(
+            asic_only.validate(),
+            Err(BaseError::InvalidSystem { .. })
+        ));
+        let zero_link = SystemConfig::cpu_gpu_fpga(LinkRate { bytes_per_sec: 0 });
+        assert!(zero_link.validate().is_err());
+    }
+
+    #[test]
+    fn eight_gbps_doubles_the_link() {
+        let a = SystemConfig::paper_4gbps();
+        let b = SystemConfig::paper_8gbps();
+        assert_eq!(b.link.bytes_per_sec, 2 * a.link.bytes_per_sec);
+        assert_eq!(a.procs(), b.procs());
+    }
+}

@@ -1,0 +1,391 @@
+//! The schedule log and the statistics of §3.2.
+//!
+//! "Other than creating a schedule for a given stream of applications, the
+//! simulator also calculates a few statistical metrics": makespan, compute /
+//! transfer / idle time per processor, λ delays (total, average per Eq. 11,
+//! standard deviation per Eq. 12). This module holds the per-kernel trace
+//! those numbers derive from, plus schedule validation used by the property
+//! tests (no processor overlap, precedence respected, every kernel exactly
+//! once).
+
+use apt_base::{stats, BaseError, ProcId, SimDuration, SimTime};
+use apt_dfg::{Kernel, KernelDag, KernelKind, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything that happened to one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The node this record belongs to.
+    pub node: NodeId,
+    /// The kernel instance at that node.
+    pub kernel: Kernel,
+    /// The processor that executed it.
+    pub proc: ProcId,
+    /// When all its dependencies had completed (sources: t = 0).
+    pub ready: SimTime,
+    /// When it started occupying the processor (input transfer begins).
+    pub start: SimTime,
+    /// When the input transfer completed and execution began.
+    pub exec_start: SimTime,
+    /// When execution completed.
+    pub finish: SimTime,
+    /// True if the policy flagged this as an alternative-processor
+    /// assignment (APT's `p_alt`).
+    pub alt: bool,
+}
+
+impl TaskRecord {
+    /// λ delay of this kernel: time between becoming ready and starting.
+    /// Covers the scheduler-wait, processor-wait and dependency-wait
+    /// components of §2.5.1 as observable in the simulator.
+    #[inline]
+    pub fn lambda(&self) -> SimDuration {
+        self.start - self.ready
+    }
+
+    /// Time spent moving inputs.
+    #[inline]
+    pub fn transfer_time(&self) -> SimDuration {
+        self.exec_start - self.start
+    }
+
+    /// Pure execution time.
+    #[inline]
+    pub fn exec_time(&self) -> SimDuration {
+        self.finish - self.exec_start
+    }
+}
+
+/// Per-processor aggregates (§3.2 metrics 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Total execution time on this processor.
+    pub busy: SimDuration,
+    /// Total input-transfer time on this processor.
+    pub transfer: SimDuration,
+    /// Number of kernels executed here.
+    pub kernels: usize,
+}
+
+impl ProcStats {
+    /// Idle time relative to a makespan.
+    pub fn idle(&self, makespan: SimDuration) -> SimDuration {
+        makespan - (self.busy + self.transfer)
+    }
+}
+
+/// The complete, ordered schedule log of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// One record per kernel, ordered by `start` time (ties by node id).
+    pub records: Vec<TaskRecord>,
+    /// Per-processor aggregates, indexed by [`ProcId`].
+    pub proc_stats: Vec<ProcStats>,
+}
+
+impl Trace {
+    /// Total execution time — the makespan (§3.2 metric 1).
+    pub fn makespan(&self) -> SimDuration {
+        self.records
+            .iter()
+            .map(|r| r.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            - SimTime::ZERO
+    }
+
+    /// All non-zero λ delays, in record order.
+    pub fn lambda_values(&self) -> Vec<SimDuration> {
+        self.records
+            .iter()
+            .map(TaskRecord::lambda)
+            .filter(|l| !l.is_zero())
+            .collect()
+    }
+
+    /// Total λ delay (§3.2 metric 6).
+    pub fn lambda_total(&self) -> SimDuration {
+        self.records.iter().map(TaskRecord::lambda).sum()
+    }
+
+    /// Average λ delay over delay occurrences (Eq. 11; zero if none).
+    pub fn lambda_avg(&self) -> SimDuration {
+        stats::mean_duration(&self.lambda_values())
+    }
+
+    /// Population standard deviation of λ delays in milliseconds (Eq. 12).
+    pub fn lambda_stddev_ms(&self) -> f64 {
+        stats::stddev_duration_ms(&self.lambda_values())
+    }
+
+    /// Number of delay occurrences (`N` of Eq. 11).
+    pub fn lambda_count(&self) -> usize {
+        self.records.iter().filter(|r| !r.lambda().is_zero()).count()
+    }
+
+    /// Count of alternative-processor assignments, total.
+    pub fn alt_total(&self) -> usize {
+        self.records.iter().filter(|r| r.alt).count()
+    }
+
+    /// Alternative-processor assignments per kernel kind, for the Appendix-B
+    /// allocation analyses (Tables 15/16). Sorted by kind.
+    pub fn alt_by_kind(&self) -> BTreeMap<KernelKind, usize> {
+        let mut map = BTreeMap::new();
+        for r in self.records.iter().filter(|r| r.alt) {
+            *map.entry(r.kernel.kind).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// The record for one node, if it ran.
+    pub fn record(&self, node: NodeId) -> Option<&TaskRecord> {
+        self.records.iter().find(|r| r.node == node)
+    }
+
+    /// Validate this trace against the DFG it was produced from:
+    ///
+    /// 1. every node appears exactly once,
+    /// 2. per-processor occupancy intervals `[start, finish)` never overlap,
+    /// 3. every kernel starts at or after all its predecessors finish,
+    /// 4. interval arithmetic is internally consistent
+    ///    (`ready ≤ start ≤ exec_start ≤ finish`).
+    ///
+    /// This is the oracle the property-based tests run against every policy.
+    pub fn validate(&self, dfg: &KernelDag) -> Result<(), BaseError> {
+        if self.records.len() != dfg.len() {
+            return Err(BaseError::InvalidAssignment {
+                reason: format!(
+                    "trace has {} records for {} kernels",
+                    self.records.len(),
+                    dfg.len()
+                ),
+            });
+        }
+        let mut seen = vec![false; dfg.len()];
+        let mut finish = vec![SimTime::ZERO; dfg.len()];
+        for r in &self.records {
+            let i = r.node.index();
+            if i >= dfg.len() {
+                return Err(BaseError::NodeOutOfRange {
+                    node: i,
+                    len: dfg.len(),
+                });
+            }
+            if seen[i] {
+                return Err(BaseError::InvalidAssignment {
+                    reason: format!("node {} scheduled twice", r.node),
+                });
+            }
+            seen[i] = true;
+            finish[i] = r.finish;
+            if !(r.ready <= r.start && r.start <= r.exec_start && r.exec_start <= r.finish) {
+                return Err(BaseError::InvalidAssignment {
+                    reason: format!("node {} has inconsistent interval", r.node),
+                });
+            }
+        }
+        // Precedence: every record starts after all predecessors finish.
+        for r in &self.records {
+            for &p in dfg.preds(r.node) {
+                if finish[p.index()] > r.start {
+                    return Err(BaseError::InvalidAssignment {
+                        reason: format!(
+                            "node {} started at {} before predecessor {} finished at {}",
+                            r.node,
+                            r.start,
+                            p,
+                            finish[p.index()]
+                        ),
+                    });
+                }
+            }
+        }
+        // Per-processor non-overlap.
+        let mut per_proc: BTreeMap<ProcId, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+        for r in &self.records {
+            per_proc.entry(r.proc).or_default().push((r.start, r.finish));
+        }
+        for (proc, mut intervals) in per_proc {
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                if w[0].1 > w[1].0 {
+                    return Err(BaseError::InvalidAssignment {
+                        reason: format!(
+                            "processor {proc} intervals overlap: [{}, {}) and [{}, {})",
+                            w[0].0, w[0].1, w[1].0, w[1].1
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one simulation: the policy that produced it, the machine it ran
+/// on (by description), and the trace with all derived metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Display name of the policy (e.g. `"APT(α=4)"`).
+    pub policy: String,
+    /// The schedule log.
+    pub trace: Trace,
+}
+
+impl SimResult {
+    /// Total execution time (§3.2 metric 1).
+    pub fn makespan(&self) -> SimDuration {
+        self.trace.makespan()
+    }
+
+    /// Total λ delay (§3.2 metric 6).
+    pub fn lambda_total(&self) -> SimDuration {
+        self.trace.lambda_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::generator::build_type1;
+
+    fn record(
+        node: u32,
+        proc: u16,
+        ready_ms: u64,
+        start_ms: u64,
+        transfer_ms: u64,
+        exec_ms: u64,
+    ) -> TaskRecord {
+        let ready = SimTime::from_ms(ready_ms);
+        let start = SimTime::from_ms(start_ms);
+        let exec_start = start + SimDuration::from_ms(transfer_ms);
+        TaskRecord {
+            node: NodeId(node),
+            kernel: Kernel::canonical(KernelKind::Bfs),
+            proc: ProcId(proc),
+            ready,
+            start,
+            exec_start,
+            finish: exec_start + SimDuration::from_ms(exec_ms),
+            alt: false,
+        }
+    }
+
+    fn three_node_dag() -> KernelDag {
+        build_type1(&[
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Bfs),
+        ])
+    }
+
+    fn valid_trace() -> Trace {
+        Trace {
+            records: vec![
+                record(0, 0, 0, 0, 1, 10),   // finishes 11
+                record(1, 1, 0, 0, 0, 5),    // finishes 5
+                record(2, 0, 11, 11, 2, 10), // dependent sink, starts at 11
+            ],
+            proc_stats: vec![ProcStats::default(); 3],
+        }
+    }
+
+    #[test]
+    fn makespan_and_lambda() {
+        let t = valid_trace();
+        assert_eq!(t.makespan(), SimDuration::from_ms(23));
+        assert_eq!(t.lambda_total(), SimDuration::ZERO);
+        assert_eq!(t.lambda_count(), 0);
+        assert_eq!(t.lambda_avg(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lambda_stats_follow_eq11_12() {
+        let mut t = valid_trace();
+        // Delay node 1 by 4 ms and node 2 by 2 ms.
+        t.records[1].start = SimTime::from_ms(4);
+        t.records[1].exec_start = SimTime::from_ms(4);
+        t.records[1].finish = SimTime::from_ms(9);
+        t.records[2].start = SimTime::from_ms(13);
+        t.records[2].exec_start = SimTime::from_ms(15);
+        t.records[2].finish = SimTime::from_ms(25);
+        assert_eq!(t.lambda_total(), SimDuration::from_ms(6));
+        assert_eq!(t.lambda_count(), 2);
+        assert_eq!(t.lambda_avg(), SimDuration::from_ms(3));
+        // Population stddev of {4, 2} is 1.
+        assert!((t.lambda_stddev_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_a_correct_trace() {
+        valid_trace().validate(&three_node_dag()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_duplicate_nodes() {
+        let dfg = three_node_dag();
+        let mut t = valid_trace();
+        t.records.pop();
+        assert!(t.validate(&dfg).is_err());
+        let mut t = valid_trace();
+        t.records[1] = t.records[0];
+        assert!(matches!(
+            t.validate(&dfg),
+            Err(BaseError::InvalidAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_precedence_violation() {
+        let dfg = three_node_dag();
+        let mut t = valid_trace();
+        // Sink starts before node 0 finishes.
+        t.records[2].ready = SimTime::from_ms(5);
+        t.records[2].start = SimTime::from_ms(5);
+        t.records[2].exec_start = SimTime::from_ms(7);
+        t.records[2].finish = SimTime::from_ms(17);
+        assert!(t.validate(&dfg).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_processor_overlap() {
+        let dfg = three_node_dag();
+        let mut t = valid_trace();
+        // Put node 1 on processor 0 overlapping node 0's [0, 11).
+        t.records[1].proc = ProcId(0);
+        assert!(t.validate(&dfg).is_err());
+    }
+
+    #[test]
+    fn alt_counting_by_kind() {
+        let mut t = valid_trace();
+        t.records[0].alt = true;
+        t.records[2].alt = true;
+        t.records[2].kernel = Kernel::canonical(KernelKind::NeedlemanWunsch);
+        assert_eq!(t.alt_total(), 2);
+        let by_kind = t.alt_by_kind();
+        assert_eq!(by_kind[&KernelKind::Bfs], 1);
+        assert_eq!(by_kind[&KernelKind::NeedlemanWunsch], 1);
+    }
+
+    #[test]
+    fn proc_stats_idle_math() {
+        let s = ProcStats {
+            busy: SimDuration::from_ms(10),
+            transfer: SimDuration::from_ms(2),
+            kernels: 3,
+        };
+        assert_eq!(s.idle(SimDuration::from_ms(20)), SimDuration::from_ms(8));
+    }
+
+    #[test]
+    fn record_interval_helpers() {
+        let r = record(0, 0, 1, 3, 2, 10);
+        assert_eq!(r.lambda(), SimDuration::from_ms(2));
+        assert_eq!(r.transfer_time(), SimDuration::from_ms(2));
+        assert_eq!(r.exec_time(), SimDuration::from_ms(10));
+    }
+}

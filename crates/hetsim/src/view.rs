@@ -1,0 +1,288 @@
+//! Read-only simulator state exposed to policies.
+//!
+//! On every decision edge the engine snapshots the live state into a
+//! [`SimView`]: the ready set `I`, the per-processor occupancy (from which
+//! the available set `A` follows), finished-kernel locations (for data
+//! transfer costs), and the shared lookup table. Dynamic policies see *only*
+//! this — they never see the full DFG's future, matching §2.5.2's definition
+//! of dynamic scheduling. (The DFG reference is exposed for successor/
+//! predecessor queries; policies that want to remain faithfully dynamic
+//! restrict themselves to the ready set and precedence edges of submitted
+//! kernels, which is what all the implementations in this workspace do.)
+
+use crate::system::SystemConfig;
+use apt_base::{ProcId, ProcKind, SimDuration, SimTime};
+use apt_dfg::{Kernel, KernelDag, LookupTable, NodeId};
+
+/// Snapshot of one processor's occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcView {
+    /// Which processor this is.
+    pub id: ProcId,
+    /// Its category.
+    pub kind: ProcKind,
+    /// The kernel currently executing (or transferring in), if any.
+    pub running: Option<NodeId>,
+    /// When the processor finishes everything currently started (equals the
+    /// current time when idle).
+    pub busy_until: SimTime,
+    /// Number of assignments waiting in this processor's FIFO queue
+    /// (excluding the running kernel). `N_g` minus the running slot in
+    /// AG's Eq. 2 terms.
+    pub queue_len: usize,
+    /// Average execution time of the last few kernels assigned to this
+    /// processor (`τ_k` in AG's Eq. 2); zero when nothing has been assigned.
+    pub recent_avg_exec: SimDuration,
+}
+
+impl ProcView {
+    /// A processor is *available* (in `A`) when it is neither executing nor
+    /// holding queued work.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none() && self.queue_len == 0
+    }
+
+    /// `N_g` of AG's Eq. 2: queued kernel calls, counting the running one.
+    #[inline]
+    pub fn ag_queue_count(&self) -> usize {
+        self.queue_len + usize::from(self.running.is_some())
+    }
+}
+
+/// The full decision-time snapshot handed to [`crate::Policy::decide`].
+pub struct SimView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The ready set `I`: kernels whose dependencies completed and which have
+    /// not been assigned yet. Sorted by node id (deterministic iteration).
+    pub ready: &'a [NodeId],
+    /// Per-processor occupancy snapshots, indexed by [`ProcId`].
+    pub procs: &'a [ProcView],
+    /// The dataflow graph (for precedence queries).
+    pub dfg: &'a KernelDag,
+    /// Measured execution times.
+    pub lookup: &'a LookupTable,
+    /// The machine description.
+    pub config: &'a SystemConfig,
+    /// Where each finished kernel executed (`None` while unfinished),
+    /// indexed by node id.
+    pub locations: &'a [Option<ProcId>],
+}
+
+impl<'a> SimView<'a> {
+    /// The kernel instance at a node.
+    #[inline]
+    pub fn kernel(&self, node: NodeId) -> &Kernel {
+        self.dfg.node(node)
+    }
+
+    /// Execution time of `node` on processor `proc`; `None` when the lookup
+    /// table has no entry for that category (the kernel cannot run there).
+    pub fn exec_time(&self, node: NodeId, proc: ProcId) -> Option<SimDuration> {
+        self.lookup
+            .exec_time(self.kernel(node), self.config.kind_of(proc))
+            .ok()
+    }
+
+    /// Where a finished kernel ran (`None` if it has not finished).
+    #[inline]
+    pub fn location(&self, node: NodeId) -> Option<ProcId> {
+        self.locations[node.index()]
+    }
+
+    /// Input-transfer time if `node` were started on `proc` right now: the
+    /// sum over predecessors resident on *other* processors of moving their
+    /// output across the link. Same-processor inputs are free (the Eq. 6
+    /// convention `c_ij = 0` when `p_w = p_k`).
+    pub fn transfer_in_time(&self, node: NodeId, proc: ProcId) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &pred in self.dfg.preds(node) {
+            if let Some(loc) = self.location(pred) {
+                if loc != proc {
+                    let bytes = self
+                        .dfg
+                        .node(pred)
+                        .bytes(self.config.bytes_per_element);
+                    total += self.config.link.transfer_time(bytes);
+                }
+            }
+        }
+        total
+    }
+
+    /// Combined cost of placing `node` on `proc` now: input transfer plus
+    /// execution. `None` if the kernel cannot run on that category.
+    pub fn placement_cost(&self, node: NodeId, proc: ProcId) -> Option<SimDuration> {
+        self.exec_time(node, proc)
+            .map(|e| e + self.transfer_in_time(node, proc))
+    }
+
+    /// The processor instance with the minimum *execution* time for `node`
+    /// (`p_min` and `x` of §3.1). Ties break toward the lowest processor id.
+    /// `None` if no processor in the system can run the kernel.
+    pub fn best_proc(&self, node: NodeId) -> Option<(ProcId, SimDuration)> {
+        let mut best: Option<(ProcId, SimDuration)> = None;
+        for p in self.procs {
+            if let Some(e) = self.exec_time(node, p.id) {
+                match best {
+                    Some((_, be)) if be <= e => {}
+                    _ => best = Some((p.id, e)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Idle processors (the available set `A`), ascending id.
+    pub fn idle_procs(&self) -> impl Iterator<Item = &ProcView> {
+        self.procs.iter().filter(|p| p.is_idle())
+    }
+
+    /// True if any processor is idle.
+    pub fn any_idle(&self) -> bool {
+        self.procs.iter().any(|p| p.is_idle())
+    }
+
+    /// The snapshot for one processor.
+    #[inline]
+    pub fn proc(&self, id: ProcId) -> &ProcView {
+        &self.procs[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind, LookupTable};
+
+    fn fixture() -> (KernelDag, &'static LookupTable, SystemConfig) {
+        let kernels = vec![
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ];
+        (
+            build_type1(&kernels),
+            LookupTable::paper(),
+            SystemConfig::paper_4gbps(),
+        )
+    }
+
+    fn idle_procs(config: &SystemConfig, now: SimTime) -> Vec<ProcView> {
+        config
+            .proc_ids()
+            .map(|id| ProcView {
+                id,
+                kind: config.kind_of(id),
+                running: None,
+                busy_until: now,
+                queue_len: 0,
+                recent_avg_exec: SimDuration::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn best_proc_matches_lookup_best_category() {
+        let (dfg, lookup, config) = fixture();
+        let procs = idle_procs(&config, SimTime::ZERO);
+        let locations = vec![None; dfg.len()];
+        let ready: Vec<NodeId> = dfg.sources();
+        let view = SimView {
+            now: SimTime::ZERO,
+            ready: &ready,
+            procs: &procs,
+            dfg: &dfg,
+            lookup,
+            config: &config,
+            locations: &locations,
+        };
+        // NW is CPU-best (112 ms), BFS FPGA-best (106 ms).
+        let (p, t) = view.best_proc(NodeId::new(0)).unwrap();
+        assert_eq!(config.kind_of(p), ProcKind::Cpu);
+        assert_eq!(t, SimDuration::from_ms(112));
+        let (p, t) = view.best_proc(NodeId::new(1)).unwrap();
+        assert_eq!(config.kind_of(p), ProcKind::Fpga);
+        assert_eq!(t, SimDuration::from_ms(106));
+    }
+
+    #[test]
+    fn transfer_time_counts_only_remote_preds() {
+        let (dfg, lookup, config) = fixture();
+        let procs = idle_procs(&config, SimTime::ZERO);
+        // Node 2 (cd) depends on nodes 0 and 1. Say node 0 ran on p0 and
+        // node 1 on p2.
+        let locations = vec![Some(ProcId::new(0)), Some(ProcId::new(2)), None];
+        let ready = vec![NodeId::new(2)];
+        let view = SimView {
+            now: SimTime::ZERO,
+            ready: &ready,
+            procs: &procs,
+            dfg: &dfg,
+            lookup,
+            config: &config,
+            locations: &locations,
+        };
+        // Placing on p2: only node 0's output moves (nw: 16777216 el × 4 B at 4 GB/s).
+        let nw_bytes = 16_777_216u64 * 4;
+        let expected = config.link.transfer_time(nw_bytes);
+        assert_eq!(view.transfer_in_time(NodeId::new(2), ProcId::new(2)), expected);
+        // Placing on p1: both inputs move.
+        let bfs_bytes = 2_034_736u64 * 4;
+        let expected_both = config.link.transfer_time(nw_bytes) + config.link.transfer_time(bfs_bytes);
+        assert_eq!(
+            view.transfer_in_time(NodeId::new(2), ProcId::new(1)),
+            expected_both
+        );
+        // placement_cost = transfer + exec.
+        let exec = view.exec_time(NodeId::new(2), ProcId::new(2)).unwrap();
+        assert_eq!(
+            view.placement_cost(NodeId::new(2), ProcId::new(2)).unwrap(),
+            expected + exec
+        );
+    }
+
+    #[test]
+    fn unfinished_preds_do_not_transfer_yet() {
+        let (dfg, lookup, config) = fixture();
+        let procs = idle_procs(&config, SimTime::ZERO);
+        let locations = vec![None; dfg.len()];
+        let ready: Vec<NodeId> = dfg.sources();
+        let view = SimView {
+            now: SimTime::ZERO,
+            ready: &ready,
+            procs: &procs,
+            dfg: &dfg,
+            lookup,
+            config: &config,
+            locations: &locations,
+        };
+        assert_eq!(
+            view.transfer_in_time(NodeId::new(2), ProcId::new(0)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn idle_detection_and_ag_count() {
+        let p = ProcView {
+            id: ProcId::new(0),
+            kind: ProcKind::Cpu,
+            running: Some(NodeId::new(1)),
+            busy_until: SimTime::from_ms(5),
+            queue_len: 2,
+            recent_avg_exec: SimDuration::from_ms(3),
+        };
+        assert!(!p.is_idle());
+        assert_eq!(p.ag_queue_count(), 3);
+        let idle = ProcView {
+            running: None,
+            queue_len: 0,
+            ..p
+        };
+        assert!(idle.is_idle());
+        assert_eq!(idle.ag_queue_count(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Machine-readable exports of simulation results.
+//!
+//! The harness prints paper-style tables; downstream analysis (spreadsheets,
+//! plotting) wants flat records instead. Two formats are provided without
+//! extra dependencies:
+//!
+//! * [`trace_to_csv`] — one row per kernel execution (the full schedule log),
+//! * [`summaries_to_csv`] — one row per run (the §3.2 statistics),
+//! * JSON via `serde` is already derived on every result type
+//!   (`serde::Serialize` on [`Trace`], [`RunSummary`], …); any JSON
+//!   serializer accepted by serde works.
+
+use crate::summary::RunSummary;
+use apt_hetsim::{SystemConfig, Trace};
+use std::fmt::Write as _;
+
+/// CSV header of [`trace_to_csv`].
+pub const TRACE_CSV_HEADER: &str =
+    "node,kernel,data_size,proc,proc_kind,ready_ms,start_ms,exec_start_ms,finish_ms,lambda_ms,alt";
+
+/// Render a trace as CSV (header + one row per kernel, record order).
+pub fn trace_to_csv(trace: &Trace, config: &SystemConfig) -> String {
+    let mut out = String::with_capacity(64 * (trace.records.len() + 1));
+    out.push_str(TRACE_CSV_HEADER);
+    out.push('\n');
+    for r in &trace.records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
+            r.node.index(),
+            r.kernel.kind.tag(),
+            r.kernel.data_size,
+            r.proc.index(),
+            config.kind_of(r.proc).label(),
+            r.ready.as_ms_f64(),
+            r.start.as_ms_f64(),
+            r.exec_start.as_ms_f64(),
+            r.finish.as_ms_f64(),
+            r.lambda().as_ms_f64(),
+            r.alt,
+        );
+    }
+    out
+}
+
+/// CSV header of [`summaries_to_csv`].
+pub const SUMMARY_CSV_HEADER: &str =
+    "policy,makespan_ms,lambda_total_ms,lambda_avg_ms,lambda_stddev_ms,lambda_count,alt_assignments";
+
+/// Render run summaries as CSV (header + one row per run).
+pub fn summaries_to_csv(summaries: &[RunSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(SUMMARY_CSV_HEADER);
+    out.push('\n');
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6},{:.6},{},{}",
+            csv_quote(&s.policy),
+            s.makespan.as_ms_f64(),
+            s.lambda_total.as_ms_f64(),
+            s.lambda_avg.as_ms_f64(),
+            s.lambda_stddev_ms,
+            s.lambda_count,
+            s.alt_assignments,
+        );
+    }
+    out
+}
+
+/// Quote a CSV field if it contains separators or quotes.
+fn csv_quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind, LookupTable};
+    use apt_hetsim::simulate;
+    use apt_policies::Met;
+
+    fn sample() -> (Trace, SystemConfig) {
+        let kernels = vec![
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ];
+        let dfg = build_type1(&kernels);
+        let config = SystemConfig::paper_no_transfers();
+        let res = simulate(&dfg, &config, LookupTable::paper(), &mut Met::new()).unwrap();
+        (res.trace, config)
+    }
+
+    #[test]
+    fn trace_csv_has_one_row_per_kernel_and_parses() {
+        let (trace, config) = sample();
+        let csv = trace_to_csv(&trace, &config);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], TRACE_CSV_HEADER);
+        assert_eq!(lines.len(), 1 + trace.records.len());
+        let cols = TRACE_CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "bad row: {line}");
+        }
+        // The nw row carries its CPU timing.
+        let nw_row = lines.iter().find(|l| l.contains(",nw,")).unwrap();
+        assert!(nw_row.contains("CPU"), "{nw_row}");
+        assert!(nw_row.ends_with("false"));
+    }
+
+    #[test]
+    fn summary_csv_round_trips_the_numbers() {
+        let (trace, _) = sample();
+        let summary = RunSummary {
+            policy: "MET".into(),
+            makespan: trace.makespan(),
+            busy_per_proc: vec![],
+            transfer_per_proc: vec![],
+            idle_per_proc: vec![],
+            lambda_total: trace.lambda_total(),
+            lambda_avg: trace.lambda_avg(),
+            lambda_stddev_ms: trace.lambda_stddev_ms(),
+            lambda_count: trace.lambda_count(),
+            alt_assignments: 0,
+            alt_by_kind: Default::default(),
+        };
+        let csv = summaries_to_csv(std::slice::from_ref(&summary));
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields[0], "MET");
+        let makespan: f64 = fields[1].parse().unwrap();
+        assert!((makespan - summary.makespan.as_ms_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_quoting_escapes_policies_with_commas() {
+        let quoted = csv_quote("APT, tuned \"auto\"");
+        assert_eq!(quoted, "\"APT, tuned \"\"auto\"\"\"");
+        assert_eq!(csv_quote("MET"), "MET");
+    }
+}

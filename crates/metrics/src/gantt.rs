@@ -1,0 +1,156 @@
+//! ASCII schedule visualizations.
+//!
+//! Two renderers:
+//!
+//! * [`state_log`] — the Figure-5 format: one line per schedule event
+//!   showing what each processor is doing, with the event timestamp in the
+//!   last column, plus the final `End time:` line.
+//! * [`gantt`] — a per-processor bar chart scaled to a character width,
+//!   useful for eyeballing load balance in the examples.
+
+use apt_base::SimTime;
+use apt_hetsim::{SystemConfig, Trace};
+use std::fmt::Write as _;
+
+/// Render the Figure-5 style state log of a trace.
+///
+/// ```text
+/// CPU:0-nw     GPU:2-bfs    FPGA:1-bfs      0.0
+/// CPU:0-nw     GPU:2-bfs    FPGA:3-bfs      106.0
+/// ...
+/// End time: 212.093
+/// ```
+pub fn state_log(trace: &Trace, config: &SystemConfig) -> String {
+    // Event instants: every start and finish, deduplicated, ascending.
+    let mut instants: Vec<SimTime> = trace
+        .records
+        .iter()
+        .flat_map(|r| [r.start, r.finish])
+        .collect();
+    instants.sort_unstable();
+    instants.dedup();
+    let end = instants.last().copied().unwrap_or(SimTime::ZERO);
+
+    let mut out = String::new();
+    for &t in &instants {
+        if t == end && instants.len() > 1 {
+            break; // the paper folds the final completion into "End time".
+        }
+        for proc in config.proc_ids() {
+            let cell = trace
+                .records
+                .iter()
+                .find(|r| r.proc == proc && r.start <= t && t < r.finish)
+                .map(|r| format!("{}-{}", r.node.index(), r.kernel.kind.tag()))
+                .unwrap_or_else(|| "idle".to_string());
+            let _ = write!(out, "{}:{:<10} ", config.proc(proc).name, cell);
+        }
+        let _ = writeln!(out, "  {:.1}", t.as_ms_f64());
+    }
+    let _ = writeln!(out, "End time: {:.3}", end.as_ms_f64());
+    out
+}
+
+/// Render a width-bounded ASCII Gantt chart, one row per processor.
+/// Each kernel paints its execution interval with a letter (a, b, c …
+/// cycling by node id); transfer intervals paint as `·`, idle as spaces.
+pub fn gantt(trace: &Trace, config: &SystemConfig, width: usize) -> String {
+    let makespan = trace.makespan();
+    if makespan.as_ns() == 0 || width == 0 {
+        return String::from("(empty schedule)\n");
+    }
+    let scale = |t: SimTime| -> usize {
+        ((t.as_ns() as u128 * width as u128) / makespan.as_ns() as u128) as usize
+    };
+    let mut out = String::new();
+    for proc in config.proc_ids() {
+        let mut row = vec![' '; width + 1];
+        for r in trace.records.iter().filter(|r| r.proc == proc) {
+            let t0 = scale(r.start);
+            let t1 = scale(r.exec_start);
+            let t2 = scale(r.finish).min(width);
+            for c in row.iter_mut().take(t1).skip(t0) {
+                *c = '\u{b7}'; // · transfer
+            }
+            let letter = (b'a' + (r.node.index() % 26) as u8) as char;
+            for c in row.iter_mut().take(t2.max(t0 + 1)).skip(t1) {
+                *c = letter;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} |{}|",
+            config.proc(proc).name,
+            row.into_iter().collect::<String>()
+        );
+    }
+    let _ = writeln!(out, "        0 {:>w$.1} ms", makespan.as_ms_f64(), w = width.saturating_sub(2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind, LookupTable};
+    use apt_hetsim::simulate;
+    use apt_policies::Met;
+
+    fn figure5_trace() -> (Trace, SystemConfig) {
+        let kernels = vec![
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ];
+        let dfg = build_type1(&kernels);
+        let config = SystemConfig::paper_no_transfers();
+        let res = simulate(&dfg, &config, LookupTable::paper(), &mut Met::new()).unwrap();
+        (res.trace, config)
+    }
+
+    #[test]
+    fn state_log_reproduces_figure5_met_rows() {
+        let (trace, config) = figure5_trace();
+        let log = state_log(&trace, &config);
+        // The five state rows of the paper's MET schedule.
+        assert!(log.contains("CPU0:0-nw"), "{log}");
+        assert!(log.contains("FPGA0:1-bfs"));
+        assert!(log.contains("  0.0\n"));
+        assert!(log.contains("  106.0\n"));
+        assert!(log.contains("  112.0\n"));
+        assert!(log.contains("  212.0\n"));
+        assert!(log.contains("  318.0\n"));
+        assert!(log.ends_with("End time: 318.093\n"));
+        // GPU idles the whole run under MET.
+        assert!(log.contains("GPU0:idle"));
+    }
+
+    #[test]
+    fn gantt_paints_each_processor_row() {
+        let (trace, config) = figure5_trace();
+        let g = gantt(&trace, &config, 60);
+        assert_eq!(g.lines().count(), 4); // 3 procs + axis
+        assert!(g.contains("CPU0"));
+        assert!(g.contains("FPGA0"));
+        assert!(g.contains("318.1 ms"));
+        // FPGA row shows three different bfs letters: b, c, d.
+        let fpga_row = g.lines().nth(2).unwrap();
+        for ch in ['b', 'c', 'd'] {
+            assert!(fpga_row.contains(ch), "missing {ch} in {fpga_row}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let trace = Trace {
+            records: vec![],
+            proc_stats: vec![],
+        };
+        let config = SystemConfig::paper_4gbps();
+        assert_eq!(gantt(&trace, &config, 40), "(empty schedule)\n");
+        let log = state_log(&trace, &config);
+        assert!(log.contains("End time: 0.000"));
+    }
+}

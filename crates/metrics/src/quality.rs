@@ -1,0 +1,208 @@
+//! Schedule-quality metrics and makespan lower bounds.
+//!
+//! The list-scheduling literature the paper builds on (Topcuoglu et al.,
+//! Arabnejad & Barbosa) reports schedule quality via the *schedule length
+//! ratio* (SLR: makespan over the critical path at best-case costs) and
+//! *speedup* (best single-processor serial time over makespan). This module
+//! provides both, plus two sound makespan lower bounds any schedule must
+//! respect:
+//!
+//! * **critical-path bound** — the longest dependency chain with every
+//!   kernel at its best execution time and free communication;
+//! * **load bound** — total best-case work divided by the number of
+//!   processors (no machine can do better than perfect parallelism).
+//!
+//! `quality_report` bundles everything for one trace; the property tests use
+//! the bounds as oracles for every policy.
+
+use apt_base::{BaseError, ProcKind, SimDuration};
+use apt_dfg::{KernelDag, LookupTable};
+use apt_hetsim::{SystemConfig, Trace};
+
+/// The lower bounds and derived quality ratios of one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// The schedule's makespan.
+    pub makespan: SimDuration,
+    /// Critical-path lower bound (best-case costs, free communication).
+    pub critical_path_bound: SimDuration,
+    /// Perfect-parallelism lower bound (total best-case work / processors).
+    pub load_bound: SimDuration,
+    /// `max(critical_path_bound, load_bound)` — the tightest bound here.
+    pub lower_bound: SimDuration,
+    /// Schedule length ratio: `makespan / critical_path_bound` (≥ 1).
+    pub slr: f64,
+    /// Speedup over the best single processor executing everything serially.
+    pub speedup: f64,
+}
+
+/// Critical-path lower bound: longest chain of best-case execution times.
+pub fn critical_path_bound(dfg: &KernelDag, lookup: &LookupTable) -> Result<SimDuration, BaseError> {
+    let ns = dfg.critical_path(|n| {
+        lookup
+            .best_category(dfg.node(n))
+            .map(|(_, d)| d.as_ns())
+            .unwrap_or(0)
+    })?;
+    Ok(SimDuration::from_ns(ns))
+}
+
+/// Load lower bound: total best-case work divided by processor count
+/// (rounded up). Sound because no schedule can exceed full machine
+/// utilization.
+pub fn load_bound(
+    dfg: &KernelDag,
+    lookup: &LookupTable,
+    config: &SystemConfig,
+) -> Result<SimDuration, BaseError> {
+    let mut total: u128 = 0;
+    for (_, kernel) in dfg.iter() {
+        total += lookup.best_category(kernel)?.1.as_ns() as u128;
+    }
+    let procs = config.len().max(1) as u128;
+    Ok(SimDuration::from_ns(total.div_ceil(procs) as u64))
+}
+
+/// Serial time on the best single processor: the minimum over categories of
+/// executing every kernel there (kernels unrunnable on a category disqualify
+/// it). This is the speedup baseline.
+pub fn best_serial_time(
+    dfg: &KernelDag,
+    lookup: &LookupTable,
+    config: &SystemConfig,
+) -> Result<SimDuration, BaseError> {
+    let mut best: Option<u128> = None;
+    let mut kinds: Vec<ProcKind> = config.proc_ids().map(|p| config.kind_of(p)).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    for kind in kinds {
+        let mut total: u128 = 0;
+        let mut feasible = true;
+        for (_, kernel) in dfg.iter() {
+            match lookup.exec_time(kernel, kind) {
+                Ok(d) => total += d.as_ns() as u128,
+                Err(_) => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible && best.is_none_or(|b| total < b) {
+            best = Some(total);
+        }
+    }
+    best.map(|ns| SimDuration::from_ns(ns as u64))
+        .ok_or(BaseError::InvalidSystem {
+            reason: "no single category can execute the whole workload".into(),
+        })
+}
+
+/// Compute the full quality report for one schedule.
+pub fn quality_report(
+    trace: &Trace,
+    dfg: &KernelDag,
+    lookup: &LookupTable,
+    config: &SystemConfig,
+) -> Result<QualityReport, BaseError> {
+    let makespan = trace.makespan();
+    let cp = critical_path_bound(dfg, lookup)?;
+    let load = load_bound(dfg, lookup, config)?;
+    let lower = cp.max(load);
+    let serial = best_serial_time(dfg, lookup, config)?;
+    Ok(QualityReport {
+        makespan,
+        critical_path_bound: cp,
+        load_bound: load,
+        lower_bound: lower,
+        slr: makespan.as_ns() as f64 / cp.as_ns().max(1) as f64,
+        speedup: serial.as_ns() as f64 / makespan.as_ns().max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::generator::{build_type1, generate_kernels, StreamConfig};
+    use apt_dfg::{Kernel, KernelKind};
+    use apt_hetsim::simulate;
+    use apt_policies::{Heft, Met};
+
+    #[test]
+    fn bounds_are_sound_for_real_schedules() {
+        let kernels = generate_kernels(&StreamConfig::new(40, 6), LookupTable::paper());
+        let dfg = build_type1(&kernels);
+        let config = SystemConfig::paper_4gbps();
+        let lookup = LookupTable::paper();
+        for mut policy in [
+            Box::new(Met::new()) as Box<dyn apt_hetsim::Policy>,
+            Box::new(Heft::new()),
+        ] {
+            let res = simulate(&dfg, &config, lookup, policy.as_mut()).unwrap();
+            let q = quality_report(&res.trace, &dfg, lookup, &config).unwrap();
+            assert!(q.makespan >= q.lower_bound, "{}: bound violated", res.policy);
+            assert!(q.slr >= 1.0);
+            assert!(q.speedup > 0.0);
+            assert_eq!(q.lower_bound, q.critical_path_bound.max(q.load_bound));
+        }
+    }
+
+    #[test]
+    fn figure5_bounds_by_hand() {
+        // {nw, bfs, bfs, bfs, cd} Type-1, no transfers. Best times:
+        // nw 112, bfs 106 ×3, cd 0.093. Critical path = max level-1 best +
+        // cd = 112 + 0.093; load bound = (112 + 318 + 0.093)/3.
+        let dfg = build_type1(&[
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ]);
+        let lookup = LookupTable::paper();
+        let config = SystemConfig::paper_no_transfers();
+        let cp = critical_path_bound(&dfg, lookup).unwrap();
+        assert_eq!(cp, SimDuration::from_us(112_093));
+        let load = load_bound(&dfg, lookup, &config).unwrap();
+        let total_ns = (112_000 + 3 * 106_000 + 93) as u128 * 1_000;
+        assert_eq!(load.as_ns() as u128, total_ns.div_ceil(3));
+        // The APT(α=8) schedule (212.093 ms) respects both bounds and is
+        // within 2× of the critical path.
+        let res = simulate(&dfg, &config, lookup, &mut apt_policies::Met::new()).unwrap();
+        let q = quality_report(&res.trace, &dfg, lookup, &config).unwrap();
+        assert!(q.makespan >= q.lower_bound);
+    }
+
+    #[test]
+    fn best_serial_prefers_the_overall_fastest_category() {
+        // A gem-only workload: GPU is the best serial device by far.
+        let dfg = build_type1(&[
+            Kernel::canonical(KernelKind::Gem),
+            Kernel::canonical(KernelKind::Gem),
+        ]);
+        let lookup = LookupTable::paper();
+        let config = SystemConfig::paper_4gbps();
+        let serial = best_serial_time(&dfg, lookup, &config).unwrap();
+        assert_eq!(serial, SimDuration::from_ms(2 * 4001));
+    }
+
+    #[test]
+    fn asic_only_system_has_no_serial_baseline() {
+        let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
+        let config = SystemConfig::empty(apt_hetsim::LinkRate::gbps(4))
+            .with_proc(apt_base::ProcKind::Asic);
+        let err = best_serial_time(&dfg, LookupTable::paper(), &config).unwrap_err();
+        assert!(matches!(err, BaseError::InvalidSystem { .. }));
+    }
+
+    #[test]
+    fn empty_workload_has_zero_bounds() {
+        let dfg = build_type1(&[]);
+        let lookup = LookupTable::paper();
+        let config = SystemConfig::paper_4gbps();
+        assert_eq!(
+            critical_path_bound(&dfg, lookup).unwrap(),
+            SimDuration::ZERO
+        );
+        assert_eq!(load_bound(&dfg, lookup, &config).unwrap(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Helpers shared by the dynamic policies.
+
+use apt_base::{ProcId, SimDuration};
+use apt_dfg::NodeId;
+use apt_hetsim::SimView;
+
+/// The best processor *instance* for a kernel by pure execution time, with
+/// instance-level tie handling: among all instances achieving the minimal
+/// execution time, an **idle** one is preferred (lowest id); if none is idle
+/// the lowest-id one is returned with `idle = false`.
+///
+/// With one processor per category (the paper's system) this is exactly
+/// `p_min`; with duplicated categories it lets MET/APT use a free twin of
+/// the best device instead of waiting, which is the natural generalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BestInstance {
+    /// The chosen instance.
+    pub proc: ProcId,
+    /// The kernel's execution time there (`x` in §3.1).
+    pub exec: SimDuration,
+    /// Whether that instance is currently idle.
+    pub idle: bool,
+}
+
+/// Compute [`BestInstance`] for `node`; `None` if no processor can run it.
+pub fn best_instance(view: &SimView<'_>, node: NodeId) -> Option<BestInstance> {
+    let mut best_exec: Option<SimDuration> = None;
+    for p in view.procs {
+        if let Some(e) = view.exec_time(node, p.id) {
+            if best_exec.is_none_or(|b| e < b) {
+                best_exec = Some(e);
+            }
+        }
+    }
+    let exec = best_exec?;
+    // Among minimal-exec instances, prefer idle, then lowest id.
+    let mut chosen: Option<BestInstance> = None;
+    for p in view.procs {
+        if view.exec_time(node, p.id) != Some(exec) {
+            continue;
+        }
+        let cand = BestInstance {
+            proc: p.id,
+            exec,
+            idle: p.is_idle(),
+        };
+        match chosen {
+            None => chosen = Some(cand),
+            Some(c) if !c.idle && cand.idle => chosen = Some(cand),
+            _ => {}
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_base::{ProcKind, SimTime};
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind, LookupTable};
+    use apt_hetsim::{ProcView, SystemConfig};
+
+    fn make_views(config: &SystemConfig, busy: &[bool]) -> Vec<ProcView> {
+        config
+            .proc_ids()
+            .map(|id| ProcView {
+                id,
+                kind: config.kind_of(id),
+                running: busy[id.index()].then(|| NodeId::new(0)),
+                busy_until: SimTime::ZERO,
+                queue_len: 0,
+                recent_avg_exec: SimDuration::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefers_idle_twin_of_best_category() {
+        // Two FPGAs; BFS is FPGA-best. First FPGA busy → pick the second.
+        let config = SystemConfig::empty(apt_hetsim::LinkRate::gbps(4))
+            .with_proc(ProcKind::Cpu)
+            .with_proc(ProcKind::Fpga)
+            .with_proc(ProcKind::Fpga);
+        let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
+        let procs = make_views(&config, &[false, true, false]);
+        let locations = vec![None];
+        let ready = vec![NodeId::new(0)];
+        let view = SimView {
+            now: SimTime::ZERO,
+            ready: &ready,
+            procs: &procs,
+            dfg: &dfg,
+            lookup: LookupTable::paper(),
+            config: &config,
+            locations: &locations,
+        };
+        let b = best_instance(&view, NodeId::new(0)).unwrap();
+        assert_eq!(b.proc, ProcId::new(2));
+        assert!(b.idle);
+        assert_eq!(b.exec, SimDuration::from_ms(106));
+    }
+
+    #[test]
+    fn reports_busy_best_when_no_twin_idle() {
+        let config = SystemConfig::paper_4gbps();
+        let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
+        let procs = make_views(&config, &[false, false, true]); // FPGA busy
+        let locations = vec![None];
+        let ready = vec![NodeId::new(0)];
+        let view = SimView {
+            now: SimTime::ZERO,
+            ready: &ready,
+            procs: &procs,
+            dfg: &dfg,
+            lookup: LookupTable::paper(),
+            config: &config,
+            locations: &locations,
+        };
+        let b = best_instance(&view, NodeId::new(0)).unwrap();
+        assert_eq!(b.proc, ProcId::new(2));
+        assert!(!b.idle);
+    }
+}

@@ -1,0 +1,83 @@
+//! # apt-policies
+//!
+//! The six state-of-the-art baseline scheduling policies the paper examines
+//! (§2.5.3, Table 2), plus OLB from the related work:
+//!
+//! | Policy | Type | Module | Source |
+//! |--------|------|--------|--------|
+//! | MET — minimum execution time / best only | dynamic | [`met`] | Braun et al. |
+//! | SPN — shortest process next | dynamic | [`spn`] | Khokhar et al. |
+//! | SS — priority-rule serial scheduling | dynamic | [`ss`] | Liu & Yang |
+//! | AG — adaptive greedy | dynamic | [`ag`] | Wu et al. |
+//! | AR — adaptive random | dynamic | [`ar`] | Wu et al. |
+//! | OLB — opportunistic load balancing | dynamic | [`olb`] | Braun et al. |
+//! | HEFT — heterogeneous earliest finish time | static | [`heft`] | Topcuoglu et al. |
+//! | PEFT — predict earliest finish time | static | [`peft`] | Arabnejad & Barbosa |
+//!
+//! The APT heuristic itself (the paper's contribution) lives in `apt-core`.
+//!
+//! Static policies share the list-scheduling machinery in [`plan`] and the
+//! rank computations (Eq. 3–7) in [`ranking`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ag;
+pub mod ar;
+pub mod common;
+pub mod heft;
+pub mod met;
+pub mod olb;
+pub mod peft;
+pub mod plan;
+pub mod ranking;
+pub mod spn;
+pub mod ss;
+
+pub use ag::AdaptiveGreedy;
+pub use ar::AdaptiveRandom;
+pub use heft::Heft;
+pub use met::Met;
+pub use olb::Olb;
+pub use peft::Peft;
+pub use spn::Spn;
+pub use ss::SerialScheduling;
+
+use apt_hetsim::Policy;
+
+/// A named constructor for a boxed baseline policy.
+pub type BaselineFactory = (&'static str, fn() -> Box<dyn Policy>);
+
+/// Factory closures for the six baseline policies of the paper's comparison,
+/// in the column order of Tables 8–12 (without APT, which `apt-core` adds).
+pub fn baseline_factories() -> Vec<BaselineFactory> {
+    vec![
+        ("MET", || Box::new(Met::new()) as Box<dyn Policy>),
+        ("SPN", || Box::new(Spn::new()) as Box<dyn Policy>),
+        ("SS", || Box::new(SerialScheduling::new()) as Box<dyn Policy>),
+        ("AG", || Box::new(AdaptiveGreedy::new()) as Box<dyn Policy>),
+        ("HEFT", || Box::new(Heft::new()) as Box<dyn Policy>),
+        ("PEFT", || Box::new(Peft::new()) as Box<dyn Policy>),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_hetsim::PolicyKind;
+
+    #[test]
+    fn factories_cover_the_papers_baselines() {
+        let f = baseline_factories();
+        let names: Vec<&str> = f.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["MET", "SPN", "SS", "AG", "HEFT", "PEFT"]);
+        for (name, make) in f {
+            let p = make();
+            assert_eq!(p.name(), name);
+            match name {
+                "HEFT" | "PEFT" => assert_eq!(p.kind(), PolicyKind::Static),
+                _ => assert_eq!(p.kind(), PolicyKind::Dynamic),
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! MET — minimum execution time / "best only" (Braun et al.).
+//!
+//! §2.5.3: "a kernel is chosen ... from I and is then assigned to the
+//! processor with the lowest execution time for that kernel. If the best
+//! suited processor for the kernel is not currently available, the policy
+//! decides to wait for the best processor to become available ... By virtue
+//! of this rule, a processor sits idle if there are no kernels in I that are
+//! suitable for it."
+//!
+//! MET is the policy APT generalizes: APT with a threshold that never admits
+//! an alternative processor (α → 1 on a strongly heterogeneous table)
+//! degenerates to MET, which Tables 8/9 show as identical columns.
+//!
+//! The paper picks kernels "in a random order"; for reproducibility this
+//! implementation uses ascending node id, which is one fixed arbitrary
+//! order. One assignment is emitted per `decide` call; the engine's fixpoint
+//! loop re-invokes with a fresh view until MET only wants to wait.
+
+use crate::common::best_instance;
+use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+
+/// The MET policy. Stateless; construct per run for uniformity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Met;
+
+impl Met {
+    /// Create a MET scheduler.
+    pub const fn new() -> Self {
+        Met
+    }
+}
+
+impl Policy for Met {
+    fn name(&self) -> String {
+        "MET".into()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Dynamic
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+        for &node in view.ready {
+            if let Some(best) = best_instance(view, node) {
+                if best.idle {
+                    return vec![Assignment::new(node, best.proc)];
+                }
+                // Best processor busy: wait for it (the defining MET rule).
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_base::{ProcId, SimDuration};
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind, LookupTable, NodeId};
+    use apt_hetsim::{simulate, SystemConfig};
+
+    fn nw() -> Kernel {
+        Kernel::canonical(KernelKind::NeedlemanWunsch)
+    }
+    fn bfs() -> Kernel {
+        Kernel::canonical(KernelKind::Bfs)
+    }
+    fn cd() -> Kernel {
+        Kernel::new(KernelKind::Cholesky, 250_000)
+    }
+
+    /// The MET half of the paper's Figure-5 example: kernels
+    /// {nw, bfs, bfs, bfs, cd} as DFG Type-1, transfers disabled.
+    /// The paper's schedule ends at **318.093 ms** with the three bfs
+    /// executions serialized on the FPGA.
+    #[test]
+    fn figure5_met_schedule_is_exact() {
+        let dfg = build_type1(&[nw(), bfs(), bfs(), bfs(), cd()]);
+        let res = simulate(
+            &dfg,
+            &SystemConfig::paper_no_transfers(),
+            LookupTable::paper(),
+            &mut Met::new(),
+        )
+        .unwrap();
+        assert_eq!(res.makespan(), SimDuration::from_us(318_093));
+        // nw on CPU at t=0; bfs serialized on FPGA at 0 / 106 / 212.
+        let r = |i: usize| res.trace.record(NodeId::new(i)).unwrap();
+        assert_eq!(r(0).proc, ProcId::new(0));
+        assert_eq!(r(1).proc, ProcId::new(2));
+        assert_eq!(r(2).proc, ProcId::new(2));
+        assert_eq!(r(3).proc, ProcId::new(2));
+        assert_eq!(r(4).proc, ProcId::new(2));
+        assert_eq!(r(2).start.as_ns(), 106_000_000);
+        assert_eq!(r(3).start.as_ns(), 212_000_000);
+        assert_eq!(r(4).start.as_ns(), 318_000_000);
+        // GPU never used: MET waits for the best processor.
+        assert_eq!(res.trace.proc_stats[1].kernels, 0);
+        res.trace.validate(&dfg).unwrap();
+    }
+
+    #[test]
+    fn met_always_places_each_kernel_on_its_best_category() {
+        let kernels = vec![nw(), bfs(), cd(), bfs(), nw(), cd()];
+        let dfg = build_type1(&kernels);
+        let lookup = LookupTable::paper();
+        let res = simulate(
+            &dfg,
+            &SystemConfig::paper_no_transfers(),
+            lookup,
+            &mut Met::new(),
+        )
+        .unwrap();
+        for rec in &res.trace.records {
+            let best = lookup.best_category(&rec.kernel).unwrap().0;
+            assert_eq!(
+                SystemConfig::paper_no_transfers().kind_of(rec.proc),
+                best,
+                "kernel {} not on its best category",
+                rec.kernel
+            );
+            assert!(!rec.alt);
+        }
+    }
+
+    #[test]
+    fn met_uses_an_idle_twin_when_categories_are_duplicated() {
+        let config = SystemConfig::empty(apt_hetsim::LinkRate::gbps(4))
+            .with_proc(apt_base::ProcKind::Cpu)
+            .with_proc(apt_base::ProcKind::Fpga)
+            .with_proc(apt_base::ProcKind::Fpga)
+            .with_bytes_per_element(0);
+        let dfg = build_type1(&[bfs(), bfs(), bfs()]);
+        let res = simulate(&dfg, &config, LookupTable::paper(), &mut Met::new()).unwrap();
+        // Two level-1 bfs run in parallel on the two FPGAs → the sink starts
+        // at 106 and everything ends at 212.
+        assert_eq!(res.makespan(), SimDuration::from_ms(212));
+    }
+}

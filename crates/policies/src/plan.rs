@@ -1,0 +1,278 @@
+//! List-scheduling machinery shared by the static policies.
+//!
+//! HEFT and PEFT both (a) order tasks by a priority, (b) place each task on
+//! the processor minimizing some finish-time objective using
+//! **insertion-based** slot search ("an insertion of task in an earliest
+//! time slot between two already scheduled tasks, if the time slot can
+//! accommodate the computation time" — §2.5.3), and (c) hand the simulator a
+//! fixed plan to follow. This module provides:
+//!
+//! * [`Timeline`] — per-processor reserved intervals with earliest-fit
+//!   insertion,
+//! * [`build_plan`] — the priority-driven planning loop, parameterized by
+//!   the processor-selection objective,
+//! * [`PlannedSchedule`] — the plan plus the replay logic that releases
+//!   assignments to the engine in plan order.
+//!
+//! Plan-time costs use the HEFT communication model: a task may start on
+//! processor `p` once each predecessor has finished plus (for predecessors
+//! placed elsewhere) the link time of their output — communication overlaps
+//! computation at plan time. The simulator then *executes* the plan under
+//! its own (transfer-occupies-consumer) semantics, which is exactly the
+//! paper's arrangement: static schedules are generated beforehand and the
+//! simulator logs what actually happens.
+
+use apt_base::stats::FiniteF64;
+use apt_base::{ProcId, SimDuration, SimTime};
+use apt_dfg::{KernelDag, NodeId};
+use apt_hetsim::{Assignment, PrepareCtx, SimView};
+use std::collections::VecDeque;
+
+/// Reserved intervals per processor, kept sorted by start time.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    slots: Vec<Vec<(SimTime, SimTime)>>,
+}
+
+impl Timeline {
+    /// A timeline for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        Timeline {
+            slots: vec![Vec::new(); nprocs],
+        }
+    }
+
+    /// Earliest start ≥ `est` at which a task of length `dur` fits on
+    /// `proc`, considering gaps between already reserved intervals
+    /// (insertion-based policy).
+    pub fn earliest_fit(&self, proc: ProcId, est: SimTime, dur: SimDuration) -> SimTime {
+        let mut start = est;
+        for &(s, e) in &self.slots[proc.index()] {
+            if start + dur <= s {
+                break; // fits in the gap before this interval
+            }
+            if e > start {
+                start = e;
+            }
+        }
+        start
+    }
+
+    /// Reserve `[start, start + dur)` on `proc`.
+    pub fn reserve(&mut self, proc: ProcId, start: SimTime, dur: SimDuration) {
+        let list = &mut self.slots[proc.index()];
+        let pos = list.partition_point(|&(s, _)| s < start);
+        list.insert(pos, (start, start + dur));
+        debug_assert!(
+            list.windows(2).all(|w| w[0].1 <= w[1].0),
+            "timeline reservations overlap"
+        );
+    }
+
+    /// Number of reservations on one processor.
+    pub fn count(&self, proc: ProcId) -> usize {
+        self.slots[proc.index()].len()
+    }
+}
+
+/// A candidate placement offered to the processor-selection objective.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Target processor.
+    pub proc: ProcId,
+    /// Planned start (after insertion-based slot search).
+    pub start: SimTime,
+    /// Planned finish (`EFT`).
+    pub finish: SimTime,
+}
+
+/// A complete static schedule.
+#[derive(Debug, Clone)]
+pub struct PlannedSchedule {
+    /// Processor chosen for each node.
+    pub assignment: Vec<ProcId>,
+    /// Planned start time of each node.
+    pub starts: Vec<SimTime>,
+    /// Per-processor execution order (ascending planned start).
+    pub per_proc_order: Vec<VecDeque<NodeId>>,
+    /// The plan's own makespan estimate (under the plan-time cost model).
+    pub planned_makespan: SimDuration,
+}
+
+impl PlannedSchedule {
+    /// Release the next plan steps the simulator can take *now*: for every
+    /// idle processor whose plan head is ready, emit that assignment.
+    /// Preserves per-processor plan order strictly.
+    pub fn release(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        for p in view.procs {
+            if !p.is_idle() {
+                continue;
+            }
+            if let Some(&head) = self.per_proc_order[p.id.index()].front() {
+                if view.ready.binary_search(&head).is_ok() {
+                    self.per_proc_order[p.id.index()].pop_front();
+                    out.push(Assignment::new(head, p.id));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Build a static plan.
+///
+/// * `priority` — one value per node; tasks are scheduled highest-first
+///   among plan-time-ready tasks (ties: lowest node id).
+/// * `objective` — given the task and its placement candidates (one per
+///   runnable processor), return the index of the chosen candidate. HEFT
+///   minimizes `finish`; PEFT minimizes `finish + OCT(task, proc)`.
+pub fn build_plan(
+    ctx: &PrepareCtx<'_>,
+    priority: &[f64],
+    mut objective: impl FnMut(NodeId, &[Candidate]) -> usize,
+) -> PlannedSchedule {
+    let dfg: &KernelDag = ctx.dfg;
+    let nprocs = ctx.config.len();
+    let mut timeline = Timeline::new(nprocs);
+    let mut assignment = vec![ProcId::new(0); dfg.len()];
+    let mut starts = vec![SimTime::ZERO; dfg.len()];
+    let mut finish = vec![SimTime::ZERO; dfg.len()];
+    let mut scheduled = vec![false; dfg.len()];
+    let mut remaining_preds: Vec<usize> = dfg.node_ids().map(|n| dfg.in_degree(n)).collect();
+    let mut ready: Vec<NodeId> = dfg.sources();
+    let mut planned_makespan = SimDuration::ZERO;
+
+    while !ready.is_empty() {
+        // Highest-priority ready task, ties toward the lowest node id.
+        let (pos, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                FiniteF64(priority[a.index()])
+                    .cmp(&FiniteF64(priority[b.index()]))
+                    // On equal priority prefer the *lower* id: compare
+                    // reversed indices so max picks the smaller id.
+                    .then_with(|| ib.cmp(ia))
+            })
+            .expect("ready nonempty");
+        let node = ready.swap_remove(pos);
+
+        // Placement candidates on every processor that can run the kernel.
+        let mut candidates = Vec::with_capacity(nprocs);
+        for proc in ctx.config.proc_ids() {
+            let Ok(exec) = ctx
+                .lookup
+                .exec_time(dfg.node(node), ctx.config.kind_of(proc))
+            else {
+                continue;
+            };
+            // EST: all predecessors done, plus link time for remote ones.
+            let mut est = SimTime::ZERO;
+            for &pred in dfg.preds(node) {
+                let mut avail = finish[pred.index()];
+                if assignment[pred.index()] != proc {
+                    let bytes = dfg.node(pred).bytes(ctx.config.bytes_per_element);
+                    avail += ctx.config.link.transfer_time(bytes);
+                }
+                est = est.max(avail);
+            }
+            let start = timeline.earliest_fit(proc, est, exec);
+            candidates.push(Candidate {
+                proc,
+                start,
+                finish: start + exec,
+            });
+        }
+        assert!(
+            !candidates.is_empty(),
+            "kernel {} is unrunnable on every processor",
+            dfg.node(node)
+        );
+        let chosen = candidates[objective(node, &candidates)];
+        let exec = chosen.finish - chosen.start;
+        timeline.reserve(chosen.proc, chosen.start, exec);
+        assignment[node.index()] = chosen.proc;
+        starts[node.index()] = chosen.start;
+        finish[node.index()] = chosen.finish;
+        scheduled[node.index()] = true;
+        planned_makespan = planned_makespan.max(chosen.finish - SimTime::ZERO);
+
+        for &succ in dfg.succs(node) {
+            remaining_preds[succ.index()] -= 1;
+            if remaining_preds[succ.index()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    debug_assert!(scheduled.iter().all(|&s| s), "plan left nodes unscheduled");
+
+    // Per-processor order by planned start (ties: node id).
+    let mut per_proc: Vec<Vec<NodeId>> = vec![Vec::new(); nprocs];
+    for n in dfg.node_ids() {
+        per_proc[assignment[n.index()].index()].push(n);
+    }
+    let per_proc_order = per_proc
+        .into_iter()
+        .map(|mut v| {
+            v.sort_unstable_by_key(|n| (starts[n.index()], *n));
+            VecDeque::from(v)
+        })
+        .collect();
+
+    PlannedSchedule {
+        assignment,
+        starts,
+        per_proc_order,
+        planned_makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_fit_finds_gaps() {
+        let mut tl = Timeline::new(1);
+        let p = ProcId::new(0);
+        tl.reserve(p, SimTime::from_ms(0), SimDuration::from_ms(10));
+        tl.reserve(p, SimTime::from_ms(30), SimDuration::from_ms(10));
+        // 10 ms task fits in the [10, 30) gap.
+        assert_eq!(
+            tl.earliest_fit(p, SimTime::ZERO, SimDuration::from_ms(10)),
+            SimTime::from_ms(10)
+        );
+        // 25 ms task does not fit in the gap → after the last interval.
+        assert_eq!(
+            tl.earliest_fit(p, SimTime::ZERO, SimDuration::from_ms(25)),
+            SimTime::from_ms(40)
+        );
+        // EST inside the gap narrows it.
+        assert_eq!(
+            tl.earliest_fit(p, SimTime::from_ms(25), SimDuration::from_ms(5)),
+            SimTime::from_ms(25)
+        );
+        // EST inside a reserved interval pushes to its end.
+        assert_eq!(
+            tl.earliest_fit(p, SimTime::from_ms(5), SimDuration::from_ms(4)),
+            SimTime::from_ms(10)
+        );
+    }
+
+    #[test]
+    fn reserve_keeps_sorted_nonoverlapping() {
+        let mut tl = Timeline::new(2);
+        let p = ProcId::new(1);
+        tl.reserve(p, SimTime::from_ms(20), SimDuration::from_ms(5));
+        tl.reserve(p, SimTime::from_ms(0), SimDuration::from_ms(5));
+        tl.reserve(p, SimTime::from_ms(10), SimDuration::from_ms(5));
+        assert_eq!(tl.count(p), 3);
+        assert_eq!(tl.count(ProcId::new(0)), 0);
+        // Next fit lands in the [5, 10) gap.
+        assert_eq!(
+            tl.earliest_fit(p, SimTime::ZERO, SimDuration::from_ms(5)),
+            SimTime::from_ms(5)
+        );
+    }
+}

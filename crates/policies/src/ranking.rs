@@ -1,0 +1,258 @@
+//! Rank computations for the static policies (Eq. 3–7).
+//!
+//! * Upward rank (Eq. 3–4): `rank_u(n_i) = w̄_i + max_{n_j ∈ succ}(c̄_ij +
+//!   rank_u(n_j))` — the length of the critical path from `n_i` to the exit,
+//!   including `n_i`'s own average cost. HEFT schedules by decreasing
+//!   `rank_u`.
+//! * Downward rank (Eq. 5): longest distance from the entry to `n_i`,
+//!   excluding `n_i` itself.
+//! * Optimistic cost table (Eq. 6) and `rank_oct` (Eq. 7) for PEFT.
+//!
+//! Costs are fractional milliseconds. Average computation cost `w̄_i` is the
+//! mean over the processor instances able to run the kernel. Average
+//! communication cost `c̄_ij` is the full link-transfer time of the
+//! producer's output (the uniform-rate system makes all remote pairs equal;
+//! implementations differ on whether to discount by the same-processor
+//! probability — we keep the full cost, which preserves HEFT's ordering
+//! behaviour and is the common choice).
+
+use apt_base::stats::FiniteF64;
+use apt_dfg::{KernelDag, LookupTable, NodeId};
+use apt_hetsim::SystemConfig;
+
+/// Per-node average computation cost `w̄_i` in milliseconds.
+/// Unrunnable-everywhere kernels yield `f64::INFINITY` (rejected later).
+pub fn avg_comp_costs(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<f64> {
+    dfg.iter()
+        .map(|(_, kernel)| {
+            let times: Vec<f64> = config
+                .proc_ids()
+                .filter_map(|p| {
+                    lookup
+                        .exec_time(kernel, config.kind_of(p))
+                        .ok()
+                        .map(|d| d.as_ms_f64())
+                })
+                .collect();
+            if times.is_empty() {
+                f64::INFINITY
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Average communication cost of edge `(u, v)` in milliseconds: the link
+/// time of `u`'s output volume.
+pub fn avg_comm_cost(dfg: &KernelDag, config: &SystemConfig, from: NodeId) -> f64 {
+    let bytes = dfg.node(from).bytes(config.bytes_per_element);
+    config.link.transfer_time(bytes).as_ms_f64()
+}
+
+/// Upward ranks (Eq. 3–4), indexed by node.
+pub fn upward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<f64> {
+    let w = avg_comp_costs(dfg, lookup, config);
+    let order = dfg.topo_order().expect("caller validated the DAG");
+    let mut rank = vec![0.0f64; dfg.len()];
+    for &n in order.iter().rev() {
+        let tail = dfg
+            .succs(n)
+            .iter()
+            .map(|&s| FiniteF64(avg_comm_cost(dfg, config, n) + rank[s.index()]))
+            .max()
+            .map(|f| f.0)
+            .unwrap_or(0.0);
+        rank[n.index()] = w[n.index()] + tail;
+    }
+    rank
+}
+
+/// Downward ranks (Eq. 5), indexed by node. Entry tasks rank 0.
+pub fn downward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<f64> {
+    let w = avg_comp_costs(dfg, lookup, config);
+    let order = dfg.topo_order().expect("caller validated the DAG");
+    let mut rank = vec![0.0f64; dfg.len()];
+    for &n in &order {
+        rank[n.index()] = dfg
+            .preds(n)
+            .iter()
+            .map(|&p| {
+                FiniteF64(rank[p.index()] + w[p.index()] + avg_comm_cost(dfg, config, p))
+            })
+            .max()
+            .map(|f| f.0)
+            .unwrap_or(0.0);
+    }
+    rank
+}
+
+/// The optimistic cost table (Eq. 6): `oct[node][proc]` in milliseconds.
+///
+/// `OCT(t_i, p_k)` is the largest, over `t_i`'s successors, of the best-case
+/// remaining path length to the exit if `t_i` runs on `p_k` — optimistic
+/// because each successor independently picks its own best processor.
+pub fn oct_matrix(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<Vec<f64>> {
+    let nprocs = config.len();
+    let order = dfg.topo_order().expect("caller validated the DAG");
+    let mut oct = vec![vec![0.0f64; nprocs]; dfg.len()];
+    // Execution time of node on proc, ∞ when unrunnable.
+    let w = |n: NodeId, p: usize| -> f64 {
+        lookup
+            .exec_time(dfg.node(n), config.kind_of(apt_base::ProcId::new(p)))
+            .map(|d| d.as_ms_f64())
+            .unwrap_or(f64::INFINITY)
+    };
+    for &n in order.iter().rev() {
+        if dfg.out_degree(n) == 0 {
+            continue; // exit task: all zeros
+        }
+        let comm = avg_comm_cost(dfg, config, n);
+        for pk in 0..nprocs {
+            let mut worst = 0.0f64;
+            for &succ in dfg.succs(n) {
+                let mut best = f64::INFINITY;
+                for (pw, &oct_succ) in oct[succ.index()].iter().enumerate() {
+                    let c = if pw == pk { 0.0 } else { comm };
+                    let v = oct_succ + w(succ, pw) + c;
+                    if v < best {
+                        best = v;
+                    }
+                }
+                if best > worst {
+                    worst = best;
+                }
+            }
+            oct[n.index()][pk] = worst;
+        }
+    }
+    oct
+}
+
+/// `rank_oct` (Eq. 7): the row mean of the OCT matrix.
+pub fn rank_oct(oct: &[Vec<f64>]) -> Vec<f64> {
+    oct.iter()
+        .map(|row| {
+            let finite: Vec<f64> = row.iter().copied().filter(|v| v.is_finite()).collect();
+            if finite.is_empty() {
+                0.0
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::generator::{build_type1, build_type2, generate_kernels, StreamConfig, Type2Config};
+    use apt_dfg::Kernel;
+    use apt_dfg::KernelKind;
+
+    fn fixture(n: usize, seed: u64) -> (KernelDag, &'static LookupTable, SystemConfig) {
+        let kernels = generate_kernels(&StreamConfig::new(n, seed), LookupTable::paper());
+        (
+            build_type2(&kernels, seed, &Type2Config::default()),
+            LookupTable::paper(),
+            SystemConfig::paper_4gbps(),
+        )
+    }
+
+    #[test]
+    fn upward_rank_is_monotone_along_edges() {
+        let (dfg, lookup, config) = fixture(46, 2);
+        let ranks = upward_ranks(&dfg, lookup, &config);
+        for (u, v) in dfg.edges() {
+            assert!(
+                ranks[u.index()] > ranks[v.index()],
+                "rank_u({u}) = {} must exceed rank_u({v}) = {}",
+                ranks[u.index()],
+                ranks[v.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn exit_task_upward_rank_equals_its_avg_cost() {
+        // Eq. 4: rank_u(n_exit) = w̄_exit.
+        let kernels = vec![
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ];
+        let dfg = build_type1(&kernels);
+        let config = SystemConfig::paper_4gbps();
+        let ranks = upward_ranks(&dfg, LookupTable::paper(), &config);
+        let w = avg_comp_costs(&dfg, LookupTable::paper(), &config);
+        let exit = dfg.sinks()[0];
+        assert!((ranks[exit.index()] - w[exit.index()]).abs() < 1e-9);
+        // cd's average: (17.064 + 2.749 + 0.093) / 3.
+        let expected = (17.064 + 2.749 + 0.093) / 3.0;
+        assert!((w[exit.index()] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downward_rank_is_zero_for_entries_and_monotone() {
+        let (dfg, lookup, config) = fixture(58, 4);
+        let ranks = downward_ranks(&dfg, lookup, &config);
+        for n in dfg.sources() {
+            assert_eq!(ranks[n.index()], 0.0);
+        }
+        for (u, v) in dfg.edges() {
+            assert!(ranks[v.index()] > ranks[u.index()]);
+        }
+    }
+
+    #[test]
+    fn oct_exit_rows_are_zero() {
+        let (dfg, lookup, config) = fixture(50, 6);
+        let oct = oct_matrix(&dfg, lookup, &config);
+        for sink in dfg.sinks() {
+            assert!(oct[sink.index()].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn oct_values_bound_below_by_best_remaining_path() {
+        // For a two-node chain u → v: OCT(u, p) = min_w(w(v, p_w) + c) ≥
+        // min execution time of v.
+        let kernels = vec![
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::Gem),
+        ];
+        let dfg = build_type1(&kernels);
+        let config = SystemConfig::paper_no_transfers();
+        let oct = oct_matrix(&dfg, LookupTable::paper(), &config);
+        // gem's best time is 4001 (GPU); with zero transfers OCT(u,·) = 4001.
+        for (p, v) in oct[0].iter().enumerate() {
+            assert!((v - 4001.0).abs() < 1e-9, "oct[0][{p}] = {v}");
+        }
+    }
+
+    #[test]
+    fn rank_oct_is_row_mean() {
+        let oct = vec![vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]];
+        let r = rank_oct(&oct);
+        assert_eq!(r, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn comm_cost_scales_with_producer_volume() {
+        let kernels = vec![
+            Kernel::canonical(KernelKind::Srad), // 512 MiB at 4 B/elem
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ];
+        let dfg = build_type1(&kernels);
+        let config = SystemConfig::paper_4gbps();
+        let big = avg_comm_cost(&dfg, &config, NodeId::new(0));
+        let small = avg_comm_cost(
+            &dfg,
+            &config,
+            NodeId::new(1),
+        );
+        assert!(big > small);
+        // srad: 134217728 elements × 4 B / 4 GB/s = 134.217728 ms.
+        assert!((big - 134.217728).abs() < 1e-6);
+    }
+}

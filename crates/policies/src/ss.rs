@@ -1,0 +1,154 @@
+//! SS — priority-rule serial scheduling (Liu & Yang).
+//!
+//! §2.5.3: "for each kernel in I, the mean and standard deviation of the
+//! compute times are calculated for each kernel-to-available-processor
+//! mapping. Then the scheduler chooses the kernel from I with the highest
+//! standard deviation and assigns it to the processor from A in which the
+//! kernel has the lowest execution time. Whenever there are kernels in I and
+//! there are available processors, assignments can be made."
+//!
+//! The standard deviation is computed over the *available* processors only,
+//! so the priority adapts as devices come and go. Like SPN, SS never waits:
+//! when the best device is busy it assigns to the best *available* one "even
+//! if they are not the best choice".
+
+use apt_base::stats::{stddev_population, FiniteF64};
+use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+
+/// The SS policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialScheduling;
+
+impl SerialScheduling {
+    /// Create an SS scheduler.
+    pub const fn new() -> Self {
+        SerialScheduling
+    }
+}
+
+impl Policy for SerialScheduling {
+    fn name(&self) -> String {
+        "SS".into()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Dynamic
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+        // Highest-stddev ready kernel over the available processors.
+        let mut best: Option<(FiniteF64, apt_dfg::NodeId, apt_base::ProcId)> = None;
+        for &node in view.ready {
+            let mut times_ms = Vec::new();
+            let mut best_proc: Option<(apt_base::ProcId, apt_base::SimDuration)> = None;
+            for p in view.idle_procs() {
+                if let Some(e) = view.exec_time(node, p.id) {
+                    times_ms.push(e.as_ms_f64());
+                    if best_proc.is_none_or(|(_, be)| e < be) {
+                        best_proc = Some((p.id, e));
+                    }
+                }
+            }
+            let Some((proc, _)) = best_proc else { continue };
+            let sd = FiniteF64(stddev_population(&times_ms));
+            // Strict `>` keeps the earliest (lowest-id) kernel on ties.
+            if best.is_none_or(|(bsd, _, _)| sd > bsd) {
+                best = Some((sd, node, proc));
+            }
+        }
+        match best {
+            Some((_, node, proc)) => vec![Assignment::new(node, proc)],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_base::ProcKind;
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind, LookupTable};
+    use apt_hetsim::{simulate, SystemConfig};
+
+    #[test]
+    fn ss_prioritizes_the_most_heterogeneous_kernel() {
+        // gem (stddev over {21592, 4001, 585760} ≈ huge) must be placed
+        // before nw (stddev over {112, 146, 397} tiny), taking the GPU.
+        let kernels = vec![
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Gem),
+            Kernel::canonical(KernelKind::Bfs),
+        ];
+        let dfg = build_type1(&kernels);
+        let res = simulate(
+            &dfg,
+            &SystemConfig::paper_no_transfers(),
+            LookupTable::paper(),
+            &mut SerialScheduling::new(),
+        )
+        .unwrap();
+        // gem is picked first (highest stddev) and claims the GPU at t = 0;
+        // nw gets the CPU (its best among the remaining devices).
+        let gem = res
+            .trace
+            .records
+            .iter()
+            .find(|r| r.kernel.kind == KernelKind::Gem)
+            .unwrap();
+        assert_eq!(gem.start.as_ns(), 0);
+        assert_eq!(
+            SystemConfig::paper_no_transfers().kind_of(gem.proc),
+            ProcKind::Gpu
+        );
+    }
+
+    #[test]
+    fn ss_assigns_to_best_available_not_best_overall() {
+        // Two gems: the first takes the GPU; the second is then assigned to
+        // the best *available* processor (CPU, 21 592 ms) instead of waiting
+        // for the GPU — the "not the best choice" behaviour of §2.5.3.
+        let kernels = vec![
+            Kernel::canonical(KernelKind::Gem),
+            Kernel::canonical(KernelKind::Gem),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ];
+        let dfg = build_type1(&kernels);
+        let res = simulate(
+            &dfg,
+            &SystemConfig::paper_no_transfers(),
+            LookupTable::paper(),
+            &mut SerialScheduling::new(),
+        )
+        .unwrap();
+        let gem_procs: Vec<ProcKind> = res
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.kernel.kind == KernelKind::Gem)
+            .map(|r| SystemConfig::paper_no_transfers().kind_of(r.proc))
+            .collect();
+        assert_eq!(gem_procs, vec![ProcKind::Gpu, ProcKind::Cpu]);
+    }
+
+    #[test]
+    fn ss_trace_is_valid_on_a_mixed_workload() {
+        let kernels = vec![
+            Kernel::canonical(KernelKind::Srad),
+            Kernel::new(KernelKind::MatMul, 16_000_000),
+            Kernel::new(KernelKind::MatInv, 698_896),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+        ];
+        let dfg = build_type1(&kernels);
+        let res = simulate(
+            &dfg,
+            &SystemConfig::paper_4gbps(),
+            LookupTable::paper(),
+            &mut SerialScheduling::new(),
+        )
+        .unwrap();
+        res.trace.validate(&dfg).unwrap();
+        assert_eq!(res.trace.records.len(), 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! α tuning: sweep the APT flexibility factor over a workload and locate
+//! `threshold_brk` — the valley bottom of §4.2 ("if we increase the α value,
+//! the makespan also decreases to a point, after which the makespan keeps
+//! increasing").
+//!
+//! ```bash
+//! cargo run --release --example alpha_tuning [kernels] [seed]
+//! ```
+
+use apt_suite::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(93);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let lookup = LookupTable::paper();
+    let dfg = generate(DfgType::Type1, &StreamConfig::new(n, seed), lookup);
+    let system = SystemConfig::paper_4gbps();
+
+    println!("α sweep on {} kernels (DFG Type-1, seed {seed})\n", dfg.len());
+    println!("{:>6}  {:>14}  {:>14}  {:>6}", "α", "makespan (ms)", "λ total (ms)", "alt");
+
+    let alphas = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0];
+    let mut best = (f64::NAN, u64::MAX);
+    let mut series = Vec::new();
+    for alpha in alphas {
+        let res = simulate(&dfg, &system, lookup, &mut Apt::new(alpha)).expect("APT run");
+        let ms = res.makespan();
+        let lam = res.trace.lambda_total();
+        let alt = res.trace.alt_total();
+        println!(
+            "{alpha:>6}  {:>14.1}  {:>14.1}  {alt:>6}",
+            ms.as_ms_f64(),
+            lam.as_ms_f64()
+        );
+        if ms.as_ns() < best.1 {
+            best = (alpha, ms.as_ns());
+        }
+        series.push(ms.as_ms_f64());
+    }
+
+    println!(
+        "\nthreshold_brk ≈ α = {} (makespan {})",
+        best.0,
+        SimDuration::from_ns(best.1)
+    );
+
+    // A crude bar rendering of the valley.
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    println!("\nvalley:");
+    for (alpha, v) in alphas.iter().zip(&series) {
+        let bar = "#".repeat(((v / max) * 60.0).round() as usize);
+        println!("{alpha:>6} | {bar}");
+    }
+}

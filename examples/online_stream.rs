@@ -1,0 +1,75 @@
+//! Online job stream: applications arrive over time (the paper's "incoming
+//! stream of applications", §3.2) and APT schedules them as they land.
+//!
+//! Each job is a small diamond DAG (decompose → parallel kernels → combine);
+//! jobs are submitted at staggered instants via `simulate_stream`. Compare
+//! how APT and MET absorb the bursts.
+//!
+//! ```bash
+//! cargo run --release -p apt-suite --example online_stream [jobs] [gap_ms]
+//! ```
+
+use apt_metrics::RunSummary;
+use apt_suite::prelude::*;
+
+/// One job: srad → (mm, mi, bfs) → cd. Returns the arrival instants for its
+/// nodes (all equal to the job's submission time).
+fn add_job(dfg: &mut KernelDag, arrivals: &mut Vec<SimTime>, at: SimTime) {
+    let srad = dfg.add_node(Kernel::canonical(KernelKind::Srad));
+    let mm = dfg.add_node(Kernel::new(KernelKind::MatMul, 16_000_000));
+    let mi = dfg.add_node(Kernel::new(KernelKind::MatInv, 4_000_000));
+    let bfs = dfg.add_node(Kernel::canonical(KernelKind::Bfs));
+    let cd = dfg.add_node(Kernel::new(KernelKind::Cholesky, 4_000_000));
+    for (a, b) in [(srad, mm), (srad, mi), (srad, bfs), (mm, cd), (mi, cd), (bfs, cd)] {
+        dfg.add_edge(a, b).expect("fresh job edges");
+    }
+    arrivals.extend(std::iter::repeat_n(at, 5));
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let gap_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(800);
+
+    let mut dfg = KernelDag::new();
+    let mut arrivals = Vec::new();
+    for j in 0..jobs {
+        add_job(&mut dfg, &mut arrivals, SimTime::from_ms(j as u64 * gap_ms));
+    }
+    println!(
+        "stream: {jobs} jobs × 5 kernels, one job every {gap_ms} ms ({} kernels total)\n",
+        dfg.len()
+    );
+
+    let lookup = LookupTable::paper();
+    let system = SystemConfig::paper_4gbps();
+
+    for mut policy in [
+        Box::new(Met::new()) as Box<dyn Policy>,
+        Box::new(Apt::new(4.0)),
+    ] {
+        let res = simulate_stream(&dfg, &system, lookup, policy.as_mut(), &arrivals)
+            .expect("stream run");
+        let s = RunSummary::from_result(&res);
+        let last_arrival = SimTime::from_ms((jobs as u64 - 1) * gap_ms);
+        let drain = res
+            .trace
+            .records
+            .iter()
+            .map(|r| r.finish)
+            .max()
+            .unwrap()
+            .saturating_since(last_arrival);
+        println!(
+            "{:10} makespan {:>12}   λ {:>12}   drain after last job {:>12}",
+            s.policy,
+            format!("{}", s.makespan),
+            format!("{}", s.lambda_total),
+            format!("{drain}"),
+        );
+    }
+
+    println!("\n(λ here measures only scheduler-attributable waiting: a kernel's");
+    println!(" clock starts at max(arrival, dependencies met), so idle time before");
+    println!(" a job is submitted is not charged to the policy)");
+}

@@ -1,0 +1,50 @@
+//! Policy shootout: run all seven policies of the paper's comparison on the
+//! same dependency-rich workload and print a Table-10-style comparison.
+//!
+//! ```bash
+//! cargo run --release --example policy_shootout [kernels] [seed]
+//! ```
+
+use apt_metrics::table::{fmt_ms, TextTable};
+use apt_metrics::RunSummary;
+use apt_suite::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(81);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+
+    let lookup = LookupTable::paper();
+    let dfg = generate(DfgType::Type2, &StreamConfig::new(n, seed), lookup);
+    let system = SystemConfig::paper_4gbps();
+
+    println!(
+        "workload: DFG Type-2, {} kernels, {} edges (seed {seed})\n",
+        dfg.len(),
+        dfg.edge_count()
+    );
+
+    let mut table = TextTable::new(
+        "Policy comparison (4 GB/s, α=4 for APT)",
+        &["Policy", "Makespan (ms)", "λ total (ms)", "λ avg (ms)", "Alt"],
+    );
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    for (name, make) in all_policy_factories(PAPER_BEST_ALPHA) {
+        let mut policy = make();
+        let res = simulate(&dfg, &system, lookup, policy.as_mut())
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let s = RunSummary::from_result(&res);
+        rows.push((s.policy.clone(), s.makespan.as_ns()));
+        table.push_row(vec![
+            s.policy.clone(),
+            fmt_ms(s.makespan),
+            fmt_ms(s.lambda_total),
+            fmt_ms(s.lambda_avg),
+            s.alt_assignments.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    rows.sort_by_key(|&(_, ns)| ns);
+    println!("winner: {} ({})", rows[0].0, SimDuration::from_ns(rows[0].1));
+}

@@ -1,0 +1,59 @@
+//! Tuned deployment: calibrate APT's flexibility factor for *your* workload
+//! and machine, then export the winning schedule as CSV for analysis.
+//!
+//! The thesis concludes that "the threshold must be carefully tuned in order
+//! to attain performance improvements" — this example shows the workflow the
+//! library provides for that: derive candidate α values from the workload's
+//! admission ratios, calibrate offline, deploy the winner.
+//!
+//! ```bash
+//! cargo run --release -p apt-suite --example tuned_deployment [kernels] [seed]
+//! ```
+
+use apt_metrics::export::{summaries_to_csv, trace_to_csv};
+use apt_metrics::RunSummary;
+use apt_suite::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(93);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let lookup = LookupTable::paper();
+    let system = SystemConfig::paper_4gbps();
+    let dfg = generate(DfgType::Type1, &StreamConfig::new(n, seed), lookup);
+
+    // 1. Candidate thresholds come from the workload itself: the admission
+    //    ratios of its kernels (+ε), plus α = 1 as the MET-safe baseline.
+    let candidates = ratio_candidates(lookup, &system, &dfg, 16.0);
+    println!("candidate α values: {candidates:?}\n");
+
+    // 2. Offline calibration: one simulation per candidate.
+    let tuned = auto_tune(&dfg, &system, lookup, 16.0).expect("calibration");
+    println!("{:>8}  {:>14}", "α", "makespan (ms)");
+    for (alpha, makespan) in &tuned.evaluated {
+        let marker = if *alpha == tuned.alpha { "  <-- best" } else { "" };
+        println!("{alpha:>8.2}  {:>14.1}{marker}", makespan.as_ms_f64());
+    }
+
+    // 3. Deploy the winner and compare with the untuned alternatives.
+    let mut runs = Vec::new();
+    for mut policy in [
+        Box::new(Met::new()) as Box<dyn Policy>,
+        Box::new(Apt::new(PAPER_BEST_ALPHA)),
+        Box::new(Apt::new(tuned.alpha)),
+    ] {
+        let res = simulate(&dfg, &system, lookup, policy.as_mut()).expect("run");
+        runs.push(RunSummary::from_result(&res));
+    }
+    println!("\nrun summaries (CSV):\n{}", summaries_to_csv(&runs));
+
+    // 4. Export the tuned schedule for external plotting.
+    let best = simulate(&dfg, &system, lookup, &mut Apt::new(tuned.alpha)).expect("run");
+    let csv = trace_to_csv(&best.trace, &system);
+    let preview: Vec<&str> = csv.lines().take(6).collect();
+    println!("schedule CSV (first rows of {}):", dfg.len());
+    for line in preview {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # apt-suite
+//!
+//! Meta crate for the APT reproduction workspace: re-exports the full public
+//! surface (via [`apt_core::prelude`]) and hosts the runnable examples and
+//! the cross-crate integration tests.
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use apt_core::prelude;
+pub use apt_core::prelude::*;
+
+/// Workspace version, for the examples' banners.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reaches_every_layer() {
+        use crate::prelude::*;
+        let lookup = LookupTable::paper();
+        let dfg = generate(DfgType::Type1, &StreamConfig::new(6, 1), lookup);
+        let res = simulate(&dfg, &SystemConfig::paper_4gbps(), lookup, &mut Met::new()).unwrap();
+        assert_eq!(res.trace.records.len(), 6);
+    }
+}

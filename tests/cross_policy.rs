@@ -1,0 +1,180 @@
+//! Cross-policy invariants from the paper's Table 4 ("summary of key
+//! properties") and the policies' defining rules, checked end-to-end
+//! through the simulator.
+
+use apt_suite::prelude::*;
+
+fn workload(n: usize, seed: u64, ty: DfgType) -> KernelDag {
+    generate(ty, &StreamConfig::new(n, seed), LookupTable::paper())
+}
+
+/// Only APT and APT-R ever mark alternative assignments; the baselines
+/// never do (they have no notion of a threshold).
+#[test]
+fn only_apt_flags_alternative_assignments() {
+    let dfg = workload(60, 9, DfgType::Type1);
+    let system = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    for (name, make) in baseline_factories() {
+        let mut p = make();
+        let res = simulate(&dfg, &system, lookup, p.as_mut()).unwrap();
+        assert_eq!(res.trace.alt_total(), 0, "{name} flagged alternatives");
+    }
+    let apt = simulate(&dfg, &system, lookup, &mut Apt::new(4.0)).unwrap();
+    assert!(apt.trace.alt_total() > 0, "APT(4) should take alternatives");
+}
+
+/// Table 4, "never waits": SPN and SS keep every runnable processor busy —
+/// whenever a kernel is ready and a processor idle, something starts. We
+/// check the observable consequence: under SPN/SS, no processor is idle at
+/// any instant when an unstarted kernel was already ready.
+#[test]
+fn spn_and_ss_never_wait() {
+    let dfg = workload(40, 3, DfgType::Type1);
+    let system = SystemConfig::paper_no_transfers();
+    let lookup = LookupTable::paper();
+    for mut policy in [
+        Box::new(Spn::new()) as Box<dyn Policy>,
+        Box::new(SerialScheduling::new()),
+    ] {
+        let res = simulate(&dfg, &system, lookup, policy.as_mut()).unwrap();
+        // For each record, during [ready, start) of that kernel every
+        // processor must be occupied (otherwise the policy waited).
+        for r in &res.trace.records {
+            if r.lambda().is_zero() {
+                continue;
+            }
+            // Mid-point of the wait interval.
+            let t = SimTime::from_ns((r.ready.as_ns() + r.start.as_ns()) / 2);
+            for proc in system.proc_ids() {
+                let busy = res
+                    .trace
+                    .records
+                    .iter()
+                    .any(|o| o.proc == proc && o.start <= t && t < o.finish);
+                assert!(
+                    busy,
+                    "{}: processor {proc} idle at {t} while {} waited",
+                    res.policy, r.node
+                );
+            }
+        }
+    }
+}
+
+/// MET by definition always places kernels on their execution-time-best
+/// category — even at the cost of waiting.
+#[test]
+fn met_placements_are_always_best_category() {
+    let dfg = workload(70, 21, DfgType::Type2);
+    let system = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let res = simulate(&dfg, &system, lookup, &mut Met::new()).unwrap();
+    for r in &res.trace.records {
+        let best = lookup.best_category(&r.kernel).unwrap().0;
+        assert_eq!(system.kind_of(r.proc), best, "kernel {}", r.kernel);
+    }
+}
+
+/// The static policies really are static: their placements are fixed by
+/// `prepare` and the replay follows them exactly, regardless of runtime
+/// timing differences between the plan model and the engine.
+#[test]
+fn static_policies_follow_their_plans() {
+    let dfg = workload(50, 17, DfgType::Type2);
+    let system = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+
+    let mut heft = Heft::new();
+    heft.prepare(PrepareCtx {
+        dfg: &dfg,
+        lookup,
+        config: &system,
+    })
+    .unwrap();
+    let planned = heft.plan().unwrap().assignment.clone();
+    let res = simulate(&dfg, &system, lookup, &mut Heft::new()).unwrap();
+    for r in &res.trace.records {
+        assert_eq!(r.proc, planned[r.node.index()]);
+    }
+
+    let mut peft = Peft::new();
+    peft.prepare(PrepareCtx {
+        dfg: &dfg,
+        lookup,
+        config: &system,
+    })
+    .unwrap();
+    let planned = peft.plan().unwrap().assignment.clone();
+    let res = simulate(&dfg, &system, lookup, &mut Peft::new()).unwrap();
+    for r in &res.trace.records {
+        assert_eq!(r.proc, planned[r.node.index()]);
+    }
+}
+
+/// Duplicated-category machines work for every policy, and doubling every
+/// device never hurts the makespan for the work-conserving policies.
+#[test]
+fn doubled_machines_help_or_match_for_every_policy() {
+    let dfg = workload(45, 5, DfgType::Type1);
+    let lookup = LookupTable::paper();
+    let single = SystemConfig::paper_4gbps();
+    let double = SystemConfig::empty(LinkRate::PCIE2_X8)
+        .with_proc(ProcKind::Cpu)
+        .with_proc(ProcKind::Cpu)
+        .with_proc(ProcKind::Gpu)
+        .with_proc(ProcKind::Gpu)
+        .with_proc(ProcKind::Fpga)
+        .with_proc(ProcKind::Fpga);
+
+    for (name, make) in apt_core::all_policy_factories(4.0) {
+        let mut a = make();
+        let mut b = make();
+        let on_single = simulate(&dfg, &single, lookup, a.as_mut()).unwrap();
+        let on_double = simulate(&dfg, &double, lookup, b.as_mut()).unwrap();
+        on_double.trace.validate(&dfg).unwrap();
+        // The never-waiting greedy policies (SPN, SS, AG) are subject to
+        // classic Graham scheduling anomalies: *more* hardware gives them
+        // more chances to place a kernel on a catastrophically slow device
+        // (a GEM on the second FPGA costs 585 s), so their makespans may
+        // regress. For the heterogeneity-aware policies, twice the hardware
+        // must never slow the schedule down.
+        if matches!(name.as_str(), "APT" | "MET" | "HEFT" | "PEFT") {
+            assert!(
+                on_double.makespan() <= on_single.makespan(),
+                "{name}: doubled machine went from {} to {}",
+                on_single.makespan(),
+                on_double.makespan()
+            );
+        }
+    }
+}
+
+/// APT at α = 1 with transfers disabled is exactly MET (no lookup ties).
+#[test]
+fn apt_alpha_one_is_met() {
+    for seed in [1u64, 2, 3] {
+        let dfg = workload(55, seed, DfgType::Type2);
+        let system = SystemConfig::paper_no_transfers();
+        let lookup = LookupTable::paper();
+        let apt = simulate(&dfg, &system, lookup, &mut Apt::new(1.0)).unwrap();
+        let met = simulate(&dfg, &system, lookup, &mut Met::new()).unwrap();
+        assert_eq!(apt.trace.records, met.trace.records, "seed {seed}");
+    }
+}
+
+/// The engine rejects graphs with cycles before running any policy.
+#[test]
+fn cyclic_graphs_are_rejected() {
+    let mut dfg = workload(3, 1, DfgType::Type1);
+    // 0→2 and 1→2 exist (fan-in); adding 2→0 closes a cycle.
+    dfg.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+    let err = simulate(
+        &dfg,
+        &SystemConfig::paper_4gbps(),
+        LookupTable::paper(),
+        &mut Met::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, BaseError::CyclicGraph { .. }));
+}

@@ -1,0 +1,100 @@
+//! Golden test: the paper's Figure-5 walk-through, reproduced exactly.
+//!
+//! The thesis fully specifies this example — Table-7 execution times, α = 8,
+//! data transfers ignored — including every intermediate schedule state and
+//! the final makespans: **318.093 ms for MET** and **212.093 ms for APT**.
+//! This is the one place where the reproduction must match the paper to the
+//! microsecond, and it does.
+
+use apt_experiments::workloads::figure5_graph;
+use apt_metrics::gantt::state_log;
+use apt_suite::prelude::*;
+
+fn run(policy: &mut dyn Policy) -> (SimResult, SystemConfig) {
+    let config = SystemConfig::paper_no_transfers();
+    let res = simulate(&figure5_graph(), &config, LookupTable::paper(), policy)
+        .expect("figure-5 run");
+    (res, config)
+}
+
+#[test]
+fn met_end_time_is_318_093_ms() {
+    let (res, _) = run(&mut Met::new());
+    assert_eq!(res.makespan(), SimDuration::from_us(318_093));
+}
+
+#[test]
+fn apt_end_time_is_212_093_ms() {
+    let (res, _) = run(&mut Apt::new(8.0));
+    assert_eq!(res.makespan(), SimDuration::from_us(212_093));
+}
+
+#[test]
+fn met_state_log_matches_every_paper_row() {
+    let (res, config) = run(&mut Met::new());
+    let log = state_log(&res.trace, &config);
+    // Paper (Figure 5, MET):            CPU        GPU     FPGA     t
+    let expected = [
+        ("0-nw", "idle", "1-bfs", "0.0"),
+        ("0-nw", "idle", "2-bfs", "106.0"),
+        ("idle", "idle", "2-bfs", "112.0"),
+        ("idle", "idle", "3-bfs", "212.0"),
+        ("idle", "idle", "4-cd", "318.0"),
+    ];
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), expected.len() + 1, "log:\n{log}");
+    for (line, (cpu, gpu, fpga, t)) in lines.iter().zip(&expected) {
+        assert!(line.contains(&format!("CPU0:{cpu}")), "{line} vs CPU {cpu}");
+        assert!(line.contains(&format!("GPU0:{gpu}")), "{line} vs GPU {gpu}");
+        assert!(
+            line.contains(&format!("FPGA0:{fpga}")),
+            "{line} vs FPGA {fpga}"
+        );
+        assert!(line.trim_end().ends_with(t), "{line} vs t={t}");
+    }
+    assert_eq!(lines.last().unwrap().trim_end(), "End time: 318.093");
+}
+
+#[test]
+fn apt_state_log_matches_every_paper_row() {
+    let (res, config) = run(&mut Apt::new(8.0));
+    let log = state_log(&res.trace, &config);
+    // Paper (Figure 5, APT α = 8):      CPU        GPU     FPGA     t
+    let expected = [
+        ("0-nw", "2-bfs", "1-bfs", "0.0"),
+        ("0-nw", "2-bfs", "3-bfs", "106.0"),
+        ("idle", "2-bfs", "3-bfs", "112.0"),
+        ("idle", "idle", "3-bfs", "173.0"),
+        ("idle", "idle", "4-cd", "212.0"),
+    ];
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), expected.len() + 1, "log:\n{log}");
+    for (line, (cpu, gpu, fpga, t)) in lines.iter().zip(&expected) {
+        assert!(line.contains(&format!("CPU0:{cpu}")), "{line} vs CPU {cpu}");
+        assert!(line.contains(&format!("GPU0:{gpu}")), "{line} vs GPU {gpu}");
+        assert!(
+            line.contains(&format!("FPGA0:{fpga}")),
+            "{line} vs FPGA {fpga}"
+        );
+        assert!(line.trim_end().ends_with(t), "{line} vs t={t}");
+    }
+    assert_eq!(lines.last().unwrap().trim_end(), "End time: 212.093");
+}
+
+#[test]
+fn the_papers_threshold_check_gates_the_gpu_bfs() {
+    // "GPU satisfies the condition of threshold": exec(bfs, GPU) = 173 must
+    // pass at α = 8 (threshold 848) and fail at α = 1.5 (threshold 159),
+    // flipping the GPU assignment off.
+    let config = SystemConfig::paper_no_transfers();
+    let res = simulate(
+        &figure5_graph(),
+        &config,
+        LookupTable::paper(),
+        &mut Apt::new(1.5),
+    )
+    .unwrap();
+    // Without the alternative, APT degenerates to the MET schedule.
+    assert_eq!(res.makespan(), SimDuration::from_us(318_093));
+    assert_eq!(res.trace.alt_total(), 0);
+}
