@@ -29,12 +29,7 @@ impl ProcKind {
     pub const EVALUATED: [ProcKind; 3] = [ProcKind::Cpu, ProcKind::Gpu, ProcKind::Fpga];
 
     /// All categories, including the unevaluated ASIC.
-    pub const ALL: [ProcKind; 4] = [
-        ProcKind::Cpu,
-        ProcKind::Gpu,
-        ProcKind::Fpga,
-        ProcKind::Asic,
-    ];
+    pub const ALL: [ProcKind; 4] = [ProcKind::Cpu, ProcKind::Gpu, ProcKind::Fpga, ProcKind::Asic];
 
     /// Short uppercase label as used in the paper's tables.
     pub const fn label(self) -> &'static str {

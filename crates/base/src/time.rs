@@ -281,8 +281,14 @@ mod tests {
         // Entries straight out of Appendix A.
         assert_eq!(SimDuration::from_table_ms(0.061).as_ns(), 61_000);
         assert_eq!(SimDuration::from_table_ms(0.093).as_ns(), 93_000);
-        assert_eq!(SimDuration::from_table_ms(76_293.945).as_ns(), 76_293_945_000);
-        assert_eq!(SimDuration::from_table_ms(610_351.562).as_ns(), 610_351_562_000);
+        assert_eq!(
+            SimDuration::from_table_ms(76_293.945).as_ns(),
+            76_293_945_000
+        );
+        assert_eq!(
+            SimDuration::from_table_ms(610_351.562).as_ns(),
+            610_351_562_000
+        );
         assert_eq!(SimDuration::from_table_ms(112.0).as_ns(), 112_000_000);
     }
 

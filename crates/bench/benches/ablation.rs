@@ -66,11 +66,9 @@ fn bench_processor_count(c: &mut Criterion) {
                 .with_proc(ProcKind::Gpu)
                 .with_proc(ProcKind::Fpga);
         }
-        g.bench_with_input(
-            BenchmarkId::from_parameter(sets * 3),
-            &system,
-            |b, s| b.iter(|| black_box(run(&dfg, s, &mut Apt::new(4.0)))),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(sets * 3), &system, |b, s| {
+            b.iter(|| black_box(run(&dfg, s, &mut Apt::new(4.0))))
+        });
     }
     g.finish();
 }

@@ -28,17 +28,13 @@ fn bench_generators(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/generate");
     let lookup = LookupTable::paper();
     for ty in DfgType::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(ty.label()),
-            &ty,
-            |b, &ty| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed = seed.wrapping_add(1);
-                    black_box(generate(ty, &StreamConfig::new(157, seed), lookup))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(ty.label()), &ty, |b, &ty| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(generate(ty, &StreamConfig::new(157, seed), lookup))
+            })
+        });
     }
     g.finish();
 }
@@ -59,5 +55,10 @@ fn bench_lookup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_engine_scaling, bench_generators, bench_lookup);
+criterion_group!(
+    benches,
+    bench_engine_scaling,
+    bench_generators,
+    bench_lookup
+);
 criterion_main!(benches);

@@ -39,11 +39,13 @@ fn bench_precompute(c: &mut Criterion) {
 
     g.bench_function("heft_ranks_and_plan", |b| {
         b.iter(|| {
+            let cost = CostModel::new(&dfg, lookup, &system);
             let ranks = upward_ranks(&dfg, lookup, &system);
             let ctx = PrepareCtx {
                 dfg: &dfg,
                 lookup,
                 config: &system,
+                cost: &cost,
             };
             let plan = build_plan(&ctx, &ranks, |_, cands| {
                 apt_base::stats::argmin_by_key(cands, |c| c.finish).unwrap()
@@ -54,12 +56,14 @@ fn bench_precompute(c: &mut Criterion) {
 
     g.bench_function("peft_oct_and_plan", |b| {
         b.iter(|| {
+            let cost = CostModel::new(&dfg, lookup, &system);
             let oct = oct_matrix(&dfg, lookup, &system);
             let ranks = rank_oct(&oct);
             let ctx = PrepareCtx {
                 dfg: &dfg,
                 lookup,
                 config: &system,
+                cost: &cost,
             };
             let plan = build_plan(&ctx, &ranks, |node, cands| {
                 apt_base::stats::argmin_by_key(cands, |c| {

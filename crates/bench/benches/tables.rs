@@ -48,9 +48,7 @@ fn bench_tables(c: &mut Criterion) {
     // remaining steps are the same computation at different parameters).
     g.bench_function("table13_step", |b| {
         b.iter(|| {
-            black_box(
-                comparison_sweep(DfgType::Type1, 8.0) + comparison_sweep(DfgType::Type2, 8.0),
-            )
+            black_box(comparison_sweep(DfgType::Type1, 8.0) + comparison_sweep(DfgType::Type2, 8.0))
         })
     });
 

@@ -1,0 +1,203 @@
+//! `apt-bench` — perf-trajectory helper emitting `BENCH_engine.json`.
+//!
+//! Times the same configurations as the Criterion groups in
+//! `benches/engine.rs` and `benches/policy_overhead.rs` with a
+//! dependency-free median-of-samples loop, then records the results under a
+//! label:
+//!
+//! ```bash
+//! cargo run -p apt-bench --release -- --label before   # pre-refactor
+//! cargo run -p apt-bench --release -- --label after    # post-refactor
+//! ```
+//!
+//! Both labels merge into one `BENCH_engine.json` (schema: bench name →
+//! median ns per label, plus the before/after speedup), which is checked in
+//! so future PRs can extend the perf trajectory.
+
+use apt_bench::{run, type2_workload};
+use apt_core::prelude::*;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples per bench (median reported).
+const SAMPLES: usize = 15;
+/// Target wall time per sample; iterations are batched up to this.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Upper bound on total time spent per bench.
+const MAX_BENCH_TIME: Duration = Duration::from_secs(4);
+
+/// Median ns/iteration of `routine`.
+fn measure<O>(mut routine: impl FnMut() -> O) -> u64 {
+    let t0 = Instant::now();
+    black_box(routine());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let batch = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let deadline = Instant::now() + MAX_BENCH_TIME;
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        samples.push(t.elapsed().as_nanos() as u64 / batch);
+        if Instant::now() > deadline && samples.len() >= 3 {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn engine_benches(out: &mut Vec<(String, u64)>) {
+    let system = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    for &n in &[46usize, 93, 157] {
+        let dfg = generate(DfgType::Type1, &StreamConfig::new(n, 0xE610E), lookup);
+        let ns = measure(|| run(&dfg, &system, &mut Met::new()));
+        out.push((format!("engine/simulate_met/{n}"), ns));
+    }
+    for ty in DfgType::ALL {
+        let ns = measure(|| generate(ty, &StreamConfig::new(157, 7), lookup));
+        out.push((format!("engine/generate/{}", ty.label()), ns));
+    }
+    let kernels = lookup.all_kernels();
+    let ns = measure(|| {
+        let mut acc = 0u64;
+        for k in &kernels {
+            for p in ProcKind::EVALUATED {
+                acc = acc.wrapping_add(lookup.exec_time(k, p).unwrap().as_ns());
+            }
+        }
+        acc
+    });
+    out.push(("engine/lookup_exec_time".into(), ns));
+}
+
+fn policy_benches(out: &mut Vec<(String, u64)>) {
+    let dfg = type2_workload();
+    let system = SystemConfig::paper_4gbps();
+    for (name, make) in apt_core::all_policy_factories(4.0) {
+        let ns = measure(|| {
+            let mut policy = make();
+            run(&dfg, &system, policy.as_mut())
+        });
+        out.push((format!("policy_overhead/end_to_end/{name}"), ns));
+    }
+}
+
+/// One bench row: medians per label.
+#[derive(Default, Clone)]
+struct Row {
+    before_ns: Option<u64>,
+    after_ns: Option<u64>,
+}
+
+/// Parse the flat JSON this binary itself emits (no external JSON dep).
+fn parse_existing(text: &str) -> BTreeMap<String, Row> {
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = line.trim().strip_prefix('"').and_then(|r| {
+            let end = r.find('"')?;
+            r[end..].contains('{').then(|| r[..end].to_string())
+        }) else {
+            continue;
+        };
+        let grab = |key: &str| -> Option<u64> {
+            let pos = line.find(key)? + key.len();
+            let digits: String = line[pos..]
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            digits.parse().ok()
+        };
+        let row = Row {
+            before_ns: grab("\"before_ns\":"),
+            after_ns: grab("\"after_ns\":"),
+        };
+        // Structural lines ("benches": { ... ) carry no recorded medians.
+        if row.before_ns.is_some() || row.after_ns.is_some() {
+            rows.insert(name, row);
+        }
+    }
+    rows
+}
+
+fn render(rows: &BTreeMap<String, Row>) -> String {
+    let mut s = String::from("{\n  \"schema\": \"apt-bench-v1\",\n  \"unit\": \"median ns per iteration\",\n  \"benches\": {\n");
+    let n = rows.len();
+    for (i, (name, row)) in rows.iter().enumerate() {
+        s.push_str(&format!("    \"{name}\": {{ "));
+        let mut fields = Vec::new();
+        if let Some(b) = row.before_ns {
+            fields.push(format!("\"before_ns\": {b}"));
+        }
+        if let Some(a) = row.after_ns {
+            fields.push(format!("\"after_ns\": {a}"));
+        }
+        if let (Some(b), Some(a)) = (row.before_ns, row.after_ns) {
+            fields.push(format!("\"speedup\": {:.2}", b as f64 / a.max(1) as f64));
+        }
+        s.push_str(&fields.join(", "));
+        s.push_str(" }");
+        if i + 1 < n {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = "after".to_string();
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--label needs a value (before|after)");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: apt-bench [--label before|after] [--out BENCH_engine.json]");
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if label != "before" && label != "after" {
+        eprintln!("--label must be `before` or `after`, got {label}");
+        std::process::exit(2);
+    }
+
+    let mut results = Vec::new();
+    engine_benches(&mut results);
+    policy_benches(&mut results);
+
+    let mut rows = std::fs::read_to_string(&out_path)
+        .map(|t| parse_existing(&t))
+        .unwrap_or_default();
+    for (name, ns) in results {
+        let row = rows.entry(name.clone()).or_default();
+        match label.as_str() {
+            "before" => row.before_ns = Some(ns),
+            _ => row.after_ns = Some(ns),
+        }
+        eprintln!("{name:<45} {ns:>12} ns  [{label}]");
+    }
+    std::fs::write(&out_path, render(&rows)).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+}

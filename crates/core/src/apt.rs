@@ -89,7 +89,7 @@ impl Policy for Apt {
     }
 
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        for &node in view.ready {
+        for node in view.ready.iter() {
             let Some(best) = best_instance(view, node) else {
                 continue;
             };
@@ -233,12 +233,10 @@ mod tests {
     fn apt_never_violates_its_threshold_on_alt_assignments() {
         for seed in [7u64, 13, 41] {
             for alpha in [1.5, 2.0, 4.0, 8.0] {
-                let kernels =
-                    generate_kernels(&StreamConfig::new(60, seed), LookupTable::paper());
+                let kernels = generate_kernels(&StreamConfig::new(60, seed), LookupTable::paper());
                 let dfg = build_type1(&kernels);
                 let cfg = SystemConfig::paper_4gbps();
-                let res =
-                    simulate(&dfg, &cfg, LookupTable::paper(), &mut Apt::new(alpha)).unwrap();
+                let res = simulate(&dfg, &cfg, LookupTable::paper(), &mut Apt::new(alpha)).unwrap();
                 for rec in res.trace.records.iter().filter(|r| r.alt) {
                     let x = LookupTable::paper().best_category(&rec.kernel).unwrap().1;
                     let threshold = x.scale_alpha(alpha);

@@ -54,7 +54,7 @@ impl Policy for AptR {
     }
 
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        for &node in view.ready {
+        for node in view.ready.iter() {
             let Some(best) = best_instance(view, node) else {
                 continue;
             };

@@ -24,13 +24,12 @@ pub use apt_dfg::generator::{
 pub use apt_dfg::{Dag, Dwarf, Kernel, KernelDag, KernelKind, LookupTable, NodeId, SplitMix64};
 
 pub use apt_hetsim::{
-    simulate, simulate_stream, Assignment, LinkRate, Policy, PolicyKind, PrepareCtx, ProcSpec,
-    ProcStats, SimResult, SimView, SystemConfig, TaskRecord, Trace,
+    simulate, simulate_stream, Assignment, CostModel, LinkRate, Policy, PolicyKind, PrepareCtx,
+    ProcSpec, ProcStats, ProcView, ReadySet, SimResult, SimView, SystemConfig, TaskRecord, Trace,
 };
 
 pub use apt_policies::{
-    baseline_factories, AdaptiveGreedy, AdaptiveRandom, Heft, Met, Olb, Peft,
-    SerialScheduling, Spn,
+    baseline_factories, AdaptiveGreedy, AdaptiveRandom, Heft, Met, Olb, Peft, SerialScheduling, Spn,
 };
 
 #[cfg(test)]

@@ -141,8 +141,8 @@ mod tests {
         let r = admission_ratio(lookup, &config, &srad).unwrap();
         assert!((r - 5092.0 / 1600.0).abs() < 1e-9);
         // A CPU-only machine has no second-best category.
-        let cpu_only = SystemConfig::empty(apt_hetsim::LinkRate::gbps(4))
-            .with_proc(apt_base::ProcKind::Cpu);
+        let cpu_only =
+            SystemConfig::empty(apt_hetsim::LinkRate::gbps(4)).with_proc(apt_base::ProcKind::Cpu);
         assert_eq!(admission_ratio(lookup, &cpu_only, &nw), None);
     }
 
@@ -157,7 +157,9 @@ mod tests {
         assert!(cands.windows(2).all(|w| w[0] < w[1]), "{cands:?}");
         assert!(cands.iter().all(|&a| (1.0..=16.0).contains(&a)));
         // nw's 1.30 and bfs's 1.63 ratios must be represented (+ε).
-        assert!(cands.iter().any(|&a| (a - (146.0 / 112.0 + 0.05)).abs() < 1e-9));
+        assert!(cands
+            .iter()
+            .any(|&a| (a - (146.0 / 112.0 + 0.05)).abs() < 1e-9));
     }
 
     #[test]

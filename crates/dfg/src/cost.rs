@@ -1,0 +1,151 @@
+//! Dense per-node execution-cost matrix (the category level of the
+//! precomputed cost model).
+//!
+//! The scheduler's per-decision cost *is* the experiment (§1.2 motivates APT
+//! with the absence of an "intensive pre-computation phase"), so decision
+//! edges must not pay map lookups. [`KindCostMatrix`] flattens the lookup
+//! table once per graph into a `node × category` array of nanosecond
+//! execution times: after the single build pass, every query is two integer
+//! multiplies and a load. The processor-*instance* level (which expands
+//! categories into concrete devices and adds transfer times and runnable
+//! bitsets) lives in `apt-hetsim`'s `CostModel`, which builds on this.
+
+use crate::graph::NodeId;
+use crate::kernel::Kernel;
+use crate::lookup::LookupTable;
+use crate::KernelDag;
+use apt_base::{ProcKind, SimDuration};
+
+/// Sentinel for "kernel cannot run on this category" (no table entry).
+pub const UNRUNNABLE: u64 = u64::MAX;
+
+/// Number of measured lookup-table columns (CPU, GPU, FPGA).
+pub const NUM_COLUMNS: usize = 3;
+
+/// Dense `node × category` execution times for one graph, in nanoseconds.
+///
+/// Rows are node ids, columns the lookup-table category order
+/// (CPU = 0, GPU = 1, FPGA = 2); [`UNRUNNABLE`] marks missing entries.
+/// Categories without measured data (ASIC) are unrunnable by definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindCostMatrix {
+    exec_ns: Vec<[u64; NUM_COLUMNS]>,
+    data_size: Vec<u64>,
+}
+
+impl KindCostMatrix {
+    /// Flatten `lookup` over every node of `dag`. Nodes without any table
+    /// row get all-[`UNRUNNABLE`] rows (rejected later, at assignment time,
+    /// exactly as the map-based path did).
+    pub fn build(dag: &KernelDag, lookup: &LookupTable) -> KindCostMatrix {
+        let mut exec_ns = Vec::with_capacity(dag.len());
+        let mut data_size = Vec::with_capacity(dag.len());
+        for (_, kernel) in dag.iter() {
+            exec_ns.push(Self::row_for(kernel, lookup));
+            data_size.push(kernel.data_size);
+        }
+        KindCostMatrix { exec_ns, data_size }
+    }
+
+    fn row_for(kernel: &Kernel, lookup: &LookupTable) -> [u64; NUM_COLUMNS] {
+        match lookup.row(kernel) {
+            Ok(row) => {
+                let mut out = [UNRUNNABLE; NUM_COLUMNS];
+                for (slot, t) in out.iter_mut().zip(row.times.iter()) {
+                    *slot = t.as_ns();
+                }
+                out
+            }
+            Err(_) => [UNRUNNABLE; NUM_COLUMNS],
+        }
+    }
+
+    /// Number of node rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.exec_ns.len()
+    }
+
+    /// True if the matrix covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.exec_ns.is_empty()
+    }
+
+    /// Raw nanosecond cost of `node` on table column `col`
+    /// ([`UNRUNNABLE`] when the kernel cannot run there).
+    #[inline]
+    pub fn exec_ns(&self, node: NodeId, col: usize) -> u64 {
+        self.exec_ns[node.index()][col]
+    }
+
+    /// Execution time of `node` on a category; `None` when unrunnable
+    /// (including categories without measured data).
+    #[inline]
+    pub fn exec_time(&self, node: NodeId, kind: ProcKind) -> Option<SimDuration> {
+        let col = kind.table_column()?;
+        match self.exec_ns[node.index()][col] {
+            UNRUNNABLE => None,
+            ns => Some(SimDuration::from_ns(ns)),
+        }
+    }
+
+    /// Output element count of `node` (the lookup-table data size), used by
+    /// the instance-level model to precompute transfer volumes.
+    #[inline]
+    pub fn data_size(&self, node: NodeId) -> u64 {
+        self.data_size[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::build_type1;
+    use crate::kernel::KernelKind;
+
+    fn fixture() -> KernelDag {
+        build_type1(&[
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+            Kernel::new(KernelKind::Cholesky, 250_000),
+        ])
+    }
+
+    #[test]
+    fn matrix_matches_the_map_based_lookup() {
+        let dag = fixture();
+        let lookup = LookupTable::paper();
+        let m = KindCostMatrix::build(&dag, lookup);
+        assert_eq!(m.len(), dag.len());
+        for (id, kernel) in dag.iter() {
+            for kind in ProcKind::ALL {
+                assert_eq!(
+                    m.exec_time(id, kind),
+                    lookup.exec_time(kernel, kind).ok(),
+                    "node {id} on {kind}"
+                );
+            }
+            assert_eq!(m.data_size(id), kernel.data_size);
+        }
+    }
+
+    #[test]
+    fn missing_rows_become_unrunnable() {
+        let mut dag = fixture();
+        dag.add_node(Kernel::new(KernelKind::MatMul, 123)); // no such size
+        let m = KindCostMatrix::build(&dag, LookupTable::paper());
+        let n = NodeId::new(3);
+        for col in 0..NUM_COLUMNS {
+            assert_eq!(m.exec_ns(n, col), UNRUNNABLE);
+        }
+        assert_eq!(m.exec_time(n, ProcKind::Cpu), None);
+    }
+
+    #[test]
+    fn asic_is_always_unrunnable() {
+        let dag = fixture();
+        let m = KindCostMatrix::build(&dag, LookupTable::paper());
+        assert_eq!(m.exec_time(NodeId::new(0), ProcKind::Asic), None);
+    }
+}

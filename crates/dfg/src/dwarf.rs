@@ -178,9 +178,7 @@ impl Application {
             Application::Srad => &[Dwarf::StructuredGrids],
             Application::LavaMd => &[Dwarf::NBody, Dwarf::UnstructuredGrids],
             Application::HotSpot => &[Dwarf::StructuredGrids],
-            Application::Backpropagation => {
-                &[Dwarf::DenseLinearAlgebra, Dwarf::UnstructuredGrids]
-            }
+            Application::Backpropagation => &[Dwarf::DenseLinearAlgebra, Dwarf::UnstructuredGrids],
             Application::Fft => &[Dwarf::SpectralMethods],
         }
     }

@@ -192,7 +192,9 @@ impl<T> Dag<T> {
 
     /// Nodes with no predecessors (the initially ready set).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes with no successors (exit tasks).
@@ -209,10 +211,8 @@ impl<T> Dag<T> {
         // A sorted frontier (binary heap over Reverse would also work; the
         // graph sizes here are ≤ a few hundred nodes, so a Vec with a linear
         // min-scan keeps the code simple — it is not hot).
-        let mut frontier: Vec<NodeId> = self
-            .node_ids()
-            .filter(|n| in_deg[n.index()] == 0)
-            .collect();
+        let mut frontier: Vec<NodeId> =
+            self.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(pos) = frontier
             .iter()

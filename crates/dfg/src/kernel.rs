@@ -40,6 +40,20 @@ impl KernelKind {
         KernelKind::Gem,
     ];
 
+    /// Dense index of this kind inside [`KernelKind::ALL`], used by the
+    /// lookup table's per-kind row index and the cost matrices.
+    pub const fn index(self) -> usize {
+        match self {
+            KernelKind::MatMul => 0,
+            KernelKind::MatInv => 1,
+            KernelKind::Cholesky => 2,
+            KernelKind::NeedlemanWunsch => 3,
+            KernelKind::Bfs => 4,
+            KernelKind::Srad => 5,
+            KernelKind::Gem => 6,
+        }
+    }
+
     /// The short lowercase tag used by the paper's Appendix-B analyses
     /// ("nw", "bfs", "srad", "mi", "gem", "mm", "cd").
     pub const fn tag(self) -> &'static str {

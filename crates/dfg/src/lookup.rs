@@ -12,7 +12,6 @@
 
 use crate::kernel::{Kernel, KernelKind};
 use apt_base::{BaseError, ProcKind, SimDuration};
-use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// The seven data sizes at which the linear-algebra kernels (MM, MI, CD) were
@@ -48,7 +47,12 @@ impl LookupRow {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupTable {
     rows: Vec<LookupRow>,
-    index: BTreeMap<(KernelKind, u64), usize>,
+    /// Per-kind `(data_size, row index)` lists, sorted by size. A kind has at
+    /// most seven measured sizes, so a binary search over a dense array beats
+    /// the `BTreeMap<(kind, size), _>` this replaced by a wide margin on the
+    /// simulator's row-resolution path (see `engine/lookup_exec_time` in
+    /// `BENCH_engine.json`).
+    index: [Vec<(u64, usize)>; KernelKind::ALL.len()],
 }
 
 /// Appendix-A data, `(kernel, size, cpu_ms, gpu_ms, fpga_ms)`, in the row
@@ -59,15 +63,45 @@ const PAPER_ROWS: &[(KernelKind, u64, f64, f64, f64)] = &[
     (KernelKind::MatMul, 1_000_000, 220.806, 0.061, 1_192.092),
     (KernelKind::MatMul, 4_000_000, 259.291, 0.062, 9_536.743),
     (KernelKind::MatMul, 16_000_000, 1_967.286, 0.061, 76_293.945),
-    (KernelKind::MatMul, 36_000_000, 6_676.706, 0.106, 257_492.065),
-    (KernelKind::MatMul, 64_000_000, 15_487.652, 0.147, 610_351.562),
+    (
+        KernelKind::MatMul,
+        36_000_000,
+        6_676.706,
+        0.106,
+        257_492.065,
+    ),
+    (
+        KernelKind::MatMul,
+        64_000_000,
+        15_487.652,
+        0.147,
+        610_351.562,
+    ),
     (KernelKind::MatInv, 250_000, 42.952, 9.652, 24.247),
     (KernelKind::MatInv, 698_896, 148.387, 22.352, 110.597),
     (KernelKind::MatInv, 1_000_000, 235.810, 29.078, 188.188),
     (KernelKind::MatInv, 4_000_000, 432.330, 129.156, 1_482.717),
-    (KernelKind::MatInv, 16_000_000, 40_636.878, 596.582, 11_770.520),
-    (KernelKind::MatInv, 36_000_000, 133_917.655, 1_702.537, 39_623.932),
-    (KernelKind::MatInv, 64_000_000, 312_902.299, 3_600.423, 93_802.080),
+    (
+        KernelKind::MatInv,
+        16_000_000,
+        40_636.878,
+        596.582,
+        11_770.520,
+    ),
+    (
+        KernelKind::MatInv,
+        36_000_000,
+        133_917.655,
+        1_702.537,
+        39_623.932,
+    ),
+    (
+        KernelKind::MatInv,
+        64_000_000,
+        312_902.299,
+        3_600.423,
+        93_802.080,
+    ),
     (KernelKind::Cholesky, 250_000, 17.064, 2.749, 0.093),
     (KernelKind::Cholesky, 698_896, 86.585, 4.940, 0.258),
     (KernelKind::Cholesky, 1_000_000, 6.284, 6.453, 0.361),
@@ -104,7 +138,7 @@ impl LookupTable {
     pub fn from_rows(rows: impl IntoIterator<Item = LookupRow>) -> LookupTable {
         let mut table = LookupTable {
             rows: Vec::new(),
-            index: BTreeMap::new(),
+            index: Default::default(),
         };
         for row in rows {
             table.insert(row);
@@ -114,13 +148,24 @@ impl LookupTable {
 
     /// Insert or replace a row.
     pub fn insert(&mut self, row: LookupRow) {
-        match self.index.entry((row.kind, row.data_size)) {
-            std::collections::btree_map::Entry::Occupied(e) => self.rows[*e.get()] = row,
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(self.rows.len());
+        let sizes = &mut self.index[row.kind.index()];
+        match sizes.binary_search_by_key(&row.data_size, |&(s, _)| s) {
+            Ok(pos) => self.rows[sizes[pos].1] = row,
+            Err(pos) => {
+                sizes.insert(pos, (row.data_size, self.rows.len()));
                 self.rows.push(row);
             }
         }
+    }
+
+    /// Row index for a `(kind, size)` pair, if present.
+    #[inline]
+    fn row_index(&self, kind: KernelKind, data_size: u64) -> Option<usize> {
+        let sizes = &self.index[kind.index()];
+        sizes
+            .binary_search_by_key(&data_size, |&(s, _)| s)
+            .ok()
+            .map(|pos| sizes[pos].1)
     }
 
     /// All rows, in insertion (Table 14) order.
@@ -130,9 +175,8 @@ impl LookupTable {
 
     /// The row for a kernel instance.
     pub fn row(&self, kernel: &Kernel) -> Result<&LookupRow, BaseError> {
-        self.index
-            .get(&(kernel.kind, kernel.data_size))
-            .map(|&i| &self.rows[i])
+        self.row_index(kernel.kind, kernel.data_size)
+            .map(|i| &self.rows[i])
             .ok_or(BaseError::MissingLookup {
                 kernel: kernel.kind.tag(),
                 data_size: kernel.data_size,
@@ -175,14 +219,7 @@ impl LookupTable {
 
     /// Data sizes available for a kernel kind, ascending.
     pub fn sizes_for(&self, kind: KernelKind) -> Vec<u64> {
-        let mut sizes: Vec<u64> = self
-            .index
-            .keys()
-            .filter(|(k, _)| *k == kind)
-            .map(|&(_, s)| s)
-            .collect();
-        sizes.sort_unstable();
-        sizes
+        self.index[kind.index()].iter().map(|&(s, _)| s).collect()
     }
 
     /// Derive a table with a reduced degree of heterogeneity: every non-CPU

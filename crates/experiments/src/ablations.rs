@@ -38,12 +38,18 @@ fn gain(apt: f64, met: f64) -> String {
 pub fn ablation_alpha_fine() -> TextTable {
     let mut t = TextTable::new(
         "Ablation: fine α grid (DFG Type-1, 4 GB/s, avg of 10 graphs)",
-        &["α", "APT avg makespan (ms)", "MET avg makespan (ms)", "gain (%)"],
+        &[
+            "α",
+            "APT avg makespan (ms)",
+            "MET avg makespan (ms)",
+            "gain (%)",
+        ],
     );
     let lookup = LookupTable::paper();
     let system = SystemConfig::paper_4gbps();
-    for alpha in [1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0]
-    {
+    for alpha in [
+        1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+    ] {
         let (apt, met) = apt_met_avg(lookup, &system, alpha);
         t.push_row(vec![
             format!("{alpha}"),
@@ -130,7 +136,12 @@ pub fn ablation_processor_count() -> TextTable {
 pub fn ablation_apt_r() -> TextTable {
     let mut t = TextTable::new(
         "Ablation: APT vs APT-R (DFG Type-1, 4 GB/s, avg of 10 graphs)",
-        &["α", "APT avg (ms)", "APT-R avg (ms)", "APT-R gain over APT (%)"],
+        &[
+            "α",
+            "APT avg (ms)",
+            "APT-R avg (ms)",
+            "APT-R gain over APT (%)",
+        ],
     );
     let lookup = LookupTable::paper();
     let system = SystemConfig::paper_4gbps();
@@ -203,7 +214,12 @@ pub fn ablation_quality() -> TextTable {
     use apt_metrics::quality::quality_report;
     let mut t = TextTable::new(
         "Ablation: schedule quality (avg over 10 Type-1 graphs)",
-        &["Policy", "SLR", "Makespan / lower bound", "Speedup vs best serial"],
+        &[
+            "Policy",
+            "SLR",
+            "Makespan / lower bound",
+            "Speedup vs best serial",
+        ],
     );
     let lookup = LookupTable::paper();
     let system = SystemConfig::paper_4gbps();
@@ -244,7 +260,12 @@ mod tests {
                 .unwrap()
         };
         // Less idle waiting = less energy: APT(α=4) must not burn more than MET.
-        assert!(row("APT") <= row("MET"), "APT {} vs MET {}", row("APT"), row("MET"));
+        assert!(
+            row("APT") <= row("MET"),
+            "APT {} vs MET {}",
+            row("APT"),
+            row("MET")
+        );
     }
 
     #[test]

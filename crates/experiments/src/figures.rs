@@ -4,7 +4,7 @@
 //! the plotted series (plus, for Figure 5, the exact schedule walk-through).
 //! EXPERIMENTS.md records the paper-vs-measured comparison for every one.
 
-use crate::runner::{avg_makespans_ms, avg_lambda_ms, policy_index, policy_matrix, Rate};
+use crate::runner::{avg_lambda_ms, avg_makespans_ms, policy_index, policy_matrix, Rate};
 use crate::workloads::figure5_graph;
 use apt_core::prelude::*;
 use apt_metrics::gantt::state_log;
@@ -180,8 +180,14 @@ mod tests {
     #[test]
     fn fig5_reproduces_both_end_times_exactly() {
         let s = fig5();
-        assert!(s.contains("End time: 318.093"), "MET end time missing:\n{s}");
-        assert!(s.contains("End time: 212.093"), "APT end time missing:\n{s}");
+        assert!(
+            s.contains("End time: 318.093"),
+            "MET end time missing:\n{s}"
+        );
+        assert!(
+            s.contains("End time: 212.093"),
+            "APT end time missing:\n{s}"
+        );
         // APT's GPU takes the second bfs at t = 0.
         assert!(s.contains("GPU0:2-bfs"));
     }

@@ -40,9 +40,8 @@ impl std::fmt::Display for Artifact {
 
 /// Every artifact id, in paper order.
 pub const ARTIFACT_IDS: [&str; 19] = [
-    "table7", "table8", "table9", "table10", "table11", "table12", "table13", "table14",
-    "table15", "table16", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig8b", "fig9",
-    "fig10",
+    "table7", "table8", "table9", "table10", "table11", "table12", "table13", "table14", "table15",
+    "table16", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig8b", "fig9", "fig10",
 ];
 
 /// The remaining figure ids (λ sweeps) — kept separate purely so the array

@@ -30,6 +30,9 @@ fn main() {
         return;
     }
     let ids: Vec<&str> = if args[0] == "all" {
+        // Fill the run cache for the whole evaluation grid in one parallel
+        // wave (combination × graph × policy) before rendering anything.
+        apt_experiments::runner::prewarm_paper_grid();
         all_artifact_ids()
     } else {
         args.iter().map(String::as_str).collect()
@@ -45,7 +48,11 @@ fn main() {
                     (Artifact::Table(t), true) => t.to_markdown(),
                     _ => artifact.to_string(),
                 };
-                writeln!(out, "=== {id} ===\n{rendered}").expect("stdout write");
+                if writeln!(out, "=== {id} ===\n{rendered}").is_err() {
+                    // Downstream pipe closed (e.g. `apt-repro all | head`):
+                    // stop quietly instead of panicking.
+                    return;
+                }
             }
             None => {
                 eprintln!("unknown artifact id: {id}");

@@ -1,10 +1,21 @@
 //! Sweep execution with caching.
 //!
 //! Every table and figure is an aggregation over the same underlying runs
-//! (policy × experiment graph × α × link rate). The runner executes those
-//! runs in parallel across graphs (crossbeam scoped threads) and memoizes
-//! the per-run summaries (parking_lot mutex around the cache), so `apt-repro
-//! all` never simulates the same configuration twice.
+//! (policy × experiment graph × α × link rate). The runner flattens those
+//! runs into one task list and executes it on a scoped worker pool sized to
+//! the machine (crossbeam scoped threads draining an atomic cursor), then
+//! memoizes the per-run summaries (parking_lot mutex around the cache) so
+//! `apt-repro all` never simulates the same configuration twice.
+//!
+//! Two levels of parallelism are exposed:
+//!
+//! * [`run_matrix`] — one `(DFG type, α, rate)` combination, parallel over
+//!   the full graph × policy plane (the seed parallelized over graphs only,
+//!   leaving the seven policy columns of each graph serialized on one
+//!   worker — a 7× utilization loss at the tail of every sweep);
+//! * [`prewarm`] — any set of combinations at once, parallel over the whole
+//!   combination × graph × policy grid. `apt-repro all` prewarms the full
+//!   evaluation grid in a single wave before rendering any artifact.
 
 use crate::workloads::{experiment_graphs, NUM_EXPERIMENTS};
 use apt_core::prelude::*;
@@ -12,6 +23,7 @@ use apt_core::PolicyFactory;
 use apt_metrics::RunSummary;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Link-rate presets used by the evaluation.
@@ -55,49 +67,183 @@ struct Key {
     rate: Rate,
 }
 
+impl Key {
+    fn new(ty: DfgType, alpha: f64, rate: Rate) -> Key {
+        Key {
+            ty,
+            alpha_bits: alpha.to_bits(),
+            rate,
+        }
+    }
+}
+
 fn cache() -> &'static Mutex<HashMap<Key, Arc<Matrix>>> {
     static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Matrix>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Worker count for sweep pools: one thread per core.
+fn workers(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks)
+        .max(1)
+}
+
+/// Execute a flattened task list on a scoped worker pool. `run(i)` computes
+/// task `i`; results come back in task order.
+fn run_pool<T: Send + Sync>(tasks: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let slots: Vec<OnceLock<T>> = (0..tasks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers(tasks) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                slots[i].set(run(i)).unwrap_or_else(|_| {
+                    unreachable!("task {i} claimed twice");
+                });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("pool drained every task"))
+        .collect()
+}
+
 /// Run (or fetch) the full seven-policy comparison for one DFG family at
 /// one α and one link rate.
 pub fn policy_matrix(ty: DfgType, alpha: f64, rate: Rate) -> Arc<Matrix> {
-    let key = Key {
-        ty,
-        alpha_bits: alpha.to_bits(),
-        rate,
-    };
+    let key = Key::new(ty, alpha, rate);
     if let Some(hit) = cache().lock().get(&key) {
         return Arc::clone(hit);
     }
-    let factories = apt_core::all_policy_factories(alpha);
-    let matrix = run_matrix(ty, &factories, &rate.system());
-    let arc = Arc::new(matrix);
-    cache().lock().insert(key, Arc::clone(&arc));
-    arc
+    prewarm(&[(ty, alpha, rate)]);
+    Arc::clone(cache().lock().get(&key).expect("prewarm fills the cache"))
+}
+
+/// Compute every not-yet-cached `(type, α, rate)` combination in one
+/// parallel wave over the full combination × graph × policy grid, and cache
+/// the resulting matrices. Amortizes pool ramp-up/tail across the whole
+/// sweep instead of paying it once per combination.
+pub fn prewarm(specs: &[(DfgType, f64, Rate)]) {
+    struct Combo {
+        key: Key,
+        graphs: Arc<Vec<KernelDag>>,
+        factories: Vec<(String, PolicyFactory)>,
+        system: SystemConfig,
+    }
+
+    // Collect the missing keys under a short lock; all generation happens
+    // after it is released.
+    let mut missing: Vec<(DfgType, f64, Rate)> = Vec::new();
+    {
+        let cached = cache().lock();
+        for &(ty, alpha, rate) in specs {
+            let key = Key::new(ty, alpha, rate);
+            if cached.contains_key(&key)
+                || missing.iter().any(|&(t, a, r)| Key::new(t, a, r) == key)
+            {
+                continue;
+            }
+            missing.push((ty, alpha, rate));
+        }
+    }
+    if missing.is_empty() {
+        return;
+    }
+
+    // One shared graph set per DFG family — every combo of a family
+    // references the same ten graphs instead of regenerating them.
+    let mut graph_sets: Vec<(DfgType, Arc<Vec<KernelDag>>)> = Vec::new();
+    let combos: Vec<Combo> = missing
+        .into_iter()
+        .map(|(ty, alpha, rate)| {
+            let graphs = match graph_sets.iter().find(|(t, _)| *t == ty) {
+                Some((_, g)) => Arc::clone(g),
+                None => {
+                    let g = Arc::new(experiment_graphs(ty));
+                    graph_sets.push((ty, Arc::clone(&g)));
+                    g
+                }
+            };
+            Combo {
+                key: Key::new(ty, alpha, rate),
+                graphs,
+                factories: apt_core::all_policy_factories(alpha),
+                system: rate.system(),
+            }
+        })
+        .collect();
+
+    // Flatten to (combo, graph, policy) triples.
+    let mut tasks = Vec::new();
+    for (c, combo) in combos.iter().enumerate() {
+        for g in 0..combo.graphs.len() {
+            for p in 0..combo.factories.len() {
+                tasks.push((c, g, p));
+            }
+        }
+    }
+    let summaries = run_pool(tasks.len(), |i| {
+        let (c, g, p) = tasks[i];
+        let combo = &combos[c];
+        run_single(
+            &combo.graphs[g],
+            combo.factories[p].1.as_ref(),
+            &combo.system,
+        )
+    });
+
+    // Reassemble matrices in task order and publish them.
+    let mut results: Vec<Matrix> = combos
+        .iter()
+        .map(|c| vec![Vec::with_capacity(c.factories.len()); c.graphs.len()])
+        .collect();
+    for (&(c, g, _), summary) in tasks.iter().zip(summaries) {
+        results[c][g].push(summary);
+    }
+    let mut cached = cache().lock();
+    for (combo, matrix) in combos.into_iter().zip(results) {
+        cached.insert(combo.key, Arc::new(matrix));
+    }
+}
+
+/// Prewarm the paper's complete evaluation grid (both DFG families × the
+/// five published α values × both link rates) in one wave.
+pub fn prewarm_paper_grid() {
+    let mut specs = Vec::new();
+    for ty in DfgType::ALL {
+        for &alpha in &PAPER_ALPHAS {
+            for rate in Rate::ALL {
+                specs.push((ty, alpha, rate));
+            }
+        }
+    }
+    prewarm(&specs);
 }
 
 /// Execute `factories` over all ten experiment graphs of `ty` on `system`,
-/// one worker thread per graph.
+/// parallel over the full graph × policy plane (uncached).
 pub fn run_matrix(
     ty: DfgType,
     factories: &[(String, PolicyFactory)],
     system: &SystemConfig,
 ) -> Matrix {
     let graphs = experiment_graphs(ty);
-    let mut out: Matrix = vec![Vec::new(); graphs.len()];
-    crossbeam::thread::scope(|scope| {
-        for (graph, slot) in graphs.iter().zip(out.iter_mut()) {
-            scope.spawn(move |_| {
-                *slot = factories
-                    .iter()
-                    .map(|(_, make)| run_single(graph, make.as_ref(), system))
-                    .collect();
-            });
-        }
-    })
-    .expect("sweep worker panicked");
+    let npol = factories.len();
+    let summaries = run_pool(graphs.len() * npol, |i| {
+        run_single(&graphs[i / npol], factories[i % npol].1.as_ref(), system)
+    });
+    let mut out: Matrix = vec![Vec::with_capacity(npol); graphs.len()];
+    for (i, summary) in summaries.into_iter().enumerate() {
+        out[i / npol].push(summary);
+    }
     out
 }
 
@@ -127,9 +273,7 @@ pub fn avg_lambda_ms(matrix: &Matrix) -> Vec<f64> {
 fn avg_over_graphs(matrix: &Matrix, f: impl Fn(&RunSummary) -> f64) -> Vec<f64> {
     let npol = matrix.first().map_or(0, Vec::len);
     (0..npol)
-        .map(|p| {
-            matrix.iter().map(|row| f(&row[p])).sum::<f64>() / matrix.len().max(1) as f64
-        })
+        .map(|p| matrix.iter().map(|row| f(&row[p])).sum::<f64>() / matrix.len().max(1) as f64)
         .collect()
 }
 
@@ -147,7 +291,9 @@ pub fn policy_index(name: &str) -> usize {
 /// Convenience: all ten APT summaries (one per graph) at `(ty, α, rate)`.
 pub fn apt_column(ty: DfgType, alpha: f64, rate: Rate) -> Vec<RunSummary> {
     let m = policy_matrix(ty, alpha, rate);
-    m.iter().map(|row| row[policy_index("APT")].clone()).collect()
+    m.iter()
+        .map(|row| row[policy_index("APT")].clone())
+        .collect()
 }
 
 /// Sanity constant: rows per table.
@@ -190,5 +336,36 @@ mod tests {
         let col = apt_column(DfgType::Type1, 1.5, Rate::Gbps4);
         assert_eq!(col.len(), 10);
         assert!(col.iter().all(|s| s.policy.starts_with("APT")));
+    }
+
+    #[test]
+    fn prewarm_batch_matches_individual_runs() {
+        // A batched wave and a direct uncached run_matrix agree cell by cell.
+        prewarm(&[
+            (DfgType::Type2, 2.0, Rate::Gbps4),
+            (DfgType::Type2, 2.0, Rate::Gbps8),
+        ]);
+        let cached = policy_matrix(DfgType::Type2, 2.0, Rate::Gbps4);
+        let direct = run_matrix(
+            DfgType::Type2,
+            &apt_core::all_policy_factories(2.0),
+            &Rate::Gbps4.system(),
+        );
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn run_matrix_rows_follow_policy_order() {
+        let m = run_matrix(
+            DfgType::Type1,
+            &apt_core::all_policy_factories(4.0),
+            &Rate::Gbps4.system(),
+        );
+        assert_eq!(m.len(), ROWS);
+        for row in &m {
+            assert_eq!(row.len(), POLICY_ORDER.len());
+            assert!(row[0].policy.starts_with("APT"));
+            assert_eq!(row[6].policy, "PEFT");
+        }
     }
 }

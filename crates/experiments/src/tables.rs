@@ -348,7 +348,7 @@ mod tests {
     fn allocation_tables_grow_with_alpha() {
         let t = table15();
         assert_eq!(t.row_count(), 50); // 5 α × 10 experiments
-        // Total alternative assignments at α = 4 exceed those at α = 1.5.
+                                       // Total alternative assignments at α = 4 exceed those at α = 1.5.
         let sum_alpha = |alpha_row_base: usize| -> f64 {
             (0..10)
                 .map(|i| t.cell_f64(alpha_row_base + i, 3).unwrap())

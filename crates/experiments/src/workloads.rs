@@ -30,7 +30,10 @@ pub fn experiment_seed(ty: DfgType, idx: usize) -> u64 {
 
 /// Experiment graph `idx` (0-based; the paper's "Graph idx+1").
 pub fn experiment_graph(ty: DfgType, idx: usize) -> KernelDag {
-    assert!(idx < NUM_EXPERIMENTS, "experiments are 0..{NUM_EXPERIMENTS}");
+    assert!(
+        idx < NUM_EXPERIMENTS,
+        "experiments are 0..{NUM_EXPERIMENTS}"
+    );
     let cfg = StreamConfig::new(EXPERIMENT_KERNEL_COUNTS[idx], experiment_seed(ty, idx));
     generate(ty, &cfg, LookupTable::paper())
 }

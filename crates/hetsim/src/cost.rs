@@ -1,0 +1,413 @@
+//! The precomputed per-run cost model (processor-instance level).
+//!
+//! Built once per `(KernelDag, LookupTable, SystemConfig)` triple at the top
+//! of `simulate_stream`, then shared read-only by the engine, the
+//! [`crate::SimView`] handed to dynamic policies, and the static planners'
+//! [`crate::PrepareCtx`]. It precomputes everything about a decision that
+//! does **not** depend on live simulator state:
+//!
+//! * a dense `node × processor-instance` execution-time matrix (expanding
+//!   the category-level [`KindCostMatrix`] over the machine's devices),
+//! * each node's *output* transfer time across the uniform link (so the
+//!   engine's `transfer_in` and the view's `transfer_in_time` sum
+//!   precomputed summands instead of re-deriving `bytes / rate` per query),
+//! * per-node runnable-processor bitsets and the minimum-execution-time
+//!   instance set (`p_min` of §3.1, with its tie mask).
+//!
+//! Hot accessors are branch-light array reads; every former
+//! `BTreeMap`-lookup and allocation on the decision path routes through
+//! here. See the "Engine architecture & cost model" notes in the crate docs.
+
+use crate::system::SystemConfig;
+use apt_base::{ProcId, ProcKind, SimDuration};
+use apt_dfg::{KernelDag, KindCostMatrix, LookupTable, NodeId};
+
+/// Sentinel for "kernel cannot run on this processor instance" — the same
+/// value the category-level matrix uses (re-exported, not redefined, so the
+/// two layers cannot drift apart).
+pub use apt_dfg::cost::UNRUNNABLE;
+
+/// Largest supported machine size (runnable sets are single-word bitsets).
+pub const MAX_PROCS: usize = 64;
+
+/// Precomputed decision-cost tables for one simulation run.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    nprocs: usize,
+    /// Flattened `node × nprocs` execution times in ns ([`UNRUNNABLE`] when
+    /// the instance's category has no table entry).
+    exec_ns: Vec<u64>,
+    /// Per-node output transfer time across the link, in ns (what a
+    /// *successor* pays when this node's result is resident elsewhere).
+    transfer_ns: Vec<u64>,
+    /// Per-node bitset of runnable processor instances.
+    runnable: Vec<u64>,
+    /// Per-node minimum execution time over instances ([`UNRUNNABLE`] when
+    /// no instance can run the node).
+    min_ns: Vec<u64>,
+    /// Per-node bitset of the instances achieving `min_ns`.
+    min_mask: Vec<u64>,
+    /// Per-instance category, cached densely (avoids chasing the
+    /// `ProcSpec` vec and its name strings on hot reads).
+    kinds: Vec<ProcKind>,
+}
+
+impl CostModel {
+    /// Precompute the model. O(nodes × procs) time and memory; called once
+    /// per run, amortized over every decision edge of the simulation.
+    ///
+    /// Panics if the system has more than [`MAX_PROCS`] processors (the
+    /// runnable sets are single-word bitsets; no evaluated configuration
+    /// comes within an order of magnitude of the limit).
+    pub fn new(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> CostModel {
+        let nprocs = config.len();
+        assert!(
+            nprocs <= MAX_PROCS,
+            "CostModel supports at most {MAX_PROCS} processors, got {nprocs}"
+        );
+        let kinds: Vec<ProcKind> = config.proc_ids().map(|p| config.kind_of(p)).collect();
+        let kind_matrix = KindCostMatrix::build(dfg, lookup);
+        let n = dfg.len();
+        let mut exec_ns = Vec::with_capacity(n * nprocs);
+        let mut transfer_ns = Vec::with_capacity(n);
+        let mut runnable = Vec::with_capacity(n);
+        let mut min_ns = Vec::with_capacity(n);
+        let mut min_mask = Vec::with_capacity(n);
+        for node in dfg.node_ids() {
+            let mut run_bits = 0u64;
+            let mut best = UNRUNNABLE;
+            let mut best_bits = 0u64;
+            for (i, kind) in kinds.iter().enumerate() {
+                let ns = match kind.table_column() {
+                    Some(col) => kind_matrix.exec_ns(node, col),
+                    None => UNRUNNABLE,
+                };
+                exec_ns.push(ns);
+                if ns != UNRUNNABLE {
+                    run_bits |= 1 << i;
+                    match ns.cmp(&best) {
+                        std::cmp::Ordering::Less => {
+                            best = ns;
+                            best_bits = 1 << i;
+                        }
+                        std::cmp::Ordering::Equal => best_bits |= 1 << i,
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+            }
+            runnable.push(run_bits);
+            min_ns.push(best);
+            min_mask.push(best_bits);
+            let bytes = kind_matrix.data_size(node) * config.bytes_per_element;
+            transfer_ns.push(config.link.transfer_time(bytes).as_ns());
+        }
+        CostModel {
+            nprocs,
+            exec_ns,
+            transfer_ns,
+            runnable,
+            min_ns,
+            min_mask,
+            kinds,
+        }
+    }
+
+    /// Number of processor instances in the modeled system.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Raw nanosecond execution time ([`UNRUNNABLE`] when impossible).
+    #[inline]
+    pub fn exec_ns(&self, node: NodeId, proc: ProcId) -> u64 {
+        self.exec_ns[node.index() * self.nprocs + proc.index()]
+    }
+
+    /// Execution time of `node` on `proc`; `None` when the kernel cannot run
+    /// on that instance's category.
+    #[inline]
+    pub fn exec_time(&self, node: NodeId, proc: ProcId) -> Option<SimDuration> {
+        match self.exec_ns(node, proc) {
+            UNRUNNABLE => None,
+            ns => Some(SimDuration::from_ns(ns)),
+        }
+    }
+
+    /// True when `proc` can execute `node`.
+    #[inline]
+    pub fn runnable(&self, node: NodeId, proc: ProcId) -> bool {
+        proc.index() < self.nprocs && (self.runnable[node.index()] >> proc.index()) & 1 == 1
+    }
+
+    /// Bitset of instances able to execute `node` (bit i ⇔ processor i).
+    #[inline]
+    pub fn runnable_mask(&self, node: NodeId) -> u64 {
+        self.runnable[node.index()]
+    }
+
+    /// Output transfer time of `node` across the uniform link — the cost a
+    /// consumer pays per predecessor resident on another processor.
+    #[inline]
+    pub fn transfer_time(&self, node: NodeId) -> SimDuration {
+        SimDuration::from_ns(self.transfer_ns[node.index()])
+    }
+
+    /// Input-transfer time if `node` were started on `proc` given the
+    /// current residency of finished predecessors: the sum of precomputed
+    /// output transfer times of predecessors resident on *other* processors
+    /// (the Eq. 6 convention `c_ij = 0` when `p_w = p_k`). Unfinished
+    /// predecessors (`None` location) contribute nothing; callers that
+    /// require every input resident assert that themselves. This is the one
+    /// shared implementation behind both the engine's start bookkeeping and
+    /// `SimView::transfer_in_time`.
+    pub fn transfer_in_time(
+        &self,
+        dfg: &KernelDag,
+        locations: &[Option<ProcId>],
+        node: NodeId,
+        proc: ProcId,
+    ) -> SimDuration {
+        let mut total_ns = 0u64;
+        for &pred in dfg.preds(node) {
+            if let Some(loc) = locations[pred.index()] {
+                if loc != proc {
+                    total_ns += self.transfer_ns[pred.index()];
+                }
+            }
+        }
+        SimDuration::from_ns(total_ns)
+    }
+
+    /// Minimum execution time of `node` over all instances (`x` of §3.1);
+    /// `None` when no processor can run it.
+    #[inline]
+    pub fn min_exec(&self, node: NodeId) -> Option<SimDuration> {
+        match self.min_ns[node.index()] {
+            UNRUNNABLE => None,
+            ns => Some(SimDuration::from_ns(ns)),
+        }
+    }
+
+    /// Bitset of the instances achieving [`CostModel::min_exec`].
+    #[inline]
+    pub fn min_mask(&self, node: NodeId) -> u64 {
+        self.min_mask[node.index()]
+    }
+
+    /// The lowest-id minimum-execution-time instance and its time
+    /// (`p_min`, `x`), `None` when the node is unrunnable everywhere.
+    #[inline]
+    pub fn best_proc(&self, node: NodeId) -> Option<(ProcId, SimDuration)> {
+        let mask = self.min_mask[node.index()];
+        if mask == 0 {
+            return None;
+        }
+        let proc = ProcId::new(mask.trailing_zeros() as usize);
+        Some((proc, SimDuration::from_ns(self.min_ns[node.index()])))
+    }
+
+    /// Cached category of one processor instance.
+    #[inline]
+    pub fn kind_of(&self, proc: ProcId) -> ProcKind {
+        self.kinds[proc.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkRate;
+    use apt_dfg::generator::build_type1;
+    use apt_dfg::{Kernel, KernelKind};
+
+    fn fixture() -> (KernelDag, &'static LookupTable, SystemConfig) {
+        (
+            build_type1(&[
+                Kernel::canonical(KernelKind::NeedlemanWunsch),
+                Kernel::canonical(KernelKind::Bfs),
+                Kernel::new(KernelKind::Cholesky, 250_000),
+            ]),
+            LookupTable::paper(),
+            SystemConfig::paper_4gbps(),
+        )
+    }
+
+    #[test]
+    fn matrix_matches_map_based_lookup() {
+        let (dfg, lookup, config) = fixture();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        for node in dfg.node_ids() {
+            for proc in config.proc_ids() {
+                assert_eq!(
+                    cost.exec_time(node, proc),
+                    lookup.exec_time(dfg.node(node), config.kind_of(proc)).ok()
+                );
+                assert_eq!(
+                    cost.runnable(node, proc),
+                    lookup
+                        .exec_time(dfg.node(node), config.kind_of(proc))
+                        .is_ok()
+                );
+            }
+            let bytes = dfg.node(node).bytes(config.bytes_per_element);
+            assert_eq!(cost.transfer_time(node), config.link.transfer_time(bytes));
+        }
+    }
+
+    #[test]
+    fn best_proc_matches_table7() {
+        let (dfg, lookup, config) = fixture();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        // NW → CPU (112 ms), BFS → FPGA (106 ms), CD → FPGA (0.093 ms).
+        let (p, t) = cost.best_proc(NodeId::new(0)).unwrap();
+        assert_eq!(config.kind_of(p), ProcKind::Cpu);
+        assert_eq!(t, SimDuration::from_ms(112));
+        let (p, t) = cost.best_proc(NodeId::new(1)).unwrap();
+        assert_eq!(config.kind_of(p), ProcKind::Fpga);
+        assert_eq!(t, SimDuration::from_ms(106));
+        assert_eq!(
+            cost.min_exec(NodeId::new(1)),
+            Some(SimDuration::from_ms(106))
+        );
+        assert_eq!(cost.min_mask(NodeId::new(1)), 0b100);
+    }
+
+    #[test]
+    fn ties_keep_every_min_instance_in_the_mask() {
+        let mut table = LookupTable::from_rows([]);
+        table.insert(apt_dfg::lookup::LookupRow {
+            kind: KernelKind::Bfs,
+            data_size: 10,
+            times: [SimDuration::from_ms(5); 3],
+        });
+        let dfg = build_type1(&[Kernel::new(KernelKind::Bfs, 10)]);
+        let config = SystemConfig::paper_4gbps();
+        let cost = CostModel::new(&dfg, &table, &config);
+        assert_eq!(cost.min_mask(NodeId::new(0)), 0b111);
+        // Ties break to the lowest instance id, as everywhere else.
+        assert_eq!(cost.best_proc(NodeId::new(0)).unwrap().0, ProcId::new(0));
+    }
+
+    #[test]
+    fn unrunnable_categories_are_masked_out() {
+        let config = SystemConfig::empty(LinkRate::gbps(4))
+            .with_proc(ProcKind::Asic)
+            .with_proc(ProcKind::Cpu);
+        let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
+        let cost = CostModel::new(&dfg, LookupTable::paper(), &config);
+        let n = NodeId::new(0);
+        assert!(!cost.runnable(n, ProcId::new(0)));
+        assert!(cost.runnable(n, ProcId::new(1)));
+        assert_eq!(cost.runnable_mask(n), 0b10);
+        assert_eq!(cost.exec_time(n, ProcId::new(0)), None);
+    }
+
+    /// Decision-side differential: every derived field of the model
+    /// (exec, runnable mask, min exec, min mask, best proc, transfer) must
+    /// equal a naive scan through the raw lookup table — the logic the dense
+    /// tables replaced — for **every** kernel of the paper's table (plus a
+    /// missing-row kernel) on several machine shapes. The trace-level
+    /// equivalence suite cannot catch regressions here (both engines would
+    /// replay the same wrong decision); this test can.
+    #[test]
+    fn every_derived_field_matches_a_naive_lookup_scan() {
+        let lookup = LookupTable::paper();
+        let mut kernels = lookup.all_kernels();
+        kernels.push(Kernel::new(KernelKind::MatMul, 123)); // no table row
+        let dfg = build_type1(&kernels);
+        let systems = [
+            SystemConfig::paper_4gbps(),
+            SystemConfig::paper_no_transfers(),
+            SystemConfig::empty(LinkRate::gbps(8))
+                .with_proc(ProcKind::Cpu)
+                .with_proc(ProcKind::Cpu)
+                .with_proc(ProcKind::Gpu)
+                .with_proc(ProcKind::Fpga)
+                .with_proc(ProcKind::Fpga)
+                .with_proc(ProcKind::Asic),
+            SystemConfig::empty(LinkRate::gbps(4))
+                .with_proc(ProcKind::Asic)
+                .with_proc(ProcKind::Gpu),
+            SystemConfig::empty(LinkRate::gbps(4)).with_proc(ProcKind::Fpga),
+        ];
+        for config in systems {
+            let cost = CostModel::new(&dfg, lookup, &config);
+            for (node, kernel) in dfg.iter() {
+                // Naive per-instance scan, as the seed's call sites did it.
+                let naive: Vec<Option<SimDuration>> = config
+                    .proc_ids()
+                    .map(|p| lookup.exec_time(kernel, config.kind_of(p)).ok())
+                    .collect();
+                let mut naive_runnable = 0u64;
+                let mut naive_min: Option<SimDuration> = None;
+                for (i, t) in naive.iter().enumerate() {
+                    if let Some(t) = t {
+                        naive_runnable |= 1 << i;
+                        if naive_min.is_none_or(|m| *t < m) {
+                            naive_min = Some(*t);
+                        }
+                    }
+                }
+                let naive_mask = naive
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.is_some() && **t == naive_min)
+                    .fold(0u64, |m, (i, _)| m | 1 << i);
+                let naive_best = naive
+                    .iter()
+                    .position(|t| t.is_some() && *t == naive_min)
+                    .map(|i| (ProcId::new(i), naive_min.unwrap()));
+
+                for (i, t) in naive.iter().enumerate() {
+                    assert_eq!(cost.exec_time(node, ProcId::new(i)), *t, "{kernel}");
+                    assert_eq!(cost.runnable(node, ProcId::new(i)), t.is_some());
+                }
+                assert_eq!(cost.runnable_mask(node), naive_runnable, "{kernel}");
+                assert_eq!(cost.min_exec(node), naive_min, "{kernel}");
+                assert_eq!(cost.min_mask(node), naive_mask, "{kernel}");
+                assert_eq!(cost.best_proc(node), naive_best, "{kernel}");
+                let bytes = kernel.bytes(config.bytes_per_element);
+                assert_eq!(
+                    cost.transfer_time(node),
+                    config.link.transfer_time(bytes),
+                    "{kernel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_transfer_in_matches_per_pred_sum() {
+        // The engine and the view share CostModel::transfer_in_time; check it
+        // against a by-hand sum for mixed residency.
+        let (dfg, lookup, config) = fixture();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        // Node 2 depends on 0 (on p0) and 1 (on p2); unfinished preds free.
+        let locations = vec![Some(ProcId::new(0)), None, None];
+        let n2 = NodeId::new(2);
+        assert_eq!(
+            cost.transfer_in_time(&dfg, &locations, n2, ProcId::new(0)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            cost.transfer_in_time(&dfg, &locations, n2, ProcId::new(1)),
+            cost.transfer_time(NodeId::new(0))
+        );
+        let locations = vec![Some(ProcId::new(0)), Some(ProcId::new(2)), None];
+        assert_eq!(
+            cost.transfer_in_time(&dfg, &locations, n2, ProcId::new(1)),
+            cost.transfer_time(NodeId::new(0)) + cost.transfer_time(NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn zero_bytes_per_element_disables_transfers() {
+        let (dfg, lookup, _) = fixture();
+        let config = SystemConfig::paper_no_transfers();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        for node in dfg.node_ids() {
+            assert_eq!(cost.transfer_time(node), SimDuration::ZERO);
+        }
+    }
+}

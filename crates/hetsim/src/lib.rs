@@ -23,20 +23,58 @@
 //! ordered by `(time, sequence number)`, and every argmin in the pipeline
 //! breaks ties by the lowest index — two runs of the same configuration are
 //! bit-identical.
+//!
+//! # Engine architecture & cost model
+//!
+//! The paper's core claim is that APT stays near HEFT/PEFT schedule quality
+//! *without* their "intensive pre-computation" — so the per-decision cost of
+//! the simulator is the experiment itself, and the decision path is built
+//! around one principle: **nothing state-independent is computed on a
+//! decision edge.**
+//!
+//! * [`cost::CostModel`] is precomputed once per
+//!   `(KernelDag, LookupTable, SystemConfig)` at the top of
+//!   [`simulate_stream`]: a dense `node × processor` execution-time matrix
+//!   (expanding `apt_dfg::KindCostMatrix`, which flattens the lookup table
+//!   per category), per-node output link-transfer times, per-node
+//!   runnable-processor bitsets, and the `p_min` instance set with its tie
+//!   mask. Every [`SimView`] cost query (`exec_time`, `placement_cost`,
+//!   `best_proc`) and the engine's own admission/start bookkeeping are plain
+//!   array reads against it — no `BTreeMap` walks, no allocation, no
+//!   repeated `bytes / rate` division.
+//! * The engine maintains its policy-visible state **incrementally**: the
+//!   [`ProcView`] snapshots live in one `Vec` mutated as kernels start,
+//!   finish and queue (with a running-sum windowed execution-time average,
+//!   rounded to nearest); the ready set is an index-backed bitset
+//!   ([`ready::ReadySet`]) with O(1) insert/remove/membership and
+//!   deterministic ascending-id iteration; a running idle-processor count
+//!   makes `SimView::any_idle` O(1).
+//! * Static policies get the same tables through [`PrepareCtx::cost`], so
+//!   HEFT/PEFT plan construction shares the dense path.
+//!
+//! The differential test `tests/engine_equivalence.rs` (workspace root)
+//! replays all twenty canonical workloads under every policy against a
+//! straight port of the seed engine's naive bookkeeping and asserts
+//! byte-identical traces, so this hot-path structure cannot silently change
+//! schedules.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cost;
 pub mod engine;
 pub mod link;
 pub mod policy;
+pub mod ready;
 pub mod system;
 pub mod trace;
 pub mod view;
 
+pub use cost::CostModel;
 pub use engine::{simulate, simulate_stream};
 pub use link::LinkRate;
 pub use policy::{Assignment, Policy, PolicyKind, PrepareCtx};
+pub use ready::ReadySet;
 pub use system::{ProcSpec, SystemConfig};
 pub use trace::{ProcStats, SimResult, TaskRecord, Trace};
 pub use view::{ProcView, SimView};

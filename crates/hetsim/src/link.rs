@@ -83,7 +83,10 @@ mod tests {
         // 4 GB/s moves 4 bytes per nanosecond.
         let l = LinkRate::gbps(4);
         assert_eq!(l.transfer_time(4), SimDuration::from_ns(1));
-        assert_eq!(l.transfer_time(4_000_000_000), SimDuration::from_ns(1_000_000_000));
+        assert_eq!(
+            l.transfer_time(4_000_000_000),
+            SimDuration::from_ns(1_000_000_000)
+        );
         // 64 MB at 4 GB/s = 16 ms.
         assert_eq!(l.transfer_time(64_000_000), SimDuration::from_ms(16));
     }

@@ -15,6 +15,7 @@
 //! means "nothing more to do right now" (e.g. MET *waiting* for a busy
 //! best processor).
 
+use crate::cost::CostModel;
 use crate::system::SystemConfig;
 use crate::view::SimView;
 use apt_base::{BaseError, ProcId};
@@ -44,10 +45,14 @@ impl PolicyKind {
 pub struct PrepareCtx<'a> {
     /// The complete dataflow graph.
     pub dfg: &'a KernelDag,
-    /// Measured execution times.
+    /// Measured execution times (raw table).
     pub lookup: &'a LookupTable,
     /// The machine description.
     pub config: &'a SystemConfig,
+    /// The precomputed per-run cost model — the same dense tables the
+    /// engine and [`SimView`] use, so plan construction shares the
+    /// no-map-lookup path.
+    pub cost: &'a CostModel,
 }
 
 /// A single kernel-to-processor decision emitted by a policy.

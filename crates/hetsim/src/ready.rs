@@ -1,0 +1,176 @@
+//! The ready set `I`, as an index-backed bitset.
+//!
+//! The seed engine kept `I` as a sorted `Vec<NodeId>`, paying an O(n)
+//! memmove on every assignment (`Vec::remove`) and readiness event
+//! (`Vec::insert`), plus an O(log n) binary search to validate membership.
+//! This bitset keeps the exact same deterministic iteration order (ascending
+//! node id — the FCFS order every dynamic policy's documentation appeals to)
+//! while making insert / remove / membership O(1) and iteration O(n/64)
+//! words: on the paper's 157-kernel graphs the whole set is three machine
+//! words.
+
+use apt_dfg::NodeId;
+
+/// A fixed-universe set of node ids with ascending iteration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadySet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ReadySet {
+    /// An empty set over the universe `0..universe` node ids.
+    pub fn new(universe: usize) -> ReadySet {
+        ReadySet {
+            words: vec![0; universe.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no node is ready.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(1) membership test. Out-of-universe ids are never members.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        match self.words.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Insert a node; returns `false` if it was already present.
+    /// Panics when `node` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        let word = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.len += 1;
+        true
+    }
+
+    /// Remove a node; returns `false` if it was not present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        let Some(word) = self.words.get_mut(i / 64) else {
+            return false;
+        };
+        let bit = 1u64 << (i % 64);
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        self.len -= 1;
+        true
+    }
+
+    /// The smallest ready node id (the FCFS head), if any.
+    #[inline]
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Iterate members in ascending node-id order.
+    #[inline]
+    pub fn iter(&self) -> ReadyIter<'_> {
+        ReadyIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ReadySet {
+    type Item = NodeId;
+    type IntoIter = ReadyIter<'a>;
+    fn into_iter(self) -> ReadyIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over a [`ReadySet`].
+#[derive(Debug, Clone)]
+pub struct ReadyIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ReadyIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(NodeId::new(self.word_idx * 64 + bit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ReadySet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(3)));
+        assert!(s.insert(NodeId::new(128)));
+        assert!(!s.insert(NodeId::new(3)), "double insert reports false");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId::new(3)));
+        assert!(!s.contains(NodeId::new(4)));
+        assert!(s.remove(NodeId::new(3)));
+        assert!(!s.remove(NodeId::new(3)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(NodeId::new(128)));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let mut s = ReadySet::new(200);
+        for i in [150usize, 0, 63, 64, 7, 199] {
+            s.insert(NodeId::new(i));
+        }
+        let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(order, vec![0, 7, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    fn out_of_universe_queries_are_safe() {
+        let s = ReadySet::new(10);
+        assert!(!s.contains(NodeId::new(500)));
+        let mut s = s;
+        assert!(!s.remove(NodeId::new(500)));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = ReadySet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+    }
+}

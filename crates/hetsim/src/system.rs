@@ -89,7 +89,8 @@ impl SystemConfig {
     /// Builder: append a processor instance.
     pub fn with_proc(mut self, kind: ProcKind) -> Self {
         let n = self.procs.iter().filter(|p| p.kind == kind).count();
-        self.procs.push(ProcSpec::new(kind, format!("{}{}", kind.label(), n)));
+        self.procs
+            .push(ProcSpec::new(kind, format!("{}{}", kind.label(), n)));
         self
     }
 
@@ -151,11 +152,7 @@ impl SystemConfig {
                 reason: "system has no processors".into(),
             });
         }
-        if !self
-            .procs
-            .iter()
-            .any(|p| p.kind.table_column().is_some())
-        {
+        if !self.procs.iter().any(|p| p.kind.table_column().is_some()) {
             return Err(BaseError::InvalidSystem {
                 reason: "no processor has measured execution times".into(),
             });

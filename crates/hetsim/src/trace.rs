@@ -121,7 +121,10 @@ impl Trace {
 
     /// Number of delay occurrences (`N` of Eq. 11).
     pub fn lambda_count(&self) -> usize {
-        self.records.iter().filter(|r| !r.lambda().is_zero()).count()
+        self.records
+            .iter()
+            .filter(|r| !r.lambda().is_zero())
+            .count()
     }
 
     /// Count of alternative-processor assignments, total.
@@ -205,7 +208,10 @@ impl Trace {
         // Per-processor non-overlap.
         let mut per_proc: BTreeMap<ProcId, Vec<(SimTime, SimTime)>> = BTreeMap::new();
         for r in &self.records {
-            per_proc.entry(r.proc).or_default().push((r.start, r.finish));
+            per_proc
+                .entry(r.proc)
+                .or_default()
+                .push((r.start, r.finish));
         }
         for (proc, mut intervals) in per_proc {
             intervals.sort_unstable();

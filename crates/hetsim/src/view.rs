@@ -1,15 +1,22 @@
 //! Read-only simulator state exposed to policies.
 //!
-//! On every decision edge the engine snapshots the live state into a
-//! [`SimView`]: the ready set `I`, the per-processor occupancy (from which
-//! the available set `A` follows), finished-kernel locations (for data
-//! transfer costs), and the shared lookup table. Dynamic policies see *only*
-//! this — they never see the full DFG's future, matching §2.5.2's definition
-//! of dynamic scheduling. (The DFG reference is exposed for successor/
-//! predecessor queries; policies that want to remain faithfully dynamic
-//! restrict themselves to the ready set and precedence edges of submitted
-//! kernels, which is what all the implementations in this workspace do.)
+//! On every decision edge the engine hands policies a [`SimView`]: the ready
+//! set `I`, the per-processor occupancy (from which the available set `A`
+//! follows), finished-kernel locations (for data transfer costs), and the
+//! precomputed [`CostModel`]. Dynamic policies see *only* this — they never
+//! see the full DFG's future, matching §2.5.2's definition of dynamic
+//! scheduling. (The DFG reference is exposed for successor/predecessor
+//! queries; policies that want to remain faithfully dynamic restrict
+//! themselves to the ready set and precedence edges of submitted kernels,
+//! which is what all the implementations in this workspace do.)
+//!
+//! Cost queries (`exec_time`, `placement_cost`, `best_proc`) are dense
+//! array reads against the [`CostModel`] — no map lookups, no allocation —
+//! because policies issue them once per ready-node × processor × fixpoint
+//! iteration, the hottest path of the whole simulator.
 
+use crate::cost::CostModel;
+use crate::ready::ReadySet;
 use crate::system::SystemConfig;
 use apt_base::{ProcId, ProcKind, SimDuration, SimTime};
 use apt_dfg::{Kernel, KernelDag, LookupTable, NodeId};
@@ -31,7 +38,8 @@ pub struct ProcView {
     /// AG's Eq. 2 terms.
     pub queue_len: usize,
     /// Average execution time of the last few kernels assigned to this
-    /// processor (`τ_k` in AG's Eq. 2); zero when nothing has been assigned.
+    /// processor (`τ_k` in AG's Eq. 2), rounded to the nearest nanosecond;
+    /// zero when nothing has been assigned.
     pub recent_avg_exec: SimDuration,
 }
 
@@ -55,19 +63,27 @@ pub struct SimView<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// The ready set `I`: kernels whose dependencies completed and which have
-    /// not been assigned yet. Sorted by node id (deterministic iteration).
-    pub ready: &'a [NodeId],
-    /// Per-processor occupancy snapshots, indexed by [`ProcId`].
+    /// not been assigned yet. Iterates ascending node id (deterministic FCFS
+    /// order).
+    pub ready: &'a ReadySet,
+    /// Per-processor occupancy snapshots, indexed by [`ProcId`]. Maintained
+    /// incrementally by the engine — not rebuilt per decision edge.
     pub procs: &'a [ProcView],
     /// The dataflow graph (for precedence queries).
     pub dfg: &'a KernelDag,
-    /// Measured execution times.
+    /// Measured execution times (raw table; cold-path queries only — hot
+    /// cost queries go through [`SimView::exec_time`] and friends).
     pub lookup: &'a LookupTable,
     /// The machine description.
     pub config: &'a SystemConfig,
+    /// Precomputed per-run cost tables.
+    pub cost: &'a CostModel,
     /// Where each finished kernel executed (`None` while unfinished),
     /// indexed by node id.
     pub locations: &'a [Option<ProcId>],
+    /// Number of processors currently idle (engine-maintained running
+    /// count, so [`SimView::any_idle`] is O(1)).
+    pub idle_count: usize,
 }
 
 impl<'a> SimView<'a> {
@@ -79,10 +95,10 @@ impl<'a> SimView<'a> {
 
     /// Execution time of `node` on processor `proc`; `None` when the lookup
     /// table has no entry for that category (the kernel cannot run there).
+    /// A dense matrix read.
+    #[inline]
     pub fn exec_time(&self, node: NodeId, proc: ProcId) -> Option<SimDuration> {
-        self.lookup
-            .exec_time(self.kernel(node), self.config.kind_of(proc))
-            .ok()
+        self.cost.exec_time(node, proc)
     }
 
     /// Where a finished kernel ran (`None` if it has not finished).
@@ -94,25 +110,17 @@ impl<'a> SimView<'a> {
     /// Input-transfer time if `node` were started on `proc` right now: the
     /// sum over predecessors resident on *other* processors of moving their
     /// output across the link. Same-processor inputs are free (the Eq. 6
-    /// convention `c_ij = 0` when `p_w = p_k`).
+    /// convention `c_ij = 0` when `p_w = p_k`). Per-predecessor transfer
+    /// times are precomputed; this only sums them.
+    #[inline]
     pub fn transfer_in_time(&self, node: NodeId, proc: ProcId) -> SimDuration {
-        let mut total = SimDuration::ZERO;
-        for &pred in self.dfg.preds(node) {
-            if let Some(loc) = self.location(pred) {
-                if loc != proc {
-                    let bytes = self
-                        .dfg
-                        .node(pred)
-                        .bytes(self.config.bytes_per_element);
-                    total += self.config.link.transfer_time(bytes);
-                }
-            }
-        }
-        total
+        self.cost
+            .transfer_in_time(self.dfg, self.locations, node, proc)
     }
 
     /// Combined cost of placing `node` on `proc` now: input transfer plus
     /// execution. `None` if the kernel cannot run on that category.
+    #[inline]
     pub fn placement_cost(&self, node: NodeId, proc: ProcId) -> Option<SimDuration> {
         self.exec_time(node, proc)
             .map(|e| e + self.transfer_in_time(node, proc))
@@ -120,28 +128,25 @@ impl<'a> SimView<'a> {
 
     /// The processor instance with the minimum *execution* time for `node`
     /// (`p_min` and `x` of §3.1). Ties break toward the lowest processor id.
-    /// `None` if no processor in the system can run the kernel.
+    /// `None` if no processor in the system can run the kernel. Precomputed.
+    #[inline]
     pub fn best_proc(&self, node: NodeId) -> Option<(ProcId, SimDuration)> {
-        let mut best: Option<(ProcId, SimDuration)> = None;
-        for p in self.procs {
-            if let Some(e) = self.exec_time(node, p.id) {
-                match best {
-                    Some((_, be)) if be <= e => {}
-                    _ => best = Some((p.id, e)),
-                }
-            }
-        }
-        best
+        self.cost.best_proc(node)
     }
 
-    /// Idle processors (the available set `A`), ascending id.
+    /// Idle processors (the available set `A`), ascending id. A plain scan
+    /// over the (≤ 64-entry) snapshot array: deliberately independent of
+    /// `idle_count`, so a hand-built view with an inconsistent count can
+    /// never silently hide idle processors.
     pub fn idle_procs(&self) -> impl Iterator<Item = &ProcView> {
         self.procs.iter().filter(|p| p.is_idle())
     }
 
-    /// True if any processor is idle.
+    /// True if any processor is idle. O(1) — reads the engine's running
+    /// idle count.
+    #[inline]
     pub fn any_idle(&self) -> bool {
-        self.procs.iter().any(|p| p.is_idle())
+        self.idle_count > 0
     }
 
     /// The snapshot for one processor.
@@ -157,17 +162,28 @@ mod tests {
     use apt_dfg::generator::build_type1;
     use apt_dfg::{Kernel, KernelKind, LookupTable};
 
-    fn fixture() -> (KernelDag, &'static LookupTable, SystemConfig) {
-        let kernels = vec![
+    struct Fixture {
+        dfg: KernelDag,
+        lookup: &'static LookupTable,
+        config: SystemConfig,
+        cost: CostModel,
+    }
+
+    fn fixture() -> Fixture {
+        let dfg = build_type1(&[
             Kernel::canonical(KernelKind::NeedlemanWunsch),
             Kernel::canonical(KernelKind::Bfs),
             Kernel::new(KernelKind::Cholesky, 250_000),
-        ];
-        (
-            build_type1(&kernels),
-            LookupTable::paper(),
-            SystemConfig::paper_4gbps(),
-        )
+        ]);
+        let lookup = LookupTable::paper();
+        let config = SystemConfig::paper_4gbps();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        Fixture {
+            dfg,
+            lookup,
+            config,
+            cost,
+        }
     }
 
     fn idle_procs(config: &SystemConfig, now: SimTime) -> Vec<ProcView> {
@@ -184,54 +200,69 @@ mod tests {
             .collect()
     }
 
+    fn ready_of(dfg: &KernelDag, nodes: &[NodeId]) -> ReadySet {
+        let mut s = ReadySet::new(dfg.len());
+        for &n in nodes {
+            s.insert(n);
+        }
+        s
+    }
+
+    fn view<'a>(
+        f: &'a Fixture,
+        ready: &'a ReadySet,
+        procs: &'a [ProcView],
+        locations: &'a [Option<ProcId>],
+    ) -> SimView<'a> {
+        SimView {
+            now: SimTime::ZERO,
+            ready,
+            procs,
+            dfg: &f.dfg,
+            lookup: f.lookup,
+            config: &f.config,
+            cost: &f.cost,
+            locations,
+            idle_count: procs.iter().filter(|p| p.is_idle()).count(),
+        }
+    }
+
     #[test]
     fn best_proc_matches_lookup_best_category() {
-        let (dfg, lookup, config) = fixture();
-        let procs = idle_procs(&config, SimTime::ZERO);
-        let locations = vec![None; dfg.len()];
-        let ready: Vec<NodeId> = dfg.sources();
-        let view = SimView {
-            now: SimTime::ZERO,
-            ready: &ready,
-            procs: &procs,
-            dfg: &dfg,
-            lookup,
-            config: &config,
-            locations: &locations,
-        };
+        let f = fixture();
+        let procs = idle_procs(&f.config, SimTime::ZERO);
+        let locations = vec![None; f.dfg.len()];
+        let ready = ready_of(&f.dfg, &f.dfg.sources());
+        let view = view(&f, &ready, &procs, &locations);
         // NW is CPU-best (112 ms), BFS FPGA-best (106 ms).
         let (p, t) = view.best_proc(NodeId::new(0)).unwrap();
-        assert_eq!(config.kind_of(p), ProcKind::Cpu);
+        assert_eq!(f.config.kind_of(p), ProcKind::Cpu);
         assert_eq!(t, SimDuration::from_ms(112));
         let (p, t) = view.best_proc(NodeId::new(1)).unwrap();
-        assert_eq!(config.kind_of(p), ProcKind::Fpga);
+        assert_eq!(f.config.kind_of(p), ProcKind::Fpga);
         assert_eq!(t, SimDuration::from_ms(106));
     }
 
     #[test]
     fn transfer_time_counts_only_remote_preds() {
-        let (dfg, lookup, config) = fixture();
-        let procs = idle_procs(&config, SimTime::ZERO);
+        let f = fixture();
+        let procs = idle_procs(&f.config, SimTime::ZERO);
         // Node 2 (cd) depends on nodes 0 and 1. Say node 0 ran on p0 and
         // node 1 on p2.
         let locations = vec![Some(ProcId::new(0)), Some(ProcId::new(2)), None];
-        let ready = vec![NodeId::new(2)];
-        let view = SimView {
-            now: SimTime::ZERO,
-            ready: &ready,
-            procs: &procs,
-            dfg: &dfg,
-            lookup,
-            config: &config,
-            locations: &locations,
-        };
+        let ready = ready_of(&f.dfg, &[NodeId::new(2)]);
+        let view = view(&f, &ready, &procs, &locations);
         // Placing on p2: only node 0's output moves (nw: 16777216 el × 4 B at 4 GB/s).
         let nw_bytes = 16_777_216u64 * 4;
-        let expected = config.link.transfer_time(nw_bytes);
-        assert_eq!(view.transfer_in_time(NodeId::new(2), ProcId::new(2)), expected);
+        let expected = f.config.link.transfer_time(nw_bytes);
+        assert_eq!(
+            view.transfer_in_time(NodeId::new(2), ProcId::new(2)),
+            expected
+        );
         // Placing on p1: both inputs move.
         let bfs_bytes = 2_034_736u64 * 4;
-        let expected_both = config.link.transfer_time(nw_bytes) + config.link.transfer_time(bfs_bytes);
+        let expected_both =
+            f.config.link.transfer_time(nw_bytes) + f.config.link.transfer_time(bfs_bytes);
         assert_eq!(
             view.transfer_in_time(NodeId::new(2), ProcId::new(1)),
             expected_both
@@ -246,23 +277,29 @@ mod tests {
 
     #[test]
     fn unfinished_preds_do_not_transfer_yet() {
-        let (dfg, lookup, config) = fixture();
-        let procs = idle_procs(&config, SimTime::ZERO);
-        let locations = vec![None; dfg.len()];
-        let ready: Vec<NodeId> = dfg.sources();
-        let view = SimView {
-            now: SimTime::ZERO,
-            ready: &ready,
-            procs: &procs,
-            dfg: &dfg,
-            lookup,
-            config: &config,
-            locations: &locations,
-        };
+        let f = fixture();
+        let procs = idle_procs(&f.config, SimTime::ZERO);
+        let locations = vec![None; f.dfg.len()];
+        let ready = ready_of(&f.dfg, &f.dfg.sources());
+        let view = view(&f, &ready, &procs, &locations);
         assert_eq!(
             view.transfer_in_time(NodeId::new(2), ProcId::new(0)),
             SimDuration::ZERO
         );
+    }
+
+    #[test]
+    fn idle_procs_and_count_agree() {
+        let f = fixture();
+        let mut procs = idle_procs(&f.config, SimTime::ZERO);
+        procs[1].running = Some(NodeId::new(0));
+        let locations = vec![None; f.dfg.len()];
+        let ready = ready_of(&f.dfg, &f.dfg.sources());
+        let view = view(&f, &ready, &procs, &locations);
+        assert!(view.any_idle());
+        assert_eq!(view.idle_count, 2);
+        let ids: Vec<ProcId> = view.idle_procs().map(|p| p.id).collect();
+        assert_eq!(ids, vec![ProcId::new(0), ProcId::new(2)]);
     }
 
     #[test]

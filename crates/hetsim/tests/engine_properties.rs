@@ -37,7 +37,7 @@ impl Policy for FirstFit {
         PolicyKind::Dynamic
     }
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        for &node in view.ready {
+        for node in view.ready.iter() {
             for p in view.idle_procs() {
                 if view.exec_time(node, p.id).is_some() {
                     return vec![Assignment::new(node, p.id)];
@@ -63,7 +63,7 @@ impl Policy for QueueAll {
     }
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
         let n = view.procs.len();
-        for &node in view.ready {
+        for node in view.ready.iter() {
             for off in 0..n {
                 let p = &view.procs[(self.cursor + off) % n];
                 if view.exec_time(node, p.id).is_some() {

@@ -84,7 +84,12 @@ pub fn gantt(trace: &Trace, config: &SystemConfig, width: usize) -> String {
             row.into_iter().collect::<String>()
         );
     }
-    let _ = writeln!(out, "        0 {:>w$.1} ms", makespan.as_ms_f64(), w = width.saturating_sub(2));
+    let _ = writeln!(
+        out,
+        "        0 {:>w$.1} ms",
+        makespan.as_ms_f64(),
+        w = width.saturating_sub(2)
+    );
     out
 }
 

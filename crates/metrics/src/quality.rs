@@ -37,7 +37,10 @@ pub struct QualityReport {
 }
 
 /// Critical-path lower bound: longest chain of best-case execution times.
-pub fn critical_path_bound(dfg: &KernelDag, lookup: &LookupTable) -> Result<SimDuration, BaseError> {
+pub fn critical_path_bound(
+    dfg: &KernelDag,
+    lookup: &LookupTable,
+) -> Result<SimDuration, BaseError> {
     let ns = dfg.critical_path(|n| {
         lookup
             .best_category(dfg.node(n))
@@ -139,7 +142,11 @@ mod tests {
         ] {
             let res = simulate(&dfg, &config, lookup, policy.as_mut()).unwrap();
             let q = quality_report(&res.trace, &dfg, lookup, &config).unwrap();
-            assert!(q.makespan >= q.lower_bound, "{}: bound violated", res.policy);
+            assert!(
+                q.makespan >= q.lower_bound,
+                "{}: bound violated",
+                res.policy
+            );
             assert!(q.slr >= 1.0);
             assert!(q.speedup > 0.0);
             assert_eq!(q.lower_bound, q.critical_path_bound.max(q.load_bound));
@@ -188,8 +195,8 @@ mod tests {
     #[test]
     fn asic_only_system_has_no_serial_baseline() {
         let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
-        let config = SystemConfig::empty(apt_hetsim::LinkRate::gbps(4))
-            .with_proc(apt_base::ProcKind::Asic);
+        let config =
+            SystemConfig::empty(apt_hetsim::LinkRate::gbps(4)).with_proc(apt_base::ProcKind::Asic);
         let err = best_serial_time(&dfg, LookupTable::paper(), &config).unwrap_err();
         assert!(matches!(err, BaseError::InvalidSystem { .. }));
     }
@@ -203,6 +210,9 @@ mod tests {
             critical_path_bound(&dfg, lookup).unwrap(),
             SimDuration::ZERO
         );
-        assert_eq!(load_bound(&dfg, lookup, &config).unwrap(), SimDuration::ZERO);
+        assert_eq!(
+            load_bound(&dfg, lookup, &config).unwrap(),
+            SimDuration::ZERO
+        );
     }
 }

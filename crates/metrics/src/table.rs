@@ -21,7 +21,7 @@ impl TextTable {
         TextTable {
             title: title.into(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 

@@ -44,7 +44,7 @@ impl Policy for AdaptiveGreedy {
         // AG assigns (queues) every kernel the moment it arrives. One
         // assignment per call so the queue counts N_g refresh between
         // decisions (the engine re-invokes to a fixpoint).
-        let Some(&node) = view.ready.first() else {
+        let Some(node) = view.ready.first() else {
             return Vec::new();
         };
         let candidates: Vec<_> = view
@@ -52,8 +52,7 @@ impl Policy for AdaptiveGreedy {
             .iter()
             .filter(|p| view.exec_time(node, p.id).is_some())
             .map(|p| {
-                let queue_delay =
-                    p.recent_avg_exec * p.ag_queue_count() as u64;
+                let queue_delay = p.recent_avg_exec * p.ag_queue_count() as u64;
                 let transfer_delay = view.transfer_in_time(node, p.id);
                 (p.id, queue_delay + transfer_delay)
             })

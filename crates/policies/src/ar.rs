@@ -39,7 +39,7 @@ impl Policy for AdaptiveRandom {
     }
 
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        let Some(&node) = view.ready.first() else {
+        let Some(node) = view.ready.first() else {
             return Vec::new();
         };
         // Integer weights in parts-per-million of the inverse wait estimate.
@@ -77,12 +77,30 @@ mod tests {
         let kernels = generate_kernels(&StreamConfig::new(30, 5), LookupTable::paper());
         let dfg = build_type1(&kernels);
         let cfg = SystemConfig::paper_4gbps();
-        let a = simulate(&dfg, &cfg, LookupTable::paper(), &mut AdaptiveRandom::new(9)).unwrap();
-        let b = simulate(&dfg, &cfg, LookupTable::paper(), &mut AdaptiveRandom::new(9)).unwrap();
+        let a = simulate(
+            &dfg,
+            &cfg,
+            LookupTable::paper(),
+            &mut AdaptiveRandom::new(9),
+        )
+        .unwrap();
+        let b = simulate(
+            &dfg,
+            &cfg,
+            LookupTable::paper(),
+            &mut AdaptiveRandom::new(9),
+        )
+        .unwrap();
         assert_eq!(a, b);
         a.trace.validate(&dfg).unwrap();
         // A different seed almost surely produces a different schedule.
-        let c = simulate(&dfg, &cfg, LookupTable::paper(), &mut AdaptiveRandom::new(10)).unwrap();
+        let c = simulate(
+            &dfg,
+            &cfg,
+            LookupTable::paper(),
+            &mut AdaptiveRandom::new(10),
+        )
+        .unwrap();
         assert_ne!(a.trace.records, c.trace.records);
     }
 
@@ -93,8 +111,13 @@ mod tests {
         let kernels = vec![Kernel::new(KernelKind::Cholesky, 250_000); 60];
         let dfg = build_type1(&kernels);
         let cfg = SystemConfig::paper_no_transfers();
-        let res =
-            simulate(&dfg, &cfg, LookupTable::paper(), &mut AdaptiveRandom::new(3)).unwrap();
+        let res = simulate(
+            &dfg,
+            &cfg,
+            LookupTable::paper(),
+            &mut AdaptiveRandom::new(3),
+        )
+        .unwrap();
         let used = res
             .trace
             .proc_stats

@@ -23,34 +23,34 @@ pub struct BestInstance {
 }
 
 /// Compute [`BestInstance`] for `node`; `None` if no processor can run it.
+///
+/// The minimal execution time and the set of instances achieving it are
+/// precomputed in the run's cost model; this only scans that (usually
+/// one-bit) mask for an idle member.
 pub fn best_instance(view: &SimView<'_>, node: NodeId) -> Option<BestInstance> {
-    let mut best_exec: Option<SimDuration> = None;
-    for p in view.procs {
-        if let Some(e) = view.exec_time(node, p.id) {
-            if best_exec.is_none_or(|b| e < b) {
-                best_exec = Some(e);
-            }
+    let exec = view.cost.min_exec(node)?;
+    let mask = view.cost.min_mask(node);
+    debug_assert_ne!(mask, 0);
+    // Among minimal-exec instances, prefer the lowest-id idle one; fall back
+    // to the lowest-id instance overall.
+    let lowest = ProcId::new(mask.trailing_zeros() as usize);
+    let mut bits = mask;
+    while bits != 0 {
+        let proc = ProcId::new(bits.trailing_zeros() as usize);
+        bits &= bits - 1;
+        if view.procs[proc.index()].is_idle() {
+            return Some(BestInstance {
+                proc,
+                exec,
+                idle: true,
+            });
         }
     }
-    let exec = best_exec?;
-    // Among minimal-exec instances, prefer idle, then lowest id.
-    let mut chosen: Option<BestInstance> = None;
-    for p in view.procs {
-        if view.exec_time(node, p.id) != Some(exec) {
-            continue;
-        }
-        let cand = BestInstance {
-            proc: p.id,
-            exec,
-            idle: p.is_idle(),
-        };
-        match chosen {
-            None => chosen = Some(cand),
-            Some(c) if !c.idle && cand.idle => chosen = Some(cand),
-            _ => {}
-        }
-    }
-    chosen
+    Some(BestInstance {
+        proc: lowest,
+        exec,
+        idle: false,
+    })
 }
 
 #[cfg(test)]
@@ -58,8 +58,8 @@ mod tests {
     use super::*;
     use apt_base::{ProcKind, SimTime};
     use apt_dfg::generator::build_type1;
-    use apt_dfg::{Kernel, KernelKind, LookupTable};
-    use apt_hetsim::{ProcView, SystemConfig};
+    use apt_dfg::{Kernel, KernelDag, KernelKind, LookupTable};
+    use apt_hetsim::{CostModel, ProcView, ReadySet, SystemConfig};
 
     fn make_views(config: &SystemConfig, busy: &[bool]) -> Vec<ProcView> {
         config
@@ -75,6 +75,27 @@ mod tests {
             .collect()
     }
 
+    fn check(config: &SystemConfig, busy: &[bool], check: impl FnOnce(&SimView<'_>)) {
+        let dfg: KernelDag = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
+        let cost = CostModel::new(&dfg, LookupTable::paper(), config);
+        let procs = make_views(config, busy);
+        let locations = vec![None];
+        let mut ready = ReadySet::new(dfg.len());
+        ready.insert(NodeId::new(0));
+        let view = SimView {
+            now: SimTime::ZERO,
+            ready: &ready,
+            procs: &procs,
+            dfg: &dfg,
+            lookup: LookupTable::paper(),
+            config,
+            cost: &cost,
+            locations: &locations,
+            idle_count: procs.iter().filter(|p| p.is_idle()).count(),
+        };
+        check(&view);
+    }
+
     #[test]
     fn prefers_idle_twin_of_best_category() {
         // Two FPGAs; BFS is FPGA-best. First FPGA busy → pick the second.
@@ -82,43 +103,22 @@ mod tests {
             .with_proc(ProcKind::Cpu)
             .with_proc(ProcKind::Fpga)
             .with_proc(ProcKind::Fpga);
-        let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
-        let procs = make_views(&config, &[false, true, false]);
-        let locations = vec![None];
-        let ready = vec![NodeId::new(0)];
-        let view = SimView {
-            now: SimTime::ZERO,
-            ready: &ready,
-            procs: &procs,
-            dfg: &dfg,
-            lookup: LookupTable::paper(),
-            config: &config,
-            locations: &locations,
-        };
-        let b = best_instance(&view, NodeId::new(0)).unwrap();
-        assert_eq!(b.proc, ProcId::new(2));
-        assert!(b.idle);
-        assert_eq!(b.exec, SimDuration::from_ms(106));
+        check(&config, &[false, true, false], |view| {
+            let b = best_instance(view, NodeId::new(0)).unwrap();
+            assert_eq!(b.proc, ProcId::new(2));
+            assert!(b.idle);
+            assert_eq!(b.exec, SimDuration::from_ms(106));
+        });
     }
 
     #[test]
     fn reports_busy_best_when_no_twin_idle() {
         let config = SystemConfig::paper_4gbps();
-        let dfg = build_type1(&[Kernel::canonical(KernelKind::Bfs)]);
-        let procs = make_views(&config, &[false, false, true]); // FPGA busy
-        let locations = vec![None];
-        let ready = vec![NodeId::new(0)];
-        let view = SimView {
-            now: SimTime::ZERO,
-            ready: &ready,
-            procs: &procs,
-            dfg: &dfg,
-            lookup: LookupTable::paper(),
-            config: &config,
-            locations: &locations,
-        };
-        let b = best_instance(&view, NodeId::new(0)).unwrap();
-        assert_eq!(b.proc, ProcId::new(2));
-        assert!(!b.idle);
+        check(&config, &[false, false, true], |view| {
+            // FPGA busy
+            let b = best_instance(view, NodeId::new(0)).unwrap();
+            assert_eq!(b.proc, ProcId::new(2));
+            assert!(!b.idle);
+        });
     }
 }

@@ -60,20 +60,24 @@ impl Policy for Heft {
 mod tests {
     use super::*;
     use apt_base::SimDuration;
-    use apt_dfg::generator::{build_type1, build_type2, generate_kernels, StreamConfig, Type2Config};
+    use apt_dfg::generator::{
+        build_type1, build_type2, generate_kernels, StreamConfig, Type2Config,
+    };
     use apt_dfg::{Kernel, KernelKind, LookupTable};
-    use apt_hetsim::{simulate, SystemConfig};
+    use apt_hetsim::{simulate, CostModel, SystemConfig};
 
     #[test]
     fn heft_plans_every_node_exactly_once() {
         let kernels = generate_kernels(&StreamConfig::new(46, 8), LookupTable::paper());
         let dfg = build_type2(&kernels, 8, &Type2Config::default());
         let config = SystemConfig::paper_4gbps();
+        let cost = CostModel::new(&dfg, LookupTable::paper(), &config);
         let mut heft = Heft::new();
         heft.prepare(PrepareCtx {
             dfg: &dfg,
             lookup: LookupTable::paper(),
             config: &config,
+            cost: &cost,
         })
         .unwrap();
         let plan = heft.plan().unwrap();
@@ -128,11 +132,13 @@ mod tests {
         let kernels = generate_kernels(&StreamConfig::new(30, 14), LookupTable::paper());
         let dfg = build_type1(&kernels);
         let config = SystemConfig::paper_4gbps();
+        let cost = CostModel::new(&dfg, LookupTable::paper(), &config);
         let mut heft = Heft::new();
         heft.prepare(PrepareCtx {
             dfg: &dfg,
             lookup: LookupTable::paper(),
             config: &config,
+            cost: &cost,
         })
         .unwrap();
         let planned_assignment = heft.plan().unwrap().assignment.clone();

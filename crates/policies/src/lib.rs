@@ -54,7 +54,9 @@ pub fn baseline_factories() -> Vec<BaselineFactory> {
     vec![
         ("MET", || Box::new(Met::new()) as Box<dyn Policy>),
         ("SPN", || Box::new(Spn::new()) as Box<dyn Policy>),
-        ("SS", || Box::new(SerialScheduling::new()) as Box<dyn Policy>),
+        ("SS", || {
+            Box::new(SerialScheduling::new()) as Box<dyn Policy>
+        }),
         ("AG", || Box::new(AdaptiveGreedy::new()) as Box<dyn Policy>),
         ("HEFT", || Box::new(Heft::new()) as Box<dyn Policy>),
         ("PEFT", || Box::new(Peft::new()) as Box<dyn Policy>),

@@ -40,7 +40,7 @@ impl Policy for Met {
     }
 
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        for &node in view.ready {
+        for node in view.ready.iter() {
             if let Some(best) = best_instance(view, node) {
                 if best.idle {
                     return vec![Assignment::new(node, best.proc)];

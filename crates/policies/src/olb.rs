@@ -33,7 +33,7 @@ impl Policy for Olb {
 
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
         let n = view.procs.len();
-        for &node in view.ready {
+        for node in view.ready.iter() {
             // Next available processor starting from the cursor, skipping
             // devices that cannot run the kernel at all.
             for off in 0..n {

@@ -65,7 +65,9 @@ impl Policy for Peft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apt_dfg::generator::{build_type1, build_type2, generate_kernels, StreamConfig, Type2Config};
+    use apt_dfg::generator::{
+        build_type1, build_type2, generate_kernels, StreamConfig, Type2Config,
+    };
     use apt_dfg::{Kernel, KernelKind, LookupTable};
     use apt_hetsim::{simulate, SystemConfig};
 

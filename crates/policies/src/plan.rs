@@ -110,7 +110,7 @@ impl PlannedSchedule {
                 continue;
             }
             if let Some(&head) = self.per_proc_order[p.id.index()].front() {
-                if view.ready.binary_search(&head).is_ok() {
+                if view.ready.contains(head) {
                     self.per_proc_order[p.id.index()].pop_front();
                     out.push(Assignment::new(head, p.id));
                 }
@@ -158,13 +158,11 @@ pub fn build_plan(
             .expect("ready nonempty");
         let node = ready.swap_remove(pos);
 
-        // Placement candidates on every processor that can run the kernel.
+        // Placement candidates on every processor that can run the kernel
+        // (dense cost-model reads — shared with the engine's hot path).
         let mut candidates = Vec::with_capacity(nprocs);
         for proc in ctx.config.proc_ids() {
-            let Ok(exec) = ctx
-                .lookup
-                .exec_time(dfg.node(node), ctx.config.kind_of(proc))
-            else {
+            let Some(exec) = ctx.cost.exec_time(node, proc) else {
                 continue;
             };
             // EST: all predecessors done, plus link time for remote ones.
@@ -172,8 +170,7 @@ pub fn build_plan(
             for &pred in dfg.preds(node) {
                 let mut avail = finish[pred.index()];
                 if assignment[pred.index()] != proc {
-                    let bytes = dfg.node(pred).bytes(ctx.config.bytes_per_element);
-                    avail += ctx.config.link.transfer_time(bytes);
+                    avail += ctx.cost.transfer_time(pred);
                 }
                 est = est.max(avail);
             }

@@ -77,9 +77,7 @@ pub fn downward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConf
         rank[n.index()] = dfg
             .preds(n)
             .iter()
-            .map(|&p| {
-                FiniteF64(rank[p.index()] + w[p.index()] + avg_comm_cost(dfg, config, p))
-            })
+            .map(|&p| FiniteF64(rank[p.index()] + w[p.index()] + avg_comm_cost(dfg, config, p)))
             .max()
             .map(|f| f.0)
             .unwrap_or(0.0);
@@ -146,7 +144,9 @@ pub fn rank_oct(oct: &[Vec<f64>]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apt_dfg::generator::{build_type1, build_type2, generate_kernels, StreamConfig, Type2Config};
+    use apt_dfg::generator::{
+        build_type1, build_type2, generate_kernels, StreamConfig, Type2Config,
+    };
     use apt_dfg::Kernel;
     use apt_dfg::KernelKind;
 
@@ -246,11 +246,7 @@ mod tests {
         let dfg = build_type1(&kernels);
         let config = SystemConfig::paper_4gbps();
         let big = avg_comm_cost(&dfg, &config, NodeId::new(0));
-        let small = avg_comm_cost(
-            &dfg,
-            &config,
-            NodeId::new(1),
-        );
+        let small = avg_comm_cost(&dfg, &config, NodeId::new(1));
         assert!(big > small);
         // srad: 134217728 elements × 4 B / 4 GB/s = 134.217728 ms.
         assert!((big - 134.217728).abs() < 1e-6);

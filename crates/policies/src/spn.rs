@@ -38,7 +38,7 @@ impl Policy for Spn {
         // the smallest execution time. Ties: first in (node id, proc id)
         // enumeration order, via argmin's earliest-index rule.
         let mut pairs = Vec::new();
-        for &node in view.ready {
+        for node in view.ready.iter() {
             for p in view.idle_procs() {
                 if let Some(e) = view.exec_time(node, p.id) {
                     pairs.push((node, p.id, e));
@@ -67,9 +67,11 @@ mod tests {
     fn spn_keeps_the_system_busy_even_on_terrible_devices() {
         // Three GEMs: GPU-best (4 001 ms). SPN fills CPU (21 592) and FPGA
         // (585 760) instead of letting them idle.
-        let kernels = [Kernel::canonical(KernelKind::Gem),
+        let kernels = [
             Kernel::canonical(KernelKind::Gem),
-            Kernel::canonical(KernelKind::Gem)];
+            Kernel::canonical(KernelKind::Gem),
+            Kernel::canonical(KernelKind::Gem),
+        ];
         let dfg = build_type1(&kernels[..]);
         // No fan-in sink here: use 3 independent kernels by building Type-1
         // of 4 and ignoring... simpler: the 3rd is the sink; still all three run.

@@ -38,7 +38,7 @@ impl Policy for SerialScheduling {
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
         // Highest-stddev ready kernel over the available processors.
         let mut best: Option<(FiniteF64, apt_dfg::NodeId, apt_base::ProcId)> = None;
-        for &node in view.ready {
+        for node in view.ready.iter() {
             let mut times_ms = Vec::new();
             let mut best_proc: Option<(apt_base::ProcId, apt_base::SimDuration)> = None;
             for p in view.idle_procs() {

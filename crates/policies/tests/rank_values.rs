@@ -10,19 +10,19 @@
 use apt_base::SimDuration;
 use apt_dfg::lookup::{LookupRow, LookupTable};
 use apt_dfg::{Dag, Kernel, KernelDag, KernelKind};
-use apt_hetsim::{simulate, PrepareCtx, SystemConfig};
+use apt_hetsim::Policy as _;
+use apt_hetsim::{simulate, CostModel, PrepareCtx, SystemConfig};
 use apt_policies::ranking::{downward_ranks, oct_matrix, rank_oct, upward_ranks};
 use apt_policies::{Heft, Peft};
-use apt_hetsim::Policy as _;
 
 /// Synthetic table: four "kernels" (mm at four sizes) with hand-picked
 /// CPU/GPU/FPGA times in ms.
 fn custom_lookup() -> LookupTable {
     let times = [
-        (10, [9.0, 12.0, 18.0]),  // a: mean 13
-        (20, [6.0, 6.0, 6.0]),    // b: mean 6
-        (30, [3.0, 30.0, 30.0]),  // c: mean 21
-        (40, [12.0, 6.0, 24.0]),  // d: mean 14
+        (10, [9.0, 12.0, 18.0]), // a: mean 13
+        (20, [6.0, 6.0, 6.0]),   // b: mean 6
+        (30, [3.0, 30.0, 30.0]), // c: mean 21
+        (40, [12.0, 6.0, 24.0]), // d: mean 14
     ];
     LookupTable::from_rows(times.iter().map(|&(size, ms)| LookupRow {
         kind: KernelKind::MatMul,
@@ -122,10 +122,12 @@ fn prepare_is_idempotent() {
     let lookup = custom_lookup();
     let dfg = chain_dag();
     let config = system();
+    let cost = CostModel::new(&dfg, &lookup, &config);
     let ctx = PrepareCtx {
         dfg: &dfg,
         lookup: &lookup,
         config: &config,
+        cost: &cost,
     };
     let mut heft = Heft::new();
     heft.prepare(ctx).unwrap();

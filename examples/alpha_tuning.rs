@@ -18,8 +18,14 @@ fn main() {
     let dfg = generate(DfgType::Type1, &StreamConfig::new(n, seed), lookup);
     let system = SystemConfig::paper_4gbps();
 
-    println!("α sweep on {} kernels (DFG Type-1, seed {seed})\n", dfg.len());
-    println!("{:>6}  {:>14}  {:>14}  {:>6}", "α", "makespan (ms)", "λ total (ms)", "alt");
+    println!(
+        "α sweep on {} kernels (DFG Type-1, seed {seed})\n",
+        dfg.len()
+    );
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>6}",
+        "α", "makespan (ms)", "λ total (ms)", "alt"
+    );
 
     let alphas = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0];
     let mut best = (f64::NAN, u64::MAX);

@@ -24,7 +24,14 @@ fn add_frame(dfg: &mut KernelDag) {
     let bfs = dfg.add_node(Kernel::canonical(KernelKind::Bfs));
     let mi = dfg.add_node(Kernel::new(KernelKind::MatInv, 4_000_000));
     let nw = dfg.add_node(Kernel::canonical(KernelKind::NeedlemanWunsch));
-    for (a, b) in [(srad, mm), (srad, cd), (mm, mi), (cd, mi), (mi, nw), (bfs, nw)] {
+    for (a, b) in [
+        (srad, mm),
+        (srad, cd),
+        (mm, mi),
+        (cd, mi),
+        (mi, nw),
+        (bfs, nw),
+    ] {
         dfg.add_edge(a, b).expect("frame edges are fresh");
     }
 }

@@ -20,7 +20,14 @@ fn add_job(dfg: &mut KernelDag, arrivals: &mut Vec<SimTime>, at: SimTime) {
     let mi = dfg.add_node(Kernel::new(KernelKind::MatInv, 4_000_000));
     let bfs = dfg.add_node(Kernel::canonical(KernelKind::Bfs));
     let cd = dfg.add_node(Kernel::new(KernelKind::Cholesky, 4_000_000));
-    for (a, b) in [(srad, mm), (srad, mi), (srad, bfs), (mm, cd), (mi, cd), (bfs, cd)] {
+    for (a, b) in [
+        (srad, mm),
+        (srad, mi),
+        (srad, bfs),
+        (mm, cd),
+        (mi, cd),
+        (bfs, cd),
+    ] {
         dfg.add_edge(a, b).expect("fresh job edges");
     }
     arrivals.extend(std::iter::repeat_n(at, 5));
@@ -48,8 +55,8 @@ fn main() {
         Box::new(Met::new()) as Box<dyn Policy>,
         Box::new(Apt::new(4.0)),
     ] {
-        let res = simulate_stream(&dfg, &system, lookup, policy.as_mut(), &arrivals)
-            .expect("stream run");
+        let res =
+            simulate_stream(&dfg, &system, lookup, policy.as_mut(), &arrivals).expect("stream run");
         let s = RunSummary::from_result(&res);
         let last_arrival = SimTime::from_ms((jobs as u64 - 1) * gap_ms);
         let drain = res

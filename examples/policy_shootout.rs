@@ -26,7 +26,13 @@ fn main() {
 
     let mut table = TextTable::new(
         "Policy comparison (4 GB/s, α=4 for APT)",
-        &["Policy", "Makespan (ms)", "λ total (ms)", "λ avg (ms)", "Alt"],
+        &[
+            "Policy",
+            "Makespan (ms)",
+            "λ total (ms)",
+            "λ avg (ms)",
+            "Alt",
+        ],
     );
     let mut rows: Vec<(String, u64)> = Vec::new();
     for (name, make) in all_policy_factories(PAPER_BEST_ALPHA) {
@@ -46,5 +52,9 @@ fn main() {
     println!("{table}");
 
     rows.sort_by_key(|&(_, ns)| ns);
-    println!("winner: {} ({})", rows[0].0, SimDuration::from_ns(rows[0].1));
+    println!(
+        "winner: {} ({})",
+        rows[0].0,
+        SimDuration::from_ns(rows[0].1)
+    );
 }

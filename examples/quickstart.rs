@@ -16,7 +16,11 @@ fn main() {
     // 2. A workload: 24 kernels, no cross-kernel dependencies except the
     //    final fan-in (DFG Type-1), generated reproducibly from a seed.
     let dfg = generate(DfgType::Type1, &StreamConfig::new(24, 0xC0FFEE), lookup);
-    println!("workload: {} kernels, {} edges", dfg.len(), dfg.edge_count());
+    println!(
+        "workload: {} kernels, {} edges",
+        dfg.len(),
+        dfg.edge_count()
+    );
 
     // 3. The machine: one CPU, one GPU, one FPGA, 4 GB/s PCIe everywhere.
     let system = SystemConfig::paper_4gbps();
@@ -47,8 +51,7 @@ fn main() {
     println!("\nAPT schedule (Gantt, · = transfer):");
     print!("{}", gantt(&apt.trace, &system, 100));
 
-    let gain = 100.0
-        * (met.makespan().as_ns() as f64 - apt.makespan().as_ns() as f64)
+    let gain = 100.0 * (met.makespan().as_ns() as f64 - apt.makespan().as_ns() as f64)
         / met.makespan().as_ns() as f64;
     println!("\nAPT vs MET on this stream: {gain:+.1}% makespan");
 }

@@ -32,7 +32,11 @@ fn main() {
     let tuned = auto_tune(&dfg, &system, lookup, 16.0).expect("calibration");
     println!("{:>8}  {:>14}", "α", "makespan (ms)");
     for (alpha, makespan) in &tuned.evaluated {
-        let marker = if *alpha == tuned.alpha { "  <-- best" } else { "" };
+        let marker = if *alpha == tuned.alpha {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("{alpha:>8.2}  {:>14.1}{marker}", makespan.as_ms_f64());
     }
 

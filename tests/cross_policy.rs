@@ -85,11 +85,13 @@ fn static_policies_follow_their_plans() {
     let system = SystemConfig::paper_4gbps();
     let lookup = LookupTable::paper();
 
+    let cost = CostModel::new(&dfg, lookup, &system);
     let mut heft = Heft::new();
     heft.prepare(PrepareCtx {
         dfg: &dfg,
         lookup,
         config: &system,
+        cost: &cost,
     })
     .unwrap();
     let planned = heft.plan().unwrap().assignment.clone();
@@ -103,6 +105,7 @@ fn static_policies_follow_their_plans() {
         dfg: &dfg,
         lookup,
         config: &system,
+        cost: &cost,
     })
     .unwrap();
     let planned = peft.plan().unwrap().assignment.clone();

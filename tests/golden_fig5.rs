@@ -12,8 +12,8 @@ use apt_suite::prelude::*;
 
 fn run(policy: &mut dyn Policy) -> (SimResult, SystemConfig) {
     let config = SystemConfig::paper_no_transfers();
-    let res = simulate(&figure5_graph(), &config, LookupTable::paper(), policy)
-        .expect("figure-5 run");
+    let res =
+        simulate(&figure5_graph(), &config, LookupTable::paper(), policy).expect("figure-5 run");
     (res, config)
 }
 

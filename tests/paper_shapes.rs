@@ -4,9 +4,7 @@
 //! These tests drive the same cached sweeps as the `apt-repro` harness, so
 //! running the whole file costs one full evaluation pass.
 
-use apt_experiments::runner::{
-    avg_lambda_ms, avg_makespans_ms, policy_index, policy_matrix, Rate,
-};
+use apt_experiments::runner::{avg_lambda_ms, avg_makespans_ms, policy_index, policy_matrix, Rate};
 use apt_experiments::tables::improvements;
 use apt_suite::prelude::*;
 
@@ -154,9 +152,7 @@ fn apt_lambda_beats_met_on_most_experiments() {
         let m = policy_matrix(ty, 4.0, Rate::Gbps4);
         let wins = m
             .iter()
-            .filter(|r| {
-                r[policy_index("APT")].lambda_total < r[policy_index("MET")].lambda_total
-            })
+            .filter(|r| r[policy_index("APT")].lambda_total < r[policy_index("MET")].lambda_total)
             .count();
         assert!(wins >= 7, "{ty:?}: APT λ won only {wins}/10");
     }
@@ -175,10 +171,8 @@ fn apt_lambda_beats_met_on_most_experiments() {
 fn faster_link_never_hurts_apt_on_average() {
     for ty in DfgType::ALL {
         for &alpha in &[1.5, 4.0] {
-            let at4 = avg_makespans_ms(&policy_matrix(ty, alpha, Rate::Gbps4))
-                [policy_index("APT")];
-            let at8 = avg_makespans_ms(&policy_matrix(ty, alpha, Rate::Gbps8))
-                [policy_index("APT")];
+            let at4 = avg_makespans_ms(&policy_matrix(ty, alpha, Rate::Gbps4))[policy_index("APT")];
+            let at8 = avg_makespans_ms(&policy_matrix(ty, alpha, Rate::Gbps8))[policy_index("APT")];
             assert!(
                 at8 <= at4 * 1.03,
                 "{ty:?} α={alpha}: 8 GB/s ({at8}) much worse than 4 GB/s ({at4})"

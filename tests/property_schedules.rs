@@ -25,7 +25,11 @@ fn arbitrary_workload() -> impl Strategy<Value = (KernelDag, u64)> {
     (1usize..40, any::<u64>(), prop::bool::ANY).prop_map(|(n, seed, type2)| {
         let lookup = LookupTable::paper();
         let cfg = StreamConfig::new(n, seed);
-        let ty = if type2 { DfgType::Type2 } else { DfgType::Type1 };
+        let ty = if type2 {
+            DfgType::Type2
+        } else {
+            DfgType::Type1
+        };
         (generate(ty, &cfg, lookup), seed)
     })
 }

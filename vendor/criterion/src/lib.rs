@@ -1,0 +1,327 @@
+//! Offline mini stand-in for the `criterion` benchmark harness.
+//!
+//! The container image has no crates.io access, so the real criterion cannot
+//! be fetched. This shim keeps the workspace's `benches/` sources compiling
+//! and *running* unchanged: same macros (`criterion_group!`/
+//! `criterion_main!`), same `Criterion`/`BenchmarkGroup`/`Bencher`/
+//! `BenchmarkId`/`Throughput` types, same closure signatures.
+//!
+//! Measurement model (deliberately simple): per bench, one warm-up pass
+//! calibrates an iteration batch size targeting ~5 ms per sample, then
+//! `sample_size` samples are taken and the **median** per-iteration time is
+//! reported. `--test` (criterion's smoke flag) runs every bench exactly once
+//! with no timing, which is what CI uses to keep benches compiling/running.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per sample when calibrating the iteration batch size.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Top-level harness state (parsed CLI + defaults).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    results: Vec<(String, u64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => test_mode = true,
+                s if s.starts_with('-') => {} // ignore unknown flags (--bench etc.)
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, DEFAULT_SAMPLE_SIZE, None, &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Print a closing summary line. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            eprintln!(
+                "criterion-shim: {} benches smoke-tested",
+                self.results.len()
+            );
+        } else {
+            eprintln!("criterion-shim: {} benches measured", self.results.len());
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<&Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                per_iter_ns: 0,
+            };
+            f(&mut b);
+            eprintln!("test {id} ... ok");
+            self.results.push((id.to_string(), 0));
+            return;
+        }
+        let mut b = Bencher {
+            mode: Mode::Measure { sample_size },
+            per_iter_ns: 0,
+        };
+        f(&mut b);
+        let ns = b.per_iter_ns;
+        match throughput {
+            Some(Throughput::Elements(n)) if ns > 0 => {
+                let rate = *n as f64 / (ns as f64 / 1e9);
+                eprintln!("{id:<50} {ns:>12} ns/iter  ({rate:.0} elem/s)");
+            }
+            _ => eprintln!("{id:<50} {ns:>12} ns/iter"),
+        }
+        self.results.push((id.to_string(), ns));
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration throughput (printed as elem/s).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        self.criterion
+            .run_one(&full, self.sample_size, self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        self.criterion.run_one(
+            &full,
+            self.sample_size,
+            self.throughput.as_ref(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (no-op beyond symmetry with criterion).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (criterion's parameterized id).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying just a parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Conversion into a bench id segment (mirrors criterion accepting both
+/// strings and `BenchmarkId`s).
+pub trait IntoBenchId {
+    /// The id segment appended to the group name.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for &String {
+    fn into_bench_id(self) -> String {
+        self.clone()
+    }
+}
+
+/// Units for throughput reporting.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+enum Mode {
+    /// Smoke mode: run the routine once, skip timing.
+    Once,
+    /// Timing mode with this many samples.
+    Measure { sample_size: usize },
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    per_iter_ns: u64,
+}
+
+impl Bencher {
+    /// Run the benchmarked routine, timing it unless in smoke mode.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Once => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure { sample_size } => {
+                // Calibrate: batch iterations so one sample ≈ TARGET_SAMPLE.
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let batch = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                let mut samples = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    samples.push(t.elapsed().as_nanos() as u64 / batch);
+                }
+                samples.sort_unstable();
+                self.per_iter_ns = samples[samples.len() / 2];
+            }
+        }
+    }
+
+    /// The measured median per-iteration time (0 in smoke mode).
+    pub fn median_ns(&self) -> u64 {
+        self.per_iter_ns
+    }
+}
+
+/// Re-export for convenience parity with criterion.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::from_parameter(42).into_bench_id(), "42");
+        assert_eq!(BenchmarkId::new("f", 2).into_bench_id(), "f/2");
+        assert_eq!("x".into_bench_id(), "x");
+    }
+
+    #[test]
+    fn measure_mode_produces_a_median() {
+        let mut b = Bencher {
+            mode: Mode::Measure { sample_size: 3 },
+            per_iter_ns: 0,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        // Sub-nanosecond routines can legitimately measure 0 ns/iter after
+        // batching; the assertion is just that timing ran without panicking.
+        let _ = b.median_ns();
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes `Serialize`/`Deserialize` both as (blanket-implemented) marker
+//! traits and as no-op derive macros, which is the full surface this
+//! workspace consumes. The container image has no crates.io access, so the
+//! real `serde` cannot be fetched; this shim keeps every `#[derive(...)]`
+//! and `use serde::...` site source-compatible with it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented because
+/// the no-op derive emits no impls.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
