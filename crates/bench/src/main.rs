@@ -13,6 +13,18 @@
 //! Both labels merge into one `BENCH_engine.json` (schema: bench name →
 //! median ns per label, plus the before/after speedup), which is checked in
 //! so future PRs can extend the perf trajectory.
+//!
+//! A third mode guards the trajectory in CI:
+//!
+//! ```bash
+//! cargo run -p apt-bench --release -- --check                # 10% tolerance
+//! cargo run -p apt-bench --release -- --check --tolerance 25
+//! ```
+//!
+//! `--check` re-times every bench and exits non-zero if any of them is more
+//! than the tolerance slower than the checked-in `after_ns` median. It
+//! never writes the file — refreshing the medians stays an explicit
+//! `--label after` run.
 
 use apt_bench::{run, type2_workload};
 use apt_core::prelude::*;
@@ -150,10 +162,47 @@ fn render(rows: &BTreeMap<String, Row>) -> String {
     s
 }
 
+/// Compare re-timed medians against the checked-in `after_ns` rows;
+/// returns the process exit code (0 = within tolerance).
+fn check(
+    out_path: &str,
+    tolerance_percent: u64,
+    rows: &BTreeMap<String, Row>,
+    results: &[(String, u64)],
+) -> i32 {
+    let mut regressions = 0usize;
+    for (name, ns) in results {
+        let Some(recorded) = rows.get(name).and_then(|r| r.after_ns) else {
+            eprintln!("{name:<45} {ns:>12} ns  [new — no recorded median]");
+            continue;
+        };
+        let limit = recorded + recorded * tolerance_percent / 100;
+        if *ns > limit {
+            regressions += 1;
+            eprintln!(
+                "{name:<45} {ns:>12} ns  REGRESSED (recorded {recorded} ns, limit {limit} ns)"
+            );
+        } else {
+            eprintln!("{name:<45} {ns:>12} ns  ok (recorded {recorded} ns)");
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} bench(es) regressed more than {tolerance_percent}% past {out_path}"
+        );
+        1
+    } else {
+        eprintln!("all benches within {tolerance_percent}% of {out_path}");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = "after".to_string();
     let mut out_path = "BENCH_engine.json".to_string();
+    let mut check_mode = false;
+    let mut tolerance_percent = 10u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -171,8 +220,25 @@ fn main() {
                 });
                 i += 2;
             }
+            "--check" => {
+                check_mode = true;
+                i += 1;
+            }
+            "--tolerance" => {
+                tolerance_percent =
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--tolerance needs a whole percentage");
+                            std::process::exit(2);
+                        });
+                i += 2;
+            }
             other => {
-                eprintln!("usage: apt-bench [--label before|after] [--out BENCH_engine.json]");
+                eprintln!(
+                    "usage: apt-bench [--label before|after] [--out BENCH_engine.json] \
+                     [--check [--tolerance PERCENT]]"
+                );
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
@@ -183,9 +249,27 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Fail fast in check mode: validate the recorded medians *before*
+    // spending minutes re-timing everything.
+    let recorded = if check_mode {
+        match std::fs::read_to_string(&out_path) {
+            Ok(t) => Some(parse_existing(&t)),
+            Err(e) => {
+                eprintln!("--check needs an existing {out_path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
+
     let mut results = Vec::new();
     engine_benches(&mut results);
     policy_benches(&mut results);
+
+    if let Some(rows) = recorded {
+        std::process::exit(check(&out_path, tolerance_percent, &rows, &results));
+    }
 
     let mut rows = std::fs::read_to_string(&out_path)
         .map(|t| parse_existing(&t))

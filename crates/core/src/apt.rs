@@ -18,7 +18,7 @@
 //! re-invokes with a refreshed view until APT only wants to wait.
 
 use apt_base::{ProcId, SimDuration};
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 use apt_policies::common::best_instance;
 
 /// The Alternative-Processor-within-Threshold policy.
@@ -88,23 +88,24 @@ impl Policy for Apt {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         for node in view.ready.iter() {
             let Some(best) = best_instance(view, node) else {
                 continue;
             };
             if best.idle {
                 // Line 6–8 of Algorithm 1: p_min available → allocate.
-                return vec![Assignment::new(node, best.proc)];
+                out.push(Assignment::new(node, best.proc));
+                return;
             }
             // Lines 9–14: look for p_alt within α·x.
             let threshold = self.threshold(best.exec);
             if let Some(p_alt) = self.find_alternative(view, node, best.proc, threshold) {
-                return vec![Assignment::alternative(node, p_alt)];
+                out.push(Assignment::alternative(node, p_alt));
+                return;
             }
             // No admissible alternative: wait for p_min, try the next kernel.
         }
-        Vec::new()
     }
 }
 

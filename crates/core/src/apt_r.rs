@@ -19,7 +19,7 @@
 //! The ablation bench `apt_r` quantifies the improvement this buys.
 
 use apt_base::{ProcId, SimDuration};
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 use apt_policies::common::best_instance;
 
 /// APT with remaining-time awareness (future-work heuristic).
@@ -53,13 +53,14 @@ impl Policy for AptR {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         for node in view.ready.iter() {
             let Some(best) = best_instance(view, node) else {
                 continue;
             };
             if best.idle {
-                return vec![Assignment::new(node, best.proc)];
+                out.push(Assignment::new(node, best.proc));
+                return;
             }
             let threshold = best.exec.scale_alpha(self.alpha);
             // Cost of waiting for p_min: remaining busy time + placement.
@@ -82,11 +83,11 @@ impl Policy for AptR {
             }
             if let Some((proc, cost)) = alt {
                 if cost <= threshold && cost < wait_cost {
-                    return vec![Assignment::alternative(node, proc)];
+                    out.push(Assignment::alternative(node, proc));
+                    return;
                 }
             }
         }
-        Vec::new()
     }
 }
 

@@ -24,12 +24,14 @@ pub use apt_dfg::generator::{
 pub use apt_dfg::{Dag, Dwarf, Kernel, KernelDag, KernelKind, LookupTable, NodeId, SplitMix64};
 
 pub use apt_hetsim::{
-    simulate, simulate_stream, Assignment, CostModel, LinkRate, Policy, PolicyKind, PrepareCtx,
-    ProcSpec, ProcStats, ProcView, ReadySet, SimResult, SimView, SystemConfig, TaskRecord, Trace,
+    simulate, simulate_stream, Assignment, AssignmentBuf, CalendarQueue, CostModel, LinkRate,
+    Policy, PolicyKind, PrepareCtx, ProcSpec, ProcStats, ProcView, ReadySet, SimResult, SimView,
+    SystemConfig, TaskRecord, Trace,
 };
 
 pub use apt_policies::{
-    baseline_factories, AdaptiveGreedy, AdaptiveRandom, Heft, Met, Olb, Peft, SerialScheduling, Spn,
+    baseline_factories, AdaptiveGreedy, AdaptiveRandom, BaselineFactory, Heft, Met, Olb, Peft,
+    SerialScheduling, Spn,
 };
 
 #[cfg(test)]

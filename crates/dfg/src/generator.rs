@@ -151,7 +151,10 @@ pub fn generate_kernels(cfg: &StreamConfig, lookup: &LookupTable) -> Vec<Kernel>
             let kind = KernelKind::ALL[rng.choose_weighted(&weights)];
             let data_size = match kind.canonical_size() {
                 Some(s) => s,
-                None => *rng.choose(&lookup.sizes_for(kind)),
+                // Index into the table's size index directly — same RNG
+                // stream as `choose(&sizes_for(kind))` without materializing
+                // the size list per kernel.
+                None => lookup.size_at(kind, rng.gen_index(lookup.size_count(kind))),
             };
             Kernel::new(kind, data_size)
         })
@@ -218,6 +221,11 @@ pub fn type2_layout(n: usize, seed: u64, cfg: &Type2Config) -> Type2Layout {
 /// Kernels are consumed in series order: first the diamond blocks (top,
 /// middles, bottom), then the chains, then the singletons — mirroring the
 /// "order of occurrence in the system" annotation of Figure 4.
+///
+/// The layout walk is **index-backed**: node ids are dense `0..n` in series
+/// order, so each group is addressed as an id range off a running cursor
+/// instead of materializing per-group `Vec<NodeId>` lists (which the bench
+/// `engine/generate/Type-2` showed within ~2× of the simulator itself).
 pub fn build_type2(kernels: &[Kernel], seed: u64, cfg: &Type2Config) -> KernelDag {
     let layout = type2_layout(kernels.len(), seed, cfg);
     let mut g = Dag::with_capacity(kernels.len());
@@ -226,40 +234,37 @@ pub fn build_type2(kernels: &[Kernel], seed: u64, cfg: &Type2Config) -> KernelDa
     }
 
     let mut next = 0usize;
-    let mut take = |count: usize| {
-        let ids: Vec<NodeId> = (next..next + count).map(NodeId::new).collect();
-        next += count;
-        ids
-    };
 
     for &middles in &layout.diamond_middles {
-        let top = take(1)[0];
-        let mids = take(middles);
-        let bottom = take(1)[0];
-        for &m in &mids {
+        let top = NodeId::new(next);
+        let bottom = NodeId::new(next + middles + 1);
+        for j in 0..middles {
+            let m = NodeId::new(next + 1 + j);
             g.add_edge(top, m).expect("fresh edge");
             g.add_edge(m, bottom).expect("fresh edge");
         }
-        if mids.is_empty() {
+        if middles == 0 {
             g.add_edge(top, bottom).expect("fresh edge");
         }
+        next += middles + 2;
     }
 
-    for _ in 0..layout.chains {
-        let chain = take(cfg.chain_len);
-        for w in chain.windows(2) {
-            g.add_edge(w[0], w[1]).expect("fresh edge");
+    let mut chain = |next: &mut usize, len: usize| {
+        for i in *next..*next + len.saturating_sub(1) {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1))
+                .expect("fresh edge");
         }
+        *next += len;
+    };
+    for _ in 0..layout.chains {
+        chain(&mut next, cfg.chain_len);
     }
     if layout.short_chain > 0 {
-        let chain = take(layout.short_chain);
-        for w in chain.windows(2) {
-            g.add_edge(w[0], w[1]).expect("fresh edge");
-        }
+        chain(&mut next, layout.short_chain);
     }
 
     // Singletons: the rest of the series, no edges.
-    let _ = take(layout.singletons);
+    next += layout.singletons;
     debug_assert_eq!(next, kernels.len(), "layout must cover the whole series");
 
     g

@@ -207,25 +207,25 @@ impl<T> Dag<T> {
     /// A topological order (Kahn's algorithm; within a frontier, smaller ids
     /// first, so the order is deterministic). Errors on cycles.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, BaseError> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
         let mut in_deg: Vec<usize> = self.node_ids().map(|n| self.in_degree(n)).collect();
-        // A sorted frontier (binary heap over Reverse would also work; the
-        // graph sizes here are ≤ a few hundred nodes, so a Vec with a linear
-        // min-scan keeps the code simple — it is not hot).
-        let mut frontier: Vec<NodeId> =
-            self.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
+        // A min-heap frontier pops the smallest ready id in O(log F). (The
+        // seed did a linear min-scan per pop — O(V·F), which on Type-1
+        // graphs, whose frontier is nearly all of V, made validation as
+        // expensive as generation itself.)
+        let mut frontier: BinaryHeap<Reverse<NodeId>> = self
+            .node_ids()
+            .filter(|n| in_deg[n.index()] == 0)
+            .map(Reverse)
+            .collect();
         let mut order = Vec::with_capacity(self.len());
-        while let Some(pos) = frontier
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, n)| n.index())
-            .map(|(i, _)| i)
-        {
-            let n = frontier.swap_remove(pos);
+        while let Some(Reverse(n)) = frontier.pop() {
             order.push(n);
             for &s in self.succs(n) {
                 in_deg[s.index()] -= 1;
                 if in_deg[s.index()] == 0 {
-                    frontier.push(s);
+                    frontier.push(Reverse(s));
                 }
             }
         }

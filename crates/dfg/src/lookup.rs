@@ -222,6 +222,19 @@ impl LookupTable {
         self.index[kind.index()].iter().map(|&(s, _)| s).collect()
     }
 
+    /// Number of measured data sizes for a kernel kind. Allocation-free
+    /// companion to [`LookupTable::sizes_for`] for the generator hot path.
+    #[inline]
+    pub fn size_count(&self, kind: KernelKind) -> usize {
+        self.index[kind.index()].len()
+    }
+
+    /// The `i`-th measured data size (ascending) of a kernel kind.
+    #[inline]
+    pub fn size_at(&self, kind: KernelKind, i: usize) -> u64 {
+        self.index[kind.index()][i].0
+    }
+
     /// Derive a table with a reduced degree of heterogeneity: every non-CPU
     /// time `t` is replaced by `cpu + (t − cpu) · factor` (factor in `[0, 1]`;
     /// 1 keeps the paper's table, 0 collapses the system to homogeneous).

@@ -19,8 +19,10 @@
 //! here. See the "Engine architecture & cost model" notes in the crate docs.
 
 use crate::system::SystemConfig;
+use apt_base::stats::stddev_population;
 use apt_base::{ProcId, ProcKind, SimDuration};
 use apt_dfg::{KernelDag, KindCostMatrix, LookupTable, NodeId};
+use std::sync::OnceLock;
 
 /// Sentinel for "kernel cannot run on this processor instance" — the same
 /// value the category-level matrix uses (re-exported, not redefined, so the
@@ -29,6 +31,12 @@ pub use apt_dfg::cost::UNRUNNABLE;
 
 /// Largest supported machine size (runnable sets are single-word bitsets).
 pub const MAX_PROCS: usize = 64;
+
+/// Largest machine size for which [`CostModel::idle_stddev`] memoizes its
+/// per-(node, idle-mask) tables (2^nprocs entries per node — 256 `f64`s per
+/// node at the cap; the paper's machine has 3 processors → 8 entries).
+/// Larger machines fall back to direct computation.
+pub const SS_MEMO_MAX_PROCS: usize = 8;
 
 /// Precomputed decision-cost tables for one simulation run.
 #[derive(Debug, Clone)]
@@ -50,6 +58,11 @@ pub struct CostModel {
     /// Per-instance category, cached densely (avoids chasing the
     /// `ProcSpec` vec and its name strings on hot reads).
     kinds: Vec<ProcKind>,
+    /// Per-node lazily built `idle-mask → stddev` tables backing
+    /// [`CostModel::idle_stddev`] (empty when `nprocs > SS_MEMO_MAX_PROCS`).
+    /// The values are state-independent given the mask, so the cache never
+    /// invalidates for the lifetime of the run.
+    stddev_masks: Vec<OnceLock<Box<[f64]>>>,
 }
 
 impl CostModel {
@@ -101,6 +114,11 @@ impl CostModel {
             let bytes = kind_matrix.data_size(node) * config.bytes_per_element;
             transfer_ns.push(config.link.transfer_time(bytes).as_ns());
         }
+        let stddev_masks = if nprocs <= SS_MEMO_MAX_PROCS {
+            (0..n).map(|_| OnceLock::new()).collect()
+        } else {
+            Vec::new()
+        };
         CostModel {
             nprocs,
             exec_ns,
@@ -109,6 +127,7 @@ impl CostModel {
             min_ns,
             min_mask,
             kinds,
+            stddev_masks,
         }
     }
 
@@ -211,6 +230,43 @@ impl CostModel {
     #[inline]
     pub fn kind_of(&self, proc: ProcId) -> ProcKind {
         self.kinds[proc.index()]
+    }
+
+    /// Population standard deviation (fractional milliseconds, identical to
+    /// `stddev_population` over ascending-id `as_ms_f64` times) of `node`'s
+    /// execution times across the **runnable** processors in `idle_mask` —
+    /// the quantity SS ranks ready kernels by (§2.5.3).
+    ///
+    /// The value is state-independent given the mask, so on machines up to
+    /// [`SS_MEMO_MAX_PROCS`] processors it is memoized in a lazily built
+    /// per-node table of all `2^nprocs` masks; larger machines compute it
+    /// directly. Either path returns bit-identical results.
+    pub fn idle_stddev(&self, node: NodeId, idle_mask: u64) -> f64 {
+        match self.stddev_masks.get(node.index()) {
+            Some(cell) => {
+                let table = cell.get_or_init(|| {
+                    (0..1u64 << self.nprocs)
+                        .map(|mask| self.compute_idle_stddev(node, mask))
+                        .collect()
+                });
+                table[(idle_mask & ((1u64 << self.nprocs) - 1)) as usize]
+            }
+            None => self.compute_idle_stddev(node, idle_mask),
+        }
+    }
+
+    /// The uncached computation behind [`CostModel::idle_stddev`].
+    fn compute_idle_stddev(&self, node: NodeId, idle_mask: u64) -> f64 {
+        let mut times = [0f64; MAX_PROCS];
+        let mut count = 0usize;
+        let mut bits = idle_mask & self.runnable[node.index()];
+        while bits != 0 {
+            let p = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            times[count] = SimDuration::from_ns(self.exec_ns(node, ProcId::new(p))).as_ms_f64();
+            count += 1;
+        }
+        stddev_population(&times[..count])
     }
 }
 
@@ -398,6 +454,45 @@ mod tests {
         assert_eq!(
             cost.transfer_in_time(&dfg, &locations, n2, ProcId::new(1)),
             cost.transfer_time(NodeId::new(0)) + cost.transfer_time(NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn idle_stddev_matches_naive_for_every_mask() {
+        use apt_base::stats::stddev_population;
+        let (dfg, lookup, config) = fixture();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        for node in dfg.node_ids() {
+            for mask in 0u64..(1 << config.len()) {
+                // The logic SS used inline: ascending-id as_ms_f64 times of
+                // runnable processors in the mask.
+                let naive: Vec<f64> = config
+                    .proc_ids()
+                    .filter(|p| mask & (1 << p.index()) != 0)
+                    .filter_map(|p| cost.exec_time(node, p))
+                    .map(|d| d.as_ms_f64())
+                    .collect();
+                let expected = stddev_population(&naive);
+                // Memoized path (≤ SS_MEMO_MAX_PROCS procs) — queried twice
+                // to cover both the fill and the hit.
+                assert_eq!(cost.idle_stddev(node, mask), expected);
+                assert_eq!(cost.idle_stddev(node, mask), expected);
+                // Uncached path must agree bit for bit.
+                assert_eq!(cost.compute_idle_stddev(node, mask), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_stddev_ignores_out_of_machine_bits() {
+        let (dfg, lookup, config) = fixture();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        let n = NodeId::new(0);
+        // Bits above the machine size must not change the answer (they can
+        // appear in hand-built views over a larger universe).
+        assert_eq!(
+            cost.idle_stddev(n, 0b111),
+            cost.idle_stddev(n, 0b111 | (1 << 20))
         );
     }
 

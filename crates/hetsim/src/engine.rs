@@ -32,18 +32,25 @@
 //! * the ready set is a bitset ([`ReadySet`]) with O(1) insert/remove and
 //!   ascending-id iteration (the seed paid an O(n) `Vec` memmove per
 //!   assignment),
-//! * a running idle-processor count makes `SimView::any_idle` O(1).
+//! * a running idle-processor bitset makes `SimView::any_idle` O(1),
+//! * the event queue is a [`CalendarQueue`]: completions at one instant are
+//!   popped as a single batch into a reusable buffer (no per-event heap
+//!   sift, no peek/pop loop, no tuple churn),
+//! * policies emit assignments into a per-run [`AssignmentBuf`] arena
+//!   instead of returning a fresh `Vec` — together with the batch buffer
+//!   this makes the fixpoint loop allocation-free end-to-end once the two
+//!   buffers reach steady-state capacity.
 
+use crate::calendar::CalendarQueue;
 use crate::cost::CostModel;
-use crate::policy::{Assignment, Policy, PrepareCtx};
+use crate::policy::{Assignment, AssignmentBuf, Policy, PrepareCtx};
 use crate::ready::ReadySet;
 use crate::system::SystemConfig;
 use crate::trace::{ProcStats, SimResult, TaskRecord, Trace};
 use crate::view::{ProcView, SimView};
 use apt_base::{BaseError, ProcId, SimDuration, SimTime};
 use apt_dfg::{KernelDag, LookupTable, NodeId};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Window size for the per-processor execution-time history backing AG's
 /// `τ_k` estimate (Eq. 2's "last k kernel calls"). Wu et al. leave k as a
@@ -64,7 +71,9 @@ struct ProcCore {
 impl ProcCore {
     fn new() -> Self {
         ProcCore {
-            queue: VecDeque::with_capacity(4),
+            // Lazily allocated: policies that never queue (MET, APT, the
+            // static planners on an uncongested machine) pay nothing for it.
+            queue: VecDeque::new(),
             history: VecDeque::with_capacity(EXEC_HISTORY_WINDOW),
             history_sum: 0,
             stats: ProcStats::default(),
@@ -88,8 +97,10 @@ impl ProcCore {
 }
 
 /// A scheduled simulation event: a kernel completing on a processor, or a
-/// kernel arriving in the input stream (streaming mode).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// kernel arriving in the input stream (streaming mode). Ordering across
+/// events is carried entirely by the calendar queue's `(time, push-order)`
+/// total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// The kernel running on this processor completes.
     Finish(ProcId),
@@ -112,10 +123,9 @@ struct Engine<'a> {
     procs: Vec<ProcCore>,
     /// Policy-visible snapshots, updated in place on every state change.
     views: Vec<ProcView>,
-    /// Running count of idle processors (`views[i].is_idle()` being true).
-    idle_count: usize,
-    events: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-    seq: u64,
+    /// Running bitset of idle processors (bit i ⇔ `views[i].is_idle()`).
+    idle_mask: u64,
+    events: CalendarQueue<Event>,
     finished: usize,
 }
 
@@ -138,13 +148,11 @@ impl<'a> Engine<'a> {
                 ready.insert(s);
             }
         }
-        let mut events = BinaryHeap::new();
-        let mut seq = 0u64;
+        let mut events = CalendarQueue::new();
         for (i, &t) in arrivals.iter().enumerate() {
             if t > SimTime::ZERO {
                 ready_time[i] = t; // provisional; finalized on readiness
-                events.push(Reverse((t, seq, Event::Arrive(NodeId::new(i)))));
-                seq += 1;
+                events.push(t, Event::Arrive(NodeId::new(i)));
             }
         }
         let views: Vec<ProcView> = config
@@ -171,23 +179,26 @@ impl<'a> Engine<'a> {
             locations: vec![None; n],
             records: vec![None; n],
             procs: (0..config.len()).map(|_| ProcCore::new()).collect(),
-            idle_count: views.len(),
+            idle_mask: if views.is_empty() {
+                0
+            } else {
+                u64::MAX >> (64 - views.len())
+            },
             views,
             events,
-            seq,
             finished: 0,
         }
     }
 
-    /// Mutate one processor's view, keeping the running idle count exact.
+    /// Mutate one processor's view, keeping the running idle bitset exact.
     #[inline]
     fn update_view(&mut self, proc: ProcId, f: impl FnOnce(&mut ProcView)) {
         let view = &mut self.views[proc.index()];
         let was_idle = view.is_idle();
         f(view);
         match (was_idle, view.is_idle()) {
-            (true, false) => self.idle_count -= 1,
-            (false, true) => self.idle_count += 1,
+            (true, false) => self.idle_mask &= !(1 << proc.index()),
+            (false, true) => self.idle_mask |= 1 << proc.index(),
             _ => {}
         }
     }
@@ -246,9 +257,7 @@ impl<'a> Engine<'a> {
             v.busy_until = finish;
             v.recent_avg_exec = avg;
         });
-        self.events
-            .push(Reverse((finish, self.seq, Event::Finish(proc))));
-        self.seq += 1;
+        self.events.push(finish, Event::Finish(proc));
         Ok(())
     }
 
@@ -347,11 +356,18 @@ impl<'a> Engine<'a> {
     }
 
     fn run(&mut self, policy: &mut dyn Policy) -> Result<(), BaseError> {
+        // The two per-run arenas of the decision loop: the assignment buffer
+        // every `Policy::decide` writes into, and the same-instant event
+        // batch. Both are reused across every edge, so once their capacity
+        // settles the loop allocates nothing.
+        let mut out = AssignmentBuf::with_capacity(self.views.len().max(4));
+        let mut batch: Vec<Event> = Vec::with_capacity(self.views.len() + 2);
         loop {
             // Policy fixpoint at the current instant. The view borrows the
             // incrementally maintained snapshots — nothing is rebuilt here.
             loop {
-                let assignments = {
+                out.clear();
+                {
                     let view = SimView {
                         now: self.now,
                         ready: &self.ready,
@@ -361,30 +377,26 @@ impl<'a> Engine<'a> {
                         config: self.config,
                         cost: self.cost,
                         locations: &self.locations,
-                        idle_count: self.idle_count,
+                        idle_mask: self.idle_mask,
                     };
-                    policy.decide(&view)
-                };
-                if assignments.is_empty() {
+                    policy.decide(&view, &mut out);
+                }
+                if out.is_empty() {
                     break;
                 }
-                for a in assignments {
+                for &a in out.as_slice() {
                     self.apply(a)?;
                 }
             }
-            // Advance to the next completion instant; drain everything that
-            // completes at that instant before consulting the policy again.
-            match self.events.pop() {
+            // Advance to the next completion instant; the calendar queue
+            // hands over everything that fires at that instant in one batch,
+            // already in schedule order.
+            match self.events.pop_batch(&mut batch) {
                 None => break,
-                Some(Reverse((t, _, event))) => {
+                Some(t) => {
                     self.advance_to(t);
-                    self.handle(event)?;
-                    while let Some(Reverse((t2, _, _))) = self.events.peek() {
-                        if *t2 != t {
-                            break;
-                        }
-                        let Reverse((_, _, e2)) = self.events.pop().expect("peeked");
-                        self.handle(e2)?;
+                    for &event in &batch {
+                        self.handle(event)?;
                     }
                 }
             }
@@ -420,7 +432,9 @@ impl<'a> Engine<'a> {
 /// # Example
 ///
 /// ```
-/// use apt_hetsim::{simulate, Assignment, Policy, PolicyKind, SimView, SystemConfig};
+/// use apt_hetsim::{
+///     simulate, Assignment, AssignmentBuf, Policy, PolicyKind, SimView, SystemConfig,
+/// };
 /// use apt_dfg::generator::{generate, DfgType, StreamConfig};
 /// use apt_dfg::LookupTable;
 ///
@@ -430,15 +444,17 @@ impl<'a> Engine<'a> {
 /// impl Policy for FirstFit {
 ///     fn name(&self) -> String { "FirstFit".into() }
 ///     fn kind(&self) -> PolicyKind { PolicyKind::Dynamic }
-///     fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+///     /// `out` arrives cleared; push any number of assignments into it.
+///     /// Leaving it empty tells the engine to wait for the next event.
+///     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
 ///         for node in view.ready.iter() {
 ///             for p in view.idle_procs() {
 ///                 if view.exec_time(node, p.id).is_some() {
-///                     return vec![Assignment::new(node, p.id)];
+///                     out.push(Assignment::new(node, p.id));
+///                     return;
 ///                 }
 ///             }
 ///         }
-///         Vec::new()
 ///     }
 /// }
 ///
@@ -521,18 +537,16 @@ mod tests {
         fn kind(&self) -> PolicyKind {
             PolicyKind::Dynamic
         }
-        fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-            let mut out = Vec::new();
-            let mut taken: Vec<bool> = view.procs.iter().map(|p| !p.is_idle()).collect();
+        fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+            let mut taken: u64 = !view.idle_mask;
             for node in view.ready.iter() {
                 if let Some((proc, _)) = view.best_proc(node) {
-                    if !taken[proc.index()] {
-                        taken[proc.index()] = true;
+                    if taken & (1 << proc.index()) == 0 {
+                        taken |= 1 << proc.index();
                         out.push(Assignment::new(node, proc));
                     }
                 }
             }
-            out
         }
     }
 
@@ -546,11 +560,10 @@ mod tests {
         fn kind(&self) -> PolicyKind {
             PolicyKind::Dynamic
         }
-        fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-            view.ready
-                .iter()
-                .map(|n| Assignment::new(n, ProcId::new(0)))
-                .collect()
+        fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+            for n in view.ready.iter() {
+                out.push(Assignment::new(n, ProcId::new(0)));
+            }
         }
     }
 
@@ -564,9 +577,7 @@ mod tests {
         fn kind(&self) -> PolicyKind {
             PolicyKind::Dynamic
         }
-        fn decide(&mut self, _view: &SimView<'_>) -> Vec<Assignment> {
-            Vec::new()
-        }
+        fn decide(&mut self, _view: &SimView<'_>, _out: &mut AssignmentBuf) {}
     }
 
     fn nw() -> Kernel {
@@ -698,8 +709,8 @@ mod tests {
             fn kind(&self) -> PolicyKind {
                 PolicyKind::Dynamic
             }
-            fn decide(&mut self, _v: &SimView<'_>) -> Vec<Assignment> {
-                vec![Assignment::new(NodeId::new(99), ProcId::new(0))]
+            fn decide(&mut self, _v: &SimView<'_>, out: &mut AssignmentBuf) {
+                out.push(Assignment::new(NodeId::new(99), ProcId::new(0)));
             }
         }
         let dfg = build_type1(&[bfs()]);
@@ -723,11 +734,10 @@ mod tests {
             fn kind(&self) -> PolicyKind {
                 PolicyKind::Dynamic
             }
-            fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-                view.ready
-                    .iter()
-                    .map(|n| Assignment::new(n, ProcId::new(0)))
-                    .collect()
+            fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+                for n in view.ready.iter() {
+                    out.push(Assignment::new(n, ProcId::new(0)));
+                }
             }
         }
         let config = SystemConfig::empty(crate::LinkRate::gbps(4))
@@ -751,15 +761,15 @@ mod tests {
             fn kind(&self) -> PolicyKind {
                 PolicyKind::Dynamic
             }
-            fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+            fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
                 for node in view.ready.iter() {
                     for p in view.idle_procs() {
                         if view.exec_time(node, p.id).is_some() {
-                            return vec![Assignment::new(node, p.id)];
+                            out.push(Assignment::new(node, p.id));
+                            return;
                         }
                     }
                 }
-                Vec::new()
             }
         }
         let dfg = build_type1(&[bfs(), bfs(), cd()]);
@@ -899,15 +909,21 @@ mod tests {
             fn kind(&self) -> PolicyKind {
                 PolicyKind::Dynamic
             }
-            fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+            fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
                 let scanned = view.procs.iter().filter(|p| p.is_idle()).count();
-                assert_eq!(view.idle_count, scanned, "idle count drifted");
+                assert_eq!(view.idle_count(), scanned, "idle count drifted");
+                let scanned_mask = view
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.is_idle())
+                    .fold(0u64, |m, (i, _)| m | 1 << i);
+                assert_eq!(view.idle_mask, scanned_mask, "idle mask drifted");
                 assert_eq!(view.any_idle(), scanned > 0);
                 // Queue aggressively (AG-style) to exercise queue transitions.
-                view.ready
-                    .iter()
-                    .map(|n| Assignment::new(n, ProcId::new(n.index() % 3)))
-                    .collect()
+                for n in view.ready.iter() {
+                    out.push(Assignment::new(n, ProcId::new(n.index() % 3)));
+                }
             }
         }
         let kernels = generate_kernels(&StreamConfig::new(25, 9), apt_dfg::LookupTable::paper());

@@ -47,8 +47,14 @@
 //!   finish and queue (with a running-sum windowed execution-time average,
 //!   rounded to nearest); the ready set is an index-backed bitset
 //!   ([`ready::ReadySet`]) with O(1) insert/remove/membership and
-//!   deterministic ascending-id iteration; a running idle-processor count
+//!   deterministic ascending-id iteration; a running idle-processor bitset
 //!   makes `SimView::any_idle` O(1).
+//! * The event core is **allocation-free**: pending events live in a
+//!   [`calendar::CalendarQueue`] (bucket ring + overflow, whole same-instant
+//!   batches popped into a reused buffer) and every `Policy::decide` writes
+//!   into a per-run [`policy::AssignmentBuf`] arena instead of returning a
+//!   fresh `Vec` — so a steady-state fixpoint loop touches the allocator
+//!   exactly zero times.
 //! * Static policies get the same tables through [`PrepareCtx::cost`], so
 //!   HEFT/PEFT plan construction shares the dense path.
 //!
@@ -61,6 +67,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod cost;
 pub mod engine;
 pub mod link;
@@ -70,10 +77,11 @@ pub mod system;
 pub mod trace;
 pub mod view;
 
+pub use calendar::CalendarQueue;
 pub use cost::CostModel;
 pub use engine::{simulate, simulate_stream};
 pub use link::LinkRate;
-pub use policy::{Assignment, Policy, PolicyKind, PrepareCtx};
+pub use policy::{Assignment, AssignmentBuf, Policy, PolicyKind, PrepareCtx};
 pub use ready::ReadySet;
 pub use system::{ProcSpec, SystemConfig};
 pub use trace::{ProcStats, SimResult, TaskRecord, Trace};

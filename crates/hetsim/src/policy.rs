@@ -11,9 +11,9 @@
 //!   [`SimView`] snapshot on each decision edge.
 //!
 //! The engine calls `decide` to a fixpoint after every event: a policy may
-//! return any number of assignments per call; returning an empty vector
-//! means "nothing more to do right now" (e.g. MET *waiting* for a busy
-//! best processor).
+//! emit any number of assignments per call into the engine-owned
+//! [`AssignmentBuf`]; leaving it empty means "nothing more to do right now"
+//! (e.g. MET *waiting* for a busy best processor).
 
 use crate::cost::CostModel;
 use crate::system::SystemConfig;
@@ -94,6 +94,80 @@ impl Assignment {
     }
 }
 
+/// The reusable out-parameter of [`Policy::decide`]: a growable arena of
+/// [`Assignment`]s owned by the engine for the whole run.
+///
+/// The engine allocates one buffer per simulation, clears it before *every*
+/// `decide` call, and applies whatever the policy pushed after the call
+/// returns — so once the buffer's capacity reaches the widest decision wave,
+/// the fixpoint loop performs no heap allocation at all.
+///
+/// Reuse rules for implementors:
+///
+/// * `decide` receives the buffer **already cleared** — only [`push`]
+///   (`AssignmentBuf::push`) into it; never retain state in it across calls
+///   and never assume a particular capacity.
+/// * Push order is application order: the engine applies assignments
+///   front-to-back, erroring on the first invalid one.
+/// * Leaving the buffer empty means "wait" (no progress at this instant);
+///   the engine then advances to the next event.
+#[derive(Debug, Default, Clone)]
+pub struct AssignmentBuf {
+    items: Vec<Assignment>,
+}
+
+impl AssignmentBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        AssignmentBuf { items: Vec::new() }
+    }
+
+    /// An empty buffer with room for `cap` assignments.
+    pub fn with_capacity(cap: usize) -> Self {
+        AssignmentBuf {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Emit one assignment (applied by the engine in push order).
+    #[inline]
+    pub fn push(&mut self, a: Assignment) {
+        self.items.push(a);
+    }
+
+    /// Drop all assignments, keeping the capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Number of pushed assignments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been pushed (the "wait" signal).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The pushed assignments, in push order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Assignment] {
+        &self.items
+    }
+}
+
+impl<'a> IntoIterator for &'a AssignmentBuf {
+    type Item = &'a Assignment;
+    type IntoIter = std::slice::Iter<'a, Assignment>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
 /// A scheduling policy. Implementations must be deterministic; one instance
 /// drives one simulation (construct a fresh instance per run).
 pub trait Policy {
@@ -109,11 +183,12 @@ pub trait Policy {
         Ok(())
     }
 
-    /// Called to a fixpoint after every simulation event. Return the
-    /// assignments to apply now; return an empty vector to wait.
+    /// Called to a fixpoint after every simulation event. Push the
+    /// assignments to apply now into `out` (handed over cleared); leave it
+    /// empty to wait. See [`AssignmentBuf`] for the buffer's reuse contract.
     ///
-    /// Every returned node must currently be in `view.ready`.
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment>;
+    /// Every pushed node must currently be in `view.ready`.
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf);
 }
 
 #[cfg(test)]
@@ -127,6 +202,20 @@ mod tests {
         let b = Assignment::alternative(NodeId::new(3), ProcId::new(2));
         assert!(b.alt);
         assert_eq!(a.node, b.node);
+    }
+
+    #[test]
+    fn assignment_buf_reuse() {
+        let mut buf = AssignmentBuf::with_capacity(2);
+        assert!(buf.is_empty());
+        buf.push(Assignment::new(NodeId::new(0), ProcId::new(1)));
+        buf.push(Assignment::alternative(NodeId::new(1), ProcId::new(2)));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.as_slice()[1].proc, ProcId::new(2));
+        assert_eq!((&buf).into_iter().count(), 2);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
     }
 
     #[test]

@@ -81,9 +81,12 @@ pub struct SimView<'a> {
     /// Where each finished kernel executed (`None` while unfinished),
     /// indexed by node id.
     pub locations: &'a [Option<ProcId>],
-    /// Number of processors currently idle (engine-maintained running
-    /// count, so [`SimView::any_idle`] is O(1)).
-    pub idle_count: usize,
+    /// Bitset of currently idle processors (bit `i` ⇔ `procs[i].is_idle()`),
+    /// maintained incrementally by the engine. Makes [`SimView::any_idle`]
+    /// and [`SimView::idle_count`] O(1), and doubles as the memo key for the
+    /// cost model's per-(node, idle-mask) SS stddev cache
+    /// ([`CostModel::idle_stddev`]).
+    pub idle_mask: u64,
 }
 
 impl<'a> SimView<'a> {
@@ -136,17 +139,23 @@ impl<'a> SimView<'a> {
 
     /// Idle processors (the available set `A`), ascending id. A plain scan
     /// over the (≤ 64-entry) snapshot array: deliberately independent of
-    /// `idle_count`, so a hand-built view with an inconsistent count can
+    /// `idle_mask`, so a hand-built view with an inconsistent mask can
     /// never silently hide idle processors.
     pub fn idle_procs(&self) -> impl Iterator<Item = &ProcView> {
         self.procs.iter().filter(|p| p.is_idle())
     }
 
     /// True if any processor is idle. O(1) — reads the engine's running
-    /// idle count.
+    /// idle bitset.
     #[inline]
     pub fn any_idle(&self) -> bool {
-        self.idle_count > 0
+        self.idle_mask != 0
+    }
+
+    /// Number of idle processors. O(1) — a popcount of the idle bitset.
+    #[inline]
+    pub fn idle_count(&self) -> usize {
+        self.idle_mask.count_ones() as usize
     }
 
     /// The snapshot for one processor.
@@ -223,7 +232,11 @@ mod tests {
             config: &f.config,
             cost: &f.cost,
             locations,
-            idle_count: procs.iter().filter(|p| p.is_idle()).count(),
+            idle_mask: procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_idle())
+                .fold(0u64, |m, (i, _)| m | 1 << i),
         }
     }
 
@@ -297,7 +310,8 @@ mod tests {
         let ready = ready_of(&f.dfg, &f.dfg.sources());
         let view = view(&f, &ready, &procs, &locations);
         assert!(view.any_idle());
-        assert_eq!(view.idle_count, 2);
+        assert_eq!(view.idle_count(), 2);
+        assert_eq!(view.idle_mask, 0b101);
         let ids: Vec<ProcId> = view.idle_procs().map(|p| p.id).collect();
         assert_eq!(ids, vec![ProcId::new(0), ProcId::new(2)]);
     }

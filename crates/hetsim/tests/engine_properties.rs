@@ -3,7 +3,9 @@
 
 use apt_base::{ProcKind, SimDuration};
 use apt_dfg::{Dag, KernelDag, LookupTable, NodeId, SplitMix64};
-use apt_hetsim::{simulate, Assignment, LinkRate, Policy, PolicyKind, SimView, SystemConfig};
+use apt_hetsim::{
+    simulate, Assignment, AssignmentBuf, LinkRate, Policy, PolicyKind, SimView, SystemConfig,
+};
 use proptest::prelude::*;
 
 /// A random kernel DAG with arbitrary forward edges.
@@ -36,15 +38,15 @@ impl Policy for FirstFit {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Dynamic
     }
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         for node in view.ready.iter() {
             for p in view.idle_procs() {
                 if view.exec_time(node, p.id).is_some() {
-                    return vec![Assignment::new(node, p.id)];
+                    out.push(Assignment::new(node, p.id));
+                    return;
                 }
             }
         }
-        Vec::new()
     }
 }
 
@@ -61,18 +63,18 @@ impl Policy for QueueAll {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Dynamic
     }
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         let n = view.procs.len();
         for node in view.ready.iter() {
             for off in 0..n {
                 let p = &view.procs[(self.cursor + off) % n];
                 if view.exec_time(node, p.id).is_some() {
                     self.cursor = (self.cursor + off + 1) % n;
-                    return vec![Assignment::new(node, p.id)];
+                    out.push(Assignment::new(node, p.id));
+                    return;
                 }
             }
         }
-        Vec::new()
     }
 }
 

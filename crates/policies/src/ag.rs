@@ -17,8 +17,8 @@
 //! * AG favours devices holding the kernel's inputs (τ_d = 0), i.e. it
 //!   "capitalizes mainly on reducing communication time".
 
-use apt_base::stats::argmin_by_key;
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_base::{ProcId, SimDuration};
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 
 /// The AG policy.
 #[derive(Debug, Default, Clone, Copy)]
@@ -40,26 +40,28 @@ impl Policy for AdaptiveGreedy {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         // AG assigns (queues) every kernel the moment it arrives. One
         // assignment per call so the queue counts N_g refresh between
-        // decisions (the engine re-invokes to a fixpoint).
+        // decisions (the engine re-invokes to a fixpoint). A strict `<`
+        // running minimum keeps the lowest-id device on ties, matching the
+        // argmin helper this replaced without collecting candidates.
         let Some(node) = view.ready.first() else {
-            return Vec::new();
+            return;
         };
-        let candidates: Vec<_> = view
-            .procs
-            .iter()
-            .filter(|p| view.exec_time(node, p.id).is_some())
-            .map(|p| {
-                let queue_delay = p.recent_avg_exec * p.ag_queue_count() as u64;
-                let transfer_delay = view.transfer_in_time(node, p.id);
-                (p.id, queue_delay + transfer_delay)
-            })
-            .collect();
-        match argmin_by_key(&candidates, |&(_, wait)| wait) {
-            Some(i) => vec![Assignment::new(node, candidates[i].0)],
-            None => Vec::new(),
+        let mut best: Option<(ProcId, SimDuration)> = None;
+        for p in view.procs.iter() {
+            if view.exec_time(node, p.id).is_none() {
+                continue;
+            }
+            let queue_delay = p.recent_avg_exec * p.ag_queue_count() as u64;
+            let wait = queue_delay + view.transfer_in_time(node, p.id);
+            if best.is_none_or(|(_, bw)| wait < bw) {
+                best = Some((p.id, wait));
+            }
+        }
+        if let Some((proc, _)) = best {
+            out.push(Assignment::new(node, proc));
         }
     }
 }

@@ -11,13 +11,19 @@
 //! The randomness is a seeded [`SplitMix64`] stream, so runs remain
 //! bit-reproducible (the simulator's determinism contract).
 
+use apt_base::ProcId;
 use apt_dfg::SplitMix64;
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 
 /// The AR policy.
 #[derive(Debug, Clone)]
 pub struct AdaptiveRandom {
     rng: SplitMix64,
+    /// Scratch: runnable candidate devices of the head kernel (reused
+    /// across decisions, so the steady-state decide is allocation-free).
+    candidates: Vec<ProcId>,
+    /// Scratch: the matching sampling weights.
+    weights: Vec<u64>,
 }
 
 impl AdaptiveRandom {
@@ -25,6 +31,8 @@ impl AdaptiveRandom {
     pub fn new(seed: u64) -> Self {
         AdaptiveRandom {
             rng: SplitMix64::new(seed),
+            candidates: Vec::new(),
+            weights: Vec::new(),
         }
     }
 }
@@ -38,30 +46,30 @@ impl Policy for AdaptiveRandom {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         let Some(node) = view.ready.first() else {
-            return Vec::new();
+            return;
         };
-        // Integer weights in parts-per-million of the inverse wait estimate.
-        let candidates: Vec<_> = view
-            .procs
-            .iter()
-            .filter(|p| view.exec_time(node, p.id).is_some())
-            .collect();
-        if candidates.is_empty() {
-            return Vec::new();
+        // Integer weights in parts-per-million of the inverse wait estimate,
+        // built into the reused scratch buffers.
+        self.candidates.clear();
+        self.weights.clear();
+        for p in view.procs.iter() {
+            if view.exec_time(node, p.id).is_none() {
+                continue;
+            }
+            let wait_ms = (p.recent_avg_exec * p.ag_queue_count() as u64).as_ms_f64()
+                + view.transfer_in_time(node, p.id).as_ms_f64();
+            self.candidates.push(p.id);
+            // 1e6 / (1 + wait): ≥ 1 so no device is ever impossible.
+            self.weights
+                .push(((1_000_000.0 / (1.0 + wait_ms)) as u64).max(1));
         }
-        let weights: Vec<u64> = candidates
-            .iter()
-            .map(|p| {
-                let wait_ms = (p.recent_avg_exec * p.ag_queue_count() as u64).as_ms_f64()
-                    + view.transfer_in_time(node, p.id).as_ms_f64();
-                // 1e6 / (1 + wait): ≥ 1 so no device is ever impossible.
-                ((1_000_000.0 / (1.0 + wait_ms)) as u64).max(1)
-            })
-            .collect();
-        let pick = self.rng.choose_weighted(&weights);
-        vec![Assignment::new(node, candidates[pick].id)]
+        if self.candidates.is_empty() {
+            return;
+        }
+        let pick = self.rng.choose_weighted(&self.weights);
+        out.push(Assignment::new(node, self.candidates[pick]));
     }
 }
 

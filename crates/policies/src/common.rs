@@ -25,32 +25,38 @@ pub struct BestInstance {
 /// Compute [`BestInstance`] for `node`; `None` if no processor can run it.
 ///
 /// The minimal execution time and the set of instances achieving it are
-/// precomputed in the run's cost model; this only scans that (usually
-/// one-bit) mask for an idle member.
+/// precomputed in the run's cost model, and the engine maintains the idle
+/// set as a bitset — so this is two mask reads and an intersection: the
+/// lowest-id idle minimal instance is `trailing_zeros(min_mask ∩ idle)`.
 pub fn best_instance(view: &SimView<'_>, node: NodeId) -> Option<BestInstance> {
     let exec = view.cost.min_exec(node)?;
     let mask = view.cost.min_mask(node);
     debug_assert_ne!(mask, 0);
+    debug_assert_eq!(
+        view.idle_mask,
+        view.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_idle())
+            .fold(0u64, |m, (i, _)| m | 1 << i),
+        "view's idle mask disagrees with its snapshots"
+    );
     // Among minimal-exec instances, prefer the lowest-id idle one; fall back
     // to the lowest-id instance overall.
-    let lowest = ProcId::new(mask.trailing_zeros() as usize);
-    let mut bits = mask;
-    while bits != 0 {
-        let proc = ProcId::new(bits.trailing_zeros() as usize);
-        bits &= bits - 1;
-        if view.procs[proc.index()].is_idle() {
-            return Some(BestInstance {
-                proc,
-                exec,
-                idle: true,
-            });
-        }
+    let idle = mask & view.idle_mask;
+    if idle != 0 {
+        Some(BestInstance {
+            proc: ProcId::new(idle.trailing_zeros() as usize),
+            exec,
+            idle: true,
+        })
+    } else {
+        Some(BestInstance {
+            proc: ProcId::new(mask.trailing_zeros() as usize),
+            exec,
+            idle: false,
+        })
     }
-    Some(BestInstance {
-        proc: lowest,
-        exec,
-        idle: false,
-    })
 }
 
 #[cfg(test)]
@@ -91,7 +97,11 @@ mod tests {
             config,
             cost: &cost,
             locations: &locations,
-            idle_count: procs.iter().filter(|p| p.is_idle()).count(),
+            idle_mask: procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_idle())
+                .fold(0u64, |m, (i, _)| m | 1 << i),
         };
         check(&view);
     }

@@ -10,7 +10,7 @@ use crate::plan::{build_plan, PlannedSchedule};
 use crate::ranking::upward_ranks;
 use apt_base::stats::argmin_by_key;
 use apt_base::BaseError;
-use apt_hetsim::{Assignment, Policy, PolicyKind, PrepareCtx, SimView};
+use apt_hetsim::{AssignmentBuf, Policy, PolicyKind, PrepareCtx, SimView};
 
 /// The HEFT policy.
 #[derive(Debug, Default)]
@@ -48,11 +48,11 @@ impl Policy for Heft {
         Ok(())
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         self.plan
             .as_mut()
             .expect("prepare() runs before decide()")
-            .release(view)
+            .release(view, out)
     }
 }
 

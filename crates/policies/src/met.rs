@@ -13,11 +13,20 @@
 //!
 //! The paper picks kernels "in a random order"; for reproducibility this
 //! implementation uses ascending node id, which is one fixed arbitrary
-//! order. One assignment is emitted per `decide` call; the engine's fixpoint
-//! loop re-invokes with a fresh view until MET only wants to wait.
+//! order.
+//!
+//! MET's rule reads only static lookup costs and the idle set, and every
+//! assignment strictly *shrinks* the idle set — a kernel skipped because its
+//! best processor was busy can never become assignable later in the same
+//! instant. The whole per-instant fixpoint is therefore emitted in one
+//! `decide` pass over the ready list, tracking the claimed processors in a
+//! local copy of the idle mask; the engine's re-invocation then finds
+//! nothing left and advances time. This produces exactly the same
+//! assignment sequence as the one-per-call form (pinned by the Figure-5
+//! test below) at a fraction of the rescans.
 
-use crate::common::best_instance;
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_base::ProcId;
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 
 /// The MET policy. Stateless; construct per run for uniformity.
 #[derive(Debug, Default, Clone, Copy)]
@@ -39,16 +48,22 @@ impl Policy for Met {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+        let mut idle = view.idle_mask;
         for node in view.ready.iter() {
-            if let Some(best) = best_instance(view, node) {
-                if best.idle {
-                    return vec![Assignment::new(node, best.proc)];
-                }
-                // Best processor busy: wait for it (the defining MET rule).
+            if idle == 0 {
+                break; // every processor claimed: nothing left this instant
             }
+            // Lowest-id idle instance among the minimal-execution-time set
+            // (`best_instance` semantics, fused with the batch's own claims).
+            let available = view.cost.min_mask(node) & idle;
+            if available != 0 {
+                let proc = ProcId::new(available.trailing_zeros() as usize);
+                idle &= !(1 << proc.index());
+                out.push(Assignment::new(node, proc));
+            }
+            // Best processor busy: wait for it (the defining MET rule).
         }
-        Vec::new()
     }
 }
 

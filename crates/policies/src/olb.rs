@@ -6,7 +6,7 @@
 //! improvement over it. OLB is included here as an extra baseline for the
 //! ablation benches; it does not appear in the paper's result tables.
 
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 
 /// The OLB policy. Keeps a rotating cursor over processors so load spreads
 /// round-robin across available devices.
@@ -31,7 +31,7 @@ impl Policy for Olb {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         let n = view.procs.len();
         for node in view.ready.iter() {
             // Next available processor starting from the cursor, skipping
@@ -41,11 +41,11 @@ impl Policy for Olb {
                 let p = &view.procs[idx];
                 if p.is_idle() && view.exec_time(node, p.id).is_some() {
                     self.cursor = (idx + 1) % n;
-                    return vec![Assignment::new(node, p.id)];
+                    out.push(Assignment::new(node, p.id));
+                    return;
                 }
             }
         }
-        Vec::new()
     }
 }
 

@@ -11,7 +11,7 @@ use crate::plan::{build_plan, PlannedSchedule};
 use crate::ranking::{oct_matrix, rank_oct};
 use apt_base::stats::{argmin_by_key, FiniteF64};
 use apt_base::BaseError;
-use apt_hetsim::{Assignment, Policy, PolicyKind, PrepareCtx, SimView};
+use apt_hetsim::{AssignmentBuf, Policy, PolicyKind, PrepareCtx, SimView};
 
 /// The PEFT policy.
 #[derive(Debug, Default)]
@@ -54,11 +54,11 @@ impl Policy for Peft {
         Ok(())
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         self.plan
             .as_mut()
             .expect("prepare() runs before decide()")
-            .release(view)
+            .release(view, out)
     }
 }
 

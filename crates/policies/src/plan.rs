@@ -25,7 +25,7 @@
 use apt_base::stats::FiniteF64;
 use apt_base::{ProcId, SimDuration, SimTime};
 use apt_dfg::{KernelDag, NodeId};
-use apt_hetsim::{Assignment, PrepareCtx, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, PrepareCtx, SimView};
 use std::collections::VecDeque;
 
 /// Reserved intervals per processor, kept sorted by start time.
@@ -101,10 +101,9 @@ pub struct PlannedSchedule {
 
 impl PlannedSchedule {
     /// Release the next plan steps the simulator can take *now*: for every
-    /// idle processor whose plan head is ready, emit that assignment.
-    /// Preserves per-processor plan order strictly.
-    pub fn release(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        let mut out = Vec::new();
+    /// idle processor whose plan head is ready, emit that assignment into
+    /// the engine's buffer. Preserves per-processor plan order strictly.
+    pub fn release(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         for p in view.procs {
             if !p.is_idle() {
                 continue;
@@ -116,7 +115,6 @@ impl PlannedSchedule {
                 }
             }
         }
-        out
     }
 }
 

@@ -10,8 +10,9 @@
 //! produces its catastrophic Table-8/9 rows (e.g. a GEM forced onto the
 //! FPGA costs 585 760 ms against 4 001 ms on the GPU).
 
-use apt_base::stats::argmin_by_key;
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_base::{ProcId, SimDuration};
+use apt_dfg::NodeId;
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 
 /// The SPN policy.
 #[derive(Debug, Default, Clone, Copy)]
@@ -33,24 +34,24 @@ impl Policy for Spn {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         // Enumerate (ready kernel, idle processor) pairs; pick the pair with
         // the smallest execution time. Ties: first in (node id, proc id)
-        // enumeration order, via argmin's earliest-index rule.
-        let mut pairs = Vec::new();
+        // enumeration order — a strict `<` running minimum keeps the
+        // earliest pair, matching the argmin helper this replaced without
+        // materializing the pair list.
+        let mut best: Option<(NodeId, ProcId, SimDuration)> = None;
         for node in view.ready.iter() {
             for p in view.idle_procs() {
                 if let Some(e) = view.exec_time(node, p.id) {
-                    pairs.push((node, p.id, e));
+                    if best.is_none_or(|(_, _, be)| e < be) {
+                        best = Some((node, p.id, e));
+                    }
                 }
             }
         }
-        match argmin_by_key(&pairs, |&(_, _, e)| e) {
-            Some(i) => {
-                let (node, proc, _) = pairs[i];
-                vec![Assignment::new(node, proc)]
-            }
-            None => Vec::new(),
+        if let Some((node, proc, _)) = best {
+            out.push(Assignment::new(node, proc));
         }
     }
 }

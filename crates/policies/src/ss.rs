@@ -11,9 +11,17 @@
 //! so the priority adapts as devices come and go. Like SPN, SS never waits:
 //! when the best device is busy it assigns to the best *available* one "even
 //! if they are not the best choice".
+//!
+//! The per-kernel stddev depends only on `(node, idle-processor mask)` —
+//! not on any other live state — so it is memoized in the run's
+//! [`CostModel`](apt_hetsim::CostModel) (`idle_stddev`), turning the former
+//! per-edge recomputation (SS was the slowest dynamic policy end-to-end)
+//! into a table read.
 
-use apt_base::stats::{stddev_population, FiniteF64};
-use apt_hetsim::{Assignment, Policy, PolicyKind, SimView};
+use apt_base::stats::FiniteF64;
+use apt_base::{ProcId, SimDuration};
+use apt_dfg::NodeId;
+use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
 
 /// The SS policy.
 #[derive(Debug, Default, Clone, Copy)]
@@ -35,30 +43,30 @@ impl Policy for SerialScheduling {
         PolicyKind::Dynamic
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Assignment> {
-        // Highest-stddev ready kernel over the available processors.
-        let mut best: Option<(FiniteF64, apt_dfg::NodeId, apt_base::ProcId)> = None;
+    fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+        // Highest-stddev ready kernel over the available processors. The
+        // stddev is a memoized (node, idle-mask) cost-model read; only the
+        // best available processor is found by scanning.
+        let idle_mask = view.idle_mask;
+        let mut best: Option<(FiniteF64, NodeId, ProcId)> = None;
         for node in view.ready.iter() {
-            let mut times_ms = Vec::new();
-            let mut best_proc: Option<(apt_base::ProcId, apt_base::SimDuration)> = None;
+            let mut best_proc: Option<(ProcId, SimDuration)> = None;
             for p in view.idle_procs() {
                 if let Some(e) = view.exec_time(node, p.id) {
-                    times_ms.push(e.as_ms_f64());
                     if best_proc.is_none_or(|(_, be)| e < be) {
                         best_proc = Some((p.id, e));
                     }
                 }
             }
             let Some((proc, _)) = best_proc else { continue };
-            let sd = FiniteF64(stddev_population(&times_ms));
+            let sd = FiniteF64(view.cost.idle_stddev(node, idle_mask));
             // Strict `>` keeps the earliest (lowest-id) kernel on ties.
             if best.is_none_or(|(bsd, _, _)| sd > bsd) {
                 best = Some((sd, node, proc));
             }
         }
-        match best {
-            Some((_, node, proc)) => vec![Assignment::new(node, proc)],
-            None => Vec::new(),
+        if let Some((_, node, proc)) = best {
+            out.push(Assignment::new(node, proc));
         }
     }
 }

@@ -228,13 +228,15 @@ impl<'a> RefEngine<'a> {
             loop {
                 let views = self.proc_views();
                 // The SimView type requires the bitset + cost model; both
-                // are rebuilt/derived fresh here so the *engine under test*
-                // remains the only incremental implementation.
+                // are rebuilt/derived fresh here — as is the decide buffer —
+                // so the *engine under test* remains the only incremental
+                // implementation.
                 let mut ready_set = ReadySet::new(self.dfg.len());
                 for &n in &self.ready {
                     ready_set.insert(n);
                 }
-                let assignments = {
+                let mut assignments = AssignmentBuf::new();
+                {
                     let view = SimView {
                         now: self.now,
                         ready: &ready_set,
@@ -244,14 +246,18 @@ impl<'a> RefEngine<'a> {
                         config: self.config,
                         cost: self.cost,
                         locations: &self.locations,
-                        idle_count: views.iter().filter(|p| p.is_idle()).count(),
+                        idle_mask: views
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| p.is_idle())
+                            .fold(0u64, |m, (i, _)| m | 1 << i),
                     };
-                    policy.decide(&view)
-                };
+                    policy.decide(&view, &mut assignments);
+                }
                 if assignments.is_empty() {
                     break;
                 }
-                for a in assignments {
+                for &a in assignments.as_slice() {
                     self.apply(a);
                 }
             }
