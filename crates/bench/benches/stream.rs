@@ -1,0 +1,28 @@
+//! Open-stream throughput: the bounded-memory driver end to end, and the
+//! two-level calendar queue under a deep far-future backlog. These are the
+//! million-job path's constant factors — `apt-bench` tracks the same
+//! configurations in `BENCH_engine.json`.
+
+use apt_bench::{stream_calendar_backlog, stream_run, STREAM_BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_stream_driver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream/poisson");
+    g.throughput(Throughput::Elements(STREAM_BENCH_JOBS));
+    for (name, alpha) in [("met", None), ("apt", Some(4.0))] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &alpha, |b, &alpha| {
+            b.iter(|| black_box(stream_run(alpha)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_calendar_backlog(c: &mut Criterion) {
+    c.bench_function("stream/calendar_backlog", |b| {
+        b.iter(|| black_box(stream_calendar_backlog()))
+    });
+}
+
+criterion_group!(benches, bench_stream_driver, bench_calendar_backlog);
+criterion_main!(benches);

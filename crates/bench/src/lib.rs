@@ -12,6 +12,8 @@
 //!   scheduling cost, including HEFT/PEFT's pre-computation phase (the
 //!   "intensive pre-computation" §1.2 says dynamic policies avoid).
 //! * [`engine`](../benches/engine.rs) — raw simulator/generator throughput.
+//! * [`stream`](../benches/stream.rs) — open-stream driver end-to-end and
+//!   the two-level calendar under a deep far-future backlog.
 //!
 //! Run with `cargo bench --workspace`; results land in `target/criterion/`.
 
@@ -44,6 +46,69 @@ pub fn run(dfg: &KernelDag, system: &SystemConfig, policy: &mut dyn Policy) -> u
         .expect("bench simulation")
         .makespan()
         .as_ns()
+}
+
+/// Jobs per open-stream bench iteration (single-kernel Poisson jobs at a
+/// sustainable rate — the million-job path, sized for a benchable iteration).
+pub const STREAM_BENCH_JOBS: u64 = 10_000;
+
+/// One open-stream driver run: `STREAM_BENCH_JOBS` Poisson jobs through the
+/// bounded-memory driver under MET (`alpha = None`) or APT(α)
+/// (`alpha = Some(α)`). Returns the final simulated instant in ns.
+pub fn stream_run(alpha: Option<f64>) -> u64 {
+    use apt_stream::{simulate_source, DriverOpts, JobFamily, PoissonSource};
+    let mut policy: Box<dyn Policy> = match alpha {
+        None => Box::new(Met::new()),
+        Some(a) => Box::new(Apt::new(a)),
+    };
+    let mut source = PoissonSource::new(
+        LookupTable::paper(),
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    );
+    let outcome = simulate_source(
+        &mut source,
+        &SystemConfig::paper_4gbps(),
+        LookupTable::paper(),
+        policy.as_mut(),
+        &DriverOpts::default(),
+    )
+    .expect("stream bench run");
+    assert_eq!(outcome.jobs_completed, STREAM_BENCH_JOBS);
+    outcome.end.as_ns()
+}
+
+/// Calendar-queue stress for the streaming access pattern: a deep
+/// far-future arrival backlog (near window, far ring, and overflow tiers
+/// all populated) drained batch by batch with near-term completions pushed
+/// along the way. Returns a checksum so the work cannot be optimized out.
+pub fn stream_calendar_backlog() -> u64 {
+    let mut q: CalendarQueue<u32> = CalendarQueue::new();
+    // 40k arrivals spread over ~2 simulated minutes: ~112 blocks, so the
+    // near ring, the far ring, and the overflow list all carry load.
+    let mut t = 0u64;
+    for i in 0..40_000u32 {
+        t += 3_000_000; // 3 ms apart
+        q.push(apt_base::SimTime::from_ns(t), i);
+    }
+    let mut acc = 0u64;
+    let mut batch = Vec::new();
+    let mut completions = 0u32;
+    while let Some(at) = q.pop_batch(&mut batch) {
+        acc = acc.wrapping_add(at.as_ns()) ^ batch.len() as u64;
+        // Every 8th batch schedules a near-term completion, as the engine
+        // would.
+        if completions.is_multiple_of(8) {
+            q.push(
+                at + apt_base::SimDuration::from_us(500),
+                u32::MAX - completions,
+            );
+        }
+        completions += 1;
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -11,8 +11,10 @@
 //! ```
 //!
 //! Both labels merge into one `BENCH_engine.json` (schema: bench name →
-//! median ns per label, plus the before/after speedup), which is checked in
-//! so future PRs can extend the perf trajectory.
+//! median ns per label — plus criterion-style `mean`/`stddev` estimates of
+//! the sample distribution, so distribution shifts are visible, not just
+//! median drift — and the before/after speedup), which is checked in so
+//! future PRs can extend the perf trajectory.
 //!
 //! A third mode guards the trajectory in CI:
 //!
@@ -26,7 +28,7 @@
 //! never writes the file — refreshing the medians stays an explicit
 //! `--label after` run.
 
-use apt_bench::{run, type2_workload};
+use apt_bench::{run, stream_calendar_backlog, stream_run, type2_workload, STREAM_BENCH_JOBS};
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -39,8 +41,18 @@ const TARGET_SAMPLE: Duration = Duration::from_millis(20);
 /// Upper bound on total time spent per bench.
 const MAX_BENCH_TIME: Duration = Duration::from_secs(4);
 
-/// Median ns/iteration of `routine`.
-fn measure<O>(mut routine: impl FnMut() -> O) -> u64 {
+/// One bench measurement: the median plus criterion-style distribution
+/// estimates over the per-sample ns/iteration values.
+#[derive(Clone, Copy)]
+struct Measurement {
+    median_ns: u64,
+    mean_ns: u64,
+    stddev_ns: u64,
+}
+
+/// Measure ns/iteration of `routine` (median of batched samples, plus the
+/// sample mean and population standard deviation).
+fn measure<O>(mut routine: impl FnMut() -> O) -> Measurement {
     let t0 = Instant::now();
     black_box(routine());
     let once = t0.elapsed().max(Duration::from_nanos(1));
@@ -58,10 +70,21 @@ fn measure<O>(mut routine: impl FnMut() -> O) -> u64 {
         }
     }
     samples.sort_unstable();
-    samples[samples.len() / 2]
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<u64>() as f64 / n;
+    let var = samples
+        .iter()
+        .map(|&s| (s as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    Measurement {
+        median_ns: samples[samples.len() / 2],
+        mean_ns: mean.round() as u64,
+        stddev_ns: var.sqrt().round() as u64,
+    }
 }
 
-fn engine_benches(out: &mut Vec<(String, u64)>) {
+fn engine_benches(out: &mut Vec<(String, Measurement)>) {
     let system = SystemConfig::paper_4gbps();
     let lookup = LookupTable::paper();
     for &n in &[46usize, 93, 157] {
@@ -86,7 +109,18 @@ fn engine_benches(out: &mut Vec<(String, u64)>) {
     out.push(("engine/lookup_exec_time".into(), ns));
 }
 
-fn policy_benches(out: &mut Vec<(String, u64)>) {
+/// Open-stream driver end-to-end plus the two-level calendar backlog —
+/// mirrors `benches/stream.rs`.
+fn stream_benches(out: &mut Vec<(String, Measurement)>) {
+    for (name, alpha) in [("met", None), ("apt", Some(4.0))] {
+        let ns = measure(|| stream_run(alpha));
+        out.push((format!("stream/poisson_{name}/{STREAM_BENCH_JOBS}"), ns));
+    }
+    let ns = measure(stream_calendar_backlog);
+    out.push(("stream/calendar_backlog".into(), ns));
+}
+
+fn policy_benches(out: &mut Vec<(String, Measurement)>) {
     let dfg = type2_workload();
     let system = SystemConfig::paper_4gbps();
     for (name, make) in apt_core::all_policy_factories(4.0) {
@@ -98,11 +132,15 @@ fn policy_benches(out: &mut Vec<(String, u64)>) {
     }
 }
 
-/// One bench row: medians per label.
+/// One bench row: medians (and distribution estimates) per label.
 #[derive(Default, Clone)]
 struct Row {
     before_ns: Option<u64>,
     after_ns: Option<u64>,
+    before_mean_ns: Option<u64>,
+    before_stddev_ns: Option<u64>,
+    after_mean_ns: Option<u64>,
+    after_stddev_ns: Option<u64>,
 }
 
 /// Parse the flat JSON this binary itself emits (no external JSON dep).
@@ -127,6 +165,10 @@ fn parse_existing(text: &str) -> BTreeMap<String, Row> {
         let row = Row {
             before_ns: grab("\"before_ns\":"),
             after_ns: grab("\"after_ns\":"),
+            before_mean_ns: grab("\"before_mean_ns\":"),
+            before_stddev_ns: grab("\"before_stddev_ns\":"),
+            after_mean_ns: grab("\"after_mean_ns\":"),
+            after_stddev_ns: grab("\"after_stddev_ns\":"),
         };
         // Structural lines ("benches": { ... ) carry no recorded medians.
         if row.before_ns.is_some() || row.after_ns.is_some() {
@@ -137,7 +179,7 @@ fn parse_existing(text: &str) -> BTreeMap<String, Row> {
 }
 
 fn render(rows: &BTreeMap<String, Row>) -> String {
-    let mut s = String::from("{\n  \"schema\": \"apt-bench-v1\",\n  \"unit\": \"median ns per iteration\",\n  \"benches\": {\n");
+    let mut s = String::from("{\n  \"schema\": \"apt-bench-v2\",\n  \"unit\": \"median ns per iteration (means/stddevs: sample-distribution estimates)\",\n  \"benches\": {\n");
     let n = rows.len();
     for (i, (name, row)) in rows.iter().enumerate() {
         s.push_str(&format!("    \"{name}\": {{ "));
@@ -145,8 +187,20 @@ fn render(rows: &BTreeMap<String, Row>) -> String {
         if let Some(b) = row.before_ns {
             fields.push(format!("\"before_ns\": {b}"));
         }
+        if let Some(m) = row.before_mean_ns {
+            fields.push(format!("\"before_mean_ns\": {m}"));
+        }
+        if let Some(sd) = row.before_stddev_ns {
+            fields.push(format!("\"before_stddev_ns\": {sd}"));
+        }
         if let Some(a) = row.after_ns {
             fields.push(format!("\"after_ns\": {a}"));
+        }
+        if let Some(m) = row.after_mean_ns {
+            fields.push(format!("\"after_mean_ns\": {m}"));
+        }
+        if let Some(sd) = row.after_stddev_ns {
+            fields.push(format!("\"after_stddev_ns\": {sd}"));
         }
         if let (Some(b), Some(a)) = (row.before_ns, row.after_ns) {
             fields.push(format!("\"speedup\": {:.2}", b as f64 / a.max(1) as f64));
@@ -168,16 +222,17 @@ fn check(
     out_path: &str,
     tolerance_percent: u64,
     rows: &BTreeMap<String, Row>,
-    results: &[(String, u64)],
+    results: &[(String, Measurement)],
 ) -> i32 {
     let mut regressions = 0usize;
-    for (name, ns) in results {
+    for (name, m) in results {
+        let ns = m.median_ns;
         let Some(recorded) = rows.get(name).and_then(|r| r.after_ns) else {
             eprintln!("{name:<45} {ns:>12} ns  [new — no recorded median]");
             continue;
         };
         let limit = recorded + recorded * tolerance_percent / 100;
-        if *ns > limit {
+        if ns > limit {
             regressions += 1;
             eprintln!(
                 "{name:<45} {ns:>12} ns  REGRESSED (recorded {recorded} ns, limit {limit} ns)"
@@ -266,6 +321,7 @@ fn main() {
     let mut results = Vec::new();
     engine_benches(&mut results);
     policy_benches(&mut results);
+    stream_benches(&mut results);
 
     if let Some(rows) = recorded {
         std::process::exit(check(&out_path, tolerance_percent, &rows, &results));
@@ -274,13 +330,24 @@ fn main() {
     let mut rows = std::fs::read_to_string(&out_path)
         .map(|t| parse_existing(&t))
         .unwrap_or_default();
-    for (name, ns) in results {
+    for (name, m) in results {
         let row = rows.entry(name.clone()).or_default();
         match label.as_str() {
-            "before" => row.before_ns = Some(ns),
-            _ => row.after_ns = Some(ns),
+            "before" => {
+                row.before_ns = Some(m.median_ns);
+                row.before_mean_ns = Some(m.mean_ns);
+                row.before_stddev_ns = Some(m.stddev_ns);
+            }
+            _ => {
+                row.after_ns = Some(m.median_ns);
+                row.after_mean_ns = Some(m.mean_ns);
+                row.after_stddev_ns = Some(m.stddev_ns);
+            }
         }
-        eprintln!("{name:<45} {ns:>12} ns  [{label}]");
+        eprintln!(
+            "{name:<45} {:>12} ns  (mean {} ± {})  [{label}]",
+            m.median_ns, m.mean_ns, m.stddev_ns
+        );
     }
     std::fs::write(&out_path, render(&rows)).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");

@@ -14,12 +14,23 @@
 //!
 //! The kernel iteration order over the ready list is ascending node id
 //! (first-come first-serve on the stream order, which is how the generators
-//! number kernels). One assignment is emitted per `decide` call; the engine
-//! re-invokes with a refreshed view until APT only wants to wait.
+//! number kernels).
+//!
+//! ## Batched per-instant emission
+//!
+//! Like MET, APT emits its whole per-instant fixpoint in **one** `decide`
+//! pass instead of one assignment per call: every rule input is constant
+//! within an instant except the idle set, and every assignment only
+//! *shrinks* the idle set — so a kernel once skipped (p_min busy, no
+//! admissible alternative) can never become assignable later in the same
+//! instant, and the pass tracks its own claims in a local idle mask
+//! ([`best_instance_in`]). This produces exactly the assignment sequence of
+//! the one-per-call form (pinned by the Figure-5 test below and the
+//! engine-equivalence suite) at a fraction of the ready-list rescans.
 
 use apt_base::{ProcId, SimDuration};
 use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
-use apt_policies::common::best_instance;
+use apt_policies::common::best_instance_in;
 
 /// The Alternative-Processor-within-Threshold policy.
 #[derive(Debug, Clone, Copy)]
@@ -51,24 +62,30 @@ impl Apt {
         x.scale_alpha(self.alpha)
     }
 
-    /// `find2ndBestProc` of Algorithm 1: the *available* processor with the
-    /// minimum `exec + transfer` cost for `node`, if that cost is within the
-    /// threshold. Excludes `p_min` itself (which is busy when this runs).
+    /// `find2ndBestProc` of Algorithm 1: the processor in `idle_mask` with
+    /// the minimum `exec + transfer` cost for `node`, if that cost is
+    /// within the threshold. Excludes `p_min` itself (which is busy when
+    /// this runs). `idle_mask` is the batch's *remaining* idle set — ties
+    /// break to the lowest id, same as the snapshot-scan form.
     fn find_alternative(
         &self,
         view: &SimView<'_>,
         node: apt_dfg::NodeId,
         p_min: ProcId,
         threshold: SimDuration,
+        idle_mask: u64,
     ) -> Option<ProcId> {
         let mut best: Option<(ProcId, SimDuration)> = None;
-        for p in view.idle_procs() {
-            if p.id == p_min {
+        let mut bits = idle_mask;
+        while bits != 0 {
+            let p = ProcId::new(bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+            if p == p_min {
                 continue;
             }
-            if let Some(cost) = view.placement_cost(node, p.id) {
+            if let Some(cost) = view.placement_cost(node, p) {
                 if best.is_none_or(|(_, c)| cost < c) {
-                    best = Some((p.id, cost));
+                    best = Some((p, cost));
                 }
             }
         }
@@ -89,20 +106,28 @@ impl Policy for Apt {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+        // One pass emits the whole instant (module docs): `idle` carries the
+        // batch's own claims, so each kernel sees exactly the idle set the
+        // engine would have shown it after applying the earlier assignments.
+        let mut idle = view.idle_mask;
         for node in view.ready.iter() {
-            let Some(best) = best_instance(view, node) else {
+            if idle == 0 {
+                break; // every processor claimed: nothing left this instant
+            }
+            let Some(best) = best_instance_in(view, node, idle) else {
                 continue;
             };
             if best.idle {
                 // Line 6–8 of Algorithm 1: p_min available → allocate.
+                idle &= !(1 << best.proc.index());
                 out.push(Assignment::new(node, best.proc));
-                return;
+                continue;
             }
             // Lines 9–14: look for p_alt within α·x.
             let threshold = self.threshold(best.exec);
-            if let Some(p_alt) = self.find_alternative(view, node, best.proc, threshold) {
+            if let Some(p_alt) = self.find_alternative(view, node, best.proc, threshold, idle) {
+                idle &= !(1 << p_alt.index());
                 out.push(Assignment::alternative(node, p_alt));
-                return;
             }
             // No admissible alternative: wait for p_min, try the next kernel.
         }

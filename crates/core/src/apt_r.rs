@@ -17,10 +17,18 @@
 //!
 //! where `remaining(p_min)` is how long the optimal processor stays busy.
 //! The ablation bench `apt_r` quantifies the improvement this buys.
+//!
+//! Like MET and APT, APT-R emits its whole per-instant fixpoint in one
+//! `decide` pass. APT-R additionally reads `busy_until`, which *does*
+//! change within the instant for processors the batch itself claims — so
+//! the pass tracks a local finish estimate per claimed processor, computed
+//! with exactly the engine's `start = now, finish = now + transfer + exec`
+//! arithmetic. Byte-identical to the one-assignment-per-call form (pinned
+//! by the engine-equivalence suite).
 
-use apt_base::{ProcId, SimDuration};
+use apt_base::{ProcId, SimDuration, SimTime};
 use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
-use apt_policies::common::best_instance;
+use apt_policies::common::best_instance_in;
 
 /// APT with remaining-time awareness (future-work heuristic).
 #[derive(Debug, Clone, Copy)]
@@ -54,37 +62,67 @@ impl Policy for AptR {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+        // Batched per-instant pass (module docs): `idle` carries this
+        // batch's claims; `claimed_until` carries the finish instants of
+        // kernels the batch already started, so the waiting estimate for a
+        // just-claimed p_min matches what the engine's refreshed view would
+        // have shown.
+        let mut idle = view.idle_mask;
+        let mut claimed_until = [SimTime::ZERO; 64];
+        let mut claimed: u64 = 0;
+        // The engine's start arithmetic for a kernel claimed at this
+        // instant: start = now, finish = now + transfer + exec.
+        let finish_of = |node, proc: ProcId, view: &SimView<'_>| {
+            view.now
+                + view.transfer_in_time(node, proc)
+                + view.exec_time(node, proc).expect("claimed proc runs node")
+        };
         for node in view.ready.iter() {
-            let Some(best) = best_instance(view, node) else {
+            if idle == 0 {
+                break; // every processor claimed: nothing left this instant
+            }
+            let Some(best) = best_instance_in(view, node, idle) else {
                 continue;
             };
             if best.idle {
+                claimed_until[best.proc.index()] = finish_of(node, best.proc, view);
+                claimed |= 1 << best.proc.index();
+                idle &= !(1 << best.proc.index());
                 out.push(Assignment::new(node, best.proc));
-                return;
+                continue;
             }
             let threshold = best.exec.scale_alpha(self.alpha);
             // Cost of waiting for p_min: remaining busy time + placement.
-            let p_min_view = view.proc(best.proc);
-            let remaining = p_min_view.busy_until.saturating_since(view.now);
+            let busy_until = if claimed & (1 << best.proc.index()) != 0 {
+                claimed_until[best.proc.index()]
+            } else {
+                view.proc(best.proc).busy_until
+            };
+            let remaining = busy_until.saturating_since(view.now);
             let wait_cost = remaining
                 .saturating_add(view.transfer_in_time(node, best.proc))
                 .saturating_add(best.exec);
-            // Cheapest available alternative.
+            // Cheapest still-idle alternative.
             let mut alt: Option<(ProcId, SimDuration)> = None;
-            for p in view.idle_procs() {
-                if p.id == best.proc {
+            let mut bits = idle;
+            while bits != 0 {
+                let p = ProcId::new(bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+                if p == best.proc {
                     continue;
                 }
-                if let Some(cost) = view.placement_cost(node, p.id) {
+                if let Some(cost) = view.placement_cost(node, p) {
                     if alt.is_none_or(|(_, c)| cost < c) {
-                        alt = Some((p.id, cost));
+                        alt = Some((p, cost));
                     }
                 }
             }
             if let Some((proc, cost)) = alt {
                 if cost <= threshold && cost < wait_cost {
+                    claimed_until[proc.index()] = finish_of(node, proc, view);
+                    claimed |= 1 << proc.index();
+                    idle &= !(1 << proc.index());
                     out.push(Assignment::alternative(node, proc));
-                    return;
                 }
             }
         }

@@ -145,6 +145,22 @@ impl<T> Dag<T> {
         &mut self.nodes[id.index()]
     }
 
+    /// Remove every edge incident to `id` (both directions), leaving the
+    /// node in place with no neighbors. Used by the streaming engine's slot
+    /// arena to recycle the nodes of a retired job before rebinding them to
+    /// the next arrival; the node's own adjacency capacity is kept so a
+    /// recycled slot does not re-allocate.
+    pub fn detach_node(&mut self, id: NodeId) {
+        while let Some(s) = self.succs[id.index()].pop() {
+            self.preds[s.index()].retain(|&p| p != id);
+            self.edge_count -= 1;
+        }
+        while let Some(p) = self.preds[id.index()].pop() {
+            self.succs[p.index()].retain(|&s| s != id);
+            self.edge_count -= 1;
+        }
+    }
+
     /// Immediate predecessors (dependencies) of a node.
     #[inline]
     pub fn preds(&self, id: NodeId) -> &[NodeId] {
@@ -331,6 +347,26 @@ mod tests {
         assert_eq!(g.in_degree(NodeId(0)), 0);
         assert_eq!(g.out_degree(NodeId(3)), 0);
         assert_eq!(*g.node(NodeId(2)), "c");
+    }
+
+    #[test]
+    fn detach_node_removes_both_directions_and_allows_rewiring() {
+        let mut g = diamond();
+        g.detach_node(NodeId(1)); // b loses a→b and b→d
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.succs(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(g.preds(NodeId(3)), &[NodeId(2)]);
+        assert_eq!(g.in_degree(NodeId(1)), 0);
+        assert_eq!(g.out_degree(NodeId(1)), 0);
+        // The slot can be reconnected freshly (arena reuse).
+        g.add_edge(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        g.validate().unwrap();
+        // Detaching every node empties the edge set.
+        for i in 0..4 {
+            g.detach_node(NodeId(i));
+        }
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod runner;
+pub mod streaming;
 pub mod tables;
 pub mod workloads;
 
@@ -52,6 +53,11 @@ pub const LAMBDA_FIGURE_IDS: [&str; 2] = ["fig11", "fig12"];
 /// "occurrences of better solutions" summary.
 pub const SUPPLEMENTARY_IDS: [&str; 2] = ["table1", "wins"];
 
+/// Open-stream artifacts (beyond the paper's closed-world evaluation; see
+/// `streaming`): the λ-saturation sweep and the burst-absorption
+/// comparison.
+pub const STREAM_IDS: [&str; 2] = ["stream-saturation", "stream-bursts"];
+
 /// Ablation artifacts (beyond the paper's evaluation; see `ablations`).
 pub const ABLATION_IDS: [&str; 7] = [
     "ablation-alpha-fine",
@@ -70,6 +76,7 @@ pub fn all_artifact_ids() -> Vec<&'static str> {
         .chain(LAMBDA_FIGURE_IDS.iter())
         .chain(SUPPLEMENTARY_IDS.iter())
         .chain(ABLATION_IDS.iter())
+        .chain(STREAM_IDS.iter())
         .copied()
         .collect()
 }
@@ -107,6 +114,8 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
         "ablation-aptr" => Artifact::Table(ablations::ablation_apt_r()),
         "ablation-energy" => Artifact::Table(ablations::ablation_energy()),
         "ablation-quality" => Artifact::Table(ablations::ablation_quality()),
+        "stream-saturation" => Artifact::Table(streaming::stream_saturation()),
+        "stream-bursts" => Artifact::Table(streaming::stream_burst_comparison()),
         _ => return None,
     };
     Some(artifact)
@@ -125,6 +134,6 @@ mod tests {
             assert!(run_artifact(id).is_some(), "artifact {id} missing");
         }
         assert!(run_artifact("nope").is_none());
-        assert_eq!(all_artifact_ids().len(), 30);
+        assert_eq!(all_artifact_ids().len(), 32);
     }
 }

@@ -3,15 +3,24 @@
 //! The engine's completions fire in *batches* at identical instants, and the
 //! old `BinaryHeap<Reverse<(SimTime, u64, Event)>>` made every batch pay a
 //! log-factor sift per event plus a peek/pop loop to drain the instant. This
-//! queue replaces it with the structure hardware event wheels use:
+//! queue replaces it with the structure hardware event wheels use — now a
+//! **two-level** wheel so open-ended streams with millions of far-future
+//! arrivals never rescan their backlog per refill:
 //!
 //! * a ring of [`NUM_BUCKETS`] **near buckets**, each covering one
-//!   `2^WIDTH_SHIFT`-ns slot of a sliding window starting at `base_slot`
-//!   (occupancy tracked in a single `u64` mask, so finding the earliest
-//!   non-empty bucket is one rotate + `trailing_zeros`),
-//! * an **overflow bucket** for events beyond the window (far-future
-//!   arrivals in streaming mode); it is redistributed only when the near
-//!   window drains, so each event moves at most twice,
+//!   `2^WIDTH_SHIFT`-ns slot of the current *block* (64 slots ≈ 1.07 s;
+//!   occupancy tracked in a single `u64` mask, so finding the earliest
+//!   non-empty bucket is one `trailing_zeros`),
+//! * a ring of [`NUM_FAR_BUCKETS`] **far buckets**, each covering one whole
+//!   block beyond the near window (≈ 68.7 s of horizon, again with a `u64`
+//!   occupancy mask); when the near window drains, only the single earliest
+//!   far bucket is redistributed into it,
+//! * an **overflow list** for events beyond the far horizon; it is
+//!   rescanned only when *both* wheel levels drain — once per far-window
+//!   span instead of once per near-window span, so each event moves at most
+//!   three times (overflow → far → near → popped). The seed's single-level
+//!   overflow rescanned *all* far-future arrivals on every near refill:
+//!   O(batches × arrivals) on million-event streams.
 //! * [`CalendarQueue::pop_batch`] extracts the *whole* earliest-instant
 //!   batch in one call, in exact `(time, push-order)` order — the same
 //!   total order the heap's `(time, seq)` key produced — into a
@@ -21,12 +30,15 @@
 //! Two invariants make the equivalence with the heap exact (and are pinned
 //! by the property test `tests/calendar_order.rs`):
 //!
-//! 1. `base_slot` only moves when the near window is empty, so every near
-//!    entry's slot is strictly below every overflow entry's slot — near
-//!    events always pop first, and a batch can never be split between the
-//!    two regions.
-//! 2. Entries within one bucket are kept in push (sequence) order, and the
-//!    batch drain preserves it, so same-instant events come out FIFO.
+//! 1. **Strict tier order.** Near entries all live in block `cur_block`,
+//!    far entries in blocks `(cur_block, far_end_block]`, overflow entries
+//!    beyond `far_end_block`; `cur_block` only advances when the near
+//!    window is empty and `far_end_block` only advances when both wheels
+//!    are empty. Routing at push time is a pure function of the event's
+//!    block, so a same-instant batch can never be split across tiers.
+//! 2. Entries within one bucket (near, far, or overflow) are kept in push
+//!    (sequence) order, and every redistribution walks its source in order,
+//!    so same-instant events come out FIFO.
 //!
 //! Popped times are monotonically non-decreasing; a debug assertion fires if
 //! an event is ever scheduled before the last popped instant.
@@ -36,11 +48,19 @@ use apt_base::SimTime;
 /// Number of near buckets (one occupancy bit each — must stay ≤ 64).
 pub const NUM_BUCKETS: usize = 64;
 
-/// log2 of the nanoseconds each bucket spans. 2^24 ns ≈ 16.8 ms per bucket
-/// gives a ≈ 1.07 s near window — wide enough that the completions of one
-/// scheduling wave on the paper's machine land in the ring, while far-future
-/// stream arrivals wait in the overflow bucket.
+/// log2 of the nanoseconds each near bucket spans. 2^24 ns ≈ 16.8 ms per
+/// bucket gives a ≈ 1.07 s near window — wide enough that the completions of
+/// one scheduling wave on the paper's machine land in the ring.
 pub const WIDTH_SHIFT: u32 = 24;
+
+/// Number of far buckets (one occupancy bit each — must stay ≤ 64). Each
+/// spans one whole near window (a *block* of [`NUM_BUCKETS`] slots), so the
+/// two levels together cover ≈ 68.7 s before anything reaches the overflow
+/// list.
+pub const NUM_FAR_BUCKETS: usize = 64;
+
+/// log2 of the nanoseconds each far bucket (block) spans.
+const BLOCK_SHIFT: u32 = WIDTH_SHIFT + 6;
 
 /// One pending event. The `(time, push-order)` total order of the old heap
 /// is carried positionally: buckets and the overflow list keep entries in
@@ -51,15 +71,25 @@ struct Entry<E> {
     event: E,
 }
 
-/// A monotone calendar queue over copyable events. See the module docs.
+/// A monotone two-level calendar queue over copyable events. See the module
+/// docs.
 #[derive(Debug, Clone)]
 pub struct CalendarQueue<E> {
+    /// Near ring: bucket `slot % 64` holds the events of one slot of the
+    /// current block.
     buckets: Vec<Vec<Entry<E>>>,
     /// Bit `i` set ⇔ `buckets[i]` is non-empty.
     occupied: u64,
-    /// First slot of the near window; fixed between overflow refills.
-    base_slot: u64,
-    /// Events with `slot ≥ base_slot + NUM_BUCKETS`, in push order.
+    /// Far ring: bucket `block % 64` holds the events of one whole block in
+    /// `(cur_block, far_end_block]`.
+    far: Vec<Vec<Entry<E>>>,
+    /// Bit `i` set ⇔ `far[i]` is non-empty.
+    far_occupied: u64,
+    /// The block the near window currently covers.
+    cur_block: u64,
+    /// Last block covered by the far ring; fixed between overflow refills.
+    far_end_block: u64,
+    /// Events with `block > far_end_block`, in push order.
     overflow: Vec<Entry<E>>,
     len: usize,
     /// Time of the last popped batch (monotonicity assertion).
@@ -72,7 +102,10 @@ impl<E: Copy> CalendarQueue<E> {
         CalendarQueue {
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: 0,
-            base_slot: 0,
+            far: (0..NUM_FAR_BUCKETS).map(|_| Vec::new()).collect(),
+            far_occupied: 0,
+            cur_block: 0,
+            far_end_block: NUM_FAR_BUCKETS as u64,
             overflow: Vec::new(),
             len: 0,
             last_batch: SimTime::ZERO,
@@ -101,16 +134,126 @@ impl<E: Copy> CalendarQueue<E> {
             self.last_batch
         );
         let slot = t.as_ns() >> WIDTH_SHIFT;
+        let block = t.as_ns() >> BLOCK_SHIFT;
+        debug_assert!(block >= self.cur_block, "block below the near window");
         let entry = Entry { time: t, event };
         self.len += 1;
-        if slot < self.base_slot + NUM_BUCKETS as u64 {
-            debug_assert!(slot >= self.base_slot, "slot below the near window");
+        if block == self.cur_block {
             let idx = (slot % NUM_BUCKETS as u64) as usize;
             self.buckets[idx].push(entry);
             self.occupied |= 1 << idx;
+        } else if block <= self.far_end_block {
+            let idx = (block % NUM_FAR_BUCKETS as u64) as usize;
+            self.far[idx].push(entry);
+            self.far_occupied |= 1 << idx;
         } else {
             self.overflow.push(entry);
         }
+    }
+
+    /// Advance the wheel levels until the near ring holds the earliest
+    /// pending events (no-op if it already does). Returns `false` when the
+    /// queue is empty.
+    fn settle(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        while self.occupied == 0 {
+            if self.far_occupied != 0 {
+                // Earliest occupied far bucket: blocks in coverage are the
+                // 64 consecutive values after `cur_block`, so rotating the
+                // mask to start there makes `trailing_zeros` the offset.
+                let start = ((self.cur_block + 1) % NUM_FAR_BUCKETS as u64) as u32;
+                let off = self.far_occupied.rotate_right(start).trailing_zeros() as u64;
+                let block = self.cur_block + 1 + off;
+                let idx = (block % NUM_FAR_BUCKETS as u64) as usize;
+                self.cur_block = block;
+                self.far_occupied &= !(1 << idx);
+                // Move the whole block into the near ring in push order, so
+                // FIFO-within-instant survives the move.
+                let mut entries = std::mem::take(&mut self.far[idx]);
+                for e in entries.drain(..) {
+                    let slot = (e.time.as_ns() >> WIDTH_SHIFT) % NUM_BUCKETS as u64;
+                    self.buckets[slot as usize].push(e);
+                    self.occupied |= 1 << slot;
+                }
+                // Hand the emptied (but still allocated) Vec back to the far
+                // ring so steady-state refills stay allocation-free.
+                self.far[idx] = entries;
+            } else {
+                // Both wheels drained: advance the far window to the
+                // earliest overflow block and pull everything now in range.
+                // Each overflow entry is touched once per far-window span.
+                debug_assert!(!self.overflow.is_empty(), "len drifted from contents");
+                let new_start = self
+                    .overflow
+                    .iter()
+                    .map(|e| e.time.as_ns() >> BLOCK_SHIFT)
+                    .min()
+                    .expect("overflow is non-empty");
+                self.cur_block = new_start;
+                self.far_end_block = new_start + NUM_FAR_BUCKETS as u64;
+                let mut kept = 0;
+                for i in 0..self.overflow.len() {
+                    let e = self.overflow[i];
+                    let block = e.time.as_ns() >> BLOCK_SHIFT;
+                    if block == new_start {
+                        let slot = (e.time.as_ns() >> WIDTH_SHIFT) % NUM_BUCKETS as u64;
+                        self.buckets[slot as usize].push(e);
+                        self.occupied |= 1 << slot;
+                    } else if block <= self.far_end_block {
+                        let idx = (block % NUM_FAR_BUCKETS as u64) as usize;
+                        self.far[idx].push(e);
+                        self.far_occupied |= 1 << idx;
+                    } else {
+                        self.overflow[kept] = e;
+                        kept += 1;
+                    }
+                }
+                self.overflow.truncate(kept);
+            }
+        }
+        true
+    }
+
+    /// Index and minimum instant of the earliest non-empty near bucket.
+    /// Only valid after [`CalendarQueue::settle`] returned `true`.
+    fn earliest(&self) -> (usize, SimTime) {
+        // Slots within one block map to bucket `slot % 64` monotonically, so
+        // the earliest occupied bucket is plain `trailing_zeros` — no rotate.
+        let idx = self.occupied.trailing_zeros() as usize;
+        let min_t = self.buckets[idx]
+            .iter()
+            .map(|e| e.time)
+            .min()
+            .expect("occupied bucket is non-empty");
+        (idx, min_t)
+    }
+
+    /// The earliest pending instant, without popping anything. `None` when
+    /// the queue is empty.
+    ///
+    /// Deliberately non-mutating: redistributing here would advance the
+    /// near window past instants that future pushes (which only promise to
+    /// be `≥ last_batch`) may still target. The tier invariant makes the
+    /// scan cheap — the earliest entry lives in the earliest non-empty
+    /// tier, so at most one bucket (or, with both wheels drained, the
+    /// overflow list) is examined.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.occupied != 0 {
+            let idx = self.occupied.trailing_zeros() as usize;
+            return self.buckets[idx].iter().map(|e| e.time).min();
+        }
+        if self.far_occupied != 0 {
+            let start = ((self.cur_block + 1) % NUM_FAR_BUCKETS as u64) as u32;
+            let off = self.far_occupied.rotate_right(start).trailing_zeros() as u64;
+            let idx = ((self.cur_block + 1 + off) % NUM_FAR_BUCKETS as u64) as usize;
+            return self.far[idx].iter().map(|e| e.time).min();
+        }
+        self.overflow.iter().map(|e| e.time).min()
     }
 
     /// Pop the complete batch of events sharing the earliest pending
@@ -118,70 +261,31 @@ impl<E: Copy> CalendarQueue<E> {
     /// batch. Returns that instant, or `None` when the queue is empty.
     pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
         out.clear();
-        if self.len == 0 {
+        if !self.settle() {
             return None;
         }
-        loop {
-            if self.occupied != 0 {
-                // Earliest occupied bucket: ring order from the window start
-                // is ascending-slot order because every near entry's slot is
-                // inside the window.
-                let start = (self.base_slot % NUM_BUCKETS as u64) as u32;
-                let off = self.occupied.rotate_right(start).trailing_zeros();
-                let idx = ((start + off) as usize) % NUM_BUCKETS;
-                let bucket = &mut self.buckets[idx];
-                let min_t = bucket
-                    .iter()
-                    .map(|e| e.time)
-                    .min()
-                    .expect("occupied bucket is non-empty");
-                debug_assert!(min_t >= self.last_batch, "time ran backwards");
-                // Single compaction pass: batch members out (in push order),
-                // later-instant entries stay in place.
-                let mut kept = 0;
-                for i in 0..bucket.len() {
-                    let e = bucket[i];
-                    if e.time == min_t {
-                        out.push(e.event);
-                    } else {
-                        bucket[kept] = e;
-                        kept += 1;
-                    }
-                }
-                bucket.truncate(kept);
-                if bucket.is_empty() {
-                    self.occupied &= !(1 << idx);
-                }
-                self.len -= out.len();
-                self.last_batch = min_t;
-                return Some(min_t);
+        let (idx, min_t) = self.earliest();
+        debug_assert!(min_t >= self.last_batch, "time ran backwards");
+        let bucket = &mut self.buckets[idx];
+        // Single compaction pass: batch members out (in push order),
+        // later-instant entries stay in place.
+        let mut kept = 0;
+        for i in 0..bucket.len() {
+            let e = bucket[i];
+            if e.time == min_t {
+                out.push(e.event);
+            } else {
+                bucket[kept] = e;
+                kept += 1;
             }
-            // Near window drained: advance it to the earliest overflow slot
-            // and pull the now-near entries in (push order preserved, so
-            // FIFO-within-instant survives the move).
-            debug_assert!(!self.overflow.is_empty(), "len drifted from contents");
-            let new_base = self
-                .overflow
-                .iter()
-                .map(|e| e.time.as_ns() >> WIDTH_SHIFT)
-                .min()
-                .expect("overflow is non-empty");
-            self.base_slot = new_base;
-            let mut kept = 0;
-            for i in 0..self.overflow.len() {
-                let e = self.overflow[i];
-                let slot = e.time.as_ns() >> WIDTH_SHIFT;
-                if slot < new_base + NUM_BUCKETS as u64 {
-                    let idx = (slot % NUM_BUCKETS as u64) as usize;
-                    self.buckets[idx].push(e);
-                    self.occupied |= 1 << idx;
-                } else {
-                    self.overflow[kept] = e;
-                    kept += 1;
-                }
-            }
-            self.overflow.truncate(kept);
         }
+        bucket.truncate(kept);
+        if bucket.is_empty() {
+            self.occupied &= !(1 << idx);
+        }
+        self.len -= out.len();
+        self.last_batch = min_t;
+        Some(min_t)
     }
 }
 
@@ -233,20 +337,22 @@ mod tests {
         let mut batch = vec![7, 8];
         assert_eq!(q.pop_batch(&mut batch), None);
         assert!(batch.is_empty());
+        assert_eq!(q.peek_time(), None);
     }
 
-    /// Far-future events cross the overflow bucket and still come out in
-    /// global time order, including a same-instant batch split across the
-    /// near/overflow *push* paths (possible only via window advancement).
+    /// Far-future events cross the far ring and the overflow list and still
+    /// come out in global time order, including a same-instant batch whose
+    /// pushes landed in different tiers' *push* paths (possible only via
+    /// window advancement).
     #[test]
     fn overflow_refill_preserves_order() {
         let mut q = CalendarQueue::new();
-        let far = SimTime::from_ms(600_000); // ≫ one window
+        let far = SimTime::from_ms(600_000); // beyond the near window
         let farther = SimTime::from_ms(600_000 * 3);
-        q.push(far, 1); // → overflow
+        q.push(far, 1); // → far ring
         q.push(SimTime::from_ms(1), 0); // near
-        q.push(farther, 9); // → overflow
-        q.push(far, 2); // → overflow, same instant as the first push
+        q.push(farther, 9); // → far ring
+        q.push(far, 2); // → far ring, same instant as the first push
         let mut batch = Vec::new();
         assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_ms(1)));
         assert_eq!(batch, vec![0]);
@@ -256,6 +362,56 @@ mod tests {
         assert_eq!(q.pop_batch(&mut batch), Some(farther));
         assert_eq!(batch, vec![9]);
         assert_eq!(q.pop_batch(&mut batch), None);
+    }
+
+    /// Events beyond the two-level horizon (≈ 68.7 s) land in the overflow
+    /// list and are redistributed through both levels without reordering.
+    #[test]
+    fn beyond_far_horizon_events_cross_both_levels() {
+        let mut q = CalendarQueue::new();
+        let horizon_ns = (NUM_FAR_BUCKETS as u64 + 1) << BLOCK_SHIFT;
+        let way_out = SimTime::from_ns(horizon_ns * 3);
+        let way_out_2 = SimTime::from_ns(horizon_ns * 3 + 1);
+        q.push(way_out, 1); // overflow
+        q.push(way_out_2, 2); // overflow, next nanosecond
+        q.push(SimTime::from_ms(1), 0); // near
+        q.push(way_out, 3); // overflow, same instant as the first push
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_ms(1)));
+        assert_eq!(batch, vec![0]);
+        assert_eq!(q.peek_time(), Some(way_out));
+        assert_eq!(q.pop_batch(&mut batch), Some(way_out));
+        assert_eq!(batch, vec![1, 3]);
+        assert_eq!(q.pop_batch(&mut batch), Some(way_out_2));
+        assert_eq!(batch, vec![2]);
+        assert!(q.is_empty());
+    }
+
+    /// After the far window advances, pushes near the new `now` route into
+    /// the correct tier and interleave correctly with older overflow events.
+    #[test]
+    fn pushes_after_window_advance_keep_global_order() {
+        let mut q = CalendarQueue::new();
+        let horizon_ns = (NUM_FAR_BUCKETS as u64 + 1) << BLOCK_SHIFT;
+        let jump = SimTime::from_ns(horizon_ns * 2);
+        let beyond = SimTime::from_ns(horizon_ns * 5);
+        q.push(jump, 0); // overflow initially
+        q.push(beyond, 9); // overflow
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(jump)); // window jumps here
+        assert_eq!(batch, vec![0]);
+        // New events shortly after `jump` go through the near/far rings even
+        // though `beyond` still sits in the overflow list.
+        let soon = jump + apt_base::SimDuration::from_ms(5);
+        let later = jump + apt_base::SimDuration::from_ms(5_000);
+        q.push(later, 2);
+        q.push(soon, 1);
+        assert_eq!(q.pop_batch(&mut batch), Some(soon));
+        assert_eq!(batch, vec![1]);
+        assert_eq!(q.pop_batch(&mut batch), Some(later));
+        assert_eq!(batch, vec![2]);
+        assert_eq!(q.pop_batch(&mut batch), Some(beyond));
+        assert_eq!(batch, vec![9]);
     }
 
     /// Pushes at the just-popped instant (zero-length work) join a *new*
@@ -269,6 +425,20 @@ mod tests {
         q.push(SimTime::from_ms(3), 2);
         assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_ms(3)));
         assert_eq!(batch, vec![2]);
+    }
+
+    /// `peek_time` reports the next batch instant without consuming it.
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from_ms(7), 1);
+        q.push(SimTime::from_ms(3), 2);
+        q.push(SimTime::from_ms(900_000), 3);
+        let mut batch = Vec::new();
+        while let Some(t) = q.peek_time() {
+            assert_eq!(q.pop_batch(&mut batch), Some(t));
+        }
+        assert!(q.is_empty());
     }
 
     #[test]

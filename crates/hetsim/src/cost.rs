@@ -21,8 +21,9 @@
 use crate::system::SystemConfig;
 use apt_base::stats::stddev_population;
 use apt_base::{ProcId, ProcKind, SimDuration};
-use apt_dfg::{KernelDag, KindCostMatrix, LookupTable, NodeId};
-use std::sync::OnceLock;
+use apt_dfg::{Kernel, KernelDag, KindCostMatrix, LookupTable, NodeId};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// Sentinel for "kernel cannot run on this processor instance" — the same
 /// value the category-level matrix uses (re-exported, not redefined, so the
@@ -33,13 +34,16 @@ pub use apt_dfg::cost::UNRUNNABLE;
 pub const MAX_PROCS: usize = 64;
 
 /// Largest machine size for which [`CostModel::idle_stddev`] memoizes its
-/// per-(node, idle-mask) tables (2^nprocs entries per node — 256 `f64`s per
-/// node at the cap; the paper's machine has 3 processors → 8 entries).
-/// Larger machines fall back to direct computation.
+/// per-(node, idle-mask) values in a *dense* table (2^nprocs entries per
+/// node — 256 `f64`s per node at the cap; the paper's machine has 3
+/// processors → 8 entries). Machines beyond this and up to [`MAX_PROCS`]
+/// use a hashed per-node `idle-mask → stddev` cache instead (the dense
+/// table would be 2^64 entries), so fleet-scale configurations are memoized
+/// all the way to the 64-processor limit.
 pub const SS_MEMO_MAX_PROCS: usize = 8;
 
 /// Precomputed decision-cost tables for one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CostModel {
     nprocs: usize,
     /// Flattened `node × nprocs` execution times in ns ([`UNRUNNABLE`] when
@@ -63,6 +67,33 @@ pub struct CostModel {
     /// The values are state-independent given the mask, so the cache never
     /// invalidates for the lifetime of the run.
     stddev_masks: Vec<OnceLock<Box<[f64]>>>,
+    /// Per-node hashed `idle-mask → stddev` caches for machines past
+    /// [`SS_MEMO_MAX_PROCS`] processors, where the dense 2^nprocs table is
+    /// infeasible (empty when the dense tables are in use). Only the handful
+    /// of masks the run actually visits are stored. Uncontended mutexes: one
+    /// simulation runs on one thread; the lock only exists because
+    /// `idle_stddev` memoizes through `&self`.
+    stddev_hashed: Vec<Mutex<HashMap<u64, f64>>>,
+}
+
+impl Clone for CostModel {
+    fn clone(&self) -> CostModel {
+        CostModel {
+            nprocs: self.nprocs,
+            exec_ns: self.exec_ns.clone(),
+            transfer_ns: self.transfer_ns.clone(),
+            runnable: self.runnable.clone(),
+            min_ns: self.min_ns.clone(),
+            min_mask: self.min_mask.clone(),
+            kinds: self.kinds.clone(),
+            stddev_masks: self.stddev_masks.clone(),
+            stddev_hashed: self
+                .stddev_hashed
+                .iter()
+                .map(|m| Mutex::new(m.lock().expect("stddev cache poisoned").clone()))
+                .collect(),
+        }
+    }
 }
 
 impl CostModel {
@@ -114,10 +145,10 @@ impl CostModel {
             let bytes = kind_matrix.data_size(node) * config.bytes_per_element;
             transfer_ns.push(config.link.transfer_time(bytes).as_ns());
         }
-        let stddev_masks = if nprocs <= SS_MEMO_MAX_PROCS {
-            (0..n).map(|_| OnceLock::new()).collect()
+        let (stddev_masks, stddev_hashed) = if nprocs <= SS_MEMO_MAX_PROCS {
+            ((0..n).map(|_| OnceLock::new()).collect(), Vec::new())
         } else {
-            Vec::new()
+            (Vec::new(), (0..n).map(|_| Mutex::default()).collect())
         };
         CostModel {
             nprocs,
@@ -128,7 +159,97 @@ impl CostModel {
             min_mask,
             kinds,
             stddev_masks,
+            stddev_hashed,
         }
+    }
+
+    /// An empty model over `config`'s machine, to be populated one node at a
+    /// time with [`CostModel::bind_slot`] — the open-stream engine's slot
+    /// arena grows and recycles nodes as jobs arrive and retire.
+    pub fn for_streaming(config: &SystemConfig) -> CostModel {
+        let nprocs = config.len();
+        assert!(
+            nprocs <= MAX_PROCS,
+            "CostModel supports at most {MAX_PROCS} processors, got {nprocs}"
+        );
+        CostModel {
+            nprocs,
+            exec_ns: Vec::new(),
+            transfer_ns: Vec::new(),
+            runnable: Vec::new(),
+            min_ns: Vec::new(),
+            min_mask: Vec::new(),
+            kinds: config.proc_ids().map(|p| config.kind_of(p)).collect(),
+            stddev_masks: Vec::new(),
+            stddev_hashed: Vec::new(),
+        }
+    }
+
+    /// (Re)compute every per-node table entry of `node` for `kernel` —
+    /// growing the tables by one row when `node` is the next fresh slot,
+    /// overwriting when it recycles a retired one. Produces bit-identical
+    /// values to [`CostModel::new`] over a graph containing `kernel` at that
+    /// node (pinned by `bind_slot_matches_batch_build` below).
+    pub fn bind_slot(
+        &mut self,
+        node: NodeId,
+        kernel: &Kernel,
+        lookup: &LookupTable,
+        config: &SystemConfig,
+    ) {
+        let i = node.index();
+        assert!(i <= self.transfer_ns.len(), "slots bind densely");
+        if i == self.transfer_ns.len() {
+            self.exec_ns.resize(self.exec_ns.len() + self.nprocs, 0);
+            self.transfer_ns.push(0);
+            self.runnable.push(0);
+            self.min_ns.push(0);
+            self.min_mask.push(0);
+            if self.nprocs <= SS_MEMO_MAX_PROCS {
+                self.stddev_masks.push(OnceLock::new());
+            } else {
+                self.stddev_hashed.push(Mutex::default());
+            }
+        } else {
+            // A recycled slot: the stddev memo keyed on the old kernel's
+            // times must not leak into the new one.
+            if self.nprocs <= SS_MEMO_MAX_PROCS {
+                self.stddev_masks[i] = OnceLock::new();
+            } else {
+                self.stddev_hashed[i]
+                    .lock()
+                    .expect("stddev cache poisoned")
+                    .clear();
+            }
+        }
+        let row = lookup.row(kernel).ok();
+        let mut run_bits = 0u64;
+        let mut best = UNRUNNABLE;
+        let mut best_bits = 0u64;
+        for k in 0..self.nprocs {
+            let kind = self.kinds[k];
+            let ns = match (kind.table_column(), row) {
+                (Some(col), Some(row)) => row.times[col].as_ns(),
+                _ => UNRUNNABLE,
+            };
+            self.exec_ns[i * self.nprocs + k] = ns;
+            if ns != UNRUNNABLE {
+                run_bits |= 1 << k;
+                match ns.cmp(&best) {
+                    std::cmp::Ordering::Less => {
+                        best = ns;
+                        best_bits = 1 << k;
+                    }
+                    std::cmp::Ordering::Equal => best_bits |= 1 << k,
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+        }
+        self.runnable[i] = run_bits;
+        self.min_ns[i] = best;
+        self.min_mask[i] = best_bits;
+        let bytes = kernel.data_size * config.bytes_per_element;
+        self.transfer_ns[i] = config.link.transfer_time(bytes).as_ns();
     }
 
     /// Number of processor instances in the modeled system.
@@ -237,22 +358,30 @@ impl CostModel {
     /// execution times across the **runnable** processors in `idle_mask` —
     /// the quantity SS ranks ready kernels by (§2.5.3).
     ///
-    /// The value is state-independent given the mask, so on machines up to
-    /// [`SS_MEMO_MAX_PROCS`] processors it is memoized in a lazily built
-    /// per-node table of all `2^nprocs` masks; larger machines compute it
-    /// directly. Either path returns bit-identical results.
+    /// The value is state-independent given the mask, so it is memoized per
+    /// node: machines up to [`SS_MEMO_MAX_PROCS`] processors use a lazily
+    /// built dense table of all `2^nprocs` masks; larger machines (up to the
+    /// [`MAX_PROCS`] limit) use a hashed `mask → stddev` cache holding only
+    /// the masks the run visits. Every path returns bit-identical results.
     pub fn idle_stddev(&self, node: NodeId, idle_mask: u64) -> f64 {
-        match self.stddev_masks.get(node.index()) {
-            Some(cell) => {
-                let table = cell.get_or_init(|| {
-                    (0..1u64 << self.nprocs)
-                        .map(|mask| self.compute_idle_stddev(node, mask))
-                        .collect()
-                });
-                table[(idle_mask & ((1u64 << self.nprocs) - 1)) as usize]
-            }
-            None => self.compute_idle_stddev(node, idle_mask),
+        if let Some(cell) = self.stddev_masks.get(node.index()) {
+            let table = cell.get_or_init(|| {
+                (0..1u64 << self.nprocs)
+                    .map(|mask| self.compute_idle_stddev(node, mask))
+                    .collect()
+            });
+            return table[(idle_mask & ((1u64 << self.nprocs) - 1)) as usize];
         }
+        if let Some(cell) = self.stddev_hashed.get(node.index()) {
+            // Only bits inside the machine contribute; canonicalize the key
+            // so equivalent masks share one entry.
+            let key = idle_mask & (u64::MAX >> (64 - self.nprocs as u32));
+            let mut cache = cell.lock().expect("stddev cache poisoned");
+            return *cache
+                .entry(key)
+                .or_insert_with(|| self.compute_idle_stddev(node, key));
+        }
+        self.compute_idle_stddev(node, idle_mask)
     }
 
     /// The uncached computation behind [`CostModel::idle_stddev`].
@@ -494,6 +623,104 @@ mod tests {
             cost.idle_stddev(n, 0b111),
             cost.idle_stddev(n, 0b111 | (1 << 20))
         );
+    }
+
+    #[test]
+    fn idle_stddev_hashed_cache_matches_naive_past_the_dense_cap() {
+        use apt_base::stats::stddev_population;
+        // An 11-processor machine: beyond SS_MEMO_MAX_PROCS, so the hashed
+        // per-node cache is in play.
+        let mut config = SystemConfig::empty(LinkRate::gbps(4));
+        for _ in 0..4 {
+            config = config
+                .with_proc(ProcKind::Cpu)
+                .with_proc(ProcKind::Gpu)
+                .with_proc(ProcKind::Fpga);
+        }
+        let config = config.with_proc(ProcKind::Asic);
+        assert!(config.len() > SS_MEMO_MAX_PROCS);
+        let dfg = build_type1(&[
+            Kernel::canonical(KernelKind::NeedlemanWunsch),
+            Kernel::canonical(KernelKind::Bfs),
+        ]);
+        let lookup = LookupTable::paper();
+        let cost = CostModel::new(&dfg, lookup, &config);
+        for node in dfg.node_ids() {
+            for mask in [0u64, 0b1, 0b111, 0b101_0101_0101, (1 << 13) - 1, 1 << 12] {
+                let naive: Vec<f64> = config
+                    .proc_ids()
+                    .filter(|p| mask & (1 << p.index()) != 0)
+                    .filter_map(|p| cost.exec_time(node, p))
+                    .map(|d| d.as_ms_f64())
+                    .collect();
+                let expected = stddev_population(&naive);
+                // Fill, then hit — both must equal the direct computation.
+                assert_eq!(cost.idle_stddev(node, mask), expected);
+                assert_eq!(cost.idle_stddev(node, mask), expected);
+                assert_eq!(cost.compute_idle_stddev(node, mask), expected);
+            }
+            // Out-of-machine bits canonicalize onto the same cache entry.
+            assert_eq!(
+                cost.idle_stddev(node, 0b111),
+                cost.idle_stddev(node, 0b111 | (1 << 40))
+            );
+        }
+        // The clone carries the cache contents over.
+        let cloned = cost.clone();
+        assert_eq!(cloned.idle_stddev(NodeId::new(0), 0b111), {
+            cost.idle_stddev(NodeId::new(0), 0b111)
+        });
+    }
+
+    /// Binding slots one at a time (fresh or recycled) reproduces exactly
+    /// what the batch constructor computes — the invariant the open-stream
+    /// arena relies on.
+    #[test]
+    fn bind_slot_matches_batch_build() {
+        let lookup = LookupTable::paper();
+        let mut kernels = lookup.all_kernels();
+        kernels.push(Kernel::new(KernelKind::MatMul, 123)); // no table row
+        for config in [
+            SystemConfig::paper_4gbps(),
+            SystemConfig::paper_no_transfers(),
+            SystemConfig::empty(LinkRate::gbps(8))
+                .with_proc(ProcKind::Asic)
+                .with_proc(ProcKind::Fpga)
+                .with_proc(ProcKind::Fpga),
+        ] {
+            let dfg = build_type1(&kernels);
+            let batch = CostModel::new(&dfg, lookup, &config);
+            let mut incremental = CostModel::for_streaming(&config);
+            // Fresh binds, in order.
+            for (node, kernel) in dfg.iter() {
+                incremental.bind_slot(node, kernel, lookup, &config);
+            }
+            let assert_same = |inc: &CostModel| {
+                for node in dfg.node_ids() {
+                    for proc in config.proc_ids() {
+                        assert_eq!(inc.exec_ns(node, proc), batch.exec_ns(node, proc));
+                    }
+                    assert_eq!(inc.runnable_mask(node), batch.runnable_mask(node));
+                    assert_eq!(inc.min_exec(node), batch.min_exec(node));
+                    assert_eq!(inc.min_mask(node), batch.min_mask(node));
+                    assert_eq!(inc.best_proc(node), batch.best_proc(node));
+                    assert_eq!(inc.transfer_time(node), batch.transfer_time(node));
+                    assert_eq!(inc.idle_stddev(node, 0b11), batch.idle_stddev(node, 0b11));
+                }
+            };
+            assert_same(&incremental);
+            // Recycle every slot with a rotated kernel, then restore: the
+            // stddev memo must follow the rebind, not the original kernel.
+            for (node, _) in dfg.iter() {
+                let other = kernels[(node.index() + 1) % kernels.len()];
+                incremental.bind_slot(node, &other, lookup, &config);
+                let _ = incremental.idle_stddev(node, 0b111); // warm the memo
+            }
+            for (node, kernel) in dfg.iter() {
+                incremental.bind_slot(node, kernel, lookup, &config);
+            }
+            assert_same(&incremental);
+        }
     }
 
     #[test]

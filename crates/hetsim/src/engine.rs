@@ -60,7 +60,7 @@ pub const EXEC_HISTORY_WINDOW: usize = 10;
 
 /// Live engine-private state of one processor (the policy-visible fields
 /// live in the incrementally maintained [`ProcView`]).
-struct ProcCore {
+pub(crate) struct ProcCore {
     queue: VecDeque<Assignment>,
     history: VecDeque<SimDuration>,
     /// Running sum of `history`, so the windowed average is O(1) to refresh.
@@ -101,60 +101,58 @@ impl ProcCore {
 /// events is carried entirely by the calendar queue's `(time, push-order)`
 /// total order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     /// The kernel running on this processor completes.
     Finish(ProcId),
     /// This kernel is submitted to the system (its arrival instant).
     Arrive(NodeId),
 }
 
-struct Engine<'a> {
-    dfg: &'a KernelDag,
-    config: &'a SystemConfig,
-    lookup: &'a LookupTable,
-    cost: &'a CostModel,
-    now: SimTime,
-    ready: ReadySet,
-    ready_time: Vec<SimTime>,
-    remaining_preds: Vec<usize>,
-    arrived: Vec<bool>,
-    locations: Vec<Option<ProcId>>,
-    records: Vec<Option<TaskRecord>>,
-    procs: Vec<ProcCore>,
-    /// Policy-visible snapshots, updated in place on every state change.
-    views: Vec<ProcView>,
-    /// Running bitset of idle processors (bit i ⇔ `views[i].is_idle()`).
-    idle_mask: u64,
-    events: CalendarQueue<Event>,
-    finished: usize,
+/// The read-only inputs of one simulation, threaded through the core so the
+/// closed-world engine (which borrows a caller's graph and cost model) and
+/// the open-stream engine (which owns a growing slot arena of both) share
+/// every line of the event loop.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineCtx<'r> {
+    pub(crate) dfg: &'r KernelDag,
+    pub(crate) config: &'r SystemConfig,
+    pub(crate) lookup: &'r LookupTable,
+    pub(crate) cost: &'r CostModel,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
-        dfg: &'a KernelDag,
-        config: &'a SystemConfig,
-        lookup: &'a LookupTable,
-        cost: &'a CostModel,
-        arrivals: &[SimTime],
-    ) -> Self {
-        let n = dfg.len();
-        debug_assert_eq!(arrivals.len(), n);
-        let remaining_preds: Vec<usize> = dfg.node_ids().map(|id| dfg.in_degree(id)).collect();
-        let arrived: Vec<bool> = arrivals.iter().map(|&t| t == SimTime::ZERO).collect();
-        let mut ready_time = vec![SimTime::ZERO; n];
-        let mut ready = ReadySet::new(n);
-        for s in dfg.sources() {
-            if arrived[s.index()] {
-                ready.insert(s);
-            }
-        }
-        let mut events = CalendarQueue::new();
-        for (i, &t) in arrivals.iter().enumerate() {
-            if t > SimTime::ZERO {
-                ready_time[i] = t; // provisional; finalized on readiness
-                events.push(t, Event::Arrive(NodeId::new(i)));
-            }
-        }
+/// The mutable simulation state: clock, ready set, per-node bookkeeping,
+/// per-processor cores and policy-visible snapshots, and the event queue.
+/// All node-indexed vectors are dense over the context graph's ids; the
+/// open-stream engine grows and recycles them as arena slots.
+pub(crate) struct EngineCore {
+    pub(crate) now: SimTime,
+    pub(crate) ready: ReadySet,
+    pub(crate) ready_time: Vec<SimTime>,
+    pub(crate) remaining_preds: Vec<usize>,
+    pub(crate) arrived: Vec<bool>,
+    pub(crate) locations: Vec<Option<ProcId>>,
+    pub(crate) records: Vec<Option<TaskRecord>>,
+    pub(crate) procs: Vec<ProcCore>,
+    /// Policy-visible snapshots, updated in place on every state change.
+    pub(crate) views: Vec<ProcView>,
+    /// Running bitset of idle processors (bit i ⇔ `views[i].is_idle()`).
+    pub(crate) idle_mask: u64,
+    pub(crate) events: CalendarQueue<Event>,
+    pub(crate) finished: usize,
+    /// Nodes completed since the last [`EngineCore::take_finished`] drain —
+    /// how the open-stream engine learns which jobs may retire. Only
+    /// recorded when `track_finished` is set (the closed engine skips the
+    /// per-completion push entirely).
+    pub(crate) finished_nodes: Vec<NodeId>,
+    /// Record completions into `finished_nodes` (open-stream mode).
+    pub(crate) track_finished: bool,
+}
+
+impl EngineCore {
+    /// A core with the machine set up and no nodes: the open-stream starting
+    /// point. `open` selects the FCFS admission-sequence ready set (required
+    /// once arena slots recycle ids) and per-completion retirement tracking.
+    pub(crate) fn for_machine(config: &SystemConfig, open: bool) -> EngineCore {
         let views: Vec<ProcView> = config
             .proc_ids()
             .map(|id| ProcView {
@@ -166,18 +164,18 @@ impl<'a> Engine<'a> {
                 recent_avg_exec: SimDuration::ZERO,
             })
             .collect();
-        Engine {
-            dfg,
-            config,
-            lookup,
-            cost,
+        EngineCore {
             now: SimTime::ZERO,
-            ready,
-            ready_time,
-            remaining_preds,
-            arrived,
-            locations: vec![None; n],
-            records: vec![None; n],
+            ready: if open {
+                ReadySet::new_ordered(0)
+            } else {
+                ReadySet::new(0)
+            },
+            ready_time: Vec::new(),
+            remaining_preds: Vec::new(),
+            arrived: Vec::new(),
+            locations: Vec::new(),
+            records: Vec::new(),
             procs: (0..config.len()).map(|_| ProcCore::new()).collect(),
             idle_mask: if views.is_empty() {
                 0
@@ -185,9 +183,37 @@ impl<'a> Engine<'a> {
                 u64::MAX >> (64 - views.len())
             },
             views,
-            events,
+            events: CalendarQueue::new(),
             finished: 0,
+            finished_nodes: Vec::new(),
+            track_finished: open,
         }
+    }
+
+    /// A core loaded with the complete closed-world workload: every node of
+    /// the context graph exists up front, submitted at its arrival instant.
+    fn for_closed_workload(ctx: EngineCtx<'_>, arrivals: &[SimTime]) -> EngineCore {
+        let n = ctx.dfg.len();
+        debug_assert_eq!(arrivals.len(), n);
+        let mut core = EngineCore::for_machine(ctx.config, false);
+        core.ready.grow(n);
+        core.ready_time = vec![SimTime::ZERO; n];
+        core.remaining_preds = ctx.dfg.node_ids().map(|id| ctx.dfg.in_degree(id)).collect();
+        core.arrived = arrivals.iter().map(|&t| t == SimTime::ZERO).collect();
+        core.locations = vec![None; n];
+        core.records = vec![None; n];
+        for s in ctx.dfg.sources() {
+            if core.arrived[s.index()] {
+                core.ready.insert(s);
+            }
+        }
+        for (i, &t) in arrivals.iter().enumerate() {
+            if t > SimTime::ZERO {
+                core.ready_time[i] = t; // provisional; finalized on readiness
+                core.events.push(t, Event::Arrive(NodeId::new(i)));
+            }
+        }
+        core
     }
 
     /// Mutate one processor's view, keeping the running idle bitset exact.
@@ -207,38 +233,45 @@ impl<'a> Engine<'a> {
     /// implementation with `SimView::transfer_in_time`, so the engine's
     /// recorded transfers can never diverge from the costs policies decided
     /// on.
-    fn transfer_in(&self, node: NodeId, proc: ProcId) -> SimDuration {
+    #[inline]
+    fn transfer_in(&self, ctx: EngineCtx<'_>, node: NodeId, proc: ProcId) -> SimDuration {
         debug_assert!(
-            self.dfg
+            ctx.dfg
                 .preds(node)
                 .iter()
                 .all(|p| self.locations[p.index()].is_some()),
             "started a kernel whose predecessor never finished"
         );
-        self.cost
-            .transfer_in_time(self.dfg, &self.locations, node, proc)
+        ctx.cost
+            .transfer_in_time(ctx.dfg, &self.locations, node, proc)
     }
 
-    fn start_node(&mut self, a: Assignment, proc: ProcId) -> Result<(), BaseError> {
+    #[inline]
+    fn start_node(
+        &mut self,
+        ctx: EngineCtx<'_>,
+        a: Assignment,
+        proc: ProcId,
+    ) -> Result<(), BaseError> {
         let node = a.node;
-        let exec = self
+        let exec = ctx
             .cost
             .exec_time(node, proc)
             .ok_or_else(|| BaseError::InvalidAssignment {
                 reason: format!(
                     "kernel {} cannot run on {} ({})",
-                    self.dfg.node(node),
+                    ctx.dfg.node(node),
                     proc,
-                    self.config.kind_of(proc)
+                    ctx.config.kind_of(proc)
                 ),
             })?;
-        let transfer = self.transfer_in(node, proc);
+        let transfer = self.transfer_in(ctx, node, proc);
         let start = self.now;
         let exec_start = start + transfer;
         let finish = exec_start + exec;
         self.records[node.index()] = Some(TaskRecord {
             node,
-            kernel: *self.dfg.node(node),
+            kernel: *ctx.dfg.node(node),
             proc,
             ready: self.ready_time[node.index()],
             start,
@@ -261,7 +294,8 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn apply(&mut self, a: Assignment) -> Result<(), BaseError> {
+    #[inline]
+    fn apply(&mut self, ctx: EngineCtx<'_>, a: Assignment) -> Result<(), BaseError> {
         if !self.ready.contains(a.node) {
             return Err(BaseError::InvalidAssignment {
                 reason: format!("node {} is not in the ready set", a.node),
@@ -273,20 +307,20 @@ impl<'a> Engine<'a> {
             });
         }
         // Reject unrunnable targets eagerly (even when queueing).
-        if !self.cost.runnable(a.node, a.proc) {
+        if !ctx.cost.runnable(a.node, a.proc) {
             return Err(BaseError::InvalidAssignment {
                 reason: format!(
                     "kernel {} cannot run on {} ({})",
-                    self.dfg.node(a.node),
+                    ctx.dfg.node(a.node),
                     a.proc,
-                    self.config.kind_of(a.proc)
+                    ctx.config.kind_of(a.proc)
                 ),
             });
         }
         self.ready.remove(a.node);
         if self.views[a.proc.index()].running.is_none() {
             debug_assert!(self.procs[a.proc.index()].queue.is_empty());
-            self.start_node(a, a.proc)?;
+            self.start_node(ctx, a, a.proc)?;
         } else {
             self.procs[a.proc.index()].queue.push_back(a);
             self.update_view(a.proc, |v| v.queue_len += 1);
@@ -294,15 +328,19 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn finish_on(&mut self, proc: ProcId) -> Result<(), BaseError> {
+    #[inline]
+    fn finish_on(&mut self, ctx: EngineCtx<'_>, proc: ProcId) -> Result<(), BaseError> {
         let node = self.views[proc.index()]
             .running
             .expect("completion event for an idle processor");
         self.update_view(proc, |v| v.running = None);
         self.locations[node.index()] = Some(proc);
         self.finished += 1;
+        if self.track_finished {
+            self.finished_nodes.push(node);
+        }
         // Release successors (only those already submitted to the system).
-        for &succ in self.dfg.succs(node) {
+        for &succ in ctx.dfg.succs(node) {
             let r = &mut self.remaining_preds[succ.index()];
             *r -= 1;
             if *r == 0 && self.arrived[succ.index()] {
@@ -312,20 +350,21 @@ impl<'a> Engine<'a> {
         // Start queued work.
         if let Some(next) = self.procs[proc.index()].queue.pop_front() {
             self.update_view(proc, |v| v.queue_len -= 1);
-            self.start_node(next, proc)?;
+            self.start_node(ctx, next, proc)?;
         }
         Ok(())
     }
 
     /// A node whose dependencies and arrival are both satisfied enters the
     /// ready set now.
+    #[inline]
     fn make_ready(&mut self, node: NodeId) {
         self.ready_time[node.index()] = self.now.max(self.ready_time[node.index()]);
         let inserted = self.ready.insert(node);
         debug_assert!(inserted, "node became ready twice");
     }
 
-    fn arrive(&mut self, node: NodeId) {
+    pub(crate) fn arrive(&mut self, node: NodeId) {
         debug_assert!(!self.arrived[node.index()]);
         self.arrived[node.index()] = true;
         if self.remaining_preds[node.index()] == 0 {
@@ -333,9 +372,10 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn handle(&mut self, event: Event) -> Result<(), BaseError> {
+    #[inline]
+    fn handle(&mut self, ctx: EngineCtx<'_>, event: Event) -> Result<(), BaseError> {
         match event {
-            Event::Finish(proc) => self.finish_on(proc),
+            Event::Finish(proc) => self.finish_on(ctx, proc),
             Event::Arrive(node) => {
                 self.arrive(node);
                 Ok(())
@@ -346,6 +386,7 @@ impl<'a> Engine<'a> {
     /// Advance the clock, clamping idle processors' `busy_until` to the new
     /// instant (the "equals the current time when idle" contract of
     /// [`ProcView::busy_until`]).
+    #[inline]
     fn advance_to(&mut self, t: SimTime) {
         self.now = t;
         for view in &mut self.views {
@@ -355,55 +396,103 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Run the policy to a fixpoint at the current instant. The view borrows
+    /// the incrementally maintained snapshots — nothing is rebuilt here.
+    pub(crate) fn fixpoint(
+        &mut self,
+        ctx: EngineCtx<'_>,
+        policy: &mut dyn Policy,
+        out: &mut AssignmentBuf,
+    ) -> Result<(), BaseError> {
+        loop {
+            out.clear();
+            {
+                let view = SimView {
+                    now: self.now,
+                    ready: &self.ready,
+                    procs: &self.views,
+                    dfg: ctx.dfg,
+                    lookup: ctx.lookup,
+                    config: ctx.config,
+                    cost: ctx.cost,
+                    locations: &self.locations,
+                    idle_mask: self.idle_mask,
+                };
+                policy.decide(&view, out);
+            }
+            if out.is_empty() {
+                return Ok(());
+            }
+            for &a in out.as_slice() {
+                self.apply(ctx, a)?;
+            }
+        }
+    }
+
+    /// Pop the next same-instant event batch, advance the clock to it and
+    /// handle every event. Returns the batch instant, or `None` when the
+    /// queue is empty (time cannot advance).
+    pub(crate) fn advance(
+        &mut self,
+        ctx: EngineCtx<'_>,
+        batch: &mut Vec<Event>,
+    ) -> Result<Option<SimTime>, BaseError> {
+        match self.events.pop_batch(batch) {
+            None => Ok(None),
+            Some(t) => {
+                self.advance_to(t);
+                for &event in batch.iter() {
+                    self.handle(ctx, event)?;
+                }
+                Ok(Some(t))
+            }
+        }
+    }
+
+    /// Drain the nodes completed since the previous drain.
+    pub(crate) fn take_finished(&mut self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.append(&mut self.finished_nodes);
+    }
+
+    /// Cumulative per-processor aggregates (indexed by [`ProcId`]).
+    pub(crate) fn proc_stats(&self) -> Vec<ProcStats> {
+        self.procs.iter().map(|p| p.stats).collect()
+    }
+}
+
+struct Engine<'a> {
+    ctx: EngineCtx<'a>,
+    core: EngineCore,
+}
+
+impl<'a> Engine<'a> {
+    fn new(ctx: EngineCtx<'a>, arrivals: &[SimTime]) -> Self {
+        Engine {
+            ctx,
+            core: EngineCore::for_closed_workload(ctx, arrivals),
+        }
+    }
+
     fn run(&mut self, policy: &mut dyn Policy) -> Result<(), BaseError> {
         // The two per-run arenas of the decision loop: the assignment buffer
         // every `Policy::decide` writes into, and the same-instant event
         // batch. Both are reused across every edge, so once their capacity
         // settles the loop allocates nothing.
-        let mut out = AssignmentBuf::with_capacity(self.views.len().max(4));
-        let mut batch: Vec<Event> = Vec::with_capacity(self.views.len() + 2);
+        let mut out = AssignmentBuf::with_capacity(self.core.views.len().max(4));
+        let mut batch: Vec<Event> = Vec::with_capacity(self.core.views.len() + 2);
         loop {
-            // Policy fixpoint at the current instant. The view borrows the
-            // incrementally maintained snapshots — nothing is rebuilt here.
-            loop {
-                out.clear();
-                {
-                    let view = SimView {
-                        now: self.now,
-                        ready: &self.ready,
-                        procs: &self.views,
-                        dfg: self.dfg,
-                        lookup: self.lookup,
-                        config: self.config,
-                        cost: self.cost,
-                        locations: &self.locations,
-                        idle_mask: self.idle_mask,
-                    };
-                    policy.decide(&view, &mut out);
-                }
-                if out.is_empty() {
-                    break;
-                }
-                for &a in out.as_slice() {
-                    self.apply(a)?;
-                }
-            }
-            // Advance to the next completion instant; the calendar queue
-            // hands over everything that fires at that instant in one batch,
-            // already in schedule order.
-            match self.events.pop_batch(&mut batch) {
-                None => break,
-                Some(t) => {
-                    self.advance_to(t);
-                    for &event in &batch {
-                        self.handle(event)?;
-                    }
-                }
+            // Policy fixpoint at the current instant, then advance to the
+            // next event instant; the calendar queue hands over everything
+            // that fires there in one batch, already in schedule order.
+            self.core.fixpoint(self.ctx, policy, &mut out)?;
+            if self.core.advance(self.ctx, &mut batch)?.is_none() {
+                break;
             }
         }
-        if self.finished != self.dfg.len() {
+        if self.core.finished != self.ctx.dfg.len() {
             return Err(BaseError::Starvation {
-                unscheduled: self.dfg.len() - self.finished,
+                unscheduled: self.ctx.dfg.len() - self.core.finished,
             });
         }
         Ok(())
@@ -411,6 +500,7 @@ impl<'a> Engine<'a> {
 
     fn into_trace(self) -> Trace {
         let mut records: Vec<TaskRecord> = self
+            .core
             .records
             .into_iter()
             .map(|r| r.expect("run() verified completion"))
@@ -418,7 +508,7 @@ impl<'a> Engine<'a> {
         records.sort_unstable_by_key(|r| (r.start, r.node));
         Trace {
             records,
-            proc_stats: self.procs.into_iter().map(|p| p.stats).collect(),
+            proc_stats: self.core.procs.into_iter().map(|p| p.stats).collect(),
         }
     }
 }
@@ -508,7 +598,15 @@ pub fn simulate_stream(
         config,
         cost: &cost,
     })?;
-    let mut engine = Engine::new(dfg, config, lookup, &cost, arrivals);
+    let mut engine = Engine::new(
+        EngineCtx {
+            dfg,
+            config,
+            lookup,
+            cost: &cost,
+        },
+        arrivals,
+    );
     engine.run(policy)?;
     let trace = engine.into_trace();
     debug_assert!(trace.validate(dfg).is_ok());

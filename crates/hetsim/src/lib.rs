@@ -71,6 +71,7 @@ pub mod calendar;
 pub mod cost;
 pub mod engine;
 pub mod link;
+pub mod open;
 pub mod policy;
 pub mod ready;
 pub mod system;
@@ -81,6 +82,7 @@ pub use calendar::CalendarQueue;
 pub use cost::CostModel;
 pub use engine::{simulate, simulate_stream};
 pub use link::LinkRate;
+pub use open::{validate_job, CompletedJob, JobId, OpenEngine};
 pub use policy::{Assignment, AssignmentBuf, Policy, PolicyKind, PrepareCtx};
 pub use ready::ReadySet;
 pub use system::{ProcSpec, SystemConfig};

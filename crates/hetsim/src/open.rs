@@ -1,0 +1,747 @@
+//! Open-system simulation: incremental job admission over a recycled slot
+//! arena.
+//!
+//! [`crate::simulate_stream`] is *closed-world*: every kernel of the
+//! workload exists up front, so its per-node state is sized to the whole
+//! stream. A production-scale open stream (millions of jobs arriving over
+//! hours of simulated time) cannot afford that — memory must be bounded by
+//! the jobs **in flight**, not by the jobs that will ever arrive.
+//!
+//! [`OpenEngine`] is the stepped counterpart built on the same
+//! [`crate::engine`] core (shared fixpoint, event handling, calendar queue,
+//! per-processor bookkeeping — the closed engine is a thin wrapper over the
+//! identical code):
+//!
+//! * **Admission** ([`OpenEngine::admit`]) binds a job — a list of kernels
+//!   plus intra-job dependency edges — onto arena *slots*: node ids of an
+//!   owned [`KernelDag`] whose retired entries are recycled. Binding a slot
+//!   rewires the graph, recomputes that node's row of the owned
+//!   [`CostModel`] and resets its engine state; nothing else is touched.
+//! * **Stepping** ([`OpenEngine::step`]) runs one policy fixpoint and
+//!   advances to the next event batch — exactly one iteration of the closed
+//!   engine's loop.
+//! * **Retirement**: when a job's last kernel finishes, its [`TaskRecord`]s
+//!   are extracted (renumbered to job-local node ids), its slots are
+//!   detached and returned to the free list, and a [`CompletedJob`] is
+//!   queued for [`OpenEngine::drain_completed`].
+//!
+//! ## FCFS across recycled slots
+//!
+//! Dynamic policies iterate the ready set in "first-come-first-serve"
+//! order, which the closed engine gets for free because node ids follow
+//! stream order. Recycled slot ids do not — so the arena's ready set runs
+//! in *ordered* mode ([`crate::ReadySet::new_ordered`]), carrying a global
+//! admission sequence per slot. A finite stream admitted through this
+//! engine therefore replays **byte-identically** (modulo the slot→local id
+//! renumbering) against `simulate_stream` over the materialized workload —
+//! pinned by the differential tests in the `apt-stream` crate.
+//!
+//! Static policies (HEFT, PEFT) need the entire DFG before execution and
+//! are rejected by [`OpenEngine::prepare`]: an open system has no "entire
+//! DFG".
+
+use crate::cost::CostModel;
+use crate::engine::{EngineCore, EngineCtx, Event};
+use crate::policy::{AssignmentBuf, Policy, PolicyKind, PrepareCtx};
+use crate::system::SystemConfig;
+use crate::trace::{ProcStats, TaskRecord};
+use apt_base::{BaseError, SimTime};
+use apt_dfg::{Kernel, KernelDag, LookupTable, NodeId};
+use std::collections::HashMap;
+
+/// Identifier of one admitted job: its admission index (0, 1, 2, … in
+/// admission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// A fully executed job, handed out by [`OpenEngine::drain_completed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedJob {
+    /// Which admission this was.
+    pub job: JobId,
+    /// The instant the job was submitted to the system.
+    pub arrival: SimTime,
+    /// One record per kernel, renumbered to **job-local** node ids
+    /// (`0..kernels.len()` in the order they were passed to `admit`).
+    pub records: Vec<TaskRecord>,
+}
+
+impl CompletedJob {
+    /// When the job's last kernel finished.
+    pub fn finish(&self) -> SimTime {
+        self.records
+            .iter()
+            .map(|r| r.finish)
+            .max()
+            .unwrap_or(self.arrival)
+    }
+}
+
+/// Validate one job's shape: at least one kernel, and edges ascending over
+/// local indices (`from < to < kernel_count`, no duplicates). Ascending
+/// edges structurally rule out cycles and self-loops; the duplicate scan
+/// rules out the one remaining `Dag::add_edge` error — together this is
+/// everything that could fail *mid-admission* (which would leak arena
+/// slots and leave stray edges), caught up front instead. Shared with
+/// `apt-stream`'s `JobTemplate::new`, so a template that constructs can
+/// never fail admission.
+pub fn validate_job(kernel_count: usize, edges: &[(u32, u32)]) -> Result<(), BaseError> {
+    if kernel_count == 0 {
+        return Err(BaseError::InvalidAssignment {
+            reason: "a job needs at least one kernel".into(),
+        });
+    }
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        if a >= b || (b as usize) >= kernel_count {
+            return Err(BaseError::InvalidAssignment {
+                reason: format!(
+                    "job edge ({a}, {b}) is not ascending within {kernel_count} kernels"
+                ),
+            });
+        }
+        if edges[..i].contains(&(a, b)) {
+            return Err(BaseError::InvalidAssignment {
+                reason: format!("duplicate job edge ({a}, {b})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Bookkeeping for a job still in flight.
+struct LiveJob {
+    arrival: SimTime,
+    /// Arena slots in template order (index = job-local node id).
+    slots: Vec<NodeId>,
+    /// Kernels not yet finished.
+    remaining: usize,
+}
+
+/// The open-system engine. See the module docs.
+pub struct OpenEngine<'a> {
+    config: &'a SystemConfig,
+    lookup: &'a LookupTable,
+    /// The slot arena: an owned graph whose nodes are recycled across jobs.
+    dag: KernelDag,
+    /// Per-slot cost rows, rebound on admission.
+    cost: CostModel,
+    core: EngineCore,
+    /// Owning job of each slot.
+    slot_job: Vec<u64>,
+    /// Free slots, reused LIFO.
+    free: Vec<NodeId>,
+    live: HashMap<u64, LiveJob>,
+    next_job: u64,
+    /// Global admission sequence feeding the ordered ready set.
+    next_seq: u64,
+    completed: Vec<CompletedJob>,
+    in_flight_kernels: usize,
+    peak_in_flight_jobs: usize,
+    peak_in_flight_kernels: usize,
+    // Reusable step buffers (allocation-free steady state, like the closed
+    // engine's run loop).
+    out: AssignmentBuf,
+    batch: Vec<Event>,
+    finished_buf: Vec<NodeId>,
+}
+
+impl<'a> OpenEngine<'a> {
+    /// A fresh open engine over `config`'s machine. Validates the machine
+    /// once; jobs are admitted with [`OpenEngine::admit`].
+    pub fn new(config: &'a SystemConfig, lookup: &'a LookupTable) -> Result<Self, BaseError> {
+        config.validate()?;
+        let core = EngineCore::for_machine(config, true);
+        Ok(OpenEngine {
+            config,
+            lookup,
+            dag: KernelDag::new(),
+            cost: CostModel::for_streaming(config),
+            core,
+            slot_job: Vec::new(),
+            free: Vec::new(),
+            live: HashMap::new(),
+            next_job: 0,
+            next_seq: 0,
+            completed: Vec::new(),
+            in_flight_kernels: 0,
+            peak_in_flight_jobs: 0,
+            peak_in_flight_kernels: 0,
+            out: AssignmentBuf::with_capacity(config.len().max(4)),
+            batch: Vec::with_capacity(config.len() + 2),
+            finished_buf: Vec::new(),
+        })
+    }
+
+    /// Run the policy's `prepare` hook against the (initially empty) arena.
+    /// Static policies are rejected: they plan over the entire DFG, which an
+    /// open system does not have.
+    pub fn prepare(&mut self, policy: &mut dyn Policy) -> Result<(), BaseError> {
+        if policy.kind() == PolicyKind::Static {
+            return Err(BaseError::InvalidAssignment {
+                reason: format!(
+                    "static policy {} needs the whole DFG up front; \
+                     open streams support dynamic policies only",
+                    policy.name()
+                ),
+            });
+        }
+        policy.prepare(PrepareCtx {
+            dfg: &self.dag,
+            lookup: self.lookup,
+            config: self.config,
+            cost: &self.cost,
+        })
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The instant of the next pending event (completion or arrival), if
+    /// any. The driver uses this to admit each arrival just-in-time.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.core.events.peek_time()
+    }
+
+    /// Jobs admitted but not yet fully retired.
+    #[inline]
+    pub fn in_flight_jobs(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Kernels belonging to in-flight jobs.
+    #[inline]
+    pub fn in_flight_kernels(&self) -> usize {
+        self.in_flight_kernels
+    }
+
+    /// Size of the slot arena — the *peak* of in-flight kernels over the
+    /// run, and the thing that stays bounded when millions of jobs stream
+    /// through.
+    #[inline]
+    pub fn arena_slots(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// Most jobs ever simultaneously in flight.
+    #[inline]
+    pub fn peak_in_flight_jobs(&self) -> usize {
+        self.peak_in_flight_jobs
+    }
+
+    /// Most kernels ever simultaneously in flight.
+    #[inline]
+    pub fn peak_in_flight_kernels(&self) -> usize {
+        self.peak_in_flight_kernels
+    }
+
+    /// Cumulative per-processor aggregates so far.
+    pub fn proc_stats(&self) -> Vec<ProcStats> {
+        self.core.proc_stats()
+    }
+
+    /// Submit one job: `kernels` in stream order plus intra-job dependency
+    /// `edges` over their local indices (`from < to`, which both rules out
+    /// cycles and mirrors how the workload generators number kernels). The
+    /// job enters the system at instant `at` (`≥ now`; every kernel of the
+    /// job shares the arrival, exactly like `simulate_stream`'s per-node
+    /// arrival vector would express it).
+    pub fn admit(
+        &mut self,
+        kernels: &[Kernel],
+        edges: &[(u32, u32)],
+        at: SimTime,
+    ) -> Result<JobId, BaseError> {
+        if at < self.core.now {
+            return Err(BaseError::InvalidAssignment {
+                reason: format!(
+                    "job admitted at {at}, before the current instant {}",
+                    self.core.now
+                ),
+            });
+        }
+        validate_job(kernels.len(), edges)?;
+        let job = self.next_job;
+        self.next_job += 1;
+        let mut slots = Vec::with_capacity(kernels.len());
+        for &kernel in kernels {
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    debug_assert_eq!(self.dag.in_degree(s) + self.dag.out_degree(s), 0);
+                    *self.dag.node_mut(s) = kernel;
+                    s
+                }
+                None => {
+                    let s = self.dag.add_node(kernel);
+                    self.core.ready.grow(self.dag.len());
+                    self.core.ready_time.push(SimTime::ZERO);
+                    self.core.remaining_preds.push(0);
+                    self.core.arrived.push(false);
+                    self.core.locations.push(None);
+                    self.core.records.push(None);
+                    self.slot_job.push(0);
+                    s
+                }
+            };
+            self.cost.bind_slot(slot, &kernel, self.lookup, self.config);
+            self.core.arrived[slot.index()] = false;
+            self.core.locations[slot.index()] = None;
+            debug_assert!(self.core.records[slot.index()].is_none());
+            self.slot_job[slot.index()] = job;
+            self.core.ready.set_seq(slot, self.next_seq);
+            self.next_seq += 1;
+            slots.push(slot);
+        }
+        for &(a, b) in edges {
+            self.dag
+                .add_edge(slots[a as usize], slots[b as usize])
+                .expect("edges fully validated above");
+        }
+        for &slot in &slots {
+            self.core.remaining_preds[slot.index()] = self.dag.in_degree(slot);
+            // Provisional readiness clock, finalized when the node becomes
+            // ready — the same convention as the closed-world constructor.
+            self.core.ready_time[slot.index()] = at;
+        }
+        if at <= self.core.now {
+            for &slot in &slots {
+                self.core.arrive(slot);
+            }
+        } else {
+            for &slot in &slots {
+                self.core.events.push(at, Event::Arrive(slot));
+            }
+        }
+        self.in_flight_kernels += slots.len();
+        self.live.insert(
+            job,
+            LiveJob {
+                arrival: at,
+                slots,
+                remaining: kernels.len(),
+            },
+        );
+        self.peak_in_flight_jobs = self.peak_in_flight_jobs.max(self.live.len());
+        self.peak_in_flight_kernels = self.peak_in_flight_kernels.max(self.in_flight_kernels);
+        Ok(JobId(job))
+    }
+
+    /// Run the policy to a fixpoint at the current instant (one half of
+    /// [`OpenEngine::step`]). After this, [`OpenEngine::next_event_time`]
+    /// reflects everything the policy scheduled — the streaming driver
+    /// admits arrivals against that, so "due" means "nothing can happen
+    /// before this arrival".
+    pub fn decide(&mut self, policy: &mut dyn Policy) -> Result<(), BaseError> {
+        let OpenEngine {
+            config,
+            lookup,
+            dag,
+            cost,
+            core,
+            out,
+            ..
+        } = self;
+        let ctx = EngineCtx {
+            dfg: dag,
+            config,
+            lookup,
+            cost,
+        };
+        core.fixpoint(ctx, policy, out)
+    }
+
+    /// Advance to (and handle) the next event batch, retiring any jobs
+    /// whose last kernel finished (the other half of [`OpenEngine::step`]).
+    /// Returns the instant advanced to, or `None` when no event was
+    /// pending — i.e. time cannot move until another job is admitted.
+    pub fn advance(&mut self) -> Result<Option<SimTime>, BaseError> {
+        let advanced = {
+            let OpenEngine {
+                config,
+                lookup,
+                dag,
+                cost,
+                core,
+                batch,
+                ..
+            } = self;
+            let ctx = EngineCtx {
+                dfg: dag,
+                config,
+                lookup,
+                cost,
+            };
+            core.advance(ctx, batch)?
+        };
+        if advanced.is_some() {
+            self.retire_finished();
+        }
+        Ok(advanced)
+    }
+
+    /// One engine step: [`OpenEngine::decide`] then [`OpenEngine::advance`]
+    /// — exactly one iteration of the closed engine's loop.
+    pub fn step(&mut self, policy: &mut dyn Policy) -> Result<Option<SimTime>, BaseError> {
+        self.decide(policy)?;
+        self.advance()
+    }
+
+    /// Move every job completed since the last drain into `out` (cleared
+    /// first), in completion order.
+    pub fn drain_completed(&mut self, out: &mut Vec<CompletedJob>) {
+        out.clear();
+        out.append(&mut self.completed);
+    }
+
+    /// Free the slots of every job whose last kernel just finished and queue
+    /// its [`CompletedJob`].
+    fn retire_finished(&mut self) {
+        let mut finished = std::mem::take(&mut self.finished_buf);
+        self.core.take_finished(&mut finished);
+        for &node in &finished {
+            let job = self.slot_job[node.index()];
+            let live = self
+                .live
+                .get_mut(&job)
+                .expect("finished node has a live job");
+            live.remaining -= 1;
+            if live.remaining > 0 {
+                continue;
+            }
+            let live = self.live.remove(&job).expect("checked above");
+            let mut records = Vec::with_capacity(live.slots.len());
+            for (local, &slot) in live.slots.iter().enumerate() {
+                let mut record = self.core.records[slot.index()]
+                    .take()
+                    .expect("every kernel of a finished job has a record");
+                record.node = NodeId::new(local);
+                records.push(record);
+                self.dag.detach_node(slot);
+                self.free.push(slot);
+            }
+            self.in_flight_kernels -= live.slots.len();
+            self.completed.push(CompletedJob {
+                job: JobId(job),
+                arrival: live.arrival,
+                records,
+            });
+        }
+        self.finished_buf = finished;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Assignment, PolicyKind};
+    use crate::view::SimView;
+    use apt_base::SimDuration;
+    use apt_dfg::KernelKind;
+
+    /// Place each ready kernel on the first idle processor able to run it.
+    struct FirstFit;
+
+    impl Policy for FirstFit {
+        fn name(&self) -> String {
+            "FirstFit".into()
+        }
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::Dynamic
+        }
+        fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+            for node in view.ready.iter() {
+                for p in view.idle_procs() {
+                    if view.exec_time(node, p.id).is_some() {
+                        out.push(Assignment::new(node, p.id));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    struct StaticStub;
+    impl Policy for StaticStub {
+        fn name(&self) -> String {
+            "Static".into()
+        }
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::Static
+        }
+        fn decide(&mut self, _view: &SimView<'_>, _out: &mut AssignmentBuf) {}
+    }
+
+    fn bfs() -> Kernel {
+        Kernel::canonical(KernelKind::Bfs)
+    }
+
+    fn run_to_completion(engine: &mut OpenEngine<'_>, policy: &mut dyn Policy) {
+        while engine.step(policy).unwrap().is_some() {}
+        assert_eq!(engine.in_flight_kernels(), 0);
+    }
+
+    #[test]
+    fn single_job_runs_and_retires() {
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        engine.prepare(&mut policy).unwrap();
+        // A two-kernel chain arriving at t = 5 ms.
+        engine
+            .admit(&[bfs(), bfs()], &[(0, 1)], SimTime::from_ms(5))
+            .unwrap();
+        assert_eq!(engine.in_flight_jobs(), 1);
+        run_to_completion(&mut engine, &mut policy);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 1);
+        let job = &done[0];
+        assert_eq!(job.job, JobId(0));
+        assert_eq!(job.arrival, SimTime::from_ms(5));
+        assert_eq!(job.records.len(), 2);
+        // Records are job-local and respect the chain.
+        assert_eq!(job.records[0].node, NodeId::new(0));
+        assert_eq!(job.records[1].node, NodeId::new(1));
+        assert!(job.records[0].ready >= SimTime::from_ms(5));
+        assert!(job.records[1].start >= job.records[0].finish);
+        assert_eq!(job.finish(), job.records[1].finish);
+        assert_eq!(engine.in_flight_jobs(), 0);
+    }
+
+    #[test]
+    fn slots_recycle_and_bound_the_arena() {
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        // 50 sequential one-kernel jobs spaced far apart: never more than
+        // one in flight, so the arena must stay at one slot.
+        for j in 0..50u64 {
+            engine
+                .admit(&[bfs()], &[], SimTime::from_ms(j * 10_000))
+                .unwrap();
+            while engine.in_flight_kernels() > 0 {
+                engine.step(&mut policy).unwrap();
+            }
+        }
+        assert_eq!(engine.arena_slots(), 1, "arena grew past in-flight peak");
+        assert_eq!(engine.peak_in_flight_jobs(), 1);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 50);
+        // Jobs retired in admission order here; each record renumbered.
+        for (j, job) in done.iter().enumerate() {
+            assert_eq!(job.job, JobId(j as u64));
+            assert_eq!(job.records[0].node, NodeId::new(0));
+        }
+        let stats = engine.proc_stats();
+        assert_eq!(stats.iter().map(|s| s.kernels).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn static_policies_are_rejected() {
+        let config = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        assert!(engine.prepare(&mut StaticStub).is_err());
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected() {
+        let config = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        // Non-ascending edge.
+        assert!(engine
+            .admit(&[bfs(), bfs()], &[(1, 0)], SimTime::ZERO)
+            .is_err());
+        // Edge out of range.
+        assert!(engine.admit(&[bfs()], &[(0, 5)], SimTime::ZERO).is_err());
+        // Duplicate edge: must be rejected up front, NOT discovered
+        // mid-admission (which would leak slots and leave a stray edge).
+        assert!(engine
+            .admit(&[bfs(), bfs()], &[(0, 1), (0, 1)], SimTime::ZERO)
+            .is_err());
+        assert_eq!(engine.arena_slots(), 0, "rejected job consumed slots");
+        assert_eq!(engine.in_flight_jobs(), 0);
+        // Zero-kernel jobs have no completion event and are rejected.
+        assert!(engine.admit(&[], &[], SimTime::from_ms(3)).is_err());
+        // The engine is still fully usable after rejections.
+        let mut policy = FirstFit;
+        engine
+            .admit(&[bfs(), bfs()], &[(0, 1)], SimTime::ZERO)
+            .unwrap();
+        run_to_completion(&mut engine, &mut policy);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].records.len(), 2);
+    }
+
+    #[test]
+    fn admission_into_the_past_is_rejected() {
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        engine.admit(&[bfs()], &[], SimTime::from_ms(10)).unwrap();
+        run_to_completion(&mut engine, &mut policy);
+        assert!(engine.now() > SimTime::ZERO);
+        assert!(engine.admit(&[bfs()], &[], SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn fcfs_order_survives_slot_recycling() {
+        // Job A retires, freeing low slot ids; jobs B (older) and C (newer)
+        // are then ready at the same instant. The policy must see B first
+        // even though C may occupy the recycled (lower) slot ids.
+        struct RecordOrder(Vec<u64>);
+        impl Policy for RecordOrder {
+            fn name(&self) -> String {
+                "RecordOrder".into()
+            }
+            fn kind(&self) -> PolicyKind {
+                PolicyKind::Dynamic
+            }
+            fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+                let ready: Vec<NodeId> = view.ready.iter().collect();
+                if let Some(&first) = ready.first() {
+                    // Log the head's kernel size (stamps job identity).
+                    self.0.push(view.kernel(first).data_size);
+                    for p in view.idle_procs() {
+                        if view.exec_time(first, p.id).is_some() {
+                            out.push(Assignment::new(first, p.id));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = RecordOrder(Vec::new());
+        // Job 0: one quick kernel at t=0 (will retire and free slot 0).
+        engine
+            .admit(
+                &[Kernel::new(KernelKind::Cholesky, 250_000)],
+                &[],
+                SimTime::ZERO,
+            )
+            .unwrap();
+        while engine.in_flight_kernels() > 0 {
+            engine.step(&mut policy).unwrap();
+        }
+        // Jobs 1 and 2 arrive at the same later instant; job 2 reuses the
+        // freed slot 0 (lower id) but must iterate *after* job 1.
+        let t = SimTime::from_ms(500);
+        engine.admit(&[bfs(), bfs()], &[], t).unwrap(); // job 1: slots 1(?)…
+        engine
+            .admit(&[Kernel::new(KernelKind::MatMul, 4_000_000)], &[], t)
+            .unwrap(); // job 2 reuses slot 0
+        let mut run = |e: &mut OpenEngine<'_>| while e.step(&mut policy).unwrap().is_some() {};
+        run(&mut engine);
+        assert_eq!(engine.in_flight_kernels(), 0);
+        // First head logged after the quick job is job 1's bfs — not job
+        // 2's matmul, despite the lower slot id.
+        let after: Vec<u64> = policy.0.iter().copied().skip(1).collect();
+        assert_eq!(after.first(), Some(&bfs().data_size));
+        assert!(after.contains(&4_000_000));
+    }
+
+    #[test]
+    fn open_engine_matches_closed_stream_on_a_mixed_workload() {
+        // Three overlapping jobs through the open engine vs the same
+        // workload materialized for simulate_stream: identical records.
+        use crate::engine::simulate_stream;
+        let config = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        type JobSpec = (SimTime, Vec<Kernel>, Vec<(u32, u32)>);
+        let jobs: Vec<JobSpec> = vec![
+            (
+                SimTime::ZERO,
+                vec![bfs(), Kernel::new(KernelKind::MatMul, 4_000_000), bfs()],
+                vec![(0, 1), (0, 2)],
+            ),
+            (
+                SimTime::from_ms(40),
+                vec![Kernel::canonical(KernelKind::Srad), bfs()],
+                vec![(0, 1)],
+            ),
+            (SimTime::from_ms(40), vec![bfs()], vec![]),
+        ];
+        // Open run.
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        engine.prepare(&mut policy).unwrap();
+        let mut admitted = 0usize;
+        loop {
+            while admitted < jobs.len() {
+                let due = match engine.next_event_time() {
+                    None => true,
+                    Some(t) => jobs[admitted].0 <= t,
+                };
+                if !due {
+                    break;
+                }
+                let (at, kernels, edges) = &jobs[admitted];
+                engine.admit(kernels, edges, *at).unwrap();
+                admitted += 1;
+            }
+            if engine.step(&mut policy).unwrap().is_none() {
+                assert_eq!(admitted, jobs.len());
+                break;
+            }
+        }
+        let mut open_done = Vec::new();
+        engine.drain_completed(&mut open_done);
+        // Closed-world reference over the merged DAG.
+        let mut dag = KernelDag::new();
+        let mut arrivals = Vec::new();
+        let mut offsets = Vec::new();
+        for (at, kernels, edges) in &jobs {
+            let base = dag.len();
+            offsets.push(base);
+            for &k in kernels {
+                dag.add_node(k);
+                arrivals.push(*at);
+            }
+            for &(a, b) in edges {
+                dag.add_edge(
+                    NodeId::new(base + a as usize),
+                    NodeId::new(base + b as usize),
+                )
+                .unwrap();
+            }
+        }
+        let closed = simulate_stream(&dag, &config, lookup, &mut FirstFit, &arrivals).unwrap();
+        assert_eq!(open_done.len(), jobs.len());
+        for done in &open_done {
+            let JobId(j) = done.job;
+            let base = offsets[j as usize];
+            for rec in &done.records {
+                let global = closed
+                    .trace
+                    .record(NodeId::new(base + rec.node.index()))
+                    .unwrap();
+                assert_eq!(rec.kernel, global.kernel);
+                assert_eq!(rec.proc, global.proc);
+                assert_eq!(rec.ready, global.ready);
+                assert_eq!(rec.start, global.start);
+                assert_eq!(rec.exec_start, global.exec_start);
+                assert_eq!(rec.finish, global.finish);
+                assert_eq!(rec.alt, global.alt);
+            }
+        }
+        assert_eq!(engine.proc_stats(), closed.trace.proc_stats);
+        // λ accounting identical too.
+        let open_lambda: SimDuration = open_done
+            .iter()
+            .flat_map(|d| d.records.iter().map(TaskRecord::lambda))
+            .sum();
+        assert_eq!(open_lambda, closed.trace.lambda_total());
+    }
+}

@@ -8,23 +8,91 @@
 //! while making insert / remove / membership O(1) and iteration O(n/64)
 //! words: on the paper's 157-kernel graphs the whole set is three machine
 //! words.
+//!
+//! ## Ordered mode (open streams)
+//!
+//! In the closed-world engine, node ids are assigned in stream order, so
+//! ascending-id iteration *is* first-come-first-serve. The open-stream
+//! engine recycles arena slots, which breaks that identity: a later job can
+//! occupy a lower slot id. [`ReadySet::new_ordered`] therefore attaches an
+//! explicit per-node admission *sequence* and keeps a small sorted-by-seq
+//! index next to the bitset, so `iter()` yields FCFS order regardless of
+//! slot ids — the exact iteration the closed engine would have produced if
+//! the whole stream had been materialized up front (this is what makes the
+//! open/closed differential test byte-identical). Membership stays O(1);
+//! insert/remove pay an O(ready) memmove, which is fine because an open
+//! stream's ready set holds only in-flight kernels, not the whole workload.
 
 use apt_dfg::NodeId;
 
-/// A fixed-universe set of node ids with ascending iteration order.
+/// FCFS index of the ordered mode: per-node sequence numbers plus the ready
+/// members sorted by their sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OrderedIndex {
+    /// Admission sequence per node id (universe-sized).
+    seq: Vec<u64>,
+    /// Current members, sorted ascending by `seq[node]`.
+    items: Vec<NodeId>,
+}
+
+/// A fixed-universe set of node ids with deterministic iteration order:
+/// ascending node id by default, ascending admission sequence in ordered
+/// mode (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadySet {
     words: Vec<u64>,
     len: usize,
+    order: Option<OrderedIndex>,
 }
 
 impl ReadySet {
-    /// An empty set over the universe `0..universe` node ids.
+    /// An empty set over the universe `0..universe` node ids, iterating in
+    /// ascending node-id order.
     pub fn new(universe: usize) -> ReadySet {
         ReadySet {
             words: vec![0; universe.div_ceil(64)],
             len: 0,
+            order: None,
         }
+    }
+
+    /// An empty set over `0..universe` that iterates in ascending
+    /// *admission-sequence* order. Set each node's sequence with
+    /// [`ReadySet::set_seq`] before inserting it.
+    pub fn new_ordered(universe: usize) -> ReadySet {
+        ReadySet {
+            words: vec![0; universe.div_ceil(64)],
+            len: 0,
+            order: Some(OrderedIndex {
+                seq: vec![0; universe],
+                items: Vec::new(),
+            }),
+        }
+    }
+
+    /// Widen the universe to `0..universe` (no-op if already that wide).
+    /// Existing members and sequences are unchanged.
+    pub fn grow(&mut self, universe: usize) {
+        let words = universe.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+        if let Some(order) = &mut self.order {
+            if universe > order.seq.len() {
+                order.seq.resize(universe, 0);
+            }
+        }
+    }
+
+    /// Set the admission sequence of `node` (ordered mode only; panics
+    /// otherwise). Must not be called while `node` is a member.
+    pub fn set_seq(&mut self, node: NodeId, seq: u64) {
+        debug_assert!(!self.contains(node), "reseq of a current member");
+        let order = self
+            .order
+            .as_mut()
+            .expect("set_seq requires an ordered ReadySet");
+        order.seq[node.index()] = seq;
     }
 
     /// Number of members.
@@ -61,6 +129,11 @@ impl ReadySet {
         }
         *word |= bit;
         self.len += 1;
+        if let Some(order) = &mut self.order {
+            let key = order.seq[i];
+            let pos = order.items.partition_point(|&n| order.seq[n.index()] < key);
+            order.items.insert(pos, node);
+        }
         true
     }
 
@@ -77,19 +150,30 @@ impl ReadySet {
         }
         *word &= !bit;
         self.len -= 1;
+        if let Some(order) = &mut self.order {
+            let key = order.seq[i];
+            let start = order.items.partition_point(|&n| order.seq[n.index()] < key);
+            let off = order.items[start..]
+                .iter()
+                .position(|&n| n == node)
+                .expect("bitset and ordered index agree");
+            order.items.remove(start + off);
+        }
         true
     }
 
-    /// The smallest ready node id (the FCFS head), if any.
+    /// The first ready node in iteration order (the FCFS head), if any.
     #[inline]
     pub fn first(&self) -> Option<NodeId> {
         self.iter().next()
     }
 
-    /// Iterate members in ascending node-id order.
+    /// Iterate members in this set's deterministic order (ascending node id,
+    /// or ascending admission sequence in ordered mode).
     #[inline]
     pub fn iter(&self) -> ReadyIter<'_> {
         ReadyIter {
+            seq: self.order.as_ref().map(|o| o.items.iter()),
             words: &self.words,
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
@@ -105,9 +189,11 @@ impl<'a> IntoIterator for &'a ReadySet {
     }
 }
 
-/// Ascending iterator over a [`ReadySet`].
+/// Iterator over a [`ReadySet`] in its deterministic order.
 #[derive(Debug, Clone)]
 pub struct ReadyIter<'a> {
+    /// `Some` in ordered mode: the FCFS slice walk.
+    seq: Option<std::slice::Iter<'a, NodeId>>,
     words: &'a [u64],
     word_idx: usize,
     current: u64,
@@ -118,6 +204,9 @@ impl Iterator for ReadyIter<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<NodeId> {
+        if let Some(items) = &mut self.seq {
+            return items.next().copied();
+        }
         while self.current == 0 {
             self.word_idx += 1;
             self.current = *self.words.get(self.word_idx)?;
@@ -156,6 +245,53 @@ mod tests {
         }
         let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
         assert_eq!(order, vec![0, 7, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    fn ordered_mode_iterates_by_sequence_not_id() {
+        let mut s = ReadySet::new_ordered(8);
+        // Slot ids are recycled out of order; sequences carry FCFS.
+        for (id, seq) in [(5usize, 10u64), (1, 30), (7, 20), (0, 40)] {
+            s.set_seq(NodeId::new(id), seq);
+            s.insert(NodeId::new(id));
+        }
+        let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(order, vec![5, 7, 1, 0]);
+        assert_eq!(s.first(), Some(NodeId::new(5)));
+        // Remove from the middle; order of the rest is stable.
+        assert!(s.remove(NodeId::new(7)));
+        let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(order, vec![5, 1, 0]);
+        assert!(s.contains(NodeId::new(1)));
+        assert!(!s.contains(NodeId::new(7)));
+        // Recycle slot 7 under a later sequence.
+        s.set_seq(NodeId::new(7), 99);
+        s.insert(NodeId::new(7));
+        assert_eq!(s.iter().last(), Some(NodeId::new(7)));
+    }
+
+    #[test]
+    fn grow_widens_both_modes() {
+        let mut s = ReadySet::new(10);
+        s.insert(NodeId::new(9));
+        s.grow(300);
+        s.insert(NodeId::new(299));
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![NodeId::new(9), NodeId::new(299)]
+        );
+
+        let mut o = ReadySet::new_ordered(2);
+        o.set_seq(NodeId::new(1), 5);
+        o.insert(NodeId::new(1));
+        o.grow(70);
+        o.set_seq(NodeId::new(69), 1);
+        o.insert(NodeId::new(69));
+        assert_eq!(
+            o.iter().collect::<Vec<_>>(),
+            vec![NodeId::new(69), NodeId::new(1)]
+        );
     }
 
     #[test]

@@ -102,11 +102,47 @@ proptest! {
                 Some(5_000_000),             // a few buckets over
                 Some(93_000_000),
                 Some((64u64 << 24) + 1),     // just past the near window
-                Some(600_000_000_000),       // far-future (deep overflow)
+                Some(600_000_000_000),       // far ring (minutes out)
+                Some((65u64 << 30) + 3),     // just past the far horizon
+                Some(3_600_000_000_000),     // deep overflow (an hour out)
             ]),
             0..120,
         ),
     ) {
+        run_script(&ops);
+    }
+
+    /// Million-stream shape: a long monotone arrival ramp pushed up front
+    /// (spanning near window, far ring, and deep overflow), popped while new
+    /// near-term completions keep arriving — the exact access pattern of the
+    /// open-stream driver. Order must still be the heap's.
+    #[test]
+    fn arrival_ramp_with_interleaved_completions(
+        gaps in prop::collection::vec(
+            prop::sample::select(vec![0u64, 50_000, 400_000_000, 17_000_000_000]),
+            1..60,
+        ),
+        completions in prop::collection::vec(
+            prop::sample::select(vec![1_000u64, 93_000_000, 106_000_000]),
+            1..30,
+        ),
+    ) {
+        // Arrivals: cumulative gaps from t = 0, all pushed before any pop.
+        let mut ops: Vec<Option<u64>> = Vec::new();
+        let mut t = 0u64;
+        let mut arrivals = Vec::new();
+        for g in &gaps {
+            t += g;
+            arrivals.push(t);
+        }
+        // Absolute arrival instants are offsets from now = 0 at push time.
+        ops.extend(arrivals.iter().map(|&a| Some(a)));
+        // Then interleave pops with near-term completion pushes.
+        for c in &completions {
+            ops.push(None);
+            ops.push(Some(*c));
+            ops.push(None);
+        }
         run_script(&ops);
     }
 

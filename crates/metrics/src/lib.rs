@@ -16,6 +16,10 @@
 //! * [`quality`] — makespan lower bounds, schedule-length ratio, speedup.
 //! * [`energy`] — per-category power model and schedule energy integration
 //!   (the paper's power-efficiency motivation, quantified).
+//! * [`online`] — streaming metrics for open-system runs: P² latency
+//!   quantiles, sliding-window throughput/utilization, and queue-depth
+//!   tracking in O(1) memory per metric (the `apt-stream` driver's
+//!   reporting layer).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,12 +28,14 @@ pub mod energy;
 pub mod export;
 pub mod gantt;
 pub mod improvement;
+pub mod online;
 pub mod quality;
 pub mod summary;
 pub mod table;
 
 pub use energy::{energy_report, EnergyReport, PowerModel};
 pub use improvement::{better_solution_count, improvement_percent, second_best};
+pub use online::{OnlineMetrics, P2Quantile, StreamSnapshot};
 pub use quality::{quality_report, QualityReport};
 pub use summary::RunSummary;
 pub use table::TextTable;

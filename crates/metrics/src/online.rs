@@ -1,0 +1,519 @@
+//! Online (streaming) metrics for open-system runs.
+//!
+//! Closed-world metrics ([`crate::RunSummary`]) post-process a complete
+//! trace. A million-job open stream never materializes one, so this module
+//! accumulates everything incrementally in O(1) memory per metric:
+//!
+//! * [`P2Quantile`] — the Jain & Chlamtac P² algorithm: a streaming
+//!   quantile estimate over five markers, no sample storage. Used for the
+//!   job-latency P50/P90/P99 columns.
+//! * [`OnlineMetrics`] — the aggregator the streaming driver feeds: per-job
+//!   latency quantiles and means, λ-delay totals, sliding-window throughput
+//!   and per-processor utilization, and time-weighted queue-depth tracking,
+//!   emitted as periodic [`StreamSnapshot`]s.
+//!
+//! Everything here is deterministic given the observation sequence; the
+//! estimators use `f64` only for reporting-grade quantities (quantiles,
+//! utilization fractions), never for simulation state.
+
+use apt_base::{SimDuration, SimTime};
+use apt_hetsim::ProcStats;
+use serde::{Deserialize, Serialize};
+
+/// Streaming quantile estimation with the P² (piecewise-parabolic)
+/// algorithm of Jain & Chlamtac (CACM 1985): five markers track the
+/// running quantile without storing observations.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (the first `count` entries are raw samples until five
+    /// observations have arrived).
+    heights: [f64; 5],
+    /// Marker positions (1-based, as in the paper).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q` (e.g. `0.99`). Panics unless
+    /// `0 < q < 1`.
+    pub fn new(q: f64) -> P2Quantile {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile parameter.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite observation"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Cell k: which marker interval x falls into; extremes clamp.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= self.heights[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moving by
+    /// `d ∈ {−1, +1}`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola leaves the bracketing heights.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate. Before five observations, the exact small-set
+    /// quantile (nearest-rank on the sorted buffer); afterwards the P²
+    /// marker height. `None` with no observations.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut buf: Vec<f64> = self.heights[..self.count].to_vec();
+            buf.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite observation"));
+            let rank = ((self.q * self.count as f64).ceil() as usize).clamp(1, self.count);
+            return Some(buf[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// One periodic snapshot of an open-stream run: the window covers
+/// `(end − interval, end]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// Window end (simulation clock).
+    pub end: SimTime,
+    /// Window length.
+    pub interval: SimDuration,
+    /// Jobs completed inside this window.
+    pub window_jobs: u64,
+    /// Jobs completed since the run started.
+    pub total_jobs: u64,
+    /// Window throughput, jobs per simulated second.
+    pub throughput_jps: f64,
+    /// Running job-latency quantile estimates (ms, arrival → last finish).
+    pub latency_p50_ms: f64,
+    /// 90th percentile, ms.
+    pub latency_p90_ms: f64,
+    /// 99th percentile, ms.
+    pub latency_p99_ms: f64,
+    /// Time-weighted mean number of in-flight jobs over the window.
+    pub mean_depth: f64,
+    /// In-flight jobs at the window end.
+    pub depth_now: usize,
+    /// Per-processor busy+transfer fraction of the window.
+    pub utilization: Vec<f64>,
+}
+
+/// Streaming aggregator for open-system runs. Feed it every completed job
+/// plus depth changes; poll [`OnlineMetrics::maybe_snapshot`] as the clock
+/// advances. Memory is O(processors + snapshots), independent of job count.
+#[derive(Debug, Clone)]
+pub struct OnlineMetrics {
+    interval: SimDuration,
+    window_end: SimTime,
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+    total_jobs: u64,
+    window_jobs: u64,
+    latency_sum_ms: f64,
+    lambda_total: SimDuration,
+    // Time-weighted depth integral of the *oldest unemitted* window
+    // (job·ns); integrals of further whole windows crossed by one time jump
+    // queue up behind it. `depth_at` is the instant the integral has been
+    // advanced to; `integral_end` the boundary `depth_integral` runs to.
+    depth_integral: f64,
+    depth_spill: std::collections::VecDeque<f64>,
+    integral_end: SimTime,
+    depth_at: SimTime,
+    depth: usize,
+    max_depth: usize,
+    // Cumulative per-proc busy+transfer at the last snapshot boundary.
+    last_busy_ns: Vec<u64>,
+    snapshots: Vec<StreamSnapshot>,
+}
+
+impl OnlineMetrics {
+    /// An aggregator emitting one snapshot per `interval` of simulated
+    /// time. Panics on a zero interval.
+    pub fn new(interval: SimDuration, nprocs: usize) -> OnlineMetrics {
+        assert!(!interval.is_zero(), "snapshot interval must be positive");
+        OnlineMetrics {
+            interval,
+            window_end: SimTime::ZERO + interval,
+            p50: P2Quantile::new(0.50),
+            p90: P2Quantile::new(0.90),
+            p99: P2Quantile::new(0.99),
+            total_jobs: 0,
+            window_jobs: 0,
+            latency_sum_ms: 0.0,
+            lambda_total: SimDuration::ZERO,
+            depth_integral: 0.0,
+            depth_spill: std::collections::VecDeque::new(),
+            integral_end: SimTime::ZERO + interval,
+            depth_at: SimTime::ZERO,
+            depth: 0,
+            max_depth: 0,
+            last_busy_ns: vec![0; nprocs],
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Advance the depth integral to `now` and set the new depth.
+    /// Instants are non-decreasing (the simulation clock). The integral is
+    /// split at window boundaries, so a change observed past the open
+    /// window's end credits each crossed window with exactly its own share
+    /// — a window's `mean_depth` can never exceed the depth that was
+    /// actually standing during it.
+    pub fn observe_depth(&mut self, now: SimTime, depth: usize) {
+        while now > self.integral_end {
+            let dt = self.integral_end.saturating_since(self.depth_at);
+            self.depth_integral += self.depth as f64 * dt.as_ns() as f64;
+            self.depth_spill.push_back(self.depth_integral);
+            self.depth_integral = 0.0;
+            self.depth_at = self.integral_end;
+            self.integral_end += self.interval;
+        }
+        let dt = now.saturating_since(self.depth_at);
+        self.depth_integral += self.depth as f64 * dt.as_ns() as f64;
+        self.depth_at = self.depth_at.max(now);
+        self.depth = depth;
+        self.max_depth = self.max_depth.max(depth);
+    }
+
+    /// Record one completed job: its end-to-end latency (arrival → last
+    /// finish) and the λ delay its kernels accumulated.
+    pub fn observe_job(&mut self, latency: SimDuration, lambda: SimDuration) {
+        let ms = latency.as_ms_f64();
+        self.p50.observe(ms);
+        self.p90.observe(ms);
+        self.p99.observe(ms);
+        self.latency_sum_ms += ms;
+        self.lambda_total += lambda;
+        self.total_jobs += 1;
+        self.window_jobs += 1;
+    }
+
+    /// Emit every snapshot whose window closed at or before `now`.
+    /// `proc_stats` are the engine's *cumulative* per-processor aggregates;
+    /// utilization is the per-window delta. Returns how many snapshots were
+    /// appended (all but the last of a multi-window gap cover idle windows).
+    pub fn maybe_snapshot(&mut self, now: SimTime, proc_stats: &[ProcStats]) -> usize {
+        let mut emitted = 0;
+        // Bring the depth integral up to `now` (no depth change): every
+        // window about to be emitted gets its exact share, queued in order.
+        self.observe_depth(now, self.depth);
+        while now >= self.window_end {
+            let end = self.window_end;
+            let window_integral = match self.depth_spill.pop_front() {
+                Some(i) => i,
+                None => {
+                    // `now` sits exactly on the boundary: the open integral
+                    // covers this whole window. Close it by hand.
+                    debug_assert_eq!(self.integral_end, end);
+                    let i = self.depth_integral;
+                    self.depth_integral = 0.0;
+                    self.depth_at = end;
+                    self.integral_end = end + self.interval;
+                    i
+                }
+            };
+            let interval_ns = self.interval.as_ns() as f64;
+            let busy_now: Vec<u64> = proc_stats
+                .iter()
+                .map(|s| (s.busy + s.transfer).as_ns())
+                .collect();
+            // Cumulative busy time can only be apportioned to the window it
+            // was *observed* in; with multi-window gaps the delta lands in
+            // the first window of the gap, which slightly front-loads
+            // utilization but never loses any.
+            let utilization: Vec<f64> = busy_now
+                .iter()
+                .zip(&self.last_busy_ns)
+                .map(|(now_ns, last_ns)| (now_ns - last_ns) as f64 / interval_ns)
+                .collect();
+            self.last_busy_ns = busy_now;
+            self.snapshots.push(StreamSnapshot {
+                end,
+                interval: self.interval,
+                window_jobs: self.window_jobs,
+                total_jobs: self.total_jobs,
+                throughput_jps: self.window_jobs as f64 / self.interval.as_secs_f64(),
+                latency_p50_ms: self.p50.estimate().unwrap_or(0.0),
+                latency_p90_ms: self.p90.estimate().unwrap_or(0.0),
+                latency_p99_ms: self.p99.estimate().unwrap_or(0.0),
+                mean_depth: window_integral / interval_ns,
+                depth_now: self.depth,
+                utilization,
+            });
+            self.window_jobs = 0;
+            self.window_end = end + self.interval;
+            emitted += 1;
+        }
+        emitted
+    }
+
+    /// Snapshots emitted so far, in window order.
+    pub fn snapshots(&self) -> &[StreamSnapshot] {
+        &self.snapshots
+    }
+
+    /// End of the currently open window — the earliest instant at which
+    /// [`OnlineMetrics::maybe_snapshot`] would emit. Lets callers skip the
+    /// (allocating) `proc_stats` snapshot argument on steps that cannot
+    /// close a window.
+    pub fn window_end(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// Jobs observed so far.
+    pub fn total_jobs(&self) -> u64 {
+        self.total_jobs
+    }
+
+    /// Mean end-to-end job latency (ms) over the whole run.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.total_jobs == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.total_jobs as f64
+        }
+    }
+
+    /// Running latency quantile estimates `(p50, p90, p99)` in ms.
+    pub fn latency_quantiles_ms(&self) -> (f64, f64, f64) {
+        (
+            self.p50.estimate().unwrap_or(0.0),
+            self.p90.estimate().unwrap_or(0.0),
+            self.p99.estimate().unwrap_or(0.0),
+        )
+    }
+
+    /// Total λ delay accumulated by every completed job's kernels.
+    pub fn lambda_total(&self) -> SimDuration {
+        self.lambda_total
+    }
+
+    /// Most jobs ever in flight (as observed through `observe_depth`).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact quantile over a slice (nearest-rank), for cross-checking.
+    fn exact_quantile(values: &[f64], q: f64) -> f64 {
+        let mut v = values.to_vec();
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn p2_tracks_uniform_and_exponential_streams() {
+        // Deterministic pseudo-random stream.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for q in [0.5, 0.9, 0.99] {
+            for exponential in [false, true] {
+                let mut est = P2Quantile::new(q);
+                let mut all = Vec::new();
+                for _ in 0..20_000 {
+                    let u = next();
+                    // Uniform on [0, 100), or a long-tailed exponential —
+                    // the shape of queueing latencies this estimator is for.
+                    let x = if exponential {
+                        -50.0 * (1.0 - u).ln()
+                    } else {
+                        u * 100.0
+                    };
+                    est.observe(x);
+                    all.push(x);
+                }
+                let got = est.estimate().unwrap();
+                let exact = exact_quantile(&all, q);
+                assert!(
+                    (got - exact).abs() <= exact.abs() * 0.05 + 0.5,
+                    "q={q} exp={exponential}: estimate {got} too far from exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p2_small_counts_are_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.observe(10.0);
+        assert_eq!(est.estimate(), Some(10.0));
+        est.observe(2.0);
+        est.observe(6.0);
+        // Nearest-rank median of {2, 6, 10} is 6.
+        assert_eq!(est.estimate(), Some(6.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn p2_monotone_stream_converges_tightly() {
+        let mut est = P2Quantile::new(0.9);
+        for i in 0..10_000 {
+            est.observe(i as f64);
+        }
+        let got = est.estimate().unwrap();
+        assert!((got - 9_000.0).abs() < 200.0, "p90 of 0..10000 was {got}");
+    }
+
+    #[test]
+    fn snapshots_cover_windows_and_depth_integral() {
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 2);
+        // One job in flight for the first half of window 1.
+        m.observe_depth(SimTime::ZERO, 1);
+        m.observe_depth(SimTime::from_ms(50), 0);
+        m.observe_job(SimDuration::from_ms(50), SimDuration::from_ms(5));
+        let stats = vec![
+            ProcStats {
+                busy: SimDuration::from_ms(40),
+                transfer: SimDuration::from_ms(10),
+                kernels: 1,
+            },
+            ProcStats::default(),
+        ];
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(100), &stats), 1);
+        // Nothing new: same instant emits nothing further.
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(100), &stats), 0);
+        let s = &m.snapshots()[0];
+        assert_eq!(s.end, SimTime::from_ms(100));
+        assert_eq!(s.window_jobs, 1);
+        assert_eq!(s.total_jobs, 1);
+        assert!((s.throughput_jps - 10.0).abs() < 1e-9);
+        assert!((s.mean_depth - 0.5).abs() < 1e-9);
+        assert!((s.utilization[0] - 0.5).abs() < 1e-9);
+        assert_eq!(s.utilization[1], 0.0);
+        assert_eq!(s.depth_now, 0);
+        // A big time jump emits one snapshot per elapsed window.
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(350), &stats), 2);
+        assert_eq!(m.snapshots().len(), 3);
+        assert_eq!(m.snapshots()[2].window_jobs, 0);
+        assert_eq!(m.lambda_total(), SimDuration::from_ms(5));
+        assert_eq!(m.max_depth(), 1);
+        assert!((m.mean_latency_ms() - 50.0).abs() < 1e-9);
+    }
+
+    /// A depth observation landing *past* the open window's end must split
+    /// its time across the crossed windows: no window's mean depth can
+    /// exceed the depth that actually stood during it, and no window's time
+    /// is silently zeroed.
+    #[test]
+    fn depth_integral_splits_at_window_boundaries() {
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        let stats = vec![ProcStats::default()];
+        // Depth 1 from t = 0; the next event lands at t = 250 ms, two and a
+        // half windows later.
+        m.observe_depth(SimTime::ZERO, 1);
+        m.observe_depth(SimTime::from_ms(250), 0);
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(250), &stats), 2);
+        let s = m.snapshots();
+        assert!(
+            (s[0].mean_depth - 1.0).abs() < 1e-9,
+            "window 1: {}",
+            s[0].mean_depth
+        );
+        assert!(
+            (s[1].mean_depth - 1.0).abs() < 1e-9,
+            "window 2: {}",
+            s[1].mean_depth
+        );
+        // The half-window [200, 250] of depth-1 time stays in the open
+        // window and surfaces in window 3.
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(300), &stats), 1);
+        assert!(
+            (m.snapshots()[2].mean_depth - 0.5).abs() < 1e-9,
+            "window 3: {}",
+            m.snapshots()[2].mean_depth
+        );
+        // Sanity: boundary-exact closes still work (no spill entry).
+        m.observe_depth(SimTime::from_ms(350), 2);
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(400), &stats), 1);
+        assert!((m.snapshots()[3].mean_depth - 1.0).abs() < 1e-9);
+    }
+}

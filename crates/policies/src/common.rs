@@ -29,9 +29,6 @@ pub struct BestInstance {
 /// set as a bitset — so this is two mask reads and an intersection: the
 /// lowest-id idle minimal instance is `trailing_zeros(min_mask ∩ idle)`.
 pub fn best_instance(view: &SimView<'_>, node: NodeId) -> Option<BestInstance> {
-    let exec = view.cost.min_exec(node)?;
-    let mask = view.cost.min_mask(node);
-    debug_assert_ne!(mask, 0);
     debug_assert_eq!(
         view.idle_mask,
         view.procs
@@ -41,9 +38,23 @@ pub fn best_instance(view: &SimView<'_>, node: NodeId) -> Option<BestInstance> {
             .fold(0u64, |m, (i, _)| m | 1 << i),
         "view's idle mask disagrees with its snapshots"
     );
+    best_instance_in(view, node, view.idle_mask)
+}
+
+/// [`best_instance`] against an explicit idle bitset instead of the view's.
+///
+/// Policies that emit a whole per-instant batch in one `decide` pass (MET,
+/// APT, APT-R) claim processors as they go; this variant lets them evaluate
+/// each kernel against the *remaining* idle set, reproducing exactly what a
+/// one-assignment-per-call fixpoint would have seen after the engine
+/// applied the earlier assignments.
+pub fn best_instance_in(view: &SimView<'_>, node: NodeId, idle_mask: u64) -> Option<BestInstance> {
+    let exec = view.cost.min_exec(node)?;
+    let mask = view.cost.min_mask(node);
+    debug_assert_ne!(mask, 0);
     // Among minimal-exec instances, prefer the lowest-id idle one; fall back
     // to the lowest-id instance overall.
-    let idle = mask & view.idle_mask;
+    let idle = mask & idle_mask;
     if idle != 0 {
         Some(BestInstance {
             proc: ProcId::new(idle.trailing_zeros() as usize),

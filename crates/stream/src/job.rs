@@ -1,0 +1,218 @@
+//! Job templates: the unit an arrival source yields.
+//!
+//! A *job* is a small DAG of kernels submitted to the system as one
+//! arrival — the open-system generalization of the paper's fixed input
+//! streams (§3.2). [`JobTemplate`] carries the kernels in stream order plus
+//! intra-job dependency edges over their local indices; [`JobFamily`]
+//! instantiates the DAG shapes the repo already knows (Type-1/Type-2 via
+//! the `apt-dfg` generators, plus the chain and diamond micro-shapes of the
+//! examples) with per-job seeded kernel draws.
+
+use apt_base::BaseError;
+use apt_dfg::generator::{generate, DfgType, StreamConfig};
+use apt_dfg::{Kernel, KernelDag, LookupTable, SplitMix64};
+
+/// One job: kernels in stream order and ascending intra-job edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobTemplate {
+    kernels: Vec<Kernel>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl JobTemplate {
+    /// Build a template. Jobs must carry at least one kernel, and edges
+    /// must be ascending over local kernel indices
+    /// (`from < to < kernels.len()`) with no duplicates — the numbering
+    /// every generator in the workspace already produces, and a structural
+    /// guarantee of acyclicity. Validation is the engine's own
+    /// [`apt_hetsim::validate_job`], so a template that constructs can
+    /// never fail admission mid-way.
+    pub fn new(kernels: Vec<Kernel>, edges: Vec<(u32, u32)>) -> Result<JobTemplate, BaseError> {
+        apt_hetsim::validate_job(kernels.len(), &edges)?;
+        Ok(JobTemplate { kernels, edges })
+    }
+
+    /// Convert a generated [`KernelDag`] (whose edges the generators number
+    /// ascending) into a template.
+    pub fn from_dag(dag: &KernelDag) -> Result<JobTemplate, BaseError> {
+        let kernels = dag.iter().map(|(_, k)| *k).collect();
+        let edges = dag
+            .edges()
+            .map(|(a, b)| (a.index() as u32, b.index() as u32))
+            .collect();
+        JobTemplate::new(kernels, edges)
+    }
+
+    /// The kernels, in stream order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// The intra-job edges over local indices.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Always false — [`JobTemplate::new`] rejects zero-kernel jobs —
+    /// but kept for API completeness next to [`JobTemplate::len`].
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+/// DAG families an arrival source instantiates per job. Kernel kinds and
+/// data sizes are drawn from the source's seeded RNG, so two sources with
+/// the same seed produce identical job sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFamily {
+    /// One kernel per job.
+    Single,
+    /// A dependent chain of `len` kernels.
+    Chain {
+        /// Chain length (≥ 1).
+        len: usize,
+    },
+    /// A fork-join diamond: one source, `width` independent middles, one
+    /// sink (`width + 2` kernels).
+    Diamond {
+        /// Number of independent middle kernels (≥ 1).
+        width: usize,
+    },
+    /// A paper DFG Type-1 graph of `len` kernels (Figure 3), seeded per
+    /// job.
+    Type1 {
+        /// Kernel count.
+        len: usize,
+    },
+    /// A paper DFG Type-2 graph of `len` kernels (Figure 4), seeded per
+    /// job.
+    Type2 {
+        /// Kernel count.
+        len: usize,
+    },
+}
+
+impl JobFamily {
+    /// Number of kernels every job of this family has.
+    pub fn kernels_per_job(self) -> usize {
+        match self {
+            JobFamily::Single => 1,
+            JobFamily::Chain { len } => len.max(1),
+            JobFamily::Diamond { width } => width.max(1) + 2,
+            JobFamily::Type1 { len } | JobFamily::Type2 { len } => len,
+        }
+    }
+
+    /// Draw one job instance. Deterministic in the RNG state.
+    pub fn instantiate(self, rng: &mut SplitMix64, lookup: &LookupTable) -> JobTemplate {
+        // Sub-seed per job: the family generators own their kind/size draw
+        // streams, so family structure changes never shift the arrival
+        // process draws (and vice versa).
+        let seed = rng.next_u64();
+        match self {
+            JobFamily::Type1 { len } | JobFamily::Type2 { len } => {
+                let ty = match self {
+                    JobFamily::Type1 { .. } => DfgType::Type1,
+                    _ => DfgType::Type2,
+                };
+                let dag = generate(ty, &StreamConfig::new(len, seed), lookup);
+                JobTemplate::from_dag(&dag).expect("generator edges are ascending")
+            }
+            JobFamily::Single => {
+                let kernels = draw_kernels(seed, 1, lookup);
+                JobTemplate::new(kernels, Vec::new()).expect("no edges")
+            }
+            JobFamily::Chain { len } => {
+                let len = len.max(1);
+                let kernels = draw_kernels(seed, len, lookup);
+                let edges = (0..len.saturating_sub(1))
+                    .map(|i| (i as u32, i as u32 + 1))
+                    .collect();
+                JobTemplate::new(kernels, edges).expect("chain edges ascend")
+            }
+            JobFamily::Diamond { width } => {
+                let width = width.max(1);
+                let kernels = draw_kernels(seed, width + 2, lookup);
+                let sink = (width + 1) as u32;
+                let mut edges = Vec::with_capacity(2 * width);
+                for m in 1..=width as u32 {
+                    edges.push((0, m));
+                    edges.push((m, sink));
+                }
+                JobTemplate::new(kernels, edges).expect("diamond edges ascend")
+            }
+        }
+    }
+}
+
+/// Seeded kernel series for the micro-shapes, matching the uniform-mix
+/// stream generator's draw structure.
+fn draw_kernels(seed: u64, len: usize, lookup: &LookupTable) -> Vec<Kernel> {
+    apt_dfg::generator::generate_kernels(&StreamConfig::uniform(len, seed), lookup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup() -> &'static LookupTable {
+        LookupTable::paper()
+    }
+
+    #[test]
+    fn templates_validate_edges() {
+        let ks = draw_kernels(1, 3, lookup());
+        assert!(JobTemplate::new(ks.clone(), vec![(0, 1), (1, 2)]).is_ok());
+        assert!(JobTemplate::new(ks.clone(), vec![(1, 1)]).is_err());
+        assert!(JobTemplate::new(ks.clone(), vec![(2, 1)]).is_err());
+        assert!(JobTemplate::new(ks.clone(), vec![(0, 9)]).is_err());
+        assert!(JobTemplate::new(ks, vec![(0, 1), (0, 1)]).is_err());
+        assert!(JobTemplate::new(Vec::new(), Vec::new()).is_err());
+    }
+
+    #[test]
+    fn families_have_the_advertised_shapes() {
+        let mut rng = SplitMix64::new(7);
+        let single = JobFamily::Single.instantiate(&mut rng, lookup());
+        assert_eq!(single.len(), 1);
+        assert!(single.edges().is_empty());
+
+        let chain = JobFamily::Chain { len: 4 }.instantiate(&mut rng, lookup());
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.edges(), &[(0, 1), (1, 2), (2, 3)]);
+
+        let diamond = JobFamily::Diamond { width: 3 }.instantiate(&mut rng, lookup());
+        assert_eq!(diamond.len(), 5);
+        assert_eq!(diamond.edges().len(), 6);
+
+        let t1 = JobFamily::Type1 { len: 9 }.instantiate(&mut rng, lookup());
+        assert_eq!(t1.len(), 9);
+        assert_eq!(t1.edges().len(), 8);
+
+        let t2 = JobFamily::Type2 { len: 20 }.instantiate(&mut rng, lookup());
+        assert_eq!(t2.len(), 20);
+        assert_eq!(JobFamily::Diamond { width: 3 }.kernels_per_job(), 5);
+    }
+
+    #[test]
+    fn instantiation_is_deterministic_per_rng_state() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for family in [
+            JobFamily::Single,
+            JobFamily::Chain { len: 3 },
+            JobFamily::Diamond { width: 2 },
+            JobFamily::Type2 { len: 15 },
+        ] {
+            assert_eq!(
+                family.instantiate(&mut a, lookup()),
+                family.instantiate(&mut b, lookup())
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # apt-stream
+//!
+//! Open-system streaming on top of the APT reproduction: arrival sources,
+//! a bounded-memory driver, and online metrics.
+//!
+//! The paper evaluates *closed* workloads — every kernel present at
+//! `t = 0` (or at a fixed, fully materialized arrival vector). The
+//! ROADMAP's north-star is a production-scale system under continuous
+//! heavy traffic, which needs the opposite regime: jobs arrive forever,
+//! the system never drains, and evaluation happens on throughput, latency
+//! quantiles and saturation points rather than makespan. This crate opens
+//! that axis:
+//!
+//! * [`source`] — the [`Source`] trait plus Poisson, bursty on/off (MMPP),
+//!   diurnal-rate, and trace-replay arrival processes, all seeded through
+//!   the workspace's own `SplitMix64` and yielding [`JobTemplate`]s of
+//!   configurable DAG families lazily, one at a time.
+//! * [`driver`] — [`simulate_source`]: pulls arrivals just-in-time, feeds
+//!   them into `apt-hetsim`'s slot-recycling [`apt_hetsim::OpenEngine`],
+//!   retires completed jobs into streaming metrics, and sustains
+//!   million-job runs with memory bounded by the jobs in flight.
+//! * [`job`] — job templates and the DAG families they instantiate.
+//!
+//! The streaming path is *semantics-preserving*: a finite source replayed
+//! through the driver schedules byte-for-byte like
+//! `apt_hetsim::simulate_stream` over the materialized workload (pinned by
+//! the differential proptests in `tests/`), so every closed-world result in
+//! this repo extends unchanged to the open system.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apt_stream::{simulate_source, DriverOpts, JobFamily, PoissonSource};
+//! use apt_hetsim::SystemConfig;
+//! use apt_dfg::LookupTable;
+//! use apt_core::Apt;
+//!
+//! // 300 diamond jobs arriving at 0.25 jobs/s, scheduled by APT(α = 4).
+//! let lookup = LookupTable::paper();
+//! let mut source = PoissonSource::new(lookup, 0.25, 300, JobFamily::Diamond { width: 2 }, 42);
+//! let outcome = simulate_source(
+//!     &mut source,
+//!     &SystemConfig::paper_4gbps(),
+//!     lookup,
+//!     &mut Apt::new(4.0),
+//!     &DriverOpts::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(outcome.jobs_completed, 300);
+//! // Memory scaled with the in-flight peak, not the 300-job stream.
+//! assert!(outcome.arena_slots < 300);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod job;
+pub mod source;
+
+pub use driver::{simulate_source, simulate_source_observed, DriverOpts, StreamOutcome};
+pub use job::{JobFamily, JobTemplate};
+pub use source::{DiurnalSource, OnOffSource, PoissonSource, Source, TraceSource};
+
+// Completed-job types come from the engine; re-export for one-stop imports.
+pub use apt_hetsim::{CompletedJob, JobId};

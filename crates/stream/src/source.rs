@@ -1,0 +1,424 @@
+//! Arrival sources: lazy, seeded generators of `(arrival, job)` streams.
+//!
+//! The paper evaluates closed workloads (everything present at `t = 0`);
+//! the ROADMAP's production north-star needs *open-system* evaluation under
+//! sustained load. A [`Source`] yields arrivals one at a time, in
+//! non-decreasing time order, so the streaming driver can admit each job
+//! just-in-time and keep memory bounded by the jobs in flight — a million
+//! arrivals are never materialized as a vector.
+//!
+//! Implementations:
+//!
+//! * [`PoissonSource`] — homogeneous Poisson arrivals (exponential
+//!   inter-arrival gaps) at a fixed rate: the steady-traffic baseline.
+//! * [`OnOffSource`] — a two-state Markov-modulated (on/off MMPP) process:
+//!   bursts of Poisson arrivals separated by silent periods, the classic
+//!   bursty-traffic model.
+//! * [`DiurnalSource`] — an inhomogeneous Poisson process whose rate swings
+//!   sinusoidally between a base and a peak over a configurable period
+//!   (thinning construction), modelling day/night load cycles.
+//! * [`TraceSource`] — replays an explicit `(arrival, job)` list, for tests
+//!   and for captured traces.
+//!
+//! Every stochastic source draws its kernels from the [`LookupTable`] you
+//! hand it — the same table the driver schedules against, so generated
+//! data sizes always exist in the cost model.
+//!
+//! All randomness comes from the workspace's own [`SplitMix64`], so a
+//! `(seed, parameters)` pair reproduces the identical stream forever. The
+//! exponential/thinning draws go through `f64::ln`, which is deterministic
+//! per platform (and pinned by the determinism tests on any one machine).
+
+use crate::job::{JobFamily, JobTemplate};
+use apt_base::{SimDuration, SimTime};
+use apt_dfg::{LookupTable, SplitMix64};
+
+/// A lazy stream of jobs with non-decreasing arrival instants.
+pub trait Source {
+    /// The next arrival, or `None` when the source is exhausted. Arrival
+    /// instants must be non-decreasing call to call (the driver asserts
+    /// this).
+    fn next_job(&mut self) -> Option<(SimTime, JobTemplate)>;
+
+    /// Remaining jobs, if the source knows (used only for progress
+    /// reporting).
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits of one draw.
+fn unit(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential gap with the given mean, in whole nanoseconds (≥ 1, so time
+/// strictly advances even at extreme rates).
+fn exp_gap_ns(rng: &mut SplitMix64, mean_ns: f64) -> u64 {
+    let u = unit(rng);
+    let gap = -mean_ns * (1.0 - u).ln();
+    (gap.round() as u64).max(1)
+}
+
+/// Homogeneous Poisson arrivals of one job family.
+#[derive(Debug, Clone)]
+pub struct PoissonSource<'a> {
+    lookup: &'a LookupTable,
+    family: JobFamily,
+    rng: SplitMix64,
+    mean_gap_ns: f64,
+    t_ns: u64,
+    remaining: u64,
+}
+
+impl<'a> PoissonSource<'a> {
+    /// `jobs` arrivals at `rate` jobs per simulated second, drawn from
+    /// `seed`, instantiating kernels from `lookup` (pass the same table the
+    /// driver schedules against — [`LookupTable::paper`] for the paper
+    /// machine). Panics on a non-positive rate.
+    pub fn new(
+        lookup: &'a LookupTable,
+        rate_per_sec: f64,
+        jobs: u64,
+        family: JobFamily,
+        seed: u64,
+    ) -> PoissonSource<'a> {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive, got {rate_per_sec}"
+        );
+        PoissonSource {
+            lookup,
+            family,
+            rng: SplitMix64::new(seed),
+            mean_gap_ns: 1e9 / rate_per_sec,
+            t_ns: 0,
+            remaining: jobs,
+        }
+    }
+}
+
+impl Source for PoissonSource<'_> {
+    fn next_job(&mut self) -> Option<(SimTime, JobTemplate)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t_ns += exp_gap_ns(&mut self.rng, self.mean_gap_ns);
+        let job = self.family.instantiate(&mut self.rng, self.lookup);
+        Some((SimTime::from_ns(self.t_ns), job))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Bursty on/off (two-state MMPP) arrivals: exponential ON periods emitting
+/// Poisson arrivals at `burst_rate`, separated by exponential OFF silences.
+#[derive(Debug, Clone)]
+pub struct OnOffSource<'a> {
+    lookup: &'a LookupTable,
+    family: JobFamily,
+    rng: SplitMix64,
+    burst_gap_ns: f64,
+    mean_on_ns: f64,
+    mean_off_ns: f64,
+    t_ns: u64,
+    on_end_ns: u64,
+    remaining: u64,
+}
+
+impl<'a> OnOffSource<'a> {
+    /// `jobs` arrivals in bursts: Poisson at `burst_rate` jobs/s while ON,
+    /// with exponential ON/OFF period durations of the given means.
+    /// Kernels are instantiated from `lookup`.
+    pub fn new(
+        lookup: &'a LookupTable,
+        burst_rate_per_sec: f64,
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+        jobs: u64,
+        family: JobFamily,
+        seed: u64,
+    ) -> OnOffSource<'a> {
+        assert!(
+            burst_rate_per_sec > 0.0 && burst_rate_per_sec.is_finite(),
+            "burst rate must be positive, got {burst_rate_per_sec}"
+        );
+        assert!(!mean_on.is_zero(), "mean ON period must be positive");
+        assert!(!mean_off.is_zero(), "mean OFF period must be positive");
+        let mut rng = SplitMix64::new(seed);
+        let mean_on_ns = mean_on.as_ns() as f64;
+        let on_end_ns = exp_gap_ns(&mut rng, mean_on_ns);
+        OnOffSource {
+            lookup,
+            family,
+            rng,
+            burst_gap_ns: 1e9 / burst_rate_per_sec,
+            mean_on_ns,
+            mean_off_ns: mean_off.as_ns() as f64,
+            t_ns: 0,
+            on_end_ns,
+            remaining: jobs,
+        }
+    }
+}
+
+impl Source for OnOffSource<'_> {
+    fn next_job(&mut self) -> Option<(SimTime, JobTemplate)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        loop {
+            let gap = exp_gap_ns(&mut self.rng, self.burst_gap_ns);
+            if self.t_ns + gap <= self.on_end_ns {
+                self.t_ns += gap;
+                break;
+            }
+            // The burst ended before this arrival: skip the OFF silence and
+            // start the next ON period. (The rejected gap is simply
+            // redrawn — the exponential's memorylessness keeps the process
+            // well-defined.)
+            let off = exp_gap_ns(&mut self.rng, self.mean_off_ns);
+            let on = exp_gap_ns(&mut self.rng, self.mean_on_ns);
+            self.t_ns = self.on_end_ns + off;
+            self.on_end_ns = self.t_ns + on;
+        }
+        let job = self.family.instantiate(&mut self.rng, self.lookup);
+        Some((SimTime::from_ns(self.t_ns), job))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Diurnal (inhomogeneous Poisson) arrivals: the rate swings sinusoidally
+/// between `base_rate` and `base_rate + swing_rate` with the given period,
+/// realized by thinning a homogeneous process at the peak rate.
+#[derive(Debug, Clone)]
+pub struct DiurnalSource<'a> {
+    lookup: &'a LookupTable,
+    family: JobFamily,
+    rng: SplitMix64,
+    base_rate: f64,
+    swing_rate: f64,
+    period_ns: f64,
+    peak_gap_ns: f64,
+    t_ns: u64,
+    remaining: u64,
+}
+
+impl<'a> DiurnalSource<'a> {
+    /// `jobs` arrivals with instantaneous rate
+    /// `base + swing · sin²(π t / period)` jobs per second. Kernels are
+    /// instantiated from `lookup`.
+    pub fn new(
+        lookup: &'a LookupTable,
+        base_rate_per_sec: f64,
+        swing_rate_per_sec: f64,
+        period: SimDuration,
+        jobs: u64,
+        family: JobFamily,
+        seed: u64,
+    ) -> DiurnalSource<'a> {
+        assert!(
+            base_rate_per_sec > 0.0 && swing_rate_per_sec >= 0.0,
+            "diurnal rates must be positive / non-negative"
+        );
+        assert!(!period.is_zero(), "diurnal period must be positive");
+        DiurnalSource {
+            lookup,
+            family,
+            rng: SplitMix64::new(seed),
+            base_rate: base_rate_per_sec,
+            swing_rate: swing_rate_per_sec,
+            period_ns: period.as_ns() as f64,
+            peak_gap_ns: 1e9 / (base_rate_per_sec + swing_rate_per_sec),
+            t_ns: 0,
+            remaining: jobs,
+        }
+    }
+
+    /// Instantaneous rate at `t_ns`, jobs per second.
+    fn rate_at(&self, t_ns: u64) -> f64 {
+        let phase = std::f64::consts::PI * (t_ns as f64 / self.period_ns);
+        self.base_rate + self.swing_rate * phase.sin().powi(2)
+    }
+}
+
+impl Source for DiurnalSource<'_> {
+    fn next_job(&mut self) -> Option<(SimTime, JobTemplate)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Thinning (Lewis & Shedler): candidates at the peak rate, accepted
+        // with probability rate(t) / peak_rate.
+        let peak = self.base_rate + self.swing_rate;
+        loop {
+            self.t_ns += exp_gap_ns(&mut self.rng, self.peak_gap_ns);
+            let accept = self.rate_at(self.t_ns) / peak;
+            if unit(&mut self.rng) < accept {
+                break;
+            }
+        }
+        let job = self.family.instantiate(&mut self.rng, self.lookup);
+        Some((SimTime::from_ns(self.t_ns), job))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Replays an explicit arrival list (tests, captured traces).
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    jobs: std::vec::IntoIter<(SimTime, JobTemplate)>,
+}
+
+impl TraceSource {
+    /// A source over an explicit list. Panics unless arrivals are
+    /// non-decreasing.
+    pub fn new(jobs: Vec<(SimTime, JobTemplate)>) -> TraceSource {
+        assert!(
+            jobs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace arrivals must be non-decreasing"
+        );
+        TraceSource {
+            jobs: jobs.into_iter(),
+        }
+    }
+}
+
+impl Source for TraceSource {
+    fn next_job(&mut self) -> Option<(SimTime, JobTemplate)> {
+        self.jobs.next()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.jobs.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(source: &mut dyn Source) -> Vec<(SimTime, JobTemplate)> {
+        std::iter::from_fn(|| source.next_job()).collect()
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_monotone() {
+        let mut a = PoissonSource::new(
+            LookupTable::paper(),
+            25.0,
+            200,
+            JobFamily::Diamond { width: 2 },
+            9,
+        );
+        let mut b = PoissonSource::new(
+            LookupTable::paper(),
+            25.0,
+            200,
+            JobFamily::Diamond { width: 2 },
+            9,
+        );
+        let ja = drain(&mut a);
+        let jb = drain(&mut b);
+        assert_eq!(ja, jb);
+        assert_eq!(ja.len(), 200);
+        assert!(ja.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Mean gap should be near 40 ms for rate 25/s over 200 draws.
+        let span = ja.last().unwrap().0.as_ns() as f64 / 200.0;
+        assert!((20e6..80e6).contains(&span), "mean gap {span} ns off");
+        // A different seed shifts the arrivals.
+        let jc = drain(&mut PoissonSource::new(
+            LookupTable::paper(),
+            25.0,
+            200,
+            JobFamily::Diamond { width: 2 },
+            10,
+        ));
+        assert_ne!(ja, jc);
+    }
+
+    #[test]
+    fn on_off_bursts_cluster_arrivals() {
+        let mut s = OnOffSource::new(
+            LookupTable::paper(),
+            200.0,
+            SimDuration::from_ms(50),
+            SimDuration::from_ms(1_000),
+            300,
+            JobFamily::Single,
+            3,
+        );
+        let jobs = drain(&mut s);
+        assert_eq!(jobs.len(), 300);
+        assert!(jobs.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Burstiness: many tiny gaps (intra-burst) and some huge ones
+        // (inter-burst silences).
+        let gaps: Vec<u64> = jobs.windows(2).map(|w| (w[1].0 - w[0].0).as_ns()).collect();
+        let tiny = gaps.iter().filter(|&&g| g < 20_000_000).count();
+        let huge = gaps.iter().filter(|&&g| g > 300_000_000).count();
+        assert!(tiny > gaps.len() / 2, "no intra-burst clustering");
+        assert!(huge > 0, "no inter-burst silences");
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_base_and_peak() {
+        let period = SimDuration::from_ms(10_000);
+        let mut s = DiurnalSource::new(
+            LookupTable::paper(),
+            2.0,
+            40.0,
+            period,
+            2_000,
+            JobFamily::Single,
+            11,
+        );
+        let jobs = drain(&mut s);
+        assert!(jobs.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Count arrivals landing in rate-trough vs rate-crest halves of the
+        // cycle: crest phases (sin² > ½) must dominate.
+        let mut crest = 0usize;
+        let mut trough = 0usize;
+        for (t, _) in &jobs {
+            let phase = std::f64::consts::PI * (t.as_ns() as f64 / period.as_ns() as f64);
+            if phase.sin().powi(2) > 0.5 {
+                crest += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            crest > trough * 2,
+            "diurnal swing invisible: {crest} crest vs {trough} trough"
+        );
+    }
+
+    #[test]
+    fn trace_source_replays_and_rejects_disorder() {
+        let lookup = LookupTable::paper();
+        let mut rng = SplitMix64::new(1);
+        let t0 = JobFamily::Single.instantiate(&mut rng, lookup);
+        let t1 = JobFamily::Single.instantiate(&mut rng, lookup);
+        let mut s = TraceSource::new(vec![
+            (SimTime::from_ms(5), t0.clone()),
+            (SimTime::from_ms(9), t1.clone()),
+        ]);
+        assert_eq!(s.remaining_hint(), Some(2));
+        assert_eq!(s.next_job(), Some((SimTime::from_ms(5), t0.clone())));
+        assert_eq!(s.next_job(), Some((SimTime::from_ms(9), t1.clone())));
+        assert_eq!(s.next_job(), None);
+        let result = std::panic::catch_unwind(|| {
+            TraceSource::new(vec![(SimTime::from_ms(9), t0), (SimTime::from_ms(5), t1)])
+        });
+        assert!(result.is_err(), "disordered trace must be rejected");
+    }
+}

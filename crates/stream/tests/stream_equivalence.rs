@@ -1,0 +1,274 @@
+//! Differential tests: the open-system streaming path must be
+//! *semantics-preserving*.
+//!
+//! A finite [`TraceSource`] replayed through the bounded-memory driver
+//! (slot-recycling arena, just-in-time admission, ordered ready set) must
+//! schedule **byte-identically** to `apt_hetsim::simulate_stream` over the
+//! fully materialized workload — same records, same per-processor
+//! aggregates — for every dynamic policy of the paper's roster, on
+//! arbitrary job mixes and arrival patterns (including gaps far past the
+//! calendar queue's two-level horizon). Plus: determinism under seed, and
+//! the bounded-arena guarantee a long stream relies on.
+
+use apt_core::prelude::*;
+use apt_hetsim::TaskRecord;
+use apt_stream::{
+    simulate_source, simulate_source_observed, DriverOpts, JobFamily, JobTemplate, PoissonSource,
+    TraceSource,
+};
+use proptest::prelude::*;
+
+/// A named fresh-policy constructor.
+type PolicyMaker = Box<dyn Fn() -> Box<dyn Policy>>;
+
+/// Dynamic-policy roster (static HEFT/PEFT are rejected by the driver —
+/// covered separately below).
+fn policies() -> Vec<(&'static str, PolicyMaker)> {
+    vec![
+        (
+            "APT(4)",
+            Box::new(|| Box::new(Apt::new(4.0)) as Box<dyn Policy>),
+        ),
+        (
+            "APT(1.5)",
+            Box::new(|| Box::new(Apt::new(1.5)) as Box<dyn Policy>),
+        ),
+        (
+            "APT-R(4)",
+            Box::new(|| Box::new(AptR::new(4.0)) as Box<dyn Policy>),
+        ),
+        ("MET", Box::new(|| Box::new(Met::new()) as Box<dyn Policy>)),
+        ("SPN", Box::new(|| Box::new(Spn::new()) as Box<dyn Policy>)),
+        (
+            "SS",
+            Box::new(|| Box::new(SerialScheduling::new()) as Box<dyn Policy>),
+        ),
+        (
+            "AG",
+            Box::new(|| Box::new(AdaptiveGreedy::new()) as Box<dyn Policy>),
+        ),
+        // AR consumes RNG per decision, so it additionally pins that the
+        // open driver issues *exactly* the closed engine's decide sequence.
+        (
+            "AR(7)",
+            Box::new(|| Box::new(AdaptiveRandom::new(7)) as Box<dyn Policy>),
+        ),
+        ("OLB", Box::new(|| Box::new(Olb::new()) as Box<dyn Policy>)),
+    ]
+}
+
+/// Materialize a job list as one closed-world DAG + per-node arrivals.
+/// Returns the dag, arrivals, and each job's node-id offset.
+fn materialize(jobs: &[(SimTime, JobTemplate)]) -> (KernelDag, Vec<SimTime>, Vec<usize>) {
+    let mut dag = KernelDag::new();
+    let mut arrivals = Vec::new();
+    let mut offsets = Vec::new();
+    for (at, job) in jobs {
+        let base = dag.len();
+        offsets.push(base);
+        for &k in job.kernels() {
+            dag.add_node(k);
+            arrivals.push(*at);
+        }
+        for &(a, b) in job.edges() {
+            dag.add_edge(
+                NodeId::new(base + a as usize),
+                NodeId::new(base + b as usize),
+            )
+            .expect("template edges are fresh and ascending");
+        }
+    }
+    (dag, arrivals, offsets)
+}
+
+/// Run one job list through both paths under one policy and compare the
+/// complete traces byte for byte.
+fn assert_stream_equivalent(
+    tag: &str,
+    jobs: &[(SimTime, JobTemplate)],
+    make: &dyn Fn() -> Box<dyn Policy>,
+) {
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let (dag, arrivals, offsets) = materialize(jobs);
+
+    // Open path: collect every completed job's records, re-expanded to the
+    // closed world's global node ids.
+    let mut open_records: Vec<TaskRecord> = Vec::new();
+    let mut open_policy = make();
+    let mut source = TraceSource::new(jobs.to_vec());
+    let outcome = simulate_source_observed(
+        &mut source,
+        &config,
+        lookup,
+        open_policy.as_mut(),
+        &DriverOpts::default(),
+        |done| {
+            let base = offsets[done.job.0 as usize];
+            for rec in &done.records {
+                let mut global = *rec;
+                global.node = NodeId::new(base + rec.node.index());
+                open_records.push(global);
+            }
+        },
+    )
+    .unwrap_or_else(|e| panic!("{tag}: streaming run failed: {e}"));
+
+    // Closed path over the materialized workload.
+    let mut closed_policy = make();
+    let closed = simulate_stream(&dag, &config, lookup, closed_policy.as_mut(), &arrivals)
+        .unwrap_or_else(|e| panic!("{tag}: closed run failed: {e}"));
+
+    // Byte-identical trace: same record set in the same canonical order,
+    // same per-processor aggregates.
+    open_records.sort_unstable_by_key(|r| (r.start, r.node));
+    let open_trace = Trace {
+        records: open_records,
+        proc_stats: outcome.proc_stats.clone(),
+    };
+    assert_eq!(
+        open_trace, closed.trace,
+        "{tag}: open-stream trace diverged from simulate_stream"
+    );
+    assert_eq!(outcome.jobs_completed as usize, jobs.len(), "{tag}");
+    assert_eq!(outcome.lambda_total, closed.trace.lambda_total(), "{tag}");
+    open_trace.validate(&dag).unwrap();
+}
+
+/// Deterministic pseudo-random job list: families, sizes and arrival gaps
+/// drawn from a seed, with gap choices spanning same-instant bursts,
+/// sub-window spacing, and jumps past the calendar's ≈ 68.7 s two-level
+/// horizon.
+fn job_list(seed: u64, njobs: usize, gap_choices: &[u64]) -> Vec<(SimTime, JobTemplate)> {
+    let lookup = LookupTable::paper();
+    let mut rng = SplitMix64::new(seed);
+    let families = [
+        JobFamily::Single,
+        JobFamily::Chain { len: 3 },
+        JobFamily::Diamond { width: 2 },
+        JobFamily::Type1 { len: 6 },
+        JobFamily::Type2 { len: 9 },
+    ];
+    let mut t_ns = 0u64;
+    (0..njobs)
+        .map(|_| {
+            t_ns += gap_choices[rng.gen_index(gap_choices.len())];
+            let family = families[rng.gen_index(families.len())];
+            (SimTime::from_ns(t_ns), family.instantiate(&mut rng, lookup))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The headline differential: arbitrary finite sources, every dynamic
+    /// policy, byte-identical traces.
+    #[test]
+    fn finite_source_matches_simulate_stream(
+        seed in 0u64..1_000_000,
+        njobs in 1usize..9,
+        burst in prop::bool::ANY,
+    ) {
+        // Burst mode clusters arrivals (exercising same-instant admission
+        // batches); spread mode includes far-horizon jumps (exercising the
+        // two-level calendar on the closed side and just-in-time admission
+        // on the open side).
+        let gaps: &[u64] = if burst {
+            &[0, 0, 1_000, 50_000_000]
+        } else {
+            &[0, 400_000_000, 17_000_000_000, 120_000_000_000]
+        };
+        let jobs = job_list(seed, njobs, gaps);
+        for (name, make) in policies() {
+            assert_stream_equivalent(&format!("seed={seed}/{name}"), &jobs, make.as_ref());
+        }
+    }
+}
+
+/// Heavy pin: one larger mixed workload through the full roster (including
+/// overlap-heavy arrivals that force deep slot recycling).
+#[test]
+fn large_mixed_workload_is_equivalent() {
+    let jobs = job_list(0xA11CE, 30, &[0, 1_000_000, 900_000_000, 30_000_000_000]);
+    for (name, make) in policies() {
+        assert_stream_equivalent(&format!("large/{name}"), &jobs, make.as_ref());
+    }
+}
+
+/// Identical seeds give identical outcomes end to end; different seeds
+/// don't.
+#[test]
+fn streaming_is_deterministic_under_seed() {
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let opts = DriverOpts {
+        snapshot_interval: Some(SimDuration::from_ms(60_000)),
+        max_in_flight_jobs: None,
+    };
+    let run = |seed: u64| {
+        let mut source = PoissonSource::new(lookup, 0.4, 150, JobFamily::Chain { len: 2 }, seed);
+        simulate_source(&mut source, &config, lookup, &mut Apt::new(4.0), &opts).unwrap()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.jobs_completed, b.jobs_completed);
+    assert_eq!(a.end, b.end);
+    assert_eq!(a.lambda_total, b.lambda_total);
+    assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    assert_eq!(a.latency_p99_ms, b.latency_p99_ms);
+    assert_eq!(a.proc_stats, b.proc_stats);
+    assert_eq!(a.snapshots, b.snapshots);
+    let c = run(8);
+    assert!(
+        c.end != a.end || c.proc_stats != a.proc_stats,
+        "different seeds produced identical runs"
+    );
+}
+
+/// A long stream's arena stays bounded by the in-flight peak — the
+/// million-job guarantee, sized down to keep debug-mode CI fast (the full
+/// 1e6 run lives in `examples/million_jobs.rs`).
+#[test]
+fn long_stream_memory_is_bounded_by_in_flight_jobs() {
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let mut source = PoissonSource::new(lookup, 0.5, 20_000, JobFamily::Single, 99);
+    let outcome = simulate_source(
+        &mut source,
+        &config,
+        lookup,
+        &mut Met::new(),
+        &DriverOpts::default(),
+    )
+    .unwrap();
+    assert_eq!(outcome.jobs_completed, 20_000);
+    assert_eq!(outcome.arena_slots, outcome.peak_in_flight_kernels);
+    assert!(
+        outcome.arena_slots < 200,
+        "arena {} not bounded by in-flight work",
+        outcome.arena_slots
+    );
+}
+
+/// Static policies cannot run open streams — the driver says so up front.
+#[test]
+fn static_policies_are_rejected() {
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    for make in [
+        || Box::new(Heft::new()) as Box<dyn Policy>,
+        || Box::new(Peft::new()) as Box<dyn Policy>,
+    ] {
+        let mut source = PoissonSource::new(lookup, 1.0, 2, JobFamily::Single, 1);
+        let err = simulate_source(
+            &mut source,
+            &config,
+            lookup,
+            make().as_mut(),
+            &DriverOpts::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BaseError::InvalidAssignment { .. }));
+    }
+}
