@@ -1,0 +1,23 @@
+//! SLO-path throughput: deadline-tagged streams through the gated driver
+//! (per-slot deadline stamping, EDF ordering, tardiness metrics, and
+//! admission-gate bookkeeping on top of the plain streaming cost).
+//! `apt-bench` tracks the same configurations as `slo/*` rows in
+//! `BENCH_engine.json`.
+
+use apt_bench::{slo_stream_run, STREAM_BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_slo_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slo/poisson_edf_apt");
+    g.throughput(Throughput::Elements(STREAM_BENCH_JOBS));
+    for (name, gated) in [("open", false), ("gated", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &gated, |b, &gated| {
+            b.iter(|| black_box(slo_stream_run(gated)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_slo_stream);
+criterion_main!(benches);

@@ -80,6 +80,47 @@ pub fn stream_run(alpha: Option<f64>) -> u64 {
     outcome.end.as_ns()
 }
 
+/// One SLO stream run: `STREAM_BENCH_JOBS` deadline-tagged Poisson jobs
+/// (D = 4 × critical path) through the gated driver under EDF-APT, with
+/// either the open accept-all gate or the utilization-bound shed path —
+/// the deadline plumbing's end-to-end constant factors (per-slot deadline
+/// stamping, tardiness metrics, gate bookkeeping). Returns the final
+/// simulated instant in ns.
+pub fn slo_stream_run(gated: bool) -> u64 {
+    use apt_slo::{simulate_source_slo, AcceptAll, AdmissionPolicy, UtilizationBound};
+    use apt_stream::{DeadlineSpec, DriverOpts, JobFamily, PoissonSource};
+    let lookup = LookupTable::paper();
+    let config = SystemConfig::paper_4gbps();
+    let mut policy = EdfApt::new(4.0);
+    let mut source = PoissonSource::new(
+        lookup,
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    )
+    .with_deadlines(DeadlineSpec::ProportionalCp { factor: 4.0 });
+    let mut accept_all = AcceptAll;
+    let mut util;
+    let admission: &mut dyn AdmissionPolicy = if gated {
+        util = UtilizationBound::new(lookup, &config, 1.0);
+        &mut util
+    } else {
+        &mut accept_all
+    };
+    let outcome = simulate_source_slo(
+        &mut source,
+        &config,
+        lookup,
+        &mut policy,
+        admission,
+        &DriverOpts::default(),
+    )
+    .expect("slo bench run");
+    assert_eq!(outcome.jobs_admitted + outcome.jobs_shed, STREAM_BENCH_JOBS);
+    outcome.end.as_ns()
+}
+
 /// Calendar-queue stress for the streaming access pattern: a deep
 /// far-future arrival backlog (near window, far ring, and overflow tiers
 /// all populated) drained batch by batch with near-term completions pushed
@@ -120,5 +161,11 @@ mod tests {
         let sys = SystemConfig::paper_4gbps();
         assert!(run(&type1_workload(), &sys, &mut Met::new()) > 0);
         assert!(run(&type2_workload(), &sys, &mut Apt::new(4.0)) > 0);
+    }
+
+    #[test]
+    fn slo_fixture_runs_both_gates() {
+        assert!(slo_stream_run(false) > 0);
+        assert!(slo_stream_run(true) > 0);
     }
 }

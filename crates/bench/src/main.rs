@@ -28,7 +28,9 @@
 //! never writes the file — refreshing the medians stays an explicit
 //! `--label after` run.
 
-use apt_bench::{run, stream_calendar_backlog, stream_run, type2_workload, STREAM_BENCH_JOBS};
+use apt_bench::{
+    run, slo_stream_run, stream_calendar_backlog, stream_run, type2_workload, STREAM_BENCH_JOBS,
+};
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -118,6 +120,17 @@ fn stream_benches(out: &mut Vec<(String, Measurement)>) {
     }
     let ns = measure(stream_calendar_backlog);
     out.push(("stream/calendar_backlog".into(), ns));
+}
+
+/// Deadline-tagged gated streaming — mirrors `benches/slo.rs`.
+fn slo_benches(out: &mut Vec<(String, Measurement)>) {
+    for (name, gated) in [("open", false), ("gated", true)] {
+        let ns = measure(|| slo_stream_run(gated));
+        out.push((
+            format!("slo/poisson_edf_apt_{name}/{STREAM_BENCH_JOBS}"),
+            ns,
+        ));
+    }
 }
 
 fn policy_benches(out: &mut Vec<(String, Measurement)>) {
@@ -322,6 +335,7 @@ fn main() {
     engine_benches(&mut results);
     policy_benches(&mut results);
     stream_benches(&mut results);
+    slo_benches(&mut results);
 
     if let Some(rows) = recorded {
         std::process::exit(check(&out_path, tolerance_percent, &rows, &results));

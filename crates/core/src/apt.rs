@@ -62,11 +62,8 @@ impl Apt {
         x.scale_alpha(self.alpha)
     }
 
-    /// `find2ndBestProc` of Algorithm 1: the processor in `idle_mask` with
-    /// the minimum `exec + transfer` cost for `node`, if that cost is
-    /// within the threshold. Excludes `p_min` itself (which is busy when
-    /// this runs). `idle_mask` is the batch's *remaining* idle set — ties
-    /// break to the lowest id, same as the snapshot-scan form.
+    /// `find2ndBestProc` of Algorithm 1 against the batch's remaining idle
+    /// set. See [`find_alternative_in`].
     fn find_alternative(
         &self,
         view: &SimView<'_>,
@@ -75,24 +72,41 @@ impl Apt {
         threshold: SimDuration,
         idle_mask: u64,
     ) -> Option<ProcId> {
-        let mut best: Option<(ProcId, SimDuration)> = None;
-        let mut bits = idle_mask;
-        while bits != 0 {
-            let p = ProcId::new(bits.trailing_zeros() as usize);
-            bits &= bits - 1;
-            if p == p_min {
-                continue;
-            }
-            if let Some(cost) = view.placement_cost(node, p) {
-                if best.is_none_or(|(_, c)| cost < c) {
-                    best = Some((p, cost));
-                }
+        find_alternative_in(view, node, p_min, threshold, idle_mask)
+    }
+}
+
+/// `find2ndBestProc` of Algorithm 1: the processor in `idle_mask` with the
+/// minimum `exec + transfer` cost for `node`, if that cost is within the
+/// threshold. Excludes `p_min` itself (which is busy when this runs).
+/// `idle_mask` is the batch's *remaining* idle set — ties break to the
+/// lowest id, same as the snapshot-scan form. Shared by [`Apt`] and the
+/// deadline-aware variants ([`crate::EdfApt`], [`crate::LlApt`]) so the
+/// alternative-admission rule can never drift between them.
+pub(crate) fn find_alternative_in(
+    view: &SimView<'_>,
+    node: apt_dfg::NodeId,
+    p_min: ProcId,
+    threshold: SimDuration,
+    idle_mask: u64,
+) -> Option<ProcId> {
+    let mut best: Option<(ProcId, SimDuration)> = None;
+    let mut bits = idle_mask;
+    while bits != 0 {
+        let p = ProcId::new(bits.trailing_zeros() as usize);
+        bits &= bits - 1;
+        if p == p_min {
+            continue;
+        }
+        if let Some(cost) = view.placement_cost(node, p) {
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((p, cost));
             }
         }
-        match best {
-            Some((proc, cost)) if cost <= threshold => Some(proc),
-            _ => None,
-        }
+    }
+    match best {
+        Some((proc, cost)) if cost <= threshold => Some(proc),
+        _ => None,
     }
 }
 

@@ -25,6 +25,9 @@
 //! * [`AptR`] — the conclusion's future-work variant, which additionally
 //!   weighs the *remaining* busy time of `p_min` before settling for an
 //!   alternative processor.
+//! * [`EdfApt`] / [`LlApt`] — deadline-aware variants for the open-system
+//!   SLO axis: earliest-deadline ordering, and least-laxity ordering with
+//!   a slack-clamped threshold (see [`deadline`]).
 //! * [`analysis`] — the Appendix-B allocation analyses (which kernels went
 //!   to a second-best processor, per α) regenerated from traces.
 //! * [`prelude`] — one-stop imports for downstream users.
@@ -53,12 +56,14 @@
 pub mod analysis;
 pub mod apt;
 pub mod apt_r;
+pub mod deadline;
 pub mod prelude;
 pub mod tuning;
 
 pub use analysis::AllocationAnalysis;
 pub use apt::Apt;
 pub use apt_r::AptR;
+pub use deadline::{EdfApt, LlApt};
 pub use tuning::{auto_tune, tune_alpha, TuningResult};
 
 use apt_hetsim::Policy;

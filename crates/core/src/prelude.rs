@@ -12,6 +12,7 @@
 pub use crate::analysis::AllocationAnalysis;
 pub use crate::apt::Apt;
 pub use crate::apt_r::AptR;
+pub use crate::deadline::{EdfApt, LlApt};
 pub use crate::tuning::{auto_tune, ratio_candidates, tune_alpha, TuningResult};
 pub use crate::{all_policy_factories, PAPER_ALPHAS, PAPER_BEST_ALPHA};
 

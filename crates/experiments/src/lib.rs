@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod runner;
+pub mod slo;
 pub mod streaming;
 pub mod tables;
 pub mod workloads;
@@ -54,9 +55,9 @@ pub const LAMBDA_FIGURE_IDS: [&str; 2] = ["fig11", "fig12"];
 pub const SUPPLEMENTARY_IDS: [&str; 2] = ["table1", "wins"];
 
 /// Open-stream artifacts (beyond the paper's closed-world evaluation; see
-/// `streaming`): the λ-saturation sweep and the burst-absorption
-/// comparison.
-pub const STREAM_IDS: [&str; 2] = ["stream-saturation", "stream-bursts"];
+/// `streaming` and `slo`): the λ-saturation sweep, the burst-absorption
+/// comparison, and the deadline/admission frontier.
+pub const STREAM_IDS: [&str; 3] = ["stream-saturation", "stream-bursts", "slo-sweep"];
 
 /// Ablation artifacts (beyond the paper's evaluation; see `ablations`).
 pub const ABLATION_IDS: [&str; 7] = [
@@ -116,9 +117,45 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
         "ablation-quality" => Artifact::Table(ablations::ablation_quality()),
         "stream-saturation" => Artifact::Table(streaming::stream_saturation()),
         "stream-bursts" => Artifact::Table(streaming::stream_burst_comparison()),
+        "slo-sweep" => Artifact::Table(slo::slo_sweep()),
         _ => return None,
     };
     Some(artifact)
+}
+
+/// True when [`artifact_csv`] has a CSV form for `id` — a static check,
+/// so callers can filter capabilities without triggering the sweep.
+pub fn artifact_has_csv(id: &str) -> bool {
+    matches!(id, "slo-sweep" | "stream-saturation")
+}
+
+/// Long-format CSV companion of an artifact (`apt-repro <id> --csv
+/// <path>`), for the open-stream scenarios whose windowed
+/// [`apt_metrics::StreamSnapshot`]s make plottable time series. `None`
+/// for artifacts without a CSV form (see [`artifact_has_csv`]).
+pub fn artifact_csv(id: &str) -> Option<String> {
+    match id {
+        "slo-sweep" => Some(slo::slo_sweep_csv()),
+        "stream-saturation" => Some(streaming::stream_saturation_csv()),
+        _ => None,
+    }
+}
+
+/// Both renderings of a CSV-capable artifact from **one** grid run — what
+/// `apt-repro <id> --csv <path>` uses so the sweep never simulates twice.
+/// `None` exactly when [`artifact_has_csv`] is false.
+pub fn artifact_with_csv(id: &str) -> Option<(Artifact, String)> {
+    match id {
+        "slo-sweep" => {
+            let (table, csv) = slo::slo_sweep_with_csv();
+            Some((Artifact::Table(table), csv))
+        }
+        "stream-saturation" => {
+            let (table, csv) = streaming::stream_saturation_with_csv();
+            Some((Artifact::Table(table), csv))
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +171,16 @@ mod tests {
             assert!(run_artifact(id).is_some(), "artifact {id} missing");
         }
         assert!(run_artifact("nope").is_none());
-        assert_eq!(all_artifact_ids().len(), 32);
+        assert_eq!(all_artifact_ids().len(), 33);
+        assert!(all_artifact_ids().contains(&"slo-sweep"));
+        assert!(
+            artifact_csv("table7").is_none(),
+            "closed tables have no CSV"
+        );
+        // The static capability check agrees with the resolver for the
+        // cheap (None) ids; the Some ids are pinned by their sweep tests.
+        assert!(!artifact_has_csv("table7"));
+        assert!(artifact_has_csv("slo-sweep"));
+        assert!(artifact_has_csv("stream-saturation"));
     }
 }

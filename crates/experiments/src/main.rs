@@ -1,13 +1,21 @@
 //! `apt-repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! apt-repro list            # show all artifact ids
-//! apt-repro table8 fig7     # regenerate specific artifacts
-//! apt-repro all             # regenerate everything, in paper order
-//! apt-repro --markdown all  # markdown output (for EXPERIMENTS.md)
+//! apt-repro list                      # show all artifact ids
+//! apt-repro table8 fig7               # regenerate specific artifacts
+//! apt-repro all                       # regenerate everything, in paper order
+//! apt-repro --markdown all            # markdown output (for EXPERIMENTS.md)
+//! apt-repro slo-sweep --csv slo.csv   # long-format snapshot CSV alongside
 //! ```
+//!
+//! `--csv <path>` writes the long-format windowed-snapshot CSV of every
+//! requested artifact that has one (the open-stream scenarios); with
+//! several CSV-capable artifacts requested, the artifact id is appended
+//! to the path (`slo.csv.slo-sweep.csv`).
 
-use apt_experiments::{all_artifact_ids, run_artifact, Artifact};
+use apt_experiments::{
+    all_artifact_ids, artifact_has_csv, artifact_with_csv, run_artifact, Artifact,
+};
 use std::io::Write as _;
 
 fn main() {
@@ -18,8 +26,19 @@ fn main() {
     } else {
         false
     };
+    let csv_path = if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        args.remove(pos);
+        if pos < args.len() {
+            Some(args.remove(pos))
+        } else {
+            eprintln!("--csv needs a path");
+            std::process::exit(2);
+        }
+    } else {
+        None
+    };
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: apt-repro [--markdown] <artifact-id>... | all | list");
+        eprintln!("usage: apt-repro [--markdown] [--csv <path>] <artifact-id>... | all | list");
         eprintln!("artifacts: {}", all_artifact_ids().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -41,8 +60,34 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut failed = false;
+    // Static capability check (resolving a CSV runs the whole sweep, so
+    // that happens exactly once per capable id, feeding table and CSV
+    // from the same run).
+    let csv_capable = ids.iter().filter(|id| artifact_has_csv(id)).count();
+    if csv_path.is_some() && csv_capable == 0 {
+        eprintln!("--csv: none of the requested artifacts has a CSV form");
+        failed = true;
+    }
     for id in ids {
-        match run_artifact(id) {
+        let artifact = match (&csv_path, artifact_has_csv(id)) {
+            (Some(base), true) => {
+                let (artifact, csv) = artifact_with_csv(id).expect("capability checked");
+                let path = if csv_capable == 1 {
+                    base.clone()
+                } else {
+                    format!("{base}.{id}.csv")
+                };
+                if let Err(e) = std::fs::write(&path, csv) {
+                    eprintln!("--csv: cannot write {path}: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("wrote {path}");
+                }
+                Some(artifact)
+            }
+            _ => run_artifact(id),
+        };
+        match artifact {
             Some(artifact) => {
                 let rendered = match (&artifact, markdown) {
                     (Artifact::Table(t), true) => t.to_markdown(),

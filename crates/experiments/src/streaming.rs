@@ -51,6 +51,16 @@ pub fn stream_point(
     make: &(dyn Fn() -> Box<dyn Policy> + Send + Sync),
     rate: f64,
 ) -> StreamOutcome {
+    stream_point_windowed(make, rate, None)
+}
+
+/// [`stream_point`] with optional periodic snapshots (the CSV exporter's
+/// path; the table path skips the windows).
+pub fn stream_point_windowed(
+    make: &(dyn Fn() -> Box<dyn Policy> + Send + Sync),
+    rate: f64,
+    snapshot_interval: Option<SimDuration>,
+) -> StreamOutcome {
     let mut policy = make();
     let mut source = PoissonSource::new(
         LookupTable::paper(),
@@ -65,25 +75,71 @@ pub fn stream_point(
         LookupTable::paper(),
         policy.as_mut(),
         &DriverOpts {
-            snapshot_interval: None,
+            snapshot_interval,
             max_in_flight_jobs: Some(SWEEP_CAP),
+            ..DriverOpts::default()
         },
     )
     .expect("stream sweep point failed")
+}
+
+/// Run the λ × policy grid once on the shared worker pool.
+fn run_saturation_grid(snapshot_interval: Option<SimDuration>) -> Vec<StreamOutcome> {
+    let factories = stream_policy_factories(PAPER_BEST_ALPHA);
+    run_pool(SWEEP_RATES.len() * factories.len(), |i| {
+        let rate = SWEEP_RATES[i / factories.len()];
+        let (_, make) = &factories[i % factories.len()];
+        stream_point_windowed(make.as_ref(), rate, snapshot_interval)
+    })
+}
+
+/// Render the λ sweep's long-format snapshot CSV, labelled `policy/λ`.
+fn render_saturation_csv(outcomes: &[StreamOutcome]) -> String {
+    let factories = stream_policy_factories(PAPER_BEST_ALPHA);
+    let labels: Vec<String> = (0..outcomes.len())
+        .map(|i| {
+            let rate = SWEEP_RATES[i / factories.len()];
+            format!("{}/λ={rate}", factories[i % factories.len()].0)
+        })
+        .collect();
+    apt_metrics::export::snapshots_to_csv(
+        labels
+            .iter()
+            .zip(outcomes)
+            .map(|(label, o)| (label.as_str(), o.snapshots.as_slice())),
+    )
+}
+
+/// Long-format snapshot CSV over the λ × policy grid (windows every 2
+/// simulated minutes) — the plottable companion of [`stream_saturation`].
+/// Prefer [`stream_saturation_with_csv`] when the table is also wanted.
+pub fn stream_saturation_csv() -> String {
+    render_saturation_csv(&run_saturation_grid(Some(SimDuration::from_ms(120_000))))
+}
+
+/// One snapshot-enabled grid run rendered both ways: the saturation table
+/// and the long-format CSV (`apt-repro stream-saturation --csv <path>`
+/// uses this so the grid simulates once, not twice).
+pub fn stream_saturation_with_csv() -> (TextTable, String) {
+    let outcomes = run_saturation_grid(Some(SimDuration::from_ms(120_000)));
+    (
+        render_saturation_table(&outcomes),
+        render_saturation_csv(&outcomes),
+    )
 }
 
 /// The λ-saturation sweep: offered rate vs achieved throughput, latency
 /// quantiles, peak backlog and utilization, per dynamic policy at the
 /// paper's best α.
 pub fn stream_saturation() -> TextTable {
+    render_saturation_table(&run_saturation_grid(None))
+}
+
+/// Render the saturation table from computed outcomes (the aggregates
+/// don't depend on whether snapshots were enabled).
+fn render_saturation_table(outcomes: &[StreamOutcome]) -> TextTable {
     let factories = stream_policy_factories(PAPER_BEST_ALPHA);
     let rates = SWEEP_RATES;
-    // Flatten the λ × policy grid onto the shared worker pool.
-    let outcomes = run_pool(rates.len() * factories.len(), |i| {
-        let rate = rates[i / factories.len()];
-        let (_, make) = &factories[i % factories.len()];
-        stream_point(make.as_ref(), rate)
-    });
     let mut table = TextTable::new(
         format!(
             "Open-stream λ sweep — {} Poisson diamond jobs/point, α = {} (sat = admission capped at {} in flight)",
@@ -184,6 +240,7 @@ pub fn stream_burst_comparison() -> TextTable {
             &DriverOpts {
                 snapshot_interval: None,
                 max_in_flight_jobs: Some(SWEEP_CAP),
+                ..DriverOpts::default()
             },
         )
         .expect("burst comparison point failed")

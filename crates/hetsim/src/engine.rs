@@ -131,6 +131,11 @@ pub(crate) struct EngineCore {
     pub(crate) remaining_preds: Vec<usize>,
     pub(crate) arrived: Vec<bool>,
     pub(crate) locations: Vec<Option<ProcId>>,
+    /// Per-node absolute deadline ([`SimTime::MAX`] = none). Closed-world
+    /// workloads carry no deadlines; the open engine stamps each slot with
+    /// its job's deadline on admission so policies can read it through
+    /// [`SimView::deadline`].
+    pub(crate) deadlines: Vec<SimTime>,
     pub(crate) records: Vec<Option<TaskRecord>>,
     pub(crate) procs: Vec<ProcCore>,
     /// Policy-visible snapshots, updated in place on every state change.
@@ -175,6 +180,7 @@ impl EngineCore {
             remaining_preds: Vec::new(),
             arrived: Vec::new(),
             locations: Vec::new(),
+            deadlines: Vec::new(),
             records: Vec::new(),
             procs: (0..config.len()).map(|_| ProcCore::new()).collect(),
             idle_mask: if views.is_empty() {
@@ -201,6 +207,7 @@ impl EngineCore {
         core.remaining_preds = ctx.dfg.node_ids().map(|id| ctx.dfg.in_degree(id)).collect();
         core.arrived = arrivals.iter().map(|&t| t == SimTime::ZERO).collect();
         core.locations = vec![None; n];
+        core.deadlines = vec![SimTime::MAX; n];
         core.records = vec![None; n];
         for s in ctx.dfg.sources() {
             if core.arrived[s.index()] {
@@ -416,6 +423,7 @@ impl EngineCore {
                     config: ctx.config,
                     cost: ctx.cost,
                     locations: &self.locations,
+                    deadlines: &self.deadlines,
                     idle_mask: self.idle_mask,
                 };
                 policy.decide(&view, out);

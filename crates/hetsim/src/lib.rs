@@ -82,7 +82,7 @@ pub use calendar::CalendarQueue;
 pub use cost::CostModel;
 pub use engine::{simulate, simulate_stream};
 pub use link::LinkRate;
-pub use open::{validate_job, CompletedJob, JobId, OpenEngine};
+pub use open::{validate_job, CompletedJob, JobId, OpenEngine, ReadyOrder};
 pub use policy::{Assignment, AssignmentBuf, Policy, PolicyKind, PrepareCtx};
 pub use ready::ReadySet;
 pub use system::{ProcSpec, SystemConfig};

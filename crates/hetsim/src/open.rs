@@ -45,7 +45,7 @@ use crate::engine::{EngineCore, EngineCtx, Event};
 use crate::policy::{AssignmentBuf, Policy, PolicyKind, PrepareCtx};
 use crate::system::SystemConfig;
 use crate::trace::{ProcStats, TaskRecord};
-use apt_base::{BaseError, SimTime};
+use apt_base::{BaseError, SimDuration, SimTime};
 use apt_dfg::{Kernel, KernelDag, LookupTable, NodeId};
 use std::collections::HashMap;
 
@@ -54,6 +54,21 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
+/// Iteration order of the open engine's ready set — the order dynamic
+/// policies see ready kernels in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadyOrder {
+    /// First-come-first-serve by admission sequence (the closed engine's
+    /// stream order; the default, and byte-identical to `simulate_stream`).
+    #[default]
+    Admission,
+    /// Earliest absolute deadline first, FCFS within equal deadlines;
+    /// deadline-free jobs sort last (still FCFS among themselves). Under
+    /// this order even deadline-oblivious policies process urgent jobs
+    /// first — running plain APT here equals EDF-APT under FCFS order.
+    EarliestDeadline,
+}
+
 /// A fully executed job, handed out by [`OpenEngine::drain_completed`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletedJob {
@@ -61,6 +76,8 @@ pub struct CompletedJob {
     pub job: JobId,
     /// The instant the job was submitted to the system.
     pub arrival: SimTime,
+    /// The job's absolute deadline, if it carried one.
+    pub deadline: Option<SimTime>,
     /// One record per kernel, renumbered to **job-local** node ids
     /// (`0..kernels.len()` in the order they were passed to `admit`).
     pub records: Vec<TaskRecord>,
@@ -74,6 +91,17 @@ impl CompletedJob {
             .map(|r| r.finish)
             .max()
             .unwrap_or(self.arrival)
+    }
+
+    /// How far past its deadline the job finished (zero when it met the
+    /// deadline); `None` for deadline-free jobs.
+    pub fn tardiness(&self) -> Option<SimDuration> {
+        self.deadline.map(|d| self.finish().saturating_since(d))
+    }
+
+    /// True when the job carried a deadline and finished after it.
+    pub fn missed_deadline(&self) -> bool {
+        self.tardiness().is_some_and(|t| !t.is_zero())
     }
 }
 
@@ -111,6 +139,8 @@ pub fn validate_job(kernel_count: usize, edges: &[(u32, u32)]) -> Result<(), Bas
 /// Bookkeeping for a job still in flight.
 struct LiveJob {
     arrival: SimTime,
+    /// Absolute deadline, if the job carries one.
+    deadline: Option<SimTime>,
     /// Arena slots in template order (index = job-local node id).
     slots: Vec<NodeId>,
     /// Kernels not yet finished.
@@ -121,6 +151,8 @@ struct LiveJob {
 pub struct OpenEngine<'a> {
     config: &'a SystemConfig,
     lookup: &'a LookupTable,
+    /// Ready-set iteration order (FCFS or earliest-deadline).
+    order: ReadyOrder,
     /// The slot arena: an owned graph whose nodes are recycled across jobs.
     dag: KernelDag,
     /// Per-slot cost rows, rebound on admission.
@@ -146,14 +178,25 @@ pub struct OpenEngine<'a> {
 }
 
 impl<'a> OpenEngine<'a> {
-    /// A fresh open engine over `config`'s machine. Validates the machine
-    /// once; jobs are admitted with [`OpenEngine::admit`].
+    /// A fresh open engine over `config`'s machine with the default FCFS
+    /// ready order. Validates the machine once; jobs are admitted with
+    /// [`OpenEngine::admit`].
     pub fn new(config: &'a SystemConfig, lookup: &'a LookupTable) -> Result<Self, BaseError> {
+        OpenEngine::with_order(config, lookup, ReadyOrder::Admission)
+    }
+
+    /// A fresh open engine with an explicit ready-set iteration order.
+    pub fn with_order(
+        config: &'a SystemConfig,
+        lookup: &'a LookupTable,
+        order: ReadyOrder,
+    ) -> Result<Self, BaseError> {
         config.validate()?;
         let core = EngineCore::for_machine(config, true);
         Ok(OpenEngine {
             config,
             lookup,
+            order,
             dag: KernelDag::new(),
             cost: CostModel::for_streaming(config),
             core,
@@ -197,6 +240,14 @@ impl<'a> OpenEngine<'a> {
     #[inline]
     pub fn now(&self) -> SimTime {
         self.core.now
+    }
+
+    /// The [`JobId`] the *next* successful [`OpenEngine::admit`] will
+    /// assign. Admission gates key their per-job reservations on this, so
+    /// they never have to mirror the engine's id sequence themselves.
+    #[inline]
+    pub fn next_job_id(&self) -> JobId {
+        JobId(self.next_job)
     }
 
     /// The instant of the next pending event (completion or arrival), if
@@ -254,6 +305,22 @@ impl<'a> OpenEngine<'a> {
         edges: &[(u32, u32)],
         at: SimTime,
     ) -> Result<JobId, BaseError> {
+        self.admit_with_deadline(kernels, edges, at, None)
+    }
+
+    /// [`OpenEngine::admit`] with an absolute deadline: every kernel of the
+    /// job is stamped with it (visible to policies through
+    /// [`crate::SimView::deadline`]), the retired [`CompletedJob`] reports
+    /// tardiness against it, and under [`ReadyOrder::EarliestDeadline`] it
+    /// drives the ready set's iteration order. A deadline already in the
+    /// past is allowed — the job is simply tardy from the start.
+    pub fn admit_with_deadline(
+        &mut self,
+        kernels: &[Kernel],
+        edges: &[(u32, u32)],
+        at: SimTime,
+        deadline: Option<SimTime>,
+    ) -> Result<JobId, BaseError> {
         if at < self.core.now {
             return Err(BaseError::InvalidAssignment {
                 reason: format!(
@@ -265,6 +332,7 @@ impl<'a> OpenEngine<'a> {
         validate_job(kernels.len(), edges)?;
         let job = self.next_job;
         self.next_job += 1;
+        let deadline_at = deadline.unwrap_or(SimTime::MAX);
         let mut slots = Vec::with_capacity(kernels.len());
         for &kernel in kernels {
             let slot = match self.free.pop() {
@@ -280,6 +348,7 @@ impl<'a> OpenEngine<'a> {
                     self.core.remaining_preds.push(0);
                     self.core.arrived.push(false);
                     self.core.locations.push(None);
+                    self.core.deadlines.push(SimTime::MAX);
                     self.core.records.push(None);
                     self.slot_job.push(0);
                     s
@@ -288,9 +357,16 @@ impl<'a> OpenEngine<'a> {
             self.cost.bind_slot(slot, &kernel, self.lookup, self.config);
             self.core.arrived[slot.index()] = false;
             self.core.locations[slot.index()] = None;
+            self.core.deadlines[slot.index()] = deadline_at;
             debug_assert!(self.core.records[slot.index()].is_none());
             self.slot_job[slot.index()] = job;
             self.core.ready.set_seq(slot, self.next_seq);
+            if self.order == ReadyOrder::EarliestDeadline {
+                // EDF priority: the absolute deadline in ns (MAX for
+                // deadline-free jobs, which therefore sort last). FCFS
+                // within a priority comes from the admission sequence.
+                self.core.ready.set_prio(slot, deadline_at.as_ns());
+            }
             self.next_seq += 1;
             slots.push(slot);
         }
@@ -319,6 +395,7 @@ impl<'a> OpenEngine<'a> {
             job,
             LiveJob {
                 arrival: at,
+                deadline,
                 slots,
                 remaining: kernels.len(),
             },
@@ -425,6 +502,7 @@ impl<'a> OpenEngine<'a> {
             self.completed.push(CompletedJob {
                 job: JobId(job),
                 arrival: live.arrival,
+                deadline: live.deadline,
                 records,
             });
         }
@@ -650,6 +728,85 @@ mod tests {
         let after: Vec<u64> = policy.0.iter().copied().skip(1).collect();
         assert_eq!(after.first(), Some(&bfs().data_size));
         assert!(after.contains(&4_000_000));
+    }
+
+    #[test]
+    fn edf_order_and_deadlines_thread_through() {
+        // Two jobs ready at the same instant, admitted FCFS 0 then 1, but
+        // job 1 carries the *earlier* deadline: under EarliestDeadline the
+        // policy must see job 1's kernel first, and the deadline must be
+        // visible on the view.
+        struct HeadLogger(Vec<(u64, Option<SimTime>)>);
+        impl Policy for HeadLogger {
+            fn name(&self) -> String {
+                "HeadLogger".into()
+            }
+            fn kind(&self) -> PolicyKind {
+                PolicyKind::Dynamic
+            }
+            fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+                if let Some(first) = view.ready.first() {
+                    self.0
+                        .push((view.kernel(first).data_size, view.deadline(first)));
+                    for p in view.idle_procs() {
+                        if view.exec_time(first, p.id).is_some() {
+                            out.push(Assignment::new(first, p.id));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine =
+            OpenEngine::with_order(&config, lookup, ReadyOrder::EarliestDeadline).unwrap();
+        let mut policy = HeadLogger(Vec::new());
+        let loose = SimTime::from_ms(10_000);
+        let tight = SimTime::from_ms(200);
+        engine
+            .admit_with_deadline(&[bfs()], &[], SimTime::ZERO, Some(loose))
+            .unwrap();
+        engine
+            .admit_with_deadline(
+                &[Kernel::new(KernelKind::MatMul, 4_000_000)],
+                &[],
+                SimTime::ZERO,
+                Some(tight),
+            )
+            .unwrap();
+        run_to_completion(&mut engine, &mut policy);
+        // The tight-deadline matmul iterated first despite later admission.
+        assert_eq!(
+            policy.0.first(),
+            Some(&(4_000_000, Some(tight))),
+            "EDF order ignored the deadline"
+        );
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 2);
+        for job in &done {
+            assert!(job.deadline.is_some());
+            // bfs best is 106 ms < 10 s → met; matmul runs multi-second
+            // against a 200 ms deadline → tardy.
+            if job.deadline == Some(tight) {
+                assert!(job.missed_deadline());
+                assert!(!job.tardiness().unwrap().is_zero());
+            } else {
+                assert!(!job.missed_deadline());
+                assert_eq!(job.tardiness(), Some(SimDuration::ZERO));
+            }
+        }
+        // Deadline-free admissions report no tardiness at all.
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut ff = FirstFit;
+        engine.admit(&[bfs()], &[], SimTime::ZERO).unwrap();
+        run_to_completion(&mut engine, &mut ff);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done[0].deadline, None);
+        assert_eq!(done[0].tardiness(), None);
+        assert!(!done[0].missed_deadline());
     }
 
     #[test]

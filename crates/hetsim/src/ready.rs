@@ -22,17 +22,39 @@
 //! open/closed differential test byte-identical). Membership stays O(1);
 //! insert/remove pay an O(ready) memmove, which is fine because an open
 //! stream's ready set holds only in-flight kernels, not the whole workload.
+//!
+//! ## Priority ordering (deadline-aware streams)
+//!
+//! Ordered mode additionally carries an optional per-node *priority*
+//! ([`ReadySet::set_prio`], default 0): members iterate ascending by
+//! `(priority, sequence)`. With priorities left untouched this is exactly
+//! the FCFS order above; the deadline-aware open engine sets each slot's
+//! priority to its job's absolute deadline in nanoseconds, which turns
+//! `iter()` into earliest-deadline-first with FCFS tie-breaking — the EDF
+//! ready mode `apt-slo` builds on.
 
 use apt_dfg::NodeId;
 
-/// FCFS index of the ordered mode: per-node sequence numbers plus the ready
-/// members sorted by their sequence.
+/// Index of the ordered mode: per-node `(priority, sequence)` sort keys plus
+/// the ready members sorted by key. Priorities default to 0, making the
+/// order pure FCFS (ascending admission sequence).
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct OrderedIndex {
     /// Admission sequence per node id (universe-sized).
     seq: Vec<u64>,
-    /// Current members, sorted ascending by `seq[node]`.
+    /// Priority per node id (universe-sized; 0 unless set). Sorts *before*
+    /// the sequence, so equal-priority members keep FCFS order.
+    prio: Vec<u64>,
+    /// Current members, sorted ascending by `(prio[node], seq[node])`.
     items: Vec<NodeId>,
+}
+
+impl OrderedIndex {
+    /// The sort key of one node.
+    #[inline]
+    fn key(&self, node: NodeId) -> (u64, u64) {
+        (self.prio[node.index()], self.seq[node.index()])
+    }
 }
 
 /// A fixed-universe set of node ids with deterministic iteration order:
@@ -65,6 +87,7 @@ impl ReadySet {
             len: 0,
             order: Some(OrderedIndex {
                 seq: vec![0; universe],
+                prio: vec![0; universe],
                 items: Vec::new(),
             }),
         }
@@ -80,6 +103,7 @@ impl ReadySet {
         if let Some(order) = &mut self.order {
             if universe > order.seq.len() {
                 order.seq.resize(universe, 0);
+                order.prio.resize(universe, 0);
             }
         }
     }
@@ -93,6 +117,19 @@ impl ReadySet {
             .as_mut()
             .expect("set_seq requires an ordered ReadySet");
         order.seq[node.index()] = seq;
+    }
+
+    /// Set the priority of `node` (ordered mode only; panics otherwise).
+    /// Iteration ascends by `(priority, sequence)`, so priority 0 for every
+    /// node — the default — is plain FCFS. Must not be called while `node`
+    /// is a member.
+    pub fn set_prio(&mut self, node: NodeId, prio: u64) {
+        debug_assert!(!self.contains(node), "reprioritization of a current member");
+        let order = self
+            .order
+            .as_mut()
+            .expect("set_prio requires an ordered ReadySet");
+        order.prio[node.index()] = prio;
     }
 
     /// Number of members.
@@ -130,8 +167,8 @@ impl ReadySet {
         *word |= bit;
         self.len += 1;
         if let Some(order) = &mut self.order {
-            let key = order.seq[i];
-            let pos = order.items.partition_point(|&n| order.seq[n.index()] < key);
+            let key = order.key(node);
+            let pos = order.items.partition_point(|&n| order.key(n) < key);
             order.items.insert(pos, node);
         }
         true
@@ -151,8 +188,8 @@ impl ReadySet {
         *word &= !bit;
         self.len -= 1;
         if let Some(order) = &mut self.order {
-            let key = order.seq[i];
-            let start = order.items.partition_point(|&n| order.seq[n.index()] < key);
+            let key = order.key(node);
+            let start = order.items.partition_point(|&n| order.key(n) < key);
             let off = order.items[start..]
                 .iter()
                 .position(|&n| n == node)
@@ -268,6 +305,52 @@ mod tests {
         s.set_seq(NodeId::new(7), 99);
         s.insert(NodeId::new(7));
         assert_eq!(s.iter().last(), Some(NodeId::new(7)));
+    }
+
+    #[test]
+    fn priority_orders_before_sequence() {
+        let mut s = ReadySet::new_ordered(8);
+        // Three members with priorities (deadlines) out of seq order; two
+        // share a priority and must keep FCFS between them.
+        for (id, seq, prio) in [
+            (2usize, 10u64, 500u64),
+            (4, 20, 100),
+            (6, 30, 500),
+            (1, 40, 0),
+        ] {
+            s.set_seq(NodeId::new(id), seq);
+            s.set_prio(NodeId::new(id), prio);
+            s.insert(NodeId::new(id));
+        }
+        let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(order, vec![1, 4, 2, 6]);
+        assert_eq!(s.first(), Some(NodeId::new(1)));
+        // Removal from the middle of a priority class keeps the rest sorted.
+        assert!(s.remove(NodeId::new(2)));
+        let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(order, vec![1, 4, 6]);
+        // Recycling a slot under a new priority re-sorts it.
+        s.set_seq(NodeId::new(2), 50);
+        s.set_prio(NodeId::new(2), 50);
+        s.insert(NodeId::new(2));
+        let order: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(order, vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn default_priority_is_pure_fcfs() {
+        // Untouched priorities (all 0) reproduce the admission-seq order
+        // exactly — the invariant the open/closed equivalence rests on.
+        let mut a = ReadySet::new_ordered(8);
+        let mut b = ReadySet::new_ordered(8);
+        for (id, seq) in [(5usize, 10u64), (1, 30), (7, 20), (0, 40)] {
+            a.set_seq(NodeId::new(id), seq);
+            a.insert(NodeId::new(id));
+            b.set_seq(NodeId::new(id), seq);
+            b.set_prio(NodeId::new(id), 0);
+            b.insert(NodeId::new(id));
+        }
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
     }
 
     #[test]

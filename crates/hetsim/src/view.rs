@@ -81,6 +81,12 @@ pub struct SimView<'a> {
     /// Where each finished kernel executed (`None` while unfinished),
     /// indexed by node id.
     pub locations: &'a [Option<ProcId>],
+    /// Per-node absolute deadline, indexed by node id; [`SimTime::MAX`]
+    /// means "no deadline". Closed-world runs carry no deadlines (every
+    /// entry is `MAX`); the open engine stamps each slot with its job's
+    /// deadline on admission. Deadline-aware policies read this through
+    /// [`SimView::deadline`] and [`SimView::slack`].
+    pub deadlines: &'a [SimTime],
     /// Bitset of currently idle processors (bit `i` ⇔ `procs[i].is_idle()`),
     /// maintained incrementally by the engine. Makes [`SimView::any_idle`]
     /// and [`SimView::idle_count`] O(1), and doubles as the memo key for the
@@ -108,6 +114,25 @@ impl<'a> SimView<'a> {
     #[inline]
     pub fn location(&self, node: NodeId) -> Option<ProcId> {
         self.locations[node.index()]
+    }
+
+    /// The absolute deadline of `node`'s job, if it carries one. Returns
+    /// `None` both for deadline-free jobs and for views built without a
+    /// deadline vector (hand-built test fixtures may pass `&[]`).
+    #[inline]
+    pub fn deadline(&self, node: NodeId) -> Option<SimTime> {
+        match self.deadlines.get(node.index()) {
+            Some(&d) if d != SimTime::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Time remaining until `node`'s deadline (zero once the deadline has
+    /// passed); `None` for deadline-free nodes. The *laxity* heuristics
+    /// subtract the kernel's remaining work from this.
+    #[inline]
+    pub fn slack(&self, node: NodeId) -> Option<SimDuration> {
+        self.deadline(node).map(|d| d.saturating_since(self.now))
     }
 
     /// Input-transfer time if `node` were started on `proc` right now: the
@@ -232,6 +257,7 @@ mod tests {
             config: &f.config,
             cost: &f.cost,
             locations,
+            deadlines: &[],
             idle_mask: procs
                 .iter()
                 .enumerate()
@@ -314,6 +340,29 @@ mod tests {
         assert_eq!(view.idle_mask, 0b101);
         let ids: Vec<ProcId> = view.idle_procs().map(|p| p.id).collect();
         assert_eq!(ids, vec![ProcId::new(0), ProcId::new(2)]);
+    }
+
+    #[test]
+    fn deadline_and_slack_read_the_vector() {
+        let f = fixture();
+        let procs = idle_procs(&f.config, SimTime::ZERO);
+        let locations = vec![None; f.dfg.len()];
+        let ready = ready_of(&f.dfg, &f.dfg.sources());
+        let deadlines = vec![SimTime::from_ms(50), SimTime::MAX, SimTime::from_ms(200)];
+        let mut v = view(&f, &ready, &procs, &locations);
+        v.deadlines = &deadlines;
+        v.now = SimTime::from_ms(30);
+        assert_eq!(v.deadline(NodeId::new(0)), Some(SimTime::from_ms(50)));
+        assert_eq!(v.deadline(NodeId::new(1)), None, "MAX means no deadline");
+        assert_eq!(v.slack(NodeId::new(0)), Some(SimDuration::from_ms(20)));
+        assert_eq!(v.slack(NodeId::new(1)), None);
+        // A deadline in the past saturates to zero slack.
+        v.now = SimTime::from_ms(90);
+        assert_eq!(v.slack(NodeId::new(0)), Some(SimDuration::ZERO));
+        // Views built without a deadline vector report no deadlines.
+        v.deadlines = &[];
+        assert_eq!(v.deadline(NodeId::new(0)), None);
+        assert_eq!(v.slack(NodeId::new(2)), None);
     }
 
     #[test]

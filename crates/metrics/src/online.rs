@@ -9,8 +9,10 @@
 //!   job-latency P50/P90/P99 columns.
 //! * [`OnlineMetrics`] — the aggregator the streaming driver feeds: per-job
 //!   latency quantiles and means, λ-delay totals, sliding-window throughput
-//!   and per-processor utilization, and time-weighted queue-depth tracking,
-//!   emitted as periodic [`StreamSnapshot`]s.
+//!   and per-processor utilization, time-weighted queue-depth tracking, and
+//!   the SLO axis (deadline-miss counts per window and tardiness P²
+//!   quantiles over deadline-carrying jobs), emitted as periodic
+//!   [`StreamSnapshot`]s.
 //!
 //! Everything here is deterministic given the observation sequence; the
 //! estimators use `f64` only for reporting-grade quantities (quantiles,
@@ -172,8 +174,30 @@ pub struct StreamSnapshot {
     pub mean_depth: f64,
     /// In-flight jobs at the window end.
     pub depth_now: usize,
+    /// Deadline-carrying jobs that finished *tardy* inside this window.
+    pub window_missed: u64,
+    /// Deadline misses since the run started.
+    pub total_missed: u64,
+    /// Deadline-carrying jobs completed since the run started (the
+    /// miss-rate denominator; zero when the stream is deadline-free).
+    pub total_deadline_jobs: u64,
+    /// Running tardiness P99 estimate over deadline-carrying jobs, ms
+    /// (on-time completions contribute zero tardiness).
+    pub tardiness_p99_ms: f64,
     /// Per-processor busy+transfer fraction of the window.
     pub utilization: Vec<f64>,
+}
+
+impl StreamSnapshot {
+    /// Cumulative deadline-miss fraction at this snapshot (0 when no
+    /// deadline-carrying job has completed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_deadline_jobs == 0 {
+            0.0
+        } else {
+            self.total_missed as f64 / self.total_deadline_jobs as f64
+        }
+    }
 }
 
 /// Streaming aggregator for open-system runs. Feed it every completed job
@@ -190,6 +214,14 @@ pub struct OnlineMetrics {
     window_jobs: u64,
     latency_sum_ms: f64,
     lambda_total: SimDuration,
+    // SLO axis: tardiness over deadline-carrying jobs (zero when on time)
+    // and miss counts, cumulative plus the open window's share.
+    tardiness_p50: P2Quantile,
+    tardiness_p99: P2Quantile,
+    tardiness_sum_ms: f64,
+    deadline_jobs: u64,
+    deadline_misses: u64,
+    window_misses: u64,
     // Time-weighted depth integral of the *oldest unemitted* window
     // (job·ns); integrals of further whole windows crossed by one time jump
     // queue up behind it. `depth_at` is the instant the integral has been
@@ -220,6 +252,12 @@ impl OnlineMetrics {
             window_jobs: 0,
             latency_sum_ms: 0.0,
             lambda_total: SimDuration::ZERO,
+            tardiness_p50: P2Quantile::new(0.50),
+            tardiness_p99: P2Quantile::new(0.99),
+            tardiness_sum_ms: 0.0,
+            deadline_jobs: 0,
+            deadline_misses: 0,
+            window_misses: 0,
             depth_integral: 0.0,
             depth_spill: std::collections::VecDeque::new(),
             integral_end: SimTime::ZERO + interval,
@@ -264,6 +302,22 @@ impl OnlineMetrics {
         self.lambda_total += lambda;
         self.total_jobs += 1;
         self.window_jobs += 1;
+    }
+
+    /// Record the tardiness of one completed *deadline-carrying* job:
+    /// `finish − deadline`, saturated at zero when the deadline was met.
+    /// Call it only for jobs that carry a deadline — deadline-free jobs
+    /// must not dilute the miss-rate denominator.
+    pub fn observe_tardiness(&mut self, tardiness: SimDuration) {
+        let ms = tardiness.as_ms_f64();
+        self.tardiness_p50.observe(ms);
+        self.tardiness_p99.observe(ms);
+        self.tardiness_sum_ms += ms;
+        self.deadline_jobs += 1;
+        if !tardiness.is_zero() {
+            self.deadline_misses += 1;
+            self.window_misses += 1;
+        }
     }
 
     /// Emit every snapshot whose window closed at or before `now`.
@@ -316,9 +370,14 @@ impl OnlineMetrics {
                 latency_p99_ms: self.p99.estimate().unwrap_or(0.0),
                 mean_depth: window_integral / interval_ns,
                 depth_now: self.depth,
+                window_missed: self.window_misses,
+                total_missed: self.deadline_misses,
+                total_deadline_jobs: self.deadline_jobs,
+                tardiness_p99_ms: self.tardiness_p99.estimate().unwrap_or(0.0),
                 utilization,
             });
             self.window_jobs = 0;
+            self.window_misses = 0;
             self.window_end = end + self.interval;
             emitted += 1;
         }
@@ -364,6 +423,44 @@ impl OnlineMetrics {
     /// Total λ delay accumulated by every completed job's kernels.
     pub fn lambda_total(&self) -> SimDuration {
         self.lambda_total
+    }
+
+    /// Deadline-carrying jobs observed so far.
+    pub fn deadline_jobs(&self) -> u64 {
+        self.deadline_jobs
+    }
+
+    /// Deadline-carrying jobs that finished tardy.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Fraction of deadline-carrying jobs that missed (0 when none carried
+    /// deadlines).
+    pub fn miss_rate(&self) -> f64 {
+        if self.deadline_jobs == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_jobs as f64
+        }
+    }
+
+    /// Running tardiness quantile estimates `(p50, p99)` in ms over
+    /// deadline-carrying jobs (on-time jobs contribute zero).
+    pub fn tardiness_quantiles_ms(&self) -> (f64, f64) {
+        (
+            self.tardiness_p50.estimate().unwrap_or(0.0),
+            self.tardiness_p99.estimate().unwrap_or(0.0),
+        )
+    }
+
+    /// Mean tardiness (ms) over deadline-carrying jobs.
+    pub fn mean_tardiness_ms(&self) -> f64 {
+        if self.deadline_jobs == 0 {
+            0.0
+        } else {
+            self.tardiness_sum_ms / self.deadline_jobs as f64
+        }
     }
 
     /// Most jobs ever in flight (as observed through `observe_depth`).
@@ -431,6 +528,50 @@ mod tests {
         // Nearest-rank median of {2, 6, 10} is 6.
         assert_eq!(est.estimate(), Some(6.0));
         assert_eq!(est.count(), 3);
+    }
+
+    /// Every sub-five count must return the exact nearest-rank quantile for
+    /// every tracked q — the small-sample path the streaming suite only
+    /// reaches indirectly.
+    #[test]
+    fn p2_small_samples_are_exact_nearest_rank_for_all_quantiles() {
+        let samples = [7.0, 1.0, 9.0, 3.0];
+        for q in [0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(q);
+            assert_eq!(est.estimate(), None, "no observations yet");
+            for n in 1..=4 {
+                est.observe(samples[n - 1]);
+                assert_eq!(est.count(), n);
+                assert_eq!(
+                    est.estimate(),
+                    Some(exact_quantile(&samples[..n], q)),
+                    "q={q} after {n} observations"
+                );
+            }
+        }
+        // The fifth observation switches to the marker path; the estimate
+        // must still be the exact quantile of the five sorted samples
+        // (markers are initialized to the sorted buffer).
+        let mut est = P2Quantile::new(0.5);
+        for x in [7.0, 1.0, 9.0, 3.0, 5.0] {
+            est.observe(x);
+        }
+        assert_eq!(est.count(), 5);
+        assert_eq!(est.estimate(), Some(5.0), "median marker of {{1,3,5,7,9}}");
+    }
+
+    /// Duplicate-heavy small samples (ties) stay exact too.
+    #[test]
+    fn p2_small_sample_ties_are_exact() {
+        let mut est = P2Quantile::new(0.9);
+        for x in [4.0, 4.0, 4.0] {
+            est.observe(x);
+        }
+        assert_eq!(est.estimate(), Some(4.0));
+        let mut est = P2Quantile::new(0.5);
+        est.observe(2.0);
+        est.observe(2.0);
+        assert_eq!(est.estimate(), Some(2.0));
     }
 
     #[test]
@@ -515,5 +656,81 @@ mod tests {
         m.observe_depth(SimTime::from_ms(350), 2);
         assert_eq!(m.maybe_snapshot(SimTime::from_ms(400), &stats), 1);
         assert!((m.snapshots()[3].mean_depth - 1.0).abs() < 1e-9);
+    }
+
+    /// An observation landing exactly ON the open window's boundary must
+    /// not spill: the `>` guard keeps the integral in the open window, and
+    /// the boundary-exact close path in `maybe_snapshot` drains it by hand.
+    #[test]
+    fn boundary_exact_depth_observation_does_not_spill() {
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        let stats = vec![ProcStats::default()];
+        m.observe_depth(SimTime::ZERO, 2);
+        // Exactly at the boundary: whole window at depth 2, no spill entry.
+        m.observe_depth(SimTime::from_ms(100), 1);
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(100), &stats), 1);
+        assert!((m.snapshots()[0].mean_depth - 2.0).abs() < 1e-9);
+        // The following window starts from the new depth.
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(200), &stats), 1);
+        assert!((m.snapshots()[1].mean_depth - 1.0).abs() < 1e-9);
+    }
+
+    /// Deadline accounting: misses land in the window they completed in,
+    /// `window_missed` resets per window, cumulative counters and the
+    /// tardiness quantiles keep running.
+    #[test]
+    fn miss_counts_split_per_window() {
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        let stats = vec![ProcStats::default()];
+        // Window 1: two deadline jobs, one tardy.
+        m.observe_job(SimDuration::from_ms(40), SimDuration::ZERO);
+        m.observe_tardiness(SimDuration::ZERO);
+        m.observe_job(SimDuration::from_ms(60), SimDuration::ZERO);
+        m.observe_tardiness(SimDuration::from_ms(25));
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(100), &stats), 1);
+        let s = &m.snapshots()[0];
+        assert_eq!(s.window_missed, 1);
+        assert_eq!(s.total_missed, 1);
+        assert_eq!(s.total_deadline_jobs, 2);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-9);
+        // Window 2: one more miss; window counter restarted.
+        m.observe_job(SimDuration::from_ms(10), SimDuration::ZERO);
+        m.observe_tardiness(SimDuration::from_ms(5));
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(200), &stats), 1);
+        let s = &m.snapshots()[1];
+        assert_eq!(s.window_missed, 1);
+        assert_eq!(s.total_missed, 2);
+        assert_eq!(s.total_deadline_jobs, 3);
+        // A multi-window idle gap emits zero-miss windows without
+        // disturbing the cumulative counts.
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(450), &stats), 2);
+        for s in &m.snapshots()[2..] {
+            assert_eq!(s.window_missed, 0);
+            assert_eq!(s.total_missed, 2);
+        }
+        assert_eq!(m.deadline_jobs(), 3);
+        assert_eq!(m.deadline_misses(), 2);
+        assert!((m.miss_rate() - 2.0 / 3.0).abs() < 1e-9);
+        // Tardiness stats: exact small-sample quantiles over {0, 25, 5}.
+        let (p50, p99) = m.tardiness_quantiles_ms();
+        assert_eq!(p50, 5.0);
+        assert_eq!(p99, 25.0);
+        assert!((m.mean_tardiness_ms() - 10.0).abs() < 1e-9);
+    }
+
+    /// Deadline-free streams never contribute to the SLO counters.
+    #[test]
+    fn deadline_free_jobs_leave_slo_counters_untouched() {
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        m.observe_job(SimDuration::from_ms(40), SimDuration::ZERO);
+        assert_eq!(m.deadline_jobs(), 0);
+        assert_eq!(m.miss_rate(), 0.0);
+        assert_eq!(m.mean_tardiness_ms(), 0.0);
+        assert_eq!(m.tardiness_quantiles_ms(), (0.0, 0.0));
+        let stats = vec![ProcStats::default()];
+        m.maybe_snapshot(SimTime::from_ms(100), &stats);
+        assert_eq!(m.snapshots()[0].total_deadline_jobs, 0);
+        assert_eq!(m.snapshots()[0].miss_rate(), 0.0);
+        assert_eq!(m.snapshots()[0].tardiness_p99_ms, 0.0);
     }
 }

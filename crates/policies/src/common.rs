@@ -108,6 +108,7 @@ mod tests {
             config,
             cost: &cost,
             locations: &locations,
+            deadlines: &[],
             idle_mask: procs
                 .iter()
                 .enumerate()

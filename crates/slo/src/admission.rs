@@ -1,0 +1,308 @@
+//! Admission control: decide per arriving job whether it enters the
+//! system, so overload sheds work instead of queueing without bound.
+//!
+//! See the crate docs for the model. All gates are deterministic and keep
+//! O(in-flight) state; the driver tells every [`AdmitRequest`] the
+//! [`apt_hetsim::JobId`] its job receives if admitted, so gates key
+//! per-job reservations on the id the [`CompletedJob`] will later carry —
+//! no parallel id sequence to keep in lockstep.
+
+use apt_dfg::LookupTable;
+use apt_hetsim::{CompletedJob, SystemConfig};
+use apt_stream::{AdmissionGate, AdmitRequest, JobTemplate};
+use std::collections::HashMap;
+
+/// A named admission gate: the driver-facing decision/feedback hooks come
+/// from the `apt_stream::AdmissionGate` supertrait (`admit` /
+/// `on_complete`); this layer only adds the display name result tables
+/// print. Any `AdmissionPolicy` plugs straight into
+/// [`crate::simulate_source_slo`] (and, via upcast, the raw gated
+/// driver).
+pub trait AdmissionPolicy: AdmissionGate {
+    /// Display name, including parameters (e.g. `"util(ρ≤1)"`).
+    fn name(&self) -> String;
+}
+
+/// Admit everything — the open-system baseline every gated row is
+/// compared against (the driver's own pass-through gate, named).
+pub use apt_stream::AdmitAll as AcceptAll;
+
+impl AdmissionPolicy for AcceptAll {
+    fn name(&self) -> String {
+        "accept-all".into()
+    }
+}
+
+/// Total minimum work of a job: the sum over its kernels of the
+/// table-minimum execution time (what an ideally parallel machine must
+/// spend on it, transfer-free).
+fn min_work_ns(job: &JobTemplate, lookup: &LookupTable) -> u64 {
+    job.kernels()
+        .iter()
+        .map(|k| lookup.best_category(k).map(|(_, t)| t.as_ns()).unwrap_or(0))
+        .sum()
+}
+
+/// The density (utilization-bound) test: a deadline-carrying job demands
+/// density `work / D` of the machine for its deadline window; admit while
+/// `Σ densities + new ≤ bound × m`. Deadline-free jobs have density 0 and
+/// always pass — this gate bounds *SLO* load, not raw load.
+#[derive(Debug)]
+pub struct UtilizationBound<'a> {
+    lookup: &'a LookupTable,
+    nprocs: usize,
+    bound: f64,
+    /// Density reserved per admitted in-flight job, keyed by its engine
+    /// `JobId` (from [`AdmitRequest::job_id`]).
+    reserved: HashMap<u64, f64>,
+    load: f64,
+}
+
+impl<'a> UtilizationBound<'a> {
+    /// A gate admitting while total density stays within
+    /// `bound × processors`. `bound = 1.0` is the EDF-style full-machine
+    /// budget; lower is more conservative. Panics on a non-positive bound.
+    pub fn new(lookup: &'a LookupTable, config: &SystemConfig, bound: f64) -> Self {
+        assert!(
+            bound > 0.0 && bound.is_finite(),
+            "utilization bound must be positive, got {bound}"
+        );
+        UtilizationBound {
+            lookup,
+            nprocs: config.len(),
+            bound,
+            reserved: HashMap::new(),
+            load: 0.0,
+        }
+    }
+
+    /// Density currently reserved by in-flight jobs.
+    pub fn load(&self) -> f64 {
+        self.load
+    }
+}
+
+impl AdmissionGate for UtilizationBound<'_> {
+    fn admit(&mut self, req: &AdmitRequest<'_>) -> bool {
+        let density = match req.deadline {
+            None => 0.0,
+            Some(deadline) => {
+                let window = deadline.saturating_since(req.arrival).as_ns().max(1);
+                min_work_ns(req.job, self.lookup) as f64 / window as f64
+            }
+        };
+        if self.load + density > self.bound * self.nprocs as f64 {
+            return false;
+        }
+        self.reserved.insert(req.job_id.0, density);
+        self.load += density;
+        true
+    }
+
+    fn on_complete(&mut self, job: &CompletedJob) {
+        if let Some(density) = self.reserved.remove(&job.job.0) {
+            self.load -= density;
+            // Running subtraction drift is bounded by f64 epsilon per job;
+            // clamp so an idle system always reads exactly zero load.
+            if self.reserved.is_empty() {
+                self.load = 0.0;
+            }
+        }
+    }
+}
+
+impl AdmissionPolicy for UtilizationBound<'_> {
+    fn name(&self) -> String {
+        format!("util(ρ≤{})", self.bound)
+    }
+}
+
+/// The feasibility-estimate gate: admit only jobs that still have a
+/// plausible shot at their deadline. The estimate charges the job the
+/// current in-flight backlog spread over the machine plus its own
+/// critical path:
+///
+/// ```text
+/// admit ⇔ D is none  ∨  backlog/m + cp_min(job) ≤ D
+/// ```
+///
+/// Pessimistic about parallel slack but optimistic about heterogeneity
+/// (everything at table-minimum speed); the sweep shows it shedding the
+/// hopeless tail under overload while accept-all drags every job tardy.
+#[derive(Debug)]
+pub struct FeasibilityGate<'a> {
+    lookup: &'a LookupTable,
+    nprocs: usize,
+    /// Minimum work reserved per in-flight job, keyed by its engine
+    /// `JobId` (from [`AdmitRequest::job_id`]).
+    reserved: HashMap<u64, u64>,
+    backlog_ns: u64,
+}
+
+impl<'a> FeasibilityGate<'a> {
+    /// A gate over `config`'s machine using `lookup`'s minimum times.
+    pub fn new(lookup: &'a LookupTable, config: &SystemConfig) -> Self {
+        FeasibilityGate {
+            lookup,
+            nprocs: config.len().max(1),
+            reserved: HashMap::new(),
+            backlog_ns: 0,
+        }
+    }
+
+    /// In-flight minimum work the gate currently accounts, ns.
+    pub fn backlog_ns(&self) -> u64 {
+        self.backlog_ns
+    }
+}
+
+impl AdmissionGate for FeasibilityGate<'_> {
+    fn admit(&mut self, req: &AdmitRequest<'_>) -> bool {
+        let work = min_work_ns(req.job, self.lookup);
+        if let Some(deadline) = req.deadline {
+            let window = deadline.saturating_since(req.arrival).as_ns();
+            let estimate = self.backlog_ns / self.nprocs as u64
+                + req.job.critical_path_min(self.lookup).as_ns();
+            if estimate > window {
+                return false;
+            }
+        }
+        self.reserved.insert(req.job_id.0, work);
+        self.backlog_ns += work;
+        true
+    }
+
+    fn on_complete(&mut self, job: &CompletedJob) {
+        if let Some(work) = self.reserved.remove(&job.job.0) {
+            self.backlog_ns -= work;
+        }
+    }
+}
+
+impl AdmissionPolicy for FeasibilityGate<'_> {
+    fn name(&self) -> String {
+        "feasible".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_base::{SimDuration, SimTime};
+    use apt_dfg::SplitMix64;
+    use apt_stream::JobFamily;
+
+    fn job(seed: u64) -> JobTemplate {
+        JobFamily::Diamond { width: 2 }
+            .instantiate(&mut SplitMix64::new(seed), LookupTable::paper())
+    }
+
+    /// A request carrying the id the engine would assign on acceptance —
+    /// in the real driver this comes from `OpenEngine::next_job_id`, so a
+    /// shed request's id is re-offered to the next arrival.
+    fn request<'a>(
+        id: u64,
+        job: &'a JobTemplate,
+        arrival: SimTime,
+        deadline: Option<SimTime>,
+    ) -> AdmitRequest<'a> {
+        AdmitRequest {
+            job_id: apt_hetsim::JobId(id),
+            arrival,
+            deadline,
+            job,
+            now: arrival,
+            in_flight_jobs: 0,
+            in_flight_kernels: 0,
+        }
+    }
+
+    fn completed(id: u64) -> CompletedJob {
+        CompletedJob {
+            job: apt_hetsim::JobId(id),
+            arrival: SimTime::ZERO,
+            deadline: None,
+            records: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accept_all_accepts_everything() {
+        let mut gate = AcceptAll;
+        assert_eq!(gate.name(), "accept-all");
+        let j = job(1);
+        for i in 0..100 {
+            assert!(gate.admit(&request(i, &j, SimTime::from_ms(i), None)));
+        }
+    }
+
+    #[test]
+    fn utilization_bound_reserves_and_releases_density() {
+        let lookup = LookupTable::paper();
+        let config = apt_hetsim::SystemConfig::paper_4gbps();
+        let mut gate = UtilizationBound::new(lookup, &config, 1.0);
+        let j = job(2);
+        let work = min_work_ns(&j, lookup);
+        // A deadline window equal to the job's min work is density 1.0;
+        // the 3-processor budget fits three of them.
+        let deadline = |at: SimTime| Some(at + SimDuration::from_ns(work));
+        let at = SimTime::ZERO;
+        assert!(gate.admit(&request(0, &j, at, deadline(at))));
+        assert!(gate.admit(&request(1, &j, at, deadline(at))));
+        assert!(gate.admit(&request(2, &j, at, deadline(at))));
+        assert!((gate.load() - 3.0).abs() < 1e-9);
+        // The fourth exceeds bound × m = 3 and is shed; its id 3 is then
+        // re-offered to the next arrival, as the driver would.
+        assert!(!gate.admit(&request(3, &j, at, deadline(at))));
+        // Deadline-free jobs are density-0 and always pass.
+        assert!(gate.admit(&request(3, &j, at, None)));
+        // Releasing one admitted job frees its density.
+        gate.on_complete(&completed(0));
+        assert!(gate.admit(&request(4, &j, at, deadline(at))));
+        // Completion of an unknown id (never reserved) is ignored.
+        gate.on_complete(&completed(99));
+        // Draining everything returns load to exactly zero.
+        for id in [1, 2, 3, 4] {
+            gate.on_complete(&completed(id));
+        }
+        assert_eq!(gate.load(), 0.0);
+    }
+
+    #[test]
+    fn feasibility_gate_sheds_once_the_backlog_swamps_the_window() {
+        let lookup = LookupTable::paper();
+        let config = apt_hetsim::SystemConfig::paper_4gbps();
+        let mut gate = FeasibilityGate::new(lookup, &config);
+        let j = job(3);
+        let cp = j.critical_path_min(lookup);
+        // Window exactly the critical path: feasible on an empty machine.
+        let at = SimTime::ZERO;
+        assert!(gate.admit(&request(0, &j, at, Some(at + cp))));
+        assert!(gate.backlog_ns() > 0);
+        // Pile on deadline-free work until backlog/m dwarfs the window,
+        // then the same tight request is shed.
+        for id in 1..=50 {
+            assert!(gate.admit(&request(id, &j, at, None)));
+        }
+        assert!(!gate.admit(&request(51, &j, at, Some(at + cp))));
+        // A generous window still passes.
+        assert!(gate.admit(&request(
+            51,
+            &j,
+            at,
+            Some(at + SimDuration::from_ms(10_000_000))
+        )));
+        // Retiring jobs shrinks the backlog again.
+        let before = gate.backlog_ns();
+        gate.on_complete(&completed(0));
+        assert!(gate.backlog_ns() < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_bound_is_rejected() {
+        let lookup = LookupTable::paper();
+        let config = apt_hetsim::SystemConfig::paper_4gbps();
+        let _ = UtilizationBound::new(lookup, &config, 0.0);
+    }
+}

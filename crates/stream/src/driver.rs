@@ -19,10 +19,13 @@
 //! `finite_source_matches_simulate_stream` proptest pins this byte for
 //! byte).
 
+use crate::job::JobTemplate;
 use crate::source::Source;
 use apt_base::{BaseError, SimDuration, SimTime};
 use apt_dfg::LookupTable;
-use apt_hetsim::{CompletedJob, OpenEngine, Policy, ProcStats, SystemConfig, TaskRecord};
+use apt_hetsim::{
+    CompletedJob, OpenEngine, Policy, ProcStats, ReadyOrder, SystemConfig, TaskRecord,
+};
 use apt_metrics::{OnlineMetrics, StreamSnapshot};
 
 /// Driver knobs.
@@ -37,6 +40,58 @@ pub struct DriverOpts {
     /// overload guard for λ-sweep experiments — a saturated system's
     /// backlog would otherwise grow without bound.
     pub max_in_flight_jobs: Option<usize>,
+    /// Iteration order of the engine's ready set: FCFS admission order
+    /// (the default, byte-identical to `simulate_stream`) or
+    /// earliest-deadline-first.
+    pub ready_order: ReadyOrder,
+}
+
+/// Everything an admission decision may inspect: the job about to enter
+/// the system and the live backlog it would join.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmitRequest<'a> {
+    /// The [`apt_hetsim::JobId`] the job receives **if admitted** (from
+    /// [`OpenEngine::next_job_id`]) — the id its [`CompletedJob`] will
+    /// carry, so stateful gates key per-job reservations on it.
+    pub job_id: apt_hetsim::JobId,
+    /// The job's arrival instant.
+    pub arrival: SimTime,
+    /// Its absolute deadline (`arrival + relative deadline`), if tagged.
+    pub deadline: Option<SimTime>,
+    /// The job itself (kernels, edges, relative deadline).
+    pub job: &'a JobTemplate,
+    /// The engine clock at decision time (`≤ arrival` — jobs are admitted
+    /// just-in-time).
+    pub now: SimTime,
+    /// Jobs currently in flight.
+    pub in_flight_jobs: usize,
+    /// Kernels currently in flight.
+    pub in_flight_kernels: usize,
+}
+
+/// The admission hook of [`simulate_source_gated`]: decide per job whether
+/// it enters the system, and observe completions to release whatever
+/// budget the decision reserved. `apt-slo`'s `AdmissionPolicy` gates plug
+/// in through this. An accepted request's job enters the engine under
+/// exactly [`AdmitRequest::job_id`].
+pub trait AdmissionGate {
+    /// True to admit the job, false to shed it (the job never enters the
+    /// system and is counted in [`StreamOutcome::jobs_shed`]).
+    fn admit(&mut self, req: &AdmitRequest<'_>) -> bool;
+
+    /// Called for every completed job, in completion order, before the
+    /// driver's own observer.
+    fn on_complete(&mut self, _job: &CompletedJob) {}
+}
+
+/// The open gate: admit everything (plain [`simulate_source`] behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionGate for AdmitAll {
+    fn admit(&mut self, _req: &AdmitRequest<'_>) -> bool {
+        true
+    }
 }
 
 /// Everything a streaming run reports. All aggregates are online — no
@@ -80,6 +135,19 @@ pub struct StreamOutcome {
     /// True when the `max_in_flight_jobs` guard tripped and admission
     /// stopped early.
     pub saturated: bool,
+    /// Jobs the admission gate rejected (never entered the system).
+    pub jobs_shed: u64,
+    /// Completed jobs that carried a deadline (the miss-rate denominator).
+    pub deadline_jobs: u64,
+    /// Deadline-carrying jobs that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Median tardiness over deadline-carrying jobs, ms (on-time jobs
+    /// count as zero tardiness).
+    pub tardiness_p50_ms: f64,
+    /// 99th-percentile tardiness, ms.
+    pub tardiness_p99_ms: f64,
+    /// Mean tardiness over deadline-carrying jobs, ms.
+    pub mean_tardiness_ms: f64,
 }
 
 impl StreamOutcome {
@@ -90,6 +158,26 @@ impl StreamOutcome {
             .iter()
             .map(|s| (s.busy + s.transfer).as_ns() as f64 / total)
             .collect()
+    }
+
+    /// Fraction of deadline-carrying jobs that missed their deadline
+    /// (0 when the stream carried none).
+    pub fn miss_rate(&self) -> f64 {
+        if self.deadline_jobs == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_jobs as f64
+        }
+    }
+
+    /// Fraction of *offered* jobs the admission gate shed.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.jobs_admitted + self.jobs_shed;
+        if offered == 0 {
+            0.0
+        } else {
+            self.jobs_shed as f64 / offered as f64
+        }
     }
 }
 
@@ -117,9 +205,27 @@ pub fn simulate_source_observed(
     lookup: &LookupTable,
     policy: &mut dyn Policy,
     opts: &DriverOpts,
+    observe: impl FnMut(&CompletedJob),
+) -> Result<StreamOutcome, BaseError> {
+    simulate_source_gated(source, config, lookup, policy, opts, &mut AdmitAll, observe)
+}
+
+/// [`simulate_source_observed`] with an [`AdmissionGate`] in the admit
+/// path: each due job is offered to `gate` *before* entering the engine;
+/// rejected jobs are shed (counted, never admitted) and the gate hears
+/// about every completion so it can release reserved budget. This is how
+/// `apt-slo`'s admission policies bound overload instead of letting the
+/// backlog grow without bound.
+pub fn simulate_source_gated(
+    source: &mut dyn Source,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    opts: &DriverOpts,
+    gate: &mut dyn AdmissionGate,
     mut observe: impl FnMut(&CompletedJob),
 ) -> Result<StreamOutcome, BaseError> {
-    let mut engine = OpenEngine::new(config, lookup)?;
+    let mut engine = OpenEngine::with_order(config, lookup, opts.ready_order)?;
     engine.prepare(policy)?;
     // The aggregator always runs; without a snapshot interval its window is
     // pushed past any reachable instant so only the running estimators are
@@ -131,6 +237,7 @@ pub fn simulate_source_observed(
     let mut pending = source.next_job();
     let mut last_arrival = SimTime::ZERO;
     let mut admitted = 0u64;
+    let mut shed = 0u64;
     let mut completed = 0u64;
     let mut kernels = 0u64;
     let mut saturated = false;
@@ -148,9 +255,11 @@ pub fn simulate_source_observed(
     // push no events — only the current-instant cohort is due there.
     let mut admit_due = |engine: &mut OpenEngine<'_>,
                          pending: &mut Option<(SimTime, crate::job::JobTemplate)>,
+                         gate: &mut dyn AdmissionGate,
                          saturated: &mut bool,
                          last_arrival: &mut SimTime,
                          admitted: &mut u64,
+                         shed: &mut u64,
                          metrics: &mut OnlineMetrics,
                          seed: bool|
      -> Result<(), BaseError> {
@@ -182,10 +291,26 @@ pub fn simulate_source_observed(
                 break;
             }
             let (at, job) = pending.take().expect("checked above");
-            engine.admit(job.kernels(), job.edges(), at)?;
+            let deadline = job.deadline().map(|d| at + d);
+            let accept = gate.admit(&AdmitRequest {
+                job_id: engine.next_job_id(),
+                arrival: at,
+                deadline,
+                job: &job,
+                now: engine.now(),
+                in_flight_jobs: engine.in_flight_jobs(),
+                in_flight_kernels: engine.in_flight_kernels(),
+            });
+            // Shed or admitted, the arrival is consumed either way; the
+            // arrival clock keeps its monotonicity check.
             *last_arrival = at;
-            *admitted += 1;
-            metrics.observe_depth(engine.now(), engine.in_flight_jobs());
+            if accept {
+                engine.admit_with_deadline(job.kernels(), job.edges(), at, deadline)?;
+                *admitted += 1;
+                metrics.observe_depth(engine.now(), engine.in_flight_jobs());
+            } else {
+                *shed += 1;
+            }
             *pending = source.next_job();
         }
         Ok(())
@@ -195,9 +320,11 @@ pub fn simulate_source_observed(
     admit_due(
         &mut engine,
         &mut pending,
+        gate,
         &mut saturated,
         &mut last_arrival,
         &mut admitted,
+        &mut shed,
         &mut metrics,
         true,
     )?;
@@ -207,9 +334,11 @@ pub fn simulate_source_observed(
         admit_due(
             &mut engine,
             &mut pending,
+            gate,
             &mut saturated,
             &mut last_arrival,
             &mut admitted,
+            &mut shed,
             &mut metrics,
             false,
         )?;
@@ -223,6 +352,10 @@ pub fn simulate_source_observed(
                 let latency = job.finish().saturating_since(job.arrival);
                 let lambda: SimDuration = job.records.iter().map(TaskRecord::lambda).sum();
                 metrics.observe_job(latency, lambda);
+                if let Some(tardiness) = job.tardiness() {
+                    metrics.observe_tardiness(tardiness);
+                }
+                gate.on_complete(job);
                 observe(job);
             }
             metrics.observe_depth(engine.now(), engine.in_flight_jobs());
@@ -251,6 +384,7 @@ pub fn simulate_source_observed(
 
     let end = engine.now();
     let (p50, p90, p99) = metrics.latency_quantiles_ms();
+    let (tardiness_p50_ms, tardiness_p99_ms) = metrics.tardiness_quantiles_ms();
     Ok(StreamOutcome {
         policy: policy.name(),
         jobs_admitted: admitted,
@@ -269,6 +403,12 @@ pub fn simulate_source_observed(
         proc_stats: engine.proc_stats(),
         snapshots: metrics.snapshots().to_vec(),
         saturated,
+        jobs_shed: shed,
+        deadline_jobs: metrics.deadline_jobs(),
+        deadline_misses: metrics.deadline_misses(),
+        tardiness_p50_ms,
+        tardiness_p99_ms,
+        mean_tardiness_ms: metrics.mean_tardiness_ms(),
     })
 }
 
@@ -339,6 +479,7 @@ mod tests {
             &DriverOpts {
                 snapshot_interval: Some(SimDuration::from_ms(100_000)),
                 max_in_flight_jobs: None,
+                ..DriverOpts::default()
             },
         )
         .unwrap();
@@ -406,6 +547,7 @@ mod tests {
             &DriverOpts {
                 snapshot_interval: None,
                 max_in_flight_jobs: Some(32),
+                ..DriverOpts::default()
             },
         )
         .unwrap();
@@ -444,11 +586,104 @@ mod tests {
             &DriverOpts {
                 snapshot_interval: None,
                 max_in_flight_jobs: Some(8),
+                ..DriverOpts::default()
             },
         )
         .unwrap();
         assert!(!outcome.saturated, "drainable burst latched saturation");
         assert_eq!(outcome.jobs_completed, 9);
+    }
+
+    #[test]
+    fn gate_sheds_jobs_and_hears_completions() {
+        use crate::deadline::DeadlineSpec;
+        // A gate admitting every other offered job: shed accounting, the
+        // JobId alignment contract, and completion callbacks all pin here.
+        struct EveryOther {
+            offered: u64,
+            accepted: u64,
+            completions: Vec<apt_hetsim::JobId>,
+        }
+        impl AdmissionGate for EveryOther {
+            fn admit(&mut self, req: &AdmitRequest<'_>) -> bool {
+                assert!(req.now <= req.arrival, "jobs admitted just-in-time");
+                // The advertised contract: the request carries the id the
+                // job gets if admitted — sheds don't consume ids.
+                assert_eq!(req.job_id.0, self.accepted, "job_id out of step");
+                self.offered += 1;
+                let accept = self.offered % 2 == 1;
+                if accept {
+                    self.accepted += 1;
+                }
+                accept
+            }
+            fn on_complete(&mut self, job: &CompletedJob) {
+                self.completions.push(job.job);
+            }
+        }
+        let (config, lookup) = paper();
+        let mut source = PoissonSource::new(lookup, 1.0, 40, JobFamily::Single, 11)
+            .with_deadlines(DeadlineSpec::Fixed(SimDuration::from_ms(10_000)));
+        let mut gate = EveryOther {
+            offered: 0,
+            accepted: 0,
+            completions: Vec::new(),
+        };
+        let outcome = simulate_source_gated(
+            &mut source,
+            config,
+            lookup,
+            &mut apt_policies::Met::new(),
+            &DriverOpts::default(),
+            &mut gate,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome.jobs_admitted, 20);
+        assert_eq!(outcome.jobs_shed, 20);
+        assert_eq!(outcome.jobs_completed, 20);
+        assert!((outcome.shed_rate() - 0.5).abs() < 1e-9);
+        // Engine JobIds are 0..20, exactly the ids the requests advertised.
+        let mut seen: Vec<u64> = gate.completions.iter().map(|j| j.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<u64>>());
+        // Every admitted job carried its (loose) deadline and met it.
+        assert_eq!(outcome.deadline_jobs, 20);
+        assert_eq!(outcome.deadline_misses, 0);
+        assert_eq!(outcome.miss_rate(), 0.0);
+        assert_eq!(outcome.tardiness_p99_ms, 0.0);
+    }
+
+    #[test]
+    fn tight_deadlines_surface_as_misses_and_tardiness() {
+        use crate::deadline::DeadlineSpec;
+        let (config, lookup) = paper();
+        // 1 µs relative deadlines: even the fastest table kernel (93 µs
+        // Cholesky) is tardy.
+        let mut source = PoissonSource::new(lookup, 0.2, 30, JobFamily::Single, 5)
+            .with_deadlines(DeadlineSpec::Fixed(SimDuration::from_us(1)));
+        let outcome = simulate_source(
+            &mut source,
+            config,
+            lookup,
+            &mut apt_policies::Met::new(),
+            &DriverOpts {
+                snapshot_interval: Some(SimDuration::from_ms(60_000)),
+                max_in_flight_jobs: None,
+                ..DriverOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.deadline_jobs, 30);
+        assert_eq!(outcome.deadline_misses, 30);
+        assert_eq!(outcome.miss_rate(), 1.0);
+        assert!(outcome.mean_tardiness_ms > 0.0);
+        assert!(outcome.tardiness_p99_ms >= outcome.tardiness_p50_ms);
+        // Snapshots carry the miss counts; the sum over windows equals the
+        // run total.
+        let windowed: u64 = outcome.snapshots.iter().map(|s| s.window_missed).sum();
+        assert_eq!(windowed, outcome.snapshots.last().unwrap().total_missed);
+        assert!(outcome.snapshots.last().unwrap().miss_rate() > 0.99);
     }
 
     #[test]

@@ -3,20 +3,24 @@
 //! A *job* is a small DAG of kernels submitted to the system as one
 //! arrival — the open-system generalization of the paper's fixed input
 //! streams (§3.2). [`JobTemplate`] carries the kernels in stream order plus
-//! intra-job dependency edges over their local indices; [`JobFamily`]
-//! instantiates the DAG shapes the repo already knows (Type-1/Type-2 via
-//! the `apt-dfg` generators, plus the chain and diamond micro-shapes of the
-//! examples) with per-job seeded kernel draws.
+//! intra-job dependency edges over their local indices, and optionally a
+//! *relative deadline* (an SLO: the job should finish within this much time
+//! of its arrival); [`JobFamily`] instantiates the DAG shapes the repo
+//! already knows (Type-1/Type-2 via the `apt-dfg` generators, plus the
+//! chain and diamond micro-shapes of the examples) with per-job seeded
+//! kernel draws.
 
-use apt_base::BaseError;
+use apt_base::{BaseError, SimDuration};
 use apt_dfg::generator::{generate, DfgType, StreamConfig};
 use apt_dfg::{Kernel, KernelDag, LookupTable, SplitMix64};
 
-/// One job: kernels in stream order and ascending intra-job edges.
+/// One job: kernels in stream order, ascending intra-job edges, and an
+/// optional relative deadline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobTemplate {
     kernels: Vec<Kernel>,
     edges: Vec<(u32, u32)>,
+    deadline: Option<SimDuration>,
 }
 
 impl JobTemplate {
@@ -29,7 +33,68 @@ impl JobTemplate {
     /// never fail admission mid-way.
     pub fn new(kernels: Vec<Kernel>, edges: Vec<(u32, u32)>) -> Result<JobTemplate, BaseError> {
         apt_hetsim::validate_job(kernels.len(), &edges)?;
-        Ok(JobTemplate { kernels, edges })
+        Ok(JobTemplate {
+            kernels,
+            edges,
+            deadline: None,
+        })
+    }
+
+    /// Tag this job with a relative deadline: it should finish within
+    /// `deadline` of its arrival instant. The streaming driver converts
+    /// this to an absolute deadline on admission.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> JobTemplate {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The job's relative deadline, if it carries one.
+    pub fn deadline(&self) -> Option<SimDuration> {
+        self.deadline
+    }
+
+    /// Lower bound on this job's response time: the critical path through
+    /// the job DAG with every kernel at its table-minimum execution time
+    /// (kernels without a table row weigh zero). This is the `CostModel`'s
+    /// per-category minimum aggregated over the job — what
+    /// proportional-deadline generators and feasibility-estimate admission
+    /// gates scale from.
+    pub fn critical_path_min(&self, lookup: &LookupTable) -> SimDuration {
+        let exec: Vec<u64> = self
+            .kernels
+            .iter()
+            .map(|k| lookup.best_category(k).map(|(_, t)| t.as_ns()).unwrap_or(0))
+            .collect();
+        // Every edge ascends (`from < to`), so edges sorted by source form a
+        // topological sweep: all edges *into* `a` (sources `< a`) are
+        // processed before any edge *out of* `a`, making `start[a]` final by
+        // the time it propagates. Most templates (chains, generator DAGs)
+        // already list edges in that order — only the odd interleaved list
+        // (diamonds) pays the clone+sort. This runs per arrival (deadline
+        // tagging, feasibility gates), so the common case stays cheap.
+        let sorted_edges;
+        let edges: &[(u32, u32)] = if self.edges.is_sorted() {
+            &self.edges
+        } else {
+            sorted_edges = {
+                let mut e = self.edges.clone();
+                e.sort_unstable();
+                e
+            };
+            &sorted_edges
+        };
+        let mut start = vec![0u64; self.kernels.len()];
+        for &(a, b) in edges {
+            let fa = start[a as usize] + exec[a as usize];
+            start[b as usize] = start[b as usize].max(fa);
+        }
+        let total = start
+            .iter()
+            .zip(&exec)
+            .map(|(s, e)| s + e)
+            .max()
+            .unwrap_or(0);
+        SimDuration::from_ns(total)
     }
 
     /// Convert a generated [`KernelDag`] (whose edges the generators number
@@ -197,6 +262,52 @@ mod tests {
         let t2 = JobFamily::Type2 { len: 20 }.instantiate(&mut rng, lookup());
         assert_eq!(t2.len(), 20);
         assert_eq!(JobFamily::Diamond { width: 3 }.kernels_per_job(), 5);
+    }
+
+    #[test]
+    fn deadlines_tag_and_report() {
+        let ks = draw_kernels(1, 2, lookup());
+        let plain = JobTemplate::new(ks, vec![(0, 1)]).unwrap();
+        assert_eq!(plain.deadline(), None);
+        let tagged = plain.clone().with_deadline(SimDuration::from_ms(250));
+        assert_eq!(tagged.deadline(), Some(SimDuration::from_ms(250)));
+        // Tagging does not alter the structural identity inputs.
+        assert_eq!(tagged.kernels(), plain.kernels());
+        assert_eq!(tagged.edges(), plain.edges());
+        assert_ne!(tagged, plain, "deadline participates in equality");
+    }
+
+    #[test]
+    fn critical_path_uses_minimum_execution_times() {
+        use apt_dfg::{Kernel, KernelKind};
+        let bfs = Kernel::canonical(KernelKind::Bfs); // best 106 ms (FPGA)
+        let nw = Kernel::canonical(KernelKind::NeedlemanWunsch); // best 112 ms (CPU)
+                                                                 // Chain bfs → nw: CP = 106 + 112.
+        let chain = JobTemplate::new(vec![bfs, nw], vec![(0, 1)]).unwrap();
+        assert_eq!(chain.critical_path_min(lookup()), SimDuration::from_ms(218));
+        // Independent pair: CP = max(106, 112).
+        let par = JobTemplate::new(vec![bfs, nw], vec![]).unwrap();
+        assert_eq!(par.critical_path_min(lookup()), SimDuration::from_ms(112));
+        // Diamond with interleaved edge listing (the family generators'
+        // push order) still sweeps topologically.
+        let d = JobFamily::Diamond { width: 2 }.instantiate(&mut SplitMix64::new(5), lookup());
+        let by_hand = {
+            let e: Vec<u64> = d
+                .kernels()
+                .iter()
+                .map(|k| {
+                    lookup()
+                        .best_category(k)
+                        .map(|(_, t)| t.as_ns())
+                        .unwrap_or(0)
+                })
+                .collect();
+            e[0] + e[1].max(e[2]) + e[3]
+        };
+        assert_eq!(d.critical_path_min(lookup()).as_ns(), by_hand);
+        // A kernel with no table row weighs zero rather than poisoning CP.
+        let ghost = JobTemplate::new(vec![Kernel::new(KernelKind::MatMul, 123)], vec![]).unwrap();
+        assert_eq!(ghost.critical_path_min(lookup()), SimDuration::ZERO);
     }
 
     #[test]

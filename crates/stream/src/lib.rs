@@ -18,8 +18,19 @@
 //! * [`driver`] — [`simulate_source`]: pulls arrivals just-in-time, feeds
 //!   them into `apt-hetsim`'s slot-recycling [`apt_hetsim::OpenEngine`],
 //!   retires completed jobs into streaming metrics, and sustains
-//!   million-job runs with memory bounded by the jobs in flight.
+//!   million-job runs with memory bounded by the jobs in flight. The gated
+//!   form ([`simulate_source_gated`]) puts an [`AdmissionGate`] in the
+//!   admit path so overload *sheds* jobs instead of queueing unboundedly.
 //! * [`job`] — job templates and the DAG families they instantiate.
+//! * [`deadline`] — per-job SLOs: [`DeadlineSpec`] derives relative
+//!   deadlines (fixed, proportional to each job's minimum critical path,
+//!   or distribution-drawn) on a dedicated RNG stream, so tagging never
+//!   perturbs arrivals. The driver converts them to absolute deadlines on
+//!   admission; the engine stamps every kernel slot (policies read them
+//!   via `SimView::deadline`, and `ReadyOrder::EarliestDeadline` makes
+//!   the ready set iterate EDF); retirement feeds miss-rate and tardiness
+//!   quantiles in `apt-metrics`. The admission gates and SLO evaluation
+//!   live one layer up in `apt-slo`.
 //!
 //! The streaming path is *semantics-preserving*: a finite source replayed
 //! through the driver schedules byte-for-byte like
@@ -54,13 +65,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod deadline;
 pub mod driver;
 pub mod job;
 pub mod source;
 
-pub use driver::{simulate_source, simulate_source_observed, DriverOpts, StreamOutcome};
+pub use deadline::DeadlineSpec;
+pub use driver::{
+    simulate_source, simulate_source_gated, simulate_source_observed, AdmissionGate, AdmitAll,
+    AdmitRequest, DriverOpts, StreamOutcome,
+};
 pub use job::{JobFamily, JobTemplate};
 pub use source::{DiurnalSource, OnOffSource, PoissonSource, Source, TraceSource};
 
 // Completed-job types come from the engine; re-export for one-stop imports.
-pub use apt_hetsim::{CompletedJob, JobId};
+pub use apt_hetsim::{CompletedJob, JobId, ReadyOrder};

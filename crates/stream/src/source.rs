@@ -29,9 +29,15 @@
 //! exponential/thinning draws go through `f64::ln`, which is deterministic
 //! per platform (and pinned by the determinism tests on any one machine).
 
+use crate::deadline::DeadlineSpec;
 use crate::job::{JobFamily, JobTemplate};
 use apt_base::{SimDuration, SimTime};
 use apt_dfg::{LookupTable, SplitMix64};
+
+/// Salt separating a source's deadline-draw RNG stream from its
+/// arrival/kernel stream, so tagging deadlines onto an existing source
+/// never shifts the jobs it yields.
+const DEADLINE_STREAM_SALT: u64 = 0x0510_DEAD_1155;
 
 /// A lazy stream of jobs with non-decreasing arrival instants.
 pub trait Source {
@@ -69,6 +75,8 @@ pub struct PoissonSource<'a> {
     mean_gap_ns: f64,
     t_ns: u64,
     remaining: u64,
+    deadlines: DeadlineSpec,
+    deadline_rng: SplitMix64,
 }
 
 impl<'a> PoissonSource<'a> {
@@ -94,7 +102,17 @@ impl<'a> PoissonSource<'a> {
             mean_gap_ns: 1e9 / rate_per_sec,
             t_ns: 0,
             remaining: jobs,
+            deadlines: DeadlineSpec::None,
+            deadline_rng: SplitMix64::new(seed ^ DEADLINE_STREAM_SALT),
         }
+    }
+
+    /// Tag every yielded job with a relative deadline per `spec`. Deadline
+    /// draws use a dedicated RNG stream, so arrivals and kernels are
+    /// unchanged from the untagged source.
+    pub fn with_deadlines(mut self, spec: DeadlineSpec) -> PoissonSource<'a> {
+        self.deadlines = spec;
+        self
     }
 }
 
@@ -106,6 +124,7 @@ impl Source for PoissonSource<'_> {
         self.remaining -= 1;
         self.t_ns += exp_gap_ns(&mut self.rng, self.mean_gap_ns);
         let job = self.family.instantiate(&mut self.rng, self.lookup);
+        let job = self.deadlines.tag(&mut self.deadline_rng, job, self.lookup);
         Some((SimTime::from_ns(self.t_ns), job))
     }
 
@@ -127,6 +146,8 @@ pub struct OnOffSource<'a> {
     t_ns: u64,
     on_end_ns: u64,
     remaining: u64,
+    deadlines: DeadlineSpec,
+    deadline_rng: SplitMix64,
 }
 
 impl<'a> OnOffSource<'a> {
@@ -161,7 +182,16 @@ impl<'a> OnOffSource<'a> {
             t_ns: 0,
             on_end_ns,
             remaining: jobs,
+            deadlines: DeadlineSpec::None,
+            deadline_rng: SplitMix64::new(seed ^ DEADLINE_STREAM_SALT),
         }
+    }
+
+    /// Tag every yielded job with a relative deadline per `spec` (dedicated
+    /// RNG stream; arrivals and kernels unchanged).
+    pub fn with_deadlines(mut self, spec: DeadlineSpec) -> OnOffSource<'a> {
+        self.deadlines = spec;
+        self
     }
 }
 
@@ -187,6 +217,7 @@ impl Source for OnOffSource<'_> {
             self.on_end_ns = self.t_ns + on;
         }
         let job = self.family.instantiate(&mut self.rng, self.lookup);
+        let job = self.deadlines.tag(&mut self.deadline_rng, job, self.lookup);
         Some((SimTime::from_ns(self.t_ns), job))
     }
 
@@ -209,6 +240,8 @@ pub struct DiurnalSource<'a> {
     peak_gap_ns: f64,
     t_ns: u64,
     remaining: u64,
+    deadlines: DeadlineSpec,
+    deadline_rng: SplitMix64,
 }
 
 impl<'a> DiurnalSource<'a> {
@@ -239,7 +272,16 @@ impl<'a> DiurnalSource<'a> {
             peak_gap_ns: 1e9 / (base_rate_per_sec + swing_rate_per_sec),
             t_ns: 0,
             remaining: jobs,
+            deadlines: DeadlineSpec::None,
+            deadline_rng: SplitMix64::new(seed ^ DEADLINE_STREAM_SALT),
         }
+    }
+
+    /// Tag every yielded job with a relative deadline per `spec` (dedicated
+    /// RNG stream; arrivals and kernels unchanged).
+    pub fn with_deadlines(mut self, spec: DeadlineSpec) -> DiurnalSource<'a> {
+        self.deadlines = spec;
+        self
     }
 
     /// Instantaneous rate at `t_ns`, jobs per second.
@@ -266,6 +308,7 @@ impl Source for DiurnalSource<'_> {
             }
         }
         let job = self.family.instantiate(&mut self.rng, self.lookup);
+        let job = self.deadlines.tag(&mut self.deadline_rng, job, self.lookup);
         Some((SimTime::from_ns(self.t_ns), job))
     }
 
@@ -345,6 +388,91 @@ mod tests {
             10,
         ));
         assert_ne!(ja, jc);
+    }
+
+    #[test]
+    fn deadline_tagging_never_shifts_the_stream() {
+        use crate::deadline::DeadlineSpec;
+        // The same seed with and without deadlines: identical arrivals and
+        // kernels, only the deadline tag differs (dedicated RNG stream).
+        let plain = drain(&mut PoissonSource::new(
+            LookupTable::paper(),
+            10.0,
+            100,
+            JobFamily::Chain { len: 2 },
+            21,
+        ));
+        let tagged = drain(
+            &mut PoissonSource::new(
+                LookupTable::paper(),
+                10.0,
+                100,
+                JobFamily::Chain { len: 2 },
+                21,
+            )
+            .with_deadlines(DeadlineSpec::Uniform {
+                lo: SimDuration::from_ms(100),
+                hi: SimDuration::from_ms(900),
+            }),
+        );
+        assert_eq!(plain.len(), tagged.len());
+        for ((ta, ja), (tb, jb)) in plain.iter().zip(&tagged) {
+            assert_eq!(ta, tb, "deadline tagging moved an arrival");
+            assert_eq!(ja.kernels(), jb.kernels());
+            assert_eq!(ja.edges(), jb.edges());
+            assert_eq!(ja.deadline(), None);
+            assert!(jb.deadline().is_some());
+        }
+        // And tagged replay is seed-deterministic.
+        let again = drain(
+            &mut PoissonSource::new(
+                LookupTable::paper(),
+                10.0,
+                100,
+                JobFamily::Chain { len: 2 },
+                21,
+            )
+            .with_deadlines(DeadlineSpec::Uniform {
+                lo: SimDuration::from_ms(100),
+                hi: SimDuration::from_ms(900),
+            }),
+        );
+        assert_eq!(tagged, again);
+        // Proportional deadlines scale each job's own critical path.
+        let prop = drain(
+            &mut OnOffSource::new(
+                LookupTable::paper(),
+                50.0,
+                SimDuration::from_ms(100),
+                SimDuration::from_ms(400),
+                20,
+                JobFamily::Diamond { width: 2 },
+                3,
+            )
+            .with_deadlines(DeadlineSpec::ProportionalCp { factor: 3.0 }),
+        );
+        for (_, job) in &prop {
+            assert_eq!(
+                job.deadline(),
+                Some(job.critical_path_min(LookupTable::paper()).scale_alpha(3.0))
+            );
+        }
+        // Diurnal sources tag too.
+        let diurnal = drain(
+            &mut DiurnalSource::new(
+                LookupTable::paper(),
+                5.0,
+                10.0,
+                SimDuration::from_ms(5_000),
+                10,
+                JobFamily::Single,
+                8,
+            )
+            .with_deadlines(DeadlineSpec::Fixed(SimDuration::from_ms(777))),
+        );
+        assert!(diurnal
+            .iter()
+            .all(|(_, j)| j.deadline() == Some(SimDuration::from_ms(777))));
     }
 
     #[test]

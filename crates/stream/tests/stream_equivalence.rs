@@ -37,6 +37,16 @@ fn policies() -> Vec<(&'static str, PolicyMaker)> {
             "APT-R(4)",
             Box::new(|| Box::new(AptR::new(4.0)) as Box<dyn Policy>),
         ),
+        // Deadline-aware variants: on deadline-free jobs both reduce to
+        // plain APT, so the closed-world differential still applies.
+        (
+            "EDF-APT(4)",
+            Box::new(|| Box::new(EdfApt::new(4.0)) as Box<dyn Policy>),
+        ),
+        (
+            "LL-APT(4)",
+            Box::new(|| Box::new(LlApt::new(4.0)) as Box<dyn Policy>),
+        ),
         ("MET", Box::new(|| Box::new(Met::new()) as Box<dyn Policy>)),
         ("SPN", Box::new(|| Box::new(Spn::new()) as Box<dyn Policy>)),
         (
@@ -205,6 +215,7 @@ fn streaming_is_deterministic_under_seed() {
     let opts = DriverOpts {
         snapshot_interval: Some(SimDuration::from_ms(60_000)),
         max_in_flight_jobs: None,
+        ..DriverOpts::default()
     };
     let run = |seed: u64| {
         let mut source = PoissonSource::new(lookup, 0.4, 150, JobFamily::Chain { len: 2 }, seed);
@@ -224,6 +235,46 @@ fn streaming_is_deterministic_under_seed() {
         c.end != a.end || c.proc_stats != a.proc_stats,
         "different seeds produced identical runs"
     );
+}
+
+/// Deadline-tagged finite sources replay deterministically under seed for
+/// the deadline-aware policies, and different seeds diverge — the SLO
+/// counterpart of `streaming_is_deterministic_under_seed`.
+#[test]
+fn deadline_tagged_streams_replay_deterministically() {
+    use apt_stream::DeadlineSpec;
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let opts = DriverOpts {
+        snapshot_interval: Some(SimDuration::from_ms(60_000)),
+        ..DriverOpts::default()
+    };
+    type Maker = fn() -> Box<dyn Policy>;
+    let makers: [(&str, Maker); 2] = [
+        ("EDF-APT", || Box::new(EdfApt::new(4.0)) as Box<dyn Policy>),
+        ("LL-APT", || Box::new(LlApt::new(4.0)) as Box<dyn Policy>),
+    ];
+    for (name, make) in makers {
+        let run = |seed: u64| {
+            let mut source =
+                PoissonSource::new(lookup, 0.4, 150, JobFamily::Diamond { width: 2 }, seed)
+                    .with_deadlines(DeadlineSpec::ProportionalCp { factor: 3.0 });
+            simulate_source(&mut source, &config, lookup, make().as_mut(), &opts).unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.end, b.end, "{name}");
+        assert_eq!(a.proc_stats, b.proc_stats, "{name}");
+        assert_eq!(a.deadline_misses, b.deadline_misses, "{name}");
+        assert_eq!(a.tardiness_p99_ms, b.tardiness_p99_ms, "{name}");
+        assert_eq!(a.snapshots, b.snapshots, "{name}");
+        assert_eq!(a.deadline_jobs, 150, "{name}: every job carried an SLO");
+        let c = run(8);
+        assert!(
+            c.end != a.end || c.proc_stats != a.proc_stats,
+            "{name}: different seeds produced identical runs"
+        );
+    }
 }
 
 /// A long stream's arena stays bounded by the in-flight peak — the

@@ -50,6 +50,7 @@ fn main() {
             &DriverOpts {
                 snapshot_interval: Some(SimDuration::from_ms(120_000)),
                 max_in_flight_jobs: None,
+                ..DriverOpts::default()
             },
         )
         .expect("stream run");

@@ -16,6 +16,11 @@
 pub use apt_core::prelude;
 pub use apt_core::prelude::*;
 
+// The SLO layer (deadline-aware scheduling + admission control) keeps its
+// own namespace: gates are stateful and lifetime-bound, so a flat glob
+// would be more confusing than helpful.
+pub use apt_slo as slo;
+
 /// Workspace version, for the examples' banners.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 

@@ -224,6 +224,8 @@ impl<'a> RefEngine<'a> {
     }
 
     fn run(&mut self, policy: &mut dyn Policy) {
+        // Closed-world workloads carry no deadlines (MAX = none).
+        let deadlines = vec![SimTime::MAX; self.dfg.len()];
         loop {
             loop {
                 let views = self.proc_views();
@@ -246,6 +248,7 @@ impl<'a> RefEngine<'a> {
                         config: self.config,
                         cost: self.cost,
                         locations: &self.locations,
+                        deadlines: &deadlines,
                         idle_mask: views
                             .iter()
                             .enumerate()
