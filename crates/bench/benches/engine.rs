@@ -2,7 +2,7 @@
 //! the lookup table. These are the pieces every experiment multiplies by
 //! hundreds of runs, so their constant factors gate the whole harness.
 
-use apt_bench::run;
+use apt_bench::{run, topology_systems, type2_workload};
 use apt_core::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -55,10 +55,25 @@ fn bench_lookup(c: &mut Criterion) {
     });
 }
 
+/// APT end-to-end on the transfer-heavy six-processor machine: scalar
+/// uniform link vs the clustered per-pair matrix — the cost of the dense
+/// pair-table transfer layer relative to the seed scalar path.
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology/simulate_apt");
+    let dfg = type2_workload();
+    for (name, system) in topology_systems() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &system, |b, s| {
+            b.iter(|| black_box(run(&dfg, s, &mut Apt::new(4.0))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_scaling,
     bench_generators,
-    bench_lookup
+    bench_lookup,
+    bench_topology
 );
 criterion_main!(benches);

@@ -48,6 +48,20 @@ pub fn run(dfg: &KernelDag, system: &SystemConfig, policy: &mut dyn Policy) -> u
         .as_ns()
 }
 
+/// The `topology_*` bench machines: the topology-sweep's own six-processor
+/// pod pair (transfer-heavy 16 B/element) under the scalar uniform link
+/// and under the clustered per-pair matrix (dense pair-table path).
+/// Sourced from `apt_experiments::topology::topology_variants`, so
+/// retuning the sweep machine retunes the benchmark with it. Timing the
+/// same workload on both prices the pair-resolved transfer layer against
+/// the seed scalar path.
+pub fn topology_systems() -> Vec<(&'static str, SystemConfig)> {
+    apt_experiments::topology::topology_variants()
+        .into_iter()
+        .filter(|(name, _)| matches!(*name, "uniform" | "clustered"))
+        .collect()
+}
+
 /// Jobs per open-stream bench iteration (single-kernel Poisson jobs at a
 /// sustainable rate — the million-job path, sized for a benchable iteration).
 pub const STREAM_BENCH_JOBS: u64 = 10_000;
@@ -161,6 +175,15 @@ mod tests {
         let sys = SystemConfig::paper_4gbps();
         assert!(run(&type1_workload(), &sys, &mut Met::new()) > 0);
         assert!(run(&type2_workload(), &sys, &mut Apt::new(4.0)) > 0);
+    }
+
+    #[test]
+    fn topology_fixtures_run_on_both_interconnects() {
+        let dfg = type1_workload();
+        for (name, system) in topology_systems() {
+            system.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(run(&dfg, &system, &mut Apt::new(4.0)) > 0, "{name}");
+        }
     }
 
     #[test]

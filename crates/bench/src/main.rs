@@ -29,7 +29,8 @@
 //! `--label after` run.
 
 use apt_bench::{
-    run, slo_stream_run, stream_calendar_backlog, stream_run, type2_workload, STREAM_BENCH_JOBS,
+    run, slo_stream_run, stream_calendar_backlog, stream_run, topology_systems, type2_workload,
+    STREAM_BENCH_JOBS,
 };
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
@@ -130,6 +131,17 @@ fn slo_benches(out: &mut Vec<(String, Measurement)>) {
             format!("slo/poisson_edf_apt_{name}/{STREAM_BENCH_JOBS}"),
             ns,
         ));
+    }
+}
+
+/// Uniform-scalar vs clustered-matrix transfer layer on the six-processor
+/// transfer-heavy machine — mirrors the `topology/*` group in
+/// `benches/engine.rs`.
+fn topology_benches(out: &mut Vec<(String, Measurement)>) {
+    let dfg = type2_workload();
+    for (name, system) in topology_systems() {
+        let ns = measure(|| run(&dfg, &system, &mut Apt::new(4.0)));
+        out.push((format!("topology/simulate_apt/{name}"), ns));
     }
 }
 
@@ -336,6 +348,7 @@ fn main() {
     policy_benches(&mut results);
     stream_benches(&mut results);
     slo_benches(&mut results);
+    topology_benches(&mut results);
 
     if let Some(rows) = recorded {
         std::process::exit(check(&out_path, tolerance_percent, &rows, &results));

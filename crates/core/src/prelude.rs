@@ -25,9 +25,9 @@ pub use apt_dfg::generator::{
 pub use apt_dfg::{Dag, Dwarf, Kernel, KernelDag, KernelKind, LookupTable, NodeId, SplitMix64};
 
 pub use apt_hetsim::{
-    simulate, simulate_stream, Assignment, AssignmentBuf, CalendarQueue, CostModel, LinkRate,
-    Policy, PolicyKind, PrepareCtx, ProcSpec, ProcStats, ProcView, ReadySet, SimResult, SimView,
-    SystemConfig, TaskRecord, Trace,
+    simulate, simulate_stream, Assignment, AssignmentBuf, CalendarQueue, CostModel, LinkContention,
+    LinkRate, Policy, PolicyKind, PrepareCtx, ProcSpec, ProcStats, ProcView, ReadySet, SimResult,
+    SimView, SystemConfig, TaskRecord, Topology, Trace,
 };
 
 pub use apt_policies::{

@@ -18,6 +18,7 @@ pub mod runner;
 pub mod slo;
 pub mod streaming;
 pub mod tables;
+pub mod topology;
 pub mod workloads;
 
 use apt_metrics::TextTable;
@@ -55,9 +56,15 @@ pub const LAMBDA_FIGURE_IDS: [&str; 2] = ["fig11", "fig12"];
 pub const SUPPLEMENTARY_IDS: [&str; 2] = ["table1", "wins"];
 
 /// Open-stream artifacts (beyond the paper's closed-world evaluation; see
-/// `streaming` and `slo`): the λ-saturation sweep, the burst-absorption
-/// comparison, and the deadline/admission frontier.
-pub const STREAM_IDS: [&str; 3] = ["stream-saturation", "stream-bursts", "slo-sweep"];
+/// `streaming`, `slo` and `topology`): the λ-saturation sweep, the
+/// burst-absorption comparison, the deadline/admission frontier, and the
+/// multi-link topology saturation comparison.
+pub const STREAM_IDS: [&str; 4] = [
+    "stream-saturation",
+    "stream-bursts",
+    "slo-sweep",
+    "topology-sweep",
+];
 
 /// Ablation artifacts (beyond the paper's evaluation; see `ablations`).
 pub const ABLATION_IDS: [&str; 7] = [
@@ -118,6 +125,7 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
         "stream-saturation" => Artifact::Table(streaming::stream_saturation()),
         "stream-bursts" => Artifact::Table(streaming::stream_burst_comparison()),
         "slo-sweep" => Artifact::Table(slo::slo_sweep()),
+        "topology-sweep" => Artifact::Table(topology::topology_sweep()),
         _ => return None,
     };
     Some(artifact)
@@ -126,7 +134,7 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
 /// True when [`artifact_csv`] has a CSV form for `id` — a static check,
 /// so callers can filter capabilities without triggering the sweep.
 pub fn artifact_has_csv(id: &str) -> bool {
-    matches!(id, "slo-sweep" | "stream-saturation")
+    matches!(id, "slo-sweep" | "stream-saturation" | "topology-sweep")
 }
 
 /// Long-format CSV companion of an artifact (`apt-repro <id> --csv
@@ -137,6 +145,7 @@ pub fn artifact_csv(id: &str) -> Option<String> {
     match id {
         "slo-sweep" => Some(slo::slo_sweep_csv()),
         "stream-saturation" => Some(streaming::stream_saturation_csv()),
+        "topology-sweep" => Some(topology::topology_sweep_csv()),
         _ => None,
     }
 }
@@ -152,6 +161,10 @@ pub fn artifact_with_csv(id: &str) -> Option<(Artifact, String)> {
         }
         "stream-saturation" => {
             let (table, csv) = streaming::stream_saturation_with_csv();
+            Some((Artifact::Table(table), csv))
+        }
+        "topology-sweep" => {
+            let (table, csv) = topology::topology_sweep_with_csv();
             Some((Artifact::Table(table), csv))
         }
         _ => None,
@@ -171,8 +184,9 @@ mod tests {
             assert!(run_artifact(id).is_some(), "artifact {id} missing");
         }
         assert!(run_artifact("nope").is_none());
-        assert_eq!(all_artifact_ids().len(), 33);
+        assert_eq!(all_artifact_ids().len(), 34);
         assert!(all_artifact_ids().contains(&"slo-sweep"));
+        assert!(all_artifact_ids().contains(&"topology-sweep"));
         assert!(
             artifact_csv("table7").is_none(),
             "closed tables have no CSV"
@@ -182,5 +196,6 @@ mod tests {
         assert!(!artifact_has_csv("table7"));
         assert!(artifact_has_csv("slo-sweep"));
         assert!(artifact_has_csv("stream-saturation"));
+        assert!(artifact_has_csv("topology-sweep"));
     }
 }

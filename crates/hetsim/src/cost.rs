@@ -8,9 +8,11 @@
 //!
 //! * a dense `node × processor-instance` execution-time matrix (expanding
 //!   the category-level [`KindCostMatrix`] over the machine's devices),
-//! * each node's *output* transfer time across the uniform link (so the
+//! * each node's *output* transfer time across the interconnect (so the
 //!   engine's `transfer_in` and the view's `transfer_in_time` sum
-//!   precomputed summands instead of re-deriving `bytes / rate` per query),
+//!   precomputed summands instead of re-deriving `bytes / rate` per query)
+//!   — a scalar per node on uniform machines, a dense `node × src × dst`
+//!   table when a non-uniform [`crate::Topology`] is in force,
 //! * per-node runnable-processor bitsets and the minimum-execution-time
 //!   instance set (`p_min` of §3.1, with its tie mask).
 //!
@@ -49,9 +51,21 @@ pub struct CostModel {
     /// Flattened `node × nprocs` execution times in ns ([`UNRUNNABLE`] when
     /// the instance's category has no table entry).
     exec_ns: Vec<u64>,
-    /// Per-node output transfer time across the link, in ns (what a
-    /// *successor* pays when this node's result is resident elsewhere).
+    /// Per-node output transfer time across the uniform link, in ns (what
+    /// a *successor* pays when this node's result is resident elsewhere).
+    /// On a non-uniform [`crate::Topology`] this holds the mean over
+    /// ordered remote pairs (rounded to nearest; display/ranking use only)
+    /// and the hot queries read `pair_ns` instead.
     transfer_ns: Vec<u64>,
+    /// Per-pair transfer tables for non-uniform topologies: flattened
+    /// `node × src × dst` output transfer times in ns (diagonal zero).
+    /// Empty on uniform machines, where the scalar `transfer_ns` path is
+    /// byte-identical to the seed and cheaper.
+    pair_ns: Vec<u64>,
+    /// True when the machine's topology is non-uniform and `pair_ns` is
+    /// the authoritative transfer table (explicit so the open-stream
+    /// engine's initially empty arena knows which rows to grow).
+    pairwise: bool,
     /// Per-node bitset of runnable processor instances.
     runnable: Vec<u64>,
     /// Per-node minimum execution time over instances ([`UNRUNNABLE`] when
@@ -82,6 +96,8 @@ impl Clone for CostModel {
             nprocs: self.nprocs,
             exec_ns: self.exec_ns.clone(),
             transfer_ns: self.transfer_ns.clone(),
+            pair_ns: self.pair_ns.clone(),
+            pairwise: self.pairwise,
             runnable: self.runnable.clone(),
             min_ns: self.min_ns.clone(),
             min_mask: self.min_mask.clone(),
@@ -111,9 +127,10 @@ impl CostModel {
         );
         let kinds: Vec<ProcKind> = config.proc_ids().map(|p| config.kind_of(p)).collect();
         let kind_matrix = KindCostMatrix::build(dfg, lookup);
+        let pairwise = config.uniform_rate().is_none();
         let n = dfg.len();
         let mut exec_ns = Vec::with_capacity(n * nprocs);
-        let mut transfer_ns = Vec::with_capacity(n);
+        let mut bytes_of = Vec::with_capacity(n);
         let mut runnable = Vec::with_capacity(n);
         let mut min_ns = Vec::with_capacity(n);
         let mut min_mask = Vec::with_capacity(n);
@@ -142,25 +159,34 @@ impl CostModel {
             runnable.push(run_bits);
             min_ns.push(best);
             min_mask.push(best_bits);
-            let bytes = kind_matrix.data_size(node) * config.bytes_per_element;
-            transfer_ns.push(config.link.transfer_time(bytes).as_ns());
+            bytes_of.push(kind_matrix.data_size(node) * config.bytes_per_element);
         }
         let (stddev_masks, stddev_hashed) = if nprocs <= SS_MEMO_MAX_PROCS {
             ((0..n).map(|_| OnceLock::new()).collect(), Vec::new())
         } else {
             (Vec::new(), (0..n).map(|_| Mutex::default()).collect())
         };
-        CostModel {
+        let mut model = CostModel {
             nprocs,
             exec_ns,
-            transfer_ns,
+            transfer_ns: vec![0; n],
+            pair_ns: if pairwise {
+                vec![0; n * nprocs * nprocs]
+            } else {
+                Vec::new()
+            },
+            pairwise,
             runnable,
             min_ns,
             min_mask,
             kinds,
             stddev_masks,
             stddev_hashed,
+        };
+        for (i, &bytes) in bytes_of.iter().enumerate() {
+            model.write_transfer_row(i, bytes, config);
         }
+        model
     }
 
     /// An empty model over `config`'s machine, to be populated one node at a
@@ -176,6 +202,8 @@ impl CostModel {
             nprocs,
             exec_ns: Vec::new(),
             transfer_ns: Vec::new(),
+            pair_ns: Vec::new(),
+            pairwise: config.uniform_rate().is_none(),
             runnable: Vec::new(),
             min_ns: Vec::new(),
             min_mask: Vec::new(),
@@ -183,6 +211,40 @@ impl CostModel {
             stddev_masks: Vec::new(),
             stddev_hashed: Vec::new(),
         }
+    }
+
+    /// Fill node `i`'s transfer entry (and, on a non-uniform topology, its
+    /// dense per-pair row) for an output of `bytes` bytes. The rows must
+    /// already be sized; shared by the batch constructor and
+    /// [`CostModel::bind_slot`] so the two paths cannot drift.
+    fn write_transfer_row(&mut self, i: usize, bytes: u64, config: &SystemConfig) {
+        if !self.pairwise {
+            let rate = config
+                .uniform_rate()
+                .expect("scalar transfer path implies a uniform rate");
+            self.transfer_ns[i] = rate.transfer_time(bytes).as_ns();
+            return;
+        }
+        let np = self.nprocs;
+        let row = &mut self.pair_ns[i * np * np..(i + 1) * np * np];
+        let mut sum = 0u128;
+        for s in 0..np {
+            for d in 0..np {
+                let ns = config
+                    .pair_transfer_time(bytes, ProcId::new(s), ProcId::new(d))
+                    .as_ns();
+                row[s * np + d] = ns;
+                if s != d {
+                    sum += u128::from(ns);
+                }
+            }
+        }
+        // The scalar entry doubles as the matrix's remote-pair mean
+        // (rounded to nearest ns) — ranking/display use, never the engine.
+        let pairs = (np * np).saturating_sub(np) as u128;
+        self.transfer_ns[i] = (sum + pairs / 2)
+            .checked_div(pairs)
+            .map_or(0, |mean| mean as u64);
     }
 
     /// (Re)compute every per-node table entry of `node` for `kernel` —
@@ -202,6 +264,10 @@ impl CostModel {
         if i == self.transfer_ns.len() {
             self.exec_ns.resize(self.exec_ns.len() + self.nprocs, 0);
             self.transfer_ns.push(0);
+            if self.pairwise {
+                self.pair_ns
+                    .resize(self.pair_ns.len() + self.nprocs * self.nprocs, 0);
+            }
             self.runnable.push(0);
             self.min_ns.push(0);
             self.min_mask.push(0);
@@ -249,7 +315,7 @@ impl CostModel {
         self.min_ns[i] = best;
         self.min_mask[i] = best_bits;
         let bytes = kernel.data_size * config.bytes_per_element;
-        self.transfer_ns[i] = config.link.transfer_time(bytes).as_ns();
+        self.write_transfer_row(i, bytes, config);
     }
 
     /// Number of processor instances in the modeled system.
@@ -287,10 +353,30 @@ impl CostModel {
     }
 
     /// Output transfer time of `node` across the uniform link — the cost a
-    /// consumer pays per predecessor resident on another processor.
+    /// consumer pays per predecessor resident on another processor. On a
+    /// non-uniform [`crate::Topology`] this is the mean over ordered remote
+    /// pairs (rounded to nearest ns; ranking/display use) — pair-resolved
+    /// queries go through [`CostModel::pair_transfer_time`].
     #[inline]
     pub fn transfer_time(&self, node: NodeId) -> SimDuration {
         SimDuration::from_ns(self.transfer_ns[node.index()])
+    }
+
+    /// Output transfer time of `node` from `src` to `dst` under the
+    /// machine's interconnect; zero for same-processor moves. On uniform
+    /// machines this reads the scalar table (byte-identical to the seed
+    /// path), on non-uniform topologies the dense per-pair table.
+    #[inline]
+    pub fn pair_transfer_time(&self, node: NodeId, src: ProcId, dst: ProcId) -> SimDuration {
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        let ns = if self.pairwise {
+            self.pair_ns[(node.index() * self.nprocs + src.index()) * self.nprocs + dst.index()]
+        } else {
+            self.transfer_ns[node.index()]
+        };
+        SimDuration::from_ns(ns)
     }
 
     /// Input-transfer time if `node` were started on `proc` given the
@@ -309,10 +395,22 @@ impl CostModel {
         proc: ProcId,
     ) -> SimDuration {
         let mut total_ns = 0u64;
-        for &pred in dfg.preds(node) {
-            if let Some(loc) = locations[pred.index()] {
-                if loc != proc {
-                    total_ns += self.transfer_ns[pred.index()];
+        if self.pairwise {
+            let np = self.nprocs;
+            for &pred in dfg.preds(node) {
+                if let Some(loc) = locations[pred.index()] {
+                    if loc != proc {
+                        total_ns +=
+                            self.pair_ns[(pred.index() * np + loc.index()) * np + proc.index()];
+                    }
+                }
+            }
+        } else {
+            for &pred in dfg.preds(node) {
+                if let Some(loc) = locations[pred.index()] {
+                    if loc != proc {
+                        total_ns += self.transfer_ns[pred.index()];
+                    }
                 }
             }
         }
@@ -721,6 +819,93 @@ mod tests {
             }
             assert_same(&incremental);
         }
+    }
+
+    #[test]
+    fn pair_tables_match_the_config_per_pair_times() {
+        use crate::topology::Topology;
+        let (dfg, lookup, _) = fixture();
+        let clustered = SystemConfig::paper_4gbps().with_topology(Topology::clustered(
+            3,
+            2,
+            LinkRate::gbps(8),
+            LinkRate::gbps(1),
+        ));
+        let cost = CostModel::new(&dfg, lookup, &clustered);
+        for (node, kernel) in dfg.iter() {
+            let bytes = kernel.bytes(clustered.bytes_per_element);
+            for src in clustered.proc_ids() {
+                for dst in clustered.proc_ids() {
+                    assert_eq!(
+                        cost.pair_transfer_time(node, src, dst),
+                        clustered.pair_transfer_time(bytes, src, dst),
+                        "{kernel} {src}->{dst}"
+                    );
+                }
+            }
+        }
+        // transfer_in_time sums the pair entries of remote predecessors.
+        let locations = vec![Some(ProcId::new(0)), Some(ProcId::new(2)), None];
+        let n2 = NodeId::new(2);
+        for dst in clustered.proc_ids() {
+            let expected: SimDuration = dfg
+                .preds(n2)
+                .iter()
+                .filter_map(|&p| locations[p.index()].map(|loc| (p, loc)))
+                .map(|(p, loc)| cost.pair_transfer_time(p, loc, dst))
+                .sum();
+            assert_eq!(cost.transfer_in_time(&dfg, &locations, n2, dst), expected);
+        }
+        // On a uniform machine the pair accessor reads the scalar table.
+        let uniform = SystemConfig::paper_4gbps();
+        let ucost = CostModel::new(&dfg, lookup, &uniform);
+        for node in dfg.node_ids() {
+            assert_eq!(
+                ucost.pair_transfer_time(node, ProcId::new(0), ProcId::new(1)),
+                ucost.transfer_time(node)
+            );
+            assert_eq!(
+                ucost.pair_transfer_time(node, ProcId::new(1), ProcId::new(1)),
+                SimDuration::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn bind_slot_matches_batch_build_under_a_nonuniform_topology() {
+        use crate::topology::Topology;
+        let lookup = LookupTable::paper();
+        let kernels = lookup.all_kernels();
+        let config = SystemConfig::paper_4gbps().with_topology(Topology::star(
+            3,
+            ProcId::new(0),
+            LinkRate::gbps(2),
+        ));
+        let dfg = build_type1(&kernels);
+        let batch = CostModel::new(&dfg, lookup, &config);
+        let mut incremental = CostModel::for_streaming(&config);
+        for (node, kernel) in dfg.iter() {
+            incremental.bind_slot(node, kernel, lookup, &config);
+        }
+        for node in dfg.node_ids() {
+            assert_eq!(incremental.transfer_time(node), batch.transfer_time(node));
+            for src in config.proc_ids() {
+                for dst in config.proc_ids() {
+                    assert_eq!(
+                        incremental.pair_transfer_time(node, src, dst),
+                        batch.pair_transfer_time(node, src, dst)
+                    );
+                }
+            }
+        }
+        // Recycling a slot rewrites its whole pair row.
+        let other = kernels[1];
+        incremental.bind_slot(NodeId::new(0), &other, lookup, &config);
+        let bytes = other.bytes(config.bytes_per_element);
+        assert_eq!(
+            incremental.pair_transfer_time(NodeId::new(0), ProcId::new(1), ProcId::new(2)),
+            config.pair_transfer_time(bytes, ProcId::new(1), ProcId::new(2))
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! Starting a kernel on processor `p` at time `t` costs
 //! `transfer_in(node, p)` (inputs resident on other processors cross the
 //! link, serialized) followed by the lookup-table execution time. λ delay is
-//! measured from ready-time to start (§2.5.1).
+//! measured from ready-time to start (§2.5.1). Under a non-uniform
+//! [`crate::Topology`] each predecessor's link time is pair-resolved
+//! (`location → p`), and with [`LinkContention::PerLink`] the input
+//! transfers instead run concurrently across distinct directed links —
+//! same-link transfers serialize behind a per-link busy-until clock, and
+//! execution starts once the last input lands.
 //!
 //! ## Hot-path structure
 //!
@@ -46,6 +51,7 @@ use crate::cost::CostModel;
 use crate::policy::{Assignment, AssignmentBuf, Policy, PrepareCtx};
 use crate::ready::ReadySet;
 use crate::system::SystemConfig;
+use crate::topology::LinkContention;
 use crate::trace::{ProcStats, SimResult, TaskRecord, Trace};
 use crate::view::{ProcView, SimView};
 use apt_base::{BaseError, ProcId, SimDuration, SimTime};
@@ -151,6 +157,11 @@ pub(crate) struct EngineCore {
     pub(crate) finished_nodes: Vec<NodeId>,
     /// Record completions into `finished_nodes` (open-stream mode).
     pub(crate) track_finished: bool,
+    /// Per-directed-link busy-until clocks (`src × nprocs + dst`), allocated
+    /// only when the machine's topology enables
+    /// [`LinkContention::PerLink`]. Empty ⇔ the seed's serialized-transfer
+    /// semantics are in force.
+    pub(crate) link_busy: Vec<SimTime>,
 }
 
 impl EngineCore {
@@ -193,6 +204,10 @@ impl EngineCore {
             finished: 0,
             finished_nodes: Vec::new(),
             track_finished: open,
+            link_busy: match config.contention() {
+                LinkContention::Off => Vec::new(),
+                LinkContention::PerLink => vec![SimTime::ZERO; config.len() * config.len()],
+            },
         }
     }
 
@@ -253,6 +268,40 @@ impl EngineCore {
             .transfer_in_time(ctx.dfg, &self.locations, node, proc)
     }
 
+    /// Contended transfer phase ([`LinkContention::PerLink`]): input
+    /// transfers run concurrently across distinct directed links; transfers
+    /// on the same link serialize behind its busy-until clock. Returns the
+    /// instant every input has landed (execution may start). Predecessor
+    /// order is the graph's deterministic edge order, so link claims — and
+    /// with them the schedule — are reproducible.
+    fn contended_transfer_end(
+        &mut self,
+        ctx: EngineCtx<'_>,
+        node: NodeId,
+        proc: ProcId,
+        start: SimTime,
+    ) -> SimTime {
+        let np = self.views.len();
+        let mut landed = start;
+        for &pred in ctx.dfg.preds(node) {
+            let loc = self.locations[pred.index()]
+                .expect("started a kernel whose predecessor never finished");
+            if loc == proc {
+                continue;
+            }
+            let dur = ctx.cost.pair_transfer_time(pred, loc, proc);
+            if dur.is_zero() {
+                continue; // zero-byte moves never occupy a link
+            }
+            let link = loc.index() * np + proc.index();
+            let begin = self.link_busy[link].max(start);
+            let end = begin + dur;
+            self.link_busy[link] = end;
+            landed = landed.max(end);
+        }
+        landed
+    }
+
     #[inline]
     fn start_node(
         &mut self,
@@ -272,9 +321,13 @@ impl EngineCore {
                     ctx.config.kind_of(proc)
                 ),
             })?;
-        let transfer = self.transfer_in(ctx, node, proc);
         let start = self.now;
-        let exec_start = start + transfer;
+        let exec_start = if self.link_busy.is_empty() {
+            start + self.transfer_in(ctx, node, proc)
+        } else {
+            self.contended_transfer_end(ctx, node, proc, start)
+        };
+        let transfer = exec_start.saturating_since(start);
         let finish = exec_start + exec;
         self.records[node.index()] = Some(TaskRecord {
             node,
@@ -1001,6 +1054,75 @@ mod tests {
         );
         assert_eq!(core.history.len(), EXEC_HISTORY_WINDOW);
         assert_eq!(core.history_sum, 111);
+    }
+
+    /// Pin one node per processor (node i → map[i]), emitting every ready
+    /// node immediately (queueing if busy).
+    struct Pin(Vec<usize>);
+    impl Policy for Pin {
+        fn name(&self) -> String {
+            "Pin".into()
+        }
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::Dynamic
+        }
+        fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
+            for n in view.ready.iter() {
+                out.push(Assignment::new(n, ProcId::new(self.0[n.index()])));
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_contention_parallelizes_distinct_links() {
+        use crate::topology::{LinkContention, Topology};
+        // nw (p0) and bfs (p2) feed cd, forced onto p1: its two inputs
+        // arrive over distinct directed links (p0→p1, p2→p1).
+        let dfg = build_type1(&[nw(), bfs(), cd()]);
+        let lookup = apt_dfg::LookupTable::paper();
+        let serial = SystemConfig::paper_4gbps();
+        let contended = SystemConfig::paper_4gbps().with_topology(
+            Topology::uniform(3, crate::LinkRate::PCIE2_X8)
+                .with_contention(LinkContention::PerLink),
+        );
+        let run = |cfg: &SystemConfig| {
+            simulate(&dfg, cfg, lookup, &mut Pin(vec![0, 2, 1]))
+                .unwrap()
+                .trace
+        };
+        let a = run(&serial);
+        let b = run(&contended);
+        let nw_ns = 16_777_216u64 * 4 / 4; // 64 MB at 4 B/ns
+        let bfs_ns = 2_034_736u64 * 4 / 4;
+        let ra = a.record(NodeId::new(2)).unwrap();
+        let rb = b.record(NodeId::new(2)).unwrap();
+        // Serialized: the consumer pulls both inputs back to back.
+        assert_eq!(ra.transfer_time(), SimDuration::from_ns(nw_ns + bfs_ns));
+        // Per-link: both links run concurrently; the slower one gates.
+        assert_eq!(rb.transfer_time(), SimDuration::from_ns(nw_ns.max(bfs_ns)));
+        assert_eq!(ra.start, rb.start, "contention changes transfers only");
+        assert!(rb.finish < ra.finish);
+    }
+
+    #[test]
+    fn per_link_contention_serializes_same_link_transfers() {
+        use crate::topology::{LinkContention, Topology};
+        // Both of cd's inputs live on p0: they share the p0→p1 link, so
+        // per-link contention must reproduce the serialized schedule
+        // byte for byte.
+        let dfg = build_type1(&[nw(), bfs(), cd()]);
+        let lookup = apt_dfg::LookupTable::paper();
+        let serial = SystemConfig::paper_4gbps();
+        let contended = SystemConfig::paper_4gbps().with_topology(
+            Topology::uniform(3, crate::LinkRate::PCIE2_X8)
+                .with_contention(LinkContention::PerLink),
+        );
+        let run = |cfg: &SystemConfig| {
+            simulate(&dfg, cfg, lookup, &mut Pin(vec![0, 0, 1]))
+                .unwrap()
+                .trace
+        };
+        assert_eq!(run(&serial), run(&contended));
     }
 
     #[test]

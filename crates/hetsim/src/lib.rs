@@ -8,6 +8,10 @@
 //!
 //! * [`link`] — the PCI-Express interconnect model (uniform rate between all
 //!   processor pairs; 4 GB/s for ×8 lanes, 8 GB/s for ×16).
+//! * [`topology`] — per-pair interconnect matrices beyond §3.2's uniform
+//!   rate: clustered/NUMA-ish and host-staged star presets, plus optional
+//!   per-link transfer contention (off by default; the uniform preset is
+//!   byte-identical to the scalar link path).
 //! * [`system`] — the simulated machine: a customizable set of processor
 //!   instances plus the link and the bytes-per-element convention.
 //! * [`policy`] — the [`Policy`] trait every scheduling heuristic
@@ -75,6 +79,7 @@ pub mod open;
 pub mod policy;
 pub mod ready;
 pub mod system;
+pub mod topology;
 pub mod trace;
 pub mod view;
 
@@ -86,5 +91,6 @@ pub use open::{validate_job, CompletedJob, JobId, OpenEngine, ReadyOrder};
 pub use policy::{Assignment, AssignmentBuf, Policy, PolicyKind, PrepareCtx};
 pub use ready::ReadySet;
 pub use system::{ProcSpec, SystemConfig};
+pub use topology::{LinkContention, Topology};
 pub use trace::{ProcStats, SimResult, TaskRecord, Trace};
 pub use view::{ProcView, SimView};

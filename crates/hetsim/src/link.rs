@@ -7,7 +7,10 @@
 //!
 //! The model is therefore a single uniform rate; transfer time is
 //! `bytes / rate`, computed in exact integer arithmetic (rounded up to the
-//! next nanosecond so transfers are never undercounted).
+//! next nanosecond so transfers are never undercounted). Machines whose
+//! interconnect has *structure* — per-pair rates, clusters, host-staged
+//! bottlenecks — are modeled by [`crate::Topology`], which reuses this
+//! arithmetic per directed pair.
 
 use apt_base::SimDuration;
 use serde::{Deserialize, Serialize};

@@ -7,7 +7,8 @@
 //! one CPU, one GPU and one FPGA.
 
 use crate::link::LinkRate;
-use apt_base::{BaseError, ProcId, ProcKind};
+use crate::topology::{LinkContention, Topology};
+use apt_base::{BaseError, ProcId, ProcKind, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// One processor instance in the system.
@@ -29,18 +30,26 @@ impl ProcSpec {
     }
 }
 
-/// Full description of a simulated system: processor instances, the uniform
-/// link rate, and the bytes-per-element convention used to turn the lookup
-/// table's element counts into transfer volumes.
+/// Full description of a simulated system: processor instances, the
+/// interconnect (a uniform link rate, optionally overridden by a per-pair
+/// [`Topology`]), and the bytes-per-element convention used to turn the
+/// lookup table's element counts into transfer volumes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
     procs: Vec<ProcSpec>,
-    /// Uniform link rate between every processor pair.
+    /// Uniform link rate between every processor pair (§3.2's model; the
+    /// seed semantics). Ignored when a [`Topology`] is set.
     pub link: LinkRate,
     /// Bytes moved per data element when a kernel's input crosses a link.
     /// 4 (f32) reproduces the paper's setting; 0 disables transfers entirely
     /// (used by the Figure-5 walk-through).
     pub bytes_per_element: u64,
+    /// Optional per-pair interconnect override; `None` keeps the uniform
+    /// `link` field. Set with [`SystemConfig::with_topology`]. Defaulted
+    /// on deserialization so pre-topology `SystemConfig` payloads stay
+    /// valid.
+    #[serde(default)]
+    topology: Option<Topology>,
 }
 
 impl SystemConfig {
@@ -74,6 +83,7 @@ impl SystemConfig {
             ],
             link,
             bytes_per_element: 4,
+            topology: None,
         }
     }
 
@@ -83,6 +93,7 @@ impl SystemConfig {
             procs: Vec::new(),
             link,
             bytes_per_element: 4,
+            topology: None,
         }
     }
 
@@ -104,6 +115,67 @@ impl SystemConfig {
     pub fn with_link(mut self, link: LinkRate) -> Self {
         self.link = link;
         self
+    }
+
+    /// Builder: override the uniform `link` with a per-pair [`Topology`].
+    /// Size agreement with the processor set is checked by
+    /// [`SystemConfig::validate`] (so the builder order doesn't matter).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The per-pair topology, if one overrides the uniform link.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The single interconnect rate when the machine is uniform: the
+    /// `link` field with no topology set, or the [`Topology::uniform`]
+    /// preset's rate. `None` when a non-uniform matrix is in force — the
+    /// cost model then precomputes per-pair tables.
+    pub fn uniform_rate(&self) -> Option<LinkRate> {
+        match &self.topology {
+            None => Some(self.link),
+            Some(t) => t.uniform_rate(),
+        }
+    }
+
+    /// The rate of directed link `(src, dst)` under the effective
+    /// interconnect (topology if set, the uniform `link` otherwise).
+    pub fn pair_rate(&self, src: ProcId, dst: ProcId) -> LinkRate {
+        match &self.topology {
+            None => self.link,
+            Some(t) => t.rate(src, dst),
+        }
+    }
+
+    /// Time to move `bytes` from `src` to `dst`; zero for same-processor
+    /// moves.
+    pub fn pair_transfer_time(&self, bytes: u64, src: ProcId, dst: ProcId) -> SimDuration {
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        self.pair_rate(src, dst).transfer_time(bytes)
+    }
+
+    /// The transfer arbitration mode ([`LinkContention::Off`] unless a
+    /// topology enables per-link clocks).
+    pub fn contention(&self) -> LinkContention {
+        self.topology
+            .as_ref()
+            .map_or(LinkContention::Off, Topology::contention)
+    }
+
+    /// Mean transfer time of `bytes` over the machine's remote pairs, in
+    /// fractional milliseconds — the static rankers' average communication
+    /// cost `c̄_ij`. On a uniform machine this is exactly the scalar link
+    /// time (bit-identical to the seed computation).
+    pub fn mean_pair_transfer_ms(&self, bytes: u64) -> f64 {
+        match &self.topology {
+            None => self.link.transfer_time(bytes).as_ms_f64(),
+            Some(t) => t.mean_pair_transfer_ms(bytes),
+        }
     }
 
     /// The processor instances, index = [`ProcId`].
@@ -157,10 +229,15 @@ impl SystemConfig {
                 reason: "no processor has measured execution times".into(),
             });
         }
-        if self.link.bytes_per_sec == 0 {
-            return Err(BaseError::InvalidSystem {
-                reason: "link rate is zero".into(),
-            });
+        match &self.topology {
+            None => {
+                if self.link.bytes_per_sec == 0 {
+                    return Err(BaseError::InvalidSystem {
+                        reason: "link rate is zero".into(),
+                    });
+                }
+            }
+            Some(t) => t.validate(self.procs.len())?,
         }
         Ok(())
     }
@@ -215,6 +292,60 @@ mod tests {
         ));
         let zero_link = SystemConfig::cpu_gpu_fpga(LinkRate { bytes_per_sec: 0 });
         assert!(zero_link.validate().is_err());
+    }
+
+    #[test]
+    fn topology_overrides_the_uniform_link() {
+        let plain = SystemConfig::paper_4gbps();
+        assert_eq!(plain.uniform_rate(), Some(LinkRate::PCIE2_X8));
+        assert_eq!(
+            plain.pair_rate(ProcId::new(0), ProcId::new(2)),
+            LinkRate::PCIE2_X8
+        );
+        assert_eq!(plain.contention(), LinkContention::Off);
+        assert_eq!(
+            plain.pair_transfer_time(4_000, ProcId::new(1), ProcId::new(1)),
+            SimDuration::ZERO
+        );
+
+        // Uniform preset: still a uniform machine, at the preset's rate.
+        let uni = SystemConfig::paper_4gbps()
+            .with_topology(Topology::uniform(3, LinkRate::PCIE2_X16));
+        assert_eq!(uni.uniform_rate(), Some(LinkRate::PCIE2_X16));
+        uni.validate().unwrap();
+
+        // Clustered matrix: non-uniform, pair-resolved.
+        let clustered = SystemConfig::paper_4gbps().with_topology(Topology::clustered(
+            3,
+            2,
+            LinkRate::gbps(8),
+            LinkRate::gbps(1),
+        ));
+        assert_eq!(clustered.uniform_rate(), None);
+        assert_eq!(
+            clustered.pair_rate(ProcId::new(0), ProcId::new(1)),
+            LinkRate::gbps(8)
+        );
+        assert_eq!(
+            clustered.pair_rate(ProcId::new(0), ProcId::new(2)),
+            LinkRate::gbps(1)
+        );
+        clustered.validate().unwrap();
+
+        // The scalar mean matches the seed path exactly on uniform machines.
+        let bytes = 64_000_000u64;
+        assert_eq!(
+            plain.mean_pair_transfer_ms(bytes),
+            LinkRate::PCIE2_X8.transfer_time(bytes).as_ms_f64()
+        );
+        assert!(clustered.mean_pair_transfer_ms(bytes) > plain.mean_pair_transfer_ms(bytes));
+    }
+
+    #[test]
+    fn topology_size_mismatch_fails_validation() {
+        let s = SystemConfig::paper_4gbps()
+            .with_topology(Topology::uniform(5, LinkRate::PCIE2_X8));
+        assert!(matches!(s.validate(), Err(BaseError::InvalidSystem { .. })));
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Per-pair interconnect topologies.
+//!
+//! The paper fixes "the data transfer rates between all processors to be
+//! the same" (§3.2) — the [`crate::LinkRate`] scalar [`crate::SystemConfig`]
+//! has always carried. Real heterogeneous nodes are not like that: NUMA
+//! clusters keep fast links inside a socket and slow ones across it, and
+//! PCIe trees route every device↔device move through a host bridge. This
+//! module departs from §3.2 deliberately: a [`Topology`] is a dense
+//! per-(source, destination) rate matrix, so the transfer term APT's
+//! threshold α trades against can finally be stressed by a machine whose
+//! interconnect has *structure*.
+//!
+//! ## Model
+//!
+//! * A directed link `(src, dst)` has its own [`LinkRate`]; moving `b`
+//!   bytes across it takes `ceil(b / rate)` nanoseconds — the exact
+//!   integer arithmetic of [`LinkRate::transfer_time`], per pair.
+//!   Same-processor moves remain free (the Eq. 6 convention `c_ij = 0`
+//!   when `p_w = p_k`).
+//! * The [`Topology::uniform`] preset reproduces the seed semantics: it is
+//!   routed through the same scalar fast path the plain `LinkRate` field
+//!   uses, and is pinned **byte-identical** to it by the equivalence
+//!   suites. Every other construction (presets or [`Topology::from_fn`])
+//!   uses the dense matrix — including a matrix whose rates all happen to
+//!   be equal, which the differential tests hold byte-identical to the
+//!   scalar path too.
+//!
+//! ## Presets
+//!
+//! * [`Topology::uniform`] — one rate everywhere (§3.2; the seed model).
+//! * [`Topology::clustered`] — NUMA-ish: processors are grouped into
+//!   consecutive clusters of `cluster_size`; intra-cluster pairs get the
+//!   fast rate, inter-cluster pairs the slow one.
+//! * [`Topology::star`] — host-staged PCIe tree: every device exchanges
+//!   data with the root at the edge rate, and device↔device moves hop
+//!   through the root, modeled as the effective two-hop rate (half the
+//!   edge rate for equal hops — `b/r + b/r = 2b/r`). The root is the
+//!   bottleneck every cross-device byte pays for.
+//!
+//! ## Contention
+//!
+//! By default ([`LinkContention::Off`]) the engine keeps the seed's
+//! transfer semantics: a starting kernel's input transfers serialize on
+//! the consumer (their durations sum), whatever the topology. With
+//! [`LinkContention::PerLink`] the engine instead models each directed
+//! link as a half-duplex channel with its own busy-until clock: a kernel's
+//! input transfers proceed **concurrently across distinct links**, while
+//! transfers on the *same* directed link serialize behind the clock, and
+//! execution starts once the last input has landed. Policies keep seeing
+//! the contention-free estimate through [`crate::SimView::transfer_in_time`]
+//! — link occupancy is engine state a dynamic policy cannot observe ahead
+//! of time, exactly like queueing delay behind other jobs.
+//!
+//! Contention is keyed on the matrix's *logical* `(src, dst)` pairs, not
+//! on routed physical edges: presets that fold multi-hop paths into one
+//! effective rate (the [`Topology::star`] two-hop) do not serialize the
+//! shared segments those paths really traverse — see the star docs.
+
+use crate::link::LinkRate;
+use apt_base::{BaseError, ProcId, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the engine arbitrates concurrent transfers on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LinkContention {
+    /// Seed semantics (the default): a starting kernel's input transfers
+    /// serialize on the consuming processor — their durations sum —
+    /// regardless of which links they use.
+    #[default]
+    Off,
+    /// Per-link busy-until clocks: input transfers run concurrently across
+    /// distinct directed links; transfers on the same directed link
+    /// serialize behind the link's clock. Execution starts when the last
+    /// input lands.
+    PerLink,
+}
+
+/// A per-(source, destination) interconnect rate matrix. See the module
+/// docs for the model, the presets, and the §3.2 departure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    nprocs: usize,
+    /// Dense `src × nprocs + dst` rate matrix; the diagonal is stored (as
+    /// the constructor's base rate) but never read — same-processor moves
+    /// are free.
+    rates: Vec<LinkRate>,
+    /// `Some(rate)` only for [`Topology::uniform`]: routes the cost model
+    /// through the scalar fast path, byte-identical to the seed
+    /// `LinkRate` field.
+    uniform: Option<LinkRate>,
+    /// Transfer arbitration mode (off by default).
+    contention: LinkContention,
+}
+
+impl Topology {
+    /// One rate between every pair — the §3.2 model, reproduced exactly:
+    /// this preset routes through the same scalar path as the plain
+    /// [`crate::SystemConfig::link`] field and is pinned byte-identical to
+    /// it by the equivalence suites.
+    pub fn uniform(nprocs: usize, rate: LinkRate) -> Topology {
+        Topology {
+            nprocs,
+            rates: vec![rate; nprocs * nprocs],
+            uniform: Some(rate),
+            contention: LinkContention::Off,
+        }
+    }
+
+    /// NUMA-ish clusters: processors `[0, cluster_size)` form cluster 0,
+    /// the next `cluster_size` cluster 1, and so on (a trailing partial
+    /// cluster is fine). Pairs within a cluster use `intra`, pairs across
+    /// clusters `inter`.
+    ///
+    /// Panics when `cluster_size` is zero.
+    pub fn clustered(
+        nprocs: usize,
+        cluster_size: usize,
+        intra: LinkRate,
+        inter: LinkRate,
+    ) -> Topology {
+        assert!(cluster_size > 0, "cluster_size must be at least 1");
+        Topology::from_fn(nprocs, |src, dst| {
+            if src.index() / cluster_size == dst.index() / cluster_size {
+                intra
+            } else {
+                inter
+            }
+        })
+    }
+
+    /// Host-staged star: `root`'s links to every device run at `edge`;
+    /// device↔device pairs hop through the root and get the effective
+    /// two-hop rate (`edge / 2` — `b/edge` up plus `b/edge` down).
+    ///
+    /// The staging is *rate-level only*: a device↔device pair is still one
+    /// logical link of the matrix, so under
+    /// [`LinkContention::PerLink`] two transfers out of the same device to
+    /// different destinations claim distinct `(src, dst)` clocks — the
+    /// shared physical root uplink they would really traverse is not
+    /// serialized (routed per-edge claims are a finer model than the
+    /// per-pair matrix expresses). Star + contention results are therefore
+    /// optimistic about the root's aggregate bandwidth.
+    ///
+    /// Panics when `root` is outside the machine or `edge` would leave the
+    /// two-hop rate at zero.
+    pub fn star(nprocs: usize, root: ProcId, edge: LinkRate) -> Topology {
+        assert!(root.index() < nprocs, "star root outside the machine");
+        let staged = LinkRate {
+            bytes_per_sec: edge.bytes_per_sec / 2,
+        };
+        assert!(
+            nprocs < 3 || staged.bytes_per_sec > 0,
+            "star edge rate too slow for a two-hop path"
+        );
+        Topology::from_fn(nprocs, |src, dst| {
+            if src == root || dst == root {
+                edge
+            } else {
+                staged
+            }
+        })
+    }
+
+    /// An arbitrary matrix: `rate(src, dst)` for every directed pair. The
+    /// diagonal is queried too (stored but never read). Always uses the
+    /// dense matrix path, even when every rate is equal — the property the
+    /// differential tests hold byte-identical to the scalar path.
+    pub fn from_fn(nprocs: usize, rate: impl Fn(ProcId, ProcId) -> LinkRate) -> Topology {
+        let mut rates = Vec::with_capacity(nprocs * nprocs);
+        for s in 0..nprocs {
+            for d in 0..nprocs {
+                rates.push(rate(ProcId::new(s), ProcId::new(d)));
+            }
+        }
+        Topology {
+            nprocs,
+            rates,
+            uniform: None,
+            contention: LinkContention::Off,
+        }
+    }
+
+    /// Builder: set the transfer arbitration mode (see [`LinkContention`]).
+    pub fn with_contention(mut self, contention: LinkContention) -> Topology {
+        self.contention = contention;
+        self
+    }
+
+    /// Number of processors this matrix describes.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The rate of directed link `(src, dst)`.
+    #[inline]
+    pub fn rate(&self, src: ProcId, dst: ProcId) -> LinkRate {
+        self.rates[src.index() * self.nprocs + dst.index()]
+    }
+
+    /// Time to move `bytes` from `src` to `dst`; zero for same-processor
+    /// moves. Exact integer arithmetic, rounded up to whole nanoseconds —
+    /// the same formula as [`LinkRate::transfer_time`], per pair.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64, src: ProcId, dst: ProcId) -> SimDuration {
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        self.rate(src, dst).transfer_time(bytes)
+    }
+
+    /// The single rate of a [`Topology::uniform`] preset; `None` for every
+    /// matrix construction (even an all-equal one — see the module docs).
+    #[inline]
+    pub fn uniform_rate(&self) -> Option<LinkRate> {
+        self.uniform
+    }
+
+    /// The transfer arbitration mode.
+    #[inline]
+    pub fn contention(&self) -> LinkContention {
+        self.contention
+    }
+
+    /// Mean off-diagonal rate-weighted transfer time of `bytes` in
+    /// fractional milliseconds — the static rankers' `c̄_ij` under a
+    /// non-uniform matrix. For the uniform preset this is exactly the
+    /// scalar link time (no averaging, so the value is bit-identical to
+    /// the seed path).
+    pub fn mean_pair_transfer_ms(&self, bytes: u64) -> f64 {
+        if let Some(rate) = self.uniform {
+            return rate.transfer_time(bytes).as_ms_f64();
+        }
+        let mut sum = 0.0f64;
+        let mut pairs = 0usize;
+        for s in 0..self.nprocs {
+            for d in 0..self.nprocs {
+                if s != d {
+                    sum += self.rates[s * self.nprocs + d].transfer_time(bytes).as_ms_f64();
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            sum / pairs as f64
+        }
+    }
+
+    /// Structural validation: the matrix must cover `nprocs` processors
+    /// and every off-diagonal rate must be positive (a zero-rate link
+    /// would make transfers across it infinite).
+    pub fn validate(&self, nprocs: usize) -> Result<(), BaseError> {
+        if self.nprocs != nprocs {
+            return Err(BaseError::InvalidSystem {
+                reason: format!(
+                    "topology describes {} processors but the system has {nprocs}",
+                    self.nprocs
+                ),
+            });
+        }
+        for s in 0..self.nprocs {
+            for d in 0..self.nprocs {
+                if s != d && self.rates[s * self.nprocs + d].bytes_per_sec == 0 {
+                    return Err(BaseError::InvalidSystem {
+                        reason: format!("topology link ({s} -> {d}) has zero rate"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.uniform {
+            Some(rate) => write!(f, "uniform({rate})"),
+            None => write!(f, "matrix({}x{})", self.nprocs, self.nprocs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_preset_is_scalar_pathed() {
+        let t = Topology::uniform(3, LinkRate::PCIE2_X8);
+        assert_eq!(t.uniform_rate(), Some(LinkRate::PCIE2_X8));
+        assert_eq!(t.contention(), LinkContention::Off);
+        for s in 0..3 {
+            for d in 0..3 {
+                let (s, d) = (ProcId::new(s), ProcId::new(d));
+                assert_eq!(t.rate(s, d), LinkRate::PCIE2_X8);
+                let expect = if s == d {
+                    SimDuration::ZERO
+                } else {
+                    LinkRate::PCIE2_X8.transfer_time(1 << 20)
+                };
+                assert_eq!(t.transfer_time(1 << 20, s, d), expect);
+            }
+        }
+        assert_eq!(t.to_string(), "uniform(4GB/s)");
+        t.validate(3).unwrap();
+    }
+
+    #[test]
+    fn equal_rate_matrix_is_not_the_uniform_preset() {
+        // from_fn always takes the dense path, even with equal rates — the
+        // differential the equivalence property tests rely on.
+        let t = Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8);
+        assert_eq!(t.uniform_rate(), None);
+        assert_eq!(t.to_string(), "matrix(3x3)");
+    }
+
+    #[test]
+    fn clustered_splits_intra_and_inter() {
+        let intra = LinkRate::gbps(8);
+        let inter = LinkRate::gbps(1);
+        let t = Topology::clustered(6, 3, intra, inter);
+        assert_eq!(t.uniform_rate(), None);
+        // {0,1,2} and {3,4,5} are clusters.
+        assert_eq!(t.rate(ProcId::new(0), ProcId::new(2)), intra);
+        assert_eq!(t.rate(ProcId::new(3), ProcId::new(5)), intra);
+        assert_eq!(t.rate(ProcId::new(2), ProcId::new(3)), inter);
+        assert_eq!(t.rate(ProcId::new(5), ProcId::new(0)), inter);
+        t.validate(6).unwrap();
+        // A slow inter link makes cross-cluster transfers slower.
+        assert!(
+            t.transfer_time(1 << 26, ProcId::new(0), ProcId::new(3))
+                > t.transfer_time(1 << 26, ProcId::new(0), ProcId::new(1))
+        );
+    }
+
+    #[test]
+    fn star_halves_the_device_to_device_rate() {
+        let edge = LinkRate::gbps(4);
+        let t = Topology::star(4, ProcId::new(0), edge);
+        assert_eq!(t.rate(ProcId::new(0), ProcId::new(3)), edge);
+        assert_eq!(t.rate(ProcId::new(2), ProcId::new(0)), edge);
+        assert_eq!(
+            t.rate(ProcId::new(1), ProcId::new(2)).bytes_per_sec,
+            edge.bytes_per_sec / 2
+        );
+        // Two-hop time = twice the edge time (for bytes divisible cleanly).
+        assert_eq!(
+            t.transfer_time(4_000_000_000, ProcId::new(1), ProcId::new(2)),
+            edge.transfer_time(4_000_000_000) * 2
+        );
+    }
+
+    #[test]
+    fn mean_pair_transfer_is_exact_for_uniform_and_averages_otherwise() {
+        let bytes = 64_000_000u64; // 16 ms at 4 GB/s
+        let u = Topology::uniform(3, LinkRate::gbps(4));
+        assert_eq!(
+            u.mean_pair_transfer_ms(bytes),
+            LinkRate::gbps(4).transfer_time(bytes).as_ms_f64()
+        );
+        // 2-proc matrix with 4 and 8 GB/s: mean of 16 ms and 8 ms.
+        let m = Topology::from_fn(2, |s, _| {
+            if s.index() == 0 {
+                LinkRate::gbps(4)
+            } else {
+                LinkRate::gbps(8)
+            }
+        });
+        assert!((m.mean_pair_transfer_ms(bytes) - 12.0).abs() < 1e-9);
+        // Degenerate single-proc matrix has no pairs.
+        assert_eq!(Topology::from_fn(1, |_, _| LinkRate::gbps(4)).mean_pair_transfer_ms(5), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_size_and_zero_links() {
+        let t = Topology::uniform(3, LinkRate::gbps(4));
+        assert!(t.validate(4).is_err());
+        let z = Topology::from_fn(2, |s, d| {
+            if s.index() == 0 && d.index() == 1 {
+                LinkRate { bytes_per_sec: 0 }
+            } else {
+                LinkRate::gbps(4)
+            }
+        });
+        assert!(z.validate(2).is_err());
+    }
+
+    #[test]
+    fn contention_builder_round_trips() {
+        let t = Topology::uniform(3, LinkRate::gbps(4)).with_contention(LinkContention::PerLink);
+        assert_eq!(t.contention(), LinkContention::PerLink);
+        assert_eq!(LinkContention::default(), LinkContention::Off);
+    }
+}

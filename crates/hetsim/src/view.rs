@@ -137,13 +137,25 @@ impl<'a> SimView<'a> {
 
     /// Input-transfer time if `node` were started on `proc` right now: the
     /// sum over predecessors resident on *other* processors of moving their
-    /// output across the link. Same-processor inputs are free (the Eq. 6
+    /// output across the link (pair-resolved under a non-uniform
+    /// [`crate::Topology`]). Same-processor inputs are free (the Eq. 6
     /// convention `c_ij = 0` when `p_w = p_k`). Per-predecessor transfer
-    /// times are precomputed; this only sums them.
+    /// times are precomputed; this only sums them. Under
+    /// [`crate::LinkContention::PerLink`] this remains the serialized,
+    /// contention-free *estimate*: live link occupancy is engine state a
+    /// dynamic policy cannot observe ahead of time, exactly like queueing
+    /// delay behind other kernels.
     #[inline]
     pub fn transfer_in_time(&self, node: NodeId, proc: ProcId) -> SimDuration {
         self.cost
             .transfer_in_time(self.dfg, self.locations, node, proc)
+    }
+
+    /// Output transfer time of `node` over directed link `(src, dst)`;
+    /// zero when `src == dst`. A dense table read.
+    #[inline]
+    pub fn pair_transfer_time(&self, node: NodeId, src: ProcId, dst: ProcId) -> SimDuration {
+        self.cost.pair_transfer_time(node, src, dst)
     }
 
     /// Combined cost of placing `node` on `proc` now: input transfer plus

@@ -162,6 +162,73 @@ proptest! {
         }
     }
 
+    /// Contention-off pair-matrix model ≡ scalar model whenever all rates
+    /// are equal: on arbitrary DAGs, an all-equal-rate `Topology` matrix
+    /// (dense per-pair tables, *not* the uniform preset's scalar fast
+    /// path) and the plain `LinkRate` config produce byte-identical
+    /// traces. The satellite property pin of the topology PR.
+    #[test]
+    fn equal_rate_matrix_matches_scalar_link_on_arbitrary_dags(
+        n in 1usize..35,
+        density in 0u64..80,
+        seed in any::<u64>(),
+        queue_mode in prop::bool::ANY,
+        lanes in prop::sample::select(vec![1u64, 8, 16]),
+    ) {
+        use apt_hetsim::Topology;
+        let dfg = random_kernel_dag(n, density, seed);
+        let lookup = LookupTable::paper();
+        let rate = LinkRate::lanes(lanes);
+        let plain = SystemConfig::paper_4gbps().with_link(rate);
+        let matrix = SystemConfig::paper_4gbps()
+            .with_link(rate)
+            .with_topology(Topology::from_fn(3, move |_, _| rate));
+        prop_assert!(matrix.uniform_rate().is_none(), "must take the matrix path");
+        let make = |_: ()| -> Box<dyn Policy> {
+            if queue_mode {
+                Box::new(QueueAll { cursor: 0 })
+            } else {
+                Box::new(FirstFit)
+            }
+        };
+        let a = simulate(&dfg, &plain, lookup, make(()).as_mut()).unwrap();
+        let b = simulate(&dfg, &matrix, lookup, make(()).as_mut()).unwrap();
+        prop_assert_eq!(a.trace, b.trace);
+    }
+
+    /// Per-link contention never delays a kernel past the serialized
+    /// model's transfer phase (concurrent distinct links can only help),
+    /// and reproduces it exactly when every start pulls at most one remote
+    /// input. Chains have single predecessors, so contention must be a
+    /// strict no-op there.
+    #[test]
+    fn per_link_contention_is_a_no_op_on_single_input_chains(
+        len in 1usize..15,
+        seed in any::<u64>(),
+    ) {
+        use apt_hetsim::{LinkContention, Topology};
+        let lookup = LookupTable::paper();
+        let all = lookup.all_kernels();
+        let mut rng = SplitMix64::new(seed);
+        let mut g: KernelDag = Dag::new();
+        let mut prev: Option<NodeId> = None;
+        for _ in 0..len {
+            let id = g.add_node(*rng.choose(&all));
+            if let Some(p) = prev {
+                g.add_edge(p, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        let serial = SystemConfig::paper_4gbps();
+        let contended = SystemConfig::paper_4gbps().with_topology(
+            Topology::uniform(3, LinkRate::PCIE2_X8)
+                .with_contention(LinkContention::PerLink),
+        );
+        let a = simulate(&g, &serial, lookup, &mut FirstFit).unwrap();
+        let b = simulate(&g, &contended, lookup, &mut FirstFit).unwrap();
+        prop_assert_eq!(a.trace, b.trace);
+    }
+
     /// Single-processor machines serialize everything: the makespan equals
     /// the total work (exec + transfers are zero since everything is local).
     #[test]

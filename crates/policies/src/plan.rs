@@ -163,12 +163,15 @@ pub fn build_plan(
             let Some(exec) = ctx.cost.exec_time(node, proc) else {
                 continue;
             };
-            // EST: all predecessors done, plus link time for remote ones.
+            // EST: all predecessors done, plus link time for remote ones
+            // (pair-resolved — the predecessor's planned processor is
+            // already fixed by the time its successors are ready).
             let mut est = SimTime::ZERO;
             for &pred in dfg.preds(node) {
                 let mut avail = finish[pred.index()];
-                if assignment[pred.index()] != proc {
-                    avail += ctx.cost.transfer_time(pred);
+                let placed = assignment[pred.index()];
+                if placed != proc {
+                    avail += ctx.cost.pair_transfer_time(pred, placed, proc);
                 }
                 est = est.max(avail);
             }

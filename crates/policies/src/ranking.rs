@@ -11,10 +11,11 @@
 //! Costs are fractional milliseconds. Average computation cost `w̄_i` is the
 //! mean over the processor instances able to run the kernel. Average
 //! communication cost `c̄_ij` is the full link-transfer time of the
-//! producer's output (the uniform-rate system makes all remote pairs equal;
-//! implementations differ on whether to discount by the same-processor
-//! probability — we keep the full cost, which preserves HEFT's ordering
-//! behaviour and is the common choice).
+//! producer's output (on the uniform-rate system all remote pairs are
+//! equal; under a non-uniform [`apt_hetsim::Topology`] the mean over
+//! ordered remote pairs is used; implementations differ on whether to
+//! discount by the same-processor probability — we keep the full cost,
+//! which preserves HEFT's ordering behaviour and is the common choice).
 
 use apt_base::stats::FiniteF64;
 use apt_dfg::{KernelDag, LookupTable, NodeId};
@@ -44,10 +45,12 @@ pub fn avg_comp_costs(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConf
 }
 
 /// Average communication cost of edge `(u, v)` in milliseconds: the link
-/// time of `u`'s output volume.
+/// time of `u`'s output volume. On a uniform machine this is exactly the
+/// scalar link time (the seed computation); under a non-uniform
+/// [`apt_hetsim::Topology`] it is the mean over ordered remote pairs.
 pub fn avg_comm_cost(dfg: &KernelDag, config: &SystemConfig, from: NodeId) -> f64 {
     let bytes = dfg.node(from).bytes(config.bytes_per_element);
-    config.link.transfer_time(bytes).as_ms_f64()
+    config.mean_pair_transfer_ms(bytes)
 }
 
 /// Upward ranks (Eq. 3–4), indexed by node.

@@ -35,11 +35,14 @@ impl AdmissionPolicy for AcceptAll {
 
 /// Total minimum work of a job: the sum over its kernels of the
 /// table-minimum execution time (what an ideally parallel machine must
-/// spend on it, transfer-free).
-fn min_work_ns(job: &JobTemplate, lookup: &LookupTable) -> u64 {
+/// spend on it, transfer-free). `None` when any kernel has no lookup-table
+/// row: such a kernel cannot run on *any* processor, so the job can never
+/// complete — pricing it at zero would let it through every budget gate
+/// for free (and then wedge the machine). Gates reject these jobs.
+fn min_work_ns(job: &JobTemplate, lookup: &LookupTable) -> Option<u64> {
     job.kernels()
         .iter()
-        .map(|k| lookup.best_category(k).map(|(_, t)| t.as_ns()).unwrap_or(0))
+        .map(|k| lookup.best_category(k).map(|(_, t)| t.as_ns()).ok())
         .sum()
 }
 
@@ -84,11 +87,17 @@ impl<'a> UtilizationBound<'a> {
 
 impl AdmissionGate for UtilizationBound<'_> {
     fn admit(&mut self, req: &AdmitRequest<'_>) -> bool {
+        // A job containing a kernel with no table coverage can never
+        // complete; it used to be priced at zero work and sail through the
+        // density test for free. Reject it outright.
+        let Some(work) = min_work_ns(req.job, self.lookup) else {
+            return false;
+        };
         let density = match req.deadline {
             None => 0.0,
             Some(deadline) => {
                 let window = deadline.saturating_since(req.arrival).as_ns().max(1);
-                min_work_ns(req.job, self.lookup) as f64 / window as f64
+                work as f64 / window as f64
             }
         };
         if self.load + density > self.bound * self.nprocs as f64 {
@@ -158,7 +167,11 @@ impl<'a> FeasibilityGate<'a> {
 
 impl AdmissionGate for FeasibilityGate<'_> {
     fn admit(&mut self, req: &AdmitRequest<'_>) -> bool {
-        let work = min_work_ns(req.job, self.lookup);
+        // Same coverage rule as the density gate: a job with an uncovered
+        // kernel can never finish, so no estimate makes it feasible.
+        let Some(work) = min_work_ns(req.job, self.lookup) else {
+            return false;
+        };
         if let Some(deadline) = req.deadline {
             let window = deadline.saturating_since(req.arrival).as_ns();
             let estimate = self.backlog_ns / self.nprocs as u64
@@ -242,7 +255,7 @@ mod tests {
         let config = apt_hetsim::SystemConfig::paper_4gbps();
         let mut gate = UtilizationBound::new(lookup, &config, 1.0);
         let j = job(2);
-        let work = min_work_ns(&j, lookup);
+        let work = min_work_ns(&j, lookup).expect("diamond jobs are covered");
         // A deadline window equal to the job's min work is density 1.0;
         // the 3-processor budget fits three of them.
         let deadline = |at: SimTime| Some(at + SimDuration::from_ns(work));
@@ -296,6 +309,52 @@ mod tests {
         let before = gate.backlog_ns();
         gate.on_complete(&completed(0));
         assert!(gate.backlog_ns() < before);
+    }
+
+    /// Regression: a job containing a kernel with no lookup-table row used
+    /// to be priced at zero work (`unwrap_or(0)`), so it passed the
+    /// density gate for free despite being unable to ever complete. Both
+    /// budget gates must reject it — deadline or not.
+    #[test]
+    fn uncovered_jobs_are_rejected_not_priced_at_zero() {
+        use apt_dfg::{Kernel, KernelKind};
+        let lookup = LookupTable::paper();
+        let config = apt_hetsim::SystemConfig::paper_4gbps();
+        // MatMul at this size has no table row anywhere.
+        let ghost =
+            JobTemplate::new(vec![Kernel::new(KernelKind::MatMul, 123)], Vec::new()).unwrap();
+        assert_eq!(min_work_ns(&ghost, lookup), None);
+        // A covered kernel alongside an uncovered one still poisons the job.
+        let mixed = JobTemplate::new(
+            vec![
+                Kernel::canonical(KernelKind::Bfs),
+                Kernel::new(KernelKind::MatMul, 123),
+            ],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        assert_eq!(min_work_ns(&mixed, lookup), None);
+
+        let mut util = UtilizationBound::new(lookup, &config, 1.0);
+        let at = SimTime::ZERO;
+        let loose = Some(at + SimDuration::from_ms(1_000_000));
+        for job in [&ghost, &mixed] {
+            assert!(!util.admit(&request(0, job, at, loose)), "with deadline");
+            assert!(!util.admit(&request(0, job, at, None)), "without deadline");
+        }
+        assert_eq!(util.load(), 0.0, "rejections reserve nothing");
+
+        let mut feas = FeasibilityGate::new(lookup, &config);
+        for job in [&ghost, &mixed] {
+            assert!(!feas.admit(&request(0, job, at, loose)));
+            assert!(!feas.admit(&request(0, job, at, None)));
+        }
+        assert_eq!(feas.backlog_ns(), 0, "rejections reserve nothing");
+
+        // Covered jobs still pass exactly as before.
+        let ok = job(9);
+        assert!(util.admit(&request(1, &ok, at, None)));
+        assert!(feas.admit(&request(1, &ok, at, loose)));
     }
 
     #[test]

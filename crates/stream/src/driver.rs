@@ -34,12 +34,21 @@ pub struct DriverOpts {
     /// Emit an [`StreamSnapshot`] every this much simulated time (`None`:
     /// no periodic snapshots; the final aggregates are always produced).
     pub snapshot_interval: Option<SimDuration>,
-    /// Stop admitting new jobs permanently once this many are in flight,
-    /// finish what was admitted, and mark the outcome
-    /// [`StreamOutcome::saturated`]. `None`: admit everything. This is the
-    /// overload guard for λ-sweep experiments — a saturated system's
-    /// backlog would otherwise grow without bound.
+    /// Stop admitting new jobs once this many are in flight and mark the
+    /// outcome [`StreamOutcome::saturated`]. `None`: admit everything.
+    /// This is the overload guard for λ-sweep experiments — a saturated
+    /// system's backlog would otherwise grow without bound. By default the
+    /// guard is a *latch*: once tripped, admission stops permanently and
+    /// the run drains; set [`DriverOpts::shed_when_full`] to shed only the
+    /// jobs that arrive while the system is actually full.
     pub max_in_flight_jobs: Option<usize>,
+    /// Soften the `max_in_flight_jobs` guard from a permanent latch into
+    /// per-arrival shedding: a job arriving while the system is at the cap
+    /// is dropped (counted in [`StreamOutcome::jobs_shed`]), and admission
+    /// resumes as soon as the backlog drains below the cap. The latch
+    /// (default, `false`) preserves the historical sweep semantics, where
+    /// one transient burst ends admission for the rest of the stream.
+    pub shed_when_full: bool,
     /// Iteration order of the engine's ready set: FCFS admission order
     /// (the default, byte-identical to `simulate_stream`) or
     /// earliest-deadline-first.
@@ -132,10 +141,13 @@ pub struct StreamOutcome {
     pub proc_stats: Vec<ProcStats>,
     /// Periodic snapshots (empty unless `snapshot_interval` was set).
     pub snapshots: Vec<StreamSnapshot>,
-    /// True when the `max_in_flight_jobs` guard tripped and admission
-    /// stopped early.
+    /// True when the `max_in_flight_jobs` guard tripped at least once:
+    /// with the default latch, admission stopped early; with
+    /// [`DriverOpts::shed_when_full`], at least one arrival was shed while
+    /// the system was full.
     pub saturated: bool,
-    /// Jobs the admission gate rejected (never entered the system).
+    /// Jobs that never entered the system: rejected by the admission gate
+    /// or shed by the `max_in_flight_jobs` guard in shed mode.
     pub jobs_shed: u64,
     /// Completed jobs that carried a deadline (the miss-rate denominator).
     pub deadline_jobs: u64,
@@ -151,9 +163,14 @@ pub struct StreamOutcome {
 }
 
 impl StreamOutcome {
-    /// Per-processor busy+transfer fraction of the whole run.
+    /// Per-processor busy+transfer fraction of the whole run. A run that
+    /// never advanced the clock (`end == 0`) reports zero utilization
+    /// rather than dividing by a degenerate denominator.
     pub fn utilization(&self) -> Vec<f64> {
-        let total = self.end.as_ns().max(1) as f64;
+        if self.end.as_ns() == 0 {
+            return vec![0.0; self.proc_stats.len()];
+        }
+        let total = self.end.as_ns() as f64;
         self.proc_stats
             .iter()
             .map(|s| (s.busy + s.transfer).as_ns() as f64 / total)
@@ -263,7 +280,9 @@ pub fn simulate_source_gated(
                          metrics: &mut OnlineMetrics,
                          seed: bool|
      -> Result<(), BaseError> {
-        while !*saturated {
+        // The latch (default) stops admission permanently once tripped; in
+        // shed mode `saturated` only records that the guard ever fired.
+        while !*saturated || opts.shed_when_full {
             let Some((at, _)) = pending else { break };
             if *at < *last_arrival {
                 return Err(BaseError::InvalidAssignment {
@@ -288,7 +307,16 @@ pub fn simulate_source_gated(
                 .is_some_and(|cap| engine.in_flight_jobs() >= cap)
             {
                 *saturated = true;
-                break;
+                if !opts.shed_when_full {
+                    break;
+                }
+                // Shed exactly this arrival; the next one is re-examined
+                // against the (possibly drained) backlog.
+                let (at, _) = pending.take().expect("checked above");
+                *last_arrival = at;
+                *shed += 1;
+                *pending = source.next_job();
+                continue;
             }
             let (at, job) = pending.take().expect("checked above");
             let deadline = job.deadline().map(|d| at + d);
@@ -374,7 +402,7 @@ pub fn simulate_source_gated(
                     unscheduled: engine.in_flight_kernels(),
                 });
             }
-            if pending.is_none() || saturated {
+            if pending.is_none() || (saturated && !opts.shed_when_full) {
                 break;
             }
             // Idle engine with a pending arrival: the admission loop admits
@@ -391,7 +419,13 @@ pub fn simulate_source_gated(
         jobs_completed: completed,
         kernels_completed: kernels,
         end,
-        throughput_jps: completed as f64 / end.as_secs_f64().max(f64::MIN_POSITIVE),
+        // A stream completing entirely at t = 0 has no meaningful rate; the
+        // old `max(f64::MIN_POSITIVE)` clamp reported ~1e308 jobs/s for it.
+        throughput_jps: if end.as_ns() == 0 {
+            0.0
+        } else {
+            completed as f64 / end.as_secs_f64()
+        },
         mean_latency_ms: metrics.mean_latency_ms(),
         latency_p50_ms: p50,
         latency_p90_ms: p90,
@@ -555,6 +589,97 @@ mod tests {
         assert!(outcome.jobs_admitted < 500);
         assert_eq!(outcome.jobs_admitted, outcome.jobs_completed);
         assert!(outcome.peak_in_flight_jobs <= 33);
+    }
+
+    /// Regression + new-knob pin: the `max_in_flight_jobs` guard is a
+    /// permanent latch by default (one burst past the cap ends admission
+    /// for the rest of the stream), while `shed_when_full` sheds only the
+    /// arrivals that land while the system is actually full and resumes
+    /// admission once the backlog drains.
+    #[test]
+    fn overload_guard_latch_and_shed_modes_behave_as_documented() {
+        let (config, lookup) = paper();
+        let lookup_static: &'static LookupTable = lookup;
+        let make_jobs = || {
+            let mut rng = apt_dfg::SplitMix64::new(11);
+            // 10 singles at t = 0 (two past the cap of 8), then one more an
+            // hour later, long after the burst has drained.
+            let mut jobs: Vec<(SimTime, crate::job::JobTemplate)> = (0..10)
+                .map(|_| {
+                    (
+                        SimTime::ZERO,
+                        JobFamily::Single.instantiate(&mut rng, lookup_static),
+                    )
+                })
+                .collect();
+            jobs.push((
+                SimTime::from_ms(3_600_000),
+                JobFamily::Single.instantiate(&mut rng, lookup_static),
+            ));
+            jobs
+        };
+        let run = |shed_when_full: bool| {
+            let mut source = crate::source::TraceSource::new(make_jobs());
+            simulate_source(
+                &mut source,
+                config,
+                lookup,
+                &mut FirstFit,
+                &DriverOpts {
+                    snapshot_interval: None,
+                    max_in_flight_jobs: Some(8),
+                    shed_when_full,
+                    ..DriverOpts::default()
+                },
+            )
+            .unwrap()
+        };
+        // Latch (default): the 9th arrival trips the guard, admission stops
+        // permanently — even the hour-later job never enters.
+        let latched = run(false);
+        assert!(latched.saturated);
+        assert_eq!(latched.jobs_admitted, 8);
+        assert_eq!(latched.jobs_completed, 8);
+        assert_eq!(latched.jobs_shed, 0, "the latch drops without counting");
+        // Shed mode: only the two burst arrivals that found the system full
+        // are shed; the hour-later job is admitted after the drain.
+        let shedding = run(true);
+        assert!(shedding.saturated, "the guard did fire");
+        assert_eq!(shedding.jobs_shed, 2);
+        assert_eq!(shedding.jobs_admitted, 9);
+        assert_eq!(shedding.jobs_completed, 9);
+        assert!(shedding.end >= SimTime::from_ms(3_600_000));
+    }
+
+    /// Regression: a stream completing entirely at t = 0 used to report
+    /// ~1e308 jobs/s (`end.max(f64::MIN_POSITIVE)` as the denominator).
+    /// Zero-duration runs now report zero throughput and utilization.
+    #[test]
+    fn zero_duration_runs_report_zero_throughput_and_utilization() {
+        use apt_dfg::{Kernel, KernelKind};
+        let config = SystemConfig::paper_4gbps();
+        let mut table = LookupTable::from_rows([]);
+        table.insert(apt_dfg::lookup::LookupRow {
+            kind: KernelKind::Bfs,
+            data_size: 10,
+            times: [SimDuration::ZERO; 3],
+        });
+        let job =
+            crate::job::JobTemplate::new(vec![Kernel::new(KernelKind::Bfs, 10)], Vec::new())
+                .unwrap();
+        let mut source = crate::source::TraceSource::new(vec![(SimTime::ZERO, job)]);
+        let outcome = simulate_source(
+            &mut source,
+            &config,
+            &table,
+            &mut FirstFit,
+            &DriverOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.jobs_completed, 1);
+        assert_eq!(outcome.end, SimTime::ZERO);
+        assert_eq!(outcome.throughput_jps, 0.0, "no 1e308 jobs/s");
+        assert!(outcome.utilization().iter().all(|&u| u == 0.0));
     }
 
     #[test]

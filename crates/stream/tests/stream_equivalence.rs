@@ -196,6 +196,120 @@ proptest! {
     }
 }
 
+/// Run one finite job list through the open driver under two system
+/// configurations and require identical outcomes, record for record.
+fn assert_configs_equivalent(
+    tag: &str,
+    jobs: &[(SimTime, JobTemplate)],
+    a: &SystemConfig,
+    b: &SystemConfig,
+    make: &dyn Fn() -> Box<dyn Policy>,
+) {
+    let lookup = LookupTable::paper();
+    let run = |config: &SystemConfig| {
+        let mut records: Vec<TaskRecord> = Vec::new();
+        let mut policy = make();
+        let mut source = TraceSource::new(jobs.to_vec());
+        let outcome = simulate_source_observed(
+            &mut source,
+            config,
+            lookup,
+            policy.as_mut(),
+            &DriverOpts::default(),
+            |done| records.extend(done.records.iter().copied()),
+        )
+        .unwrap_or_else(|e| panic!("{tag}: run failed: {e}"));
+        (outcome.end, outcome.proc_stats.clone(), records)
+    };
+    let (end_a, stats_a, recs_a) = run(a);
+    let (end_b, stats_b, recs_b) = run(b);
+    assert_eq!(end_a, end_b, "{tag}: end instants diverged");
+    assert_eq!(stats_a, stats_b, "{tag}: proc aggregates diverged");
+    assert_eq!(recs_a, recs_b, "{tag}: records diverged");
+}
+
+/// The open-system half of the uniform-`Topology` differential: the
+/// slot-recycling driver under a uniform topology (scalar fast path) and
+/// under an all-equal-rate dense matrix must both replay byte-identically
+/// against the plain `LinkRate` config, for every dynamic policy.
+#[test]
+fn uniform_topology_streams_byte_identically_to_the_link_rate_path() {
+    let jobs = job_list(0xD0_70B0, 14, &[0, 1_000_000, 900_000_000, 30_000_000_000]);
+    let plain = SystemConfig::paper_4gbps();
+    let uniform =
+        SystemConfig::paper_4gbps().with_topology(Topology::uniform(3, LinkRate::PCIE2_X8));
+    let matrix = SystemConfig::paper_4gbps()
+        .with_topology(Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8));
+    assert!(matrix.uniform_rate().is_none(), "must take the matrix path");
+    for (name, make) in policies() {
+        assert_configs_equivalent(
+            &format!("uniform/{name}"),
+            &jobs,
+            &plain,
+            &uniform,
+            make.as_ref(),
+        );
+        assert_configs_equivalent(
+            &format!("equal-matrix/{name}"),
+            &jobs,
+            &plain,
+            &matrix,
+            make.as_ref(),
+        );
+    }
+}
+
+/// A *non-uniform* topology still preserves the open-vs-closed contract:
+/// the streaming driver over a clustered matrix replays byte-identically
+/// against `simulate_stream` over the materialized workload on the same
+/// machine (the tentpole threads one `CostModel`, so both paths see the
+/// same pair tables).
+#[test]
+fn clustered_topology_streams_match_the_closed_engine() {
+    let jobs = job_list(0xC105, 10, &[0, 400_000_000, 17_000_000_000]);
+    let config = SystemConfig::paper_4gbps().with_topology(Topology::clustered(
+        3,
+        2,
+        LinkRate::gbps(8),
+        LinkRate::gbps(1),
+    ));
+    let lookup = LookupTable::paper();
+    let (dag, arrivals, offsets) = materialize(&jobs);
+    for (name, make) in policies() {
+        let mut open_records: Vec<TaskRecord> = Vec::new();
+        let mut policy = make();
+        let mut source = TraceSource::new(jobs.to_vec());
+        let outcome = simulate_source_observed(
+            &mut source,
+            &config,
+            lookup,
+            policy.as_mut(),
+            &DriverOpts::default(),
+            |done| {
+                let base = offsets[done.job.0 as usize];
+                for rec in &done.records {
+                    let mut global = *rec;
+                    global.node = NodeId::new(base + rec.node.index());
+                    open_records.push(global);
+                }
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: streaming run failed: {e}"));
+        let mut closed_policy = make();
+        let closed =
+            simulate_stream(&dag, &config, lookup, closed_policy.as_mut(), &arrivals).unwrap();
+        open_records.sort_unstable_by_key(|r| (r.start, r.node));
+        let open_trace = Trace {
+            records: open_records,
+            proc_stats: outcome.proc_stats.clone(),
+        };
+        assert_eq!(
+            open_trace, closed.trace,
+            "{name}: clustered-topology stream diverged from simulate_stream"
+        );
+    }
+}
+
 /// Heavy pin: one larger mixed workload through the full roster (including
 /// overlap-heavy arrivals that force deep slot recycling).
 #[test]

@@ -65,6 +65,53 @@ fn main() {
         println!("  factor {factor:>4}: APT(4) vs MET {gain:+7.2}%");
     }
 
+    // --- Interconnect structure ----------------------------------------
+    // §3.2 fixes one rate between all processors; `Topology` drops that.
+    // The same six-processor machine under three interconnects — watch the
+    // transfer share of busy time grow as links get structure (and APT's
+    // threshold keep paying off anyway).
+    println!("\ninterconnect structure (2×(CPU+GPU+FPGA), 16 B/element):");
+    let pods = || {
+        SystemConfig::empty(LinkRate::PCIE2_X8)
+            .with_proc(ProcKind::Cpu)
+            .with_proc(ProcKind::Gpu)
+            .with_proc(ProcKind::Fpga)
+            .with_proc(ProcKind::Cpu)
+            .with_proc(ProcKind::Gpu)
+            .with_proc(ProcKind::Fpga)
+            .with_bytes_per_element(16)
+    };
+    let slow = LinkRate {
+        bytes_per_sec: 500_000_000, // 0.5 GB/s
+    };
+    let interconnects: [(&str, SystemConfig); 3] = [
+        ("uniform 4 GB/s", pods()),
+        (
+            "clustered (8 GB/s pods, 0.5 GB/s across)",
+            pods().with_topology(Topology::clustered(6, 3, LinkRate::PCIE2_X16, slow)),
+        ),
+        (
+            "host-staged star (1 GB/s edges via CPU0)",
+            pods().with_topology(Topology::star(6, ProcId::new(0), LinkRate::gbps(1))),
+        ),
+    ];
+    for (name, system) in &interconnects {
+        let apt = simulate(&dfg, system, lookup, &mut Apt::new(4.0)).expect("APT");
+        let busy: f64 = apt
+            .trace
+            .proc_stats
+            .iter()
+            .map(|s| (s.busy + s.transfer).as_ms_f64())
+            .sum();
+        let xfer: f64 = apt.trace.proc_stats.iter().map(|s| s.transfer.as_ms_f64()).sum();
+        println!(
+            "  {name:42} APT {:>12}   xfer {:4.1}%   vs MET {:+.1}%",
+            format!("{}", apt.makespan()),
+            if busy > 0.0 { xfer / busy * 100.0 } else { 0.0 },
+            gain_pct(&dfg, system, lookup)
+        );
+    }
+
     println!("\n(the paper's point: α must be tuned to the degree of heterogeneity —");
     println!(" a threshold that pays off on a strongly heterogeneous table buys");
     println!(" nothing once the platforms look alike)");

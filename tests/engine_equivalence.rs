@@ -407,6 +407,60 @@ fn figure5_walkthrough_is_equivalent() {
     assert_equivalent("fig5@4gbps", &dfg, &SystemConfig::paper_4gbps());
 }
 
+/// The uniform-`Topology` differential: a system whose per-pair topology is
+/// the uniform preset (same rate as the scalar `link`) must reproduce
+/// **byte-identical** traces against the seed `LinkRate` path — across all
+/// twenty canonical workloads and the full policy roster (dynamic *and*
+/// static, whose plan-time transfer estimates are pair-resolved now).
+#[test]
+fn uniform_topology_is_byte_identical_to_the_link_rate_path() {
+    let lookup = LookupTable::paper();
+    let plain = SystemConfig::paper_4gbps();
+    let topo =
+        SystemConfig::paper_4gbps().with_topology(Topology::uniform(3, LinkRate::PCIE2_X8));
+    for ty in DfgType::ALL {
+        for (i, dfg) in experiment_graphs(ty).iter().enumerate() {
+            for (name, make) in policy_roster() {
+                let tag = format!("{ty:?}/exp{}/{name}", i + 1);
+                let a = simulate(dfg, &plain, lookup, make().as_mut())
+                    .unwrap_or_else(|e| panic!("{tag}: scalar-link run failed: {e}"));
+                let b = simulate(dfg, &topo, lookup, make().as_mut())
+                    .unwrap_or_else(|e| panic!("{tag}: uniform-topology run failed: {e}"));
+                assert_eq!(
+                    a.trace, b.trace,
+                    "{tag}: uniform topology diverged from the scalar link path"
+                );
+            }
+        }
+    }
+}
+
+/// An all-equal-rate *matrix* (built via `from_fn`, so it takes the dense
+/// per-pair tables, not the uniform preset's scalar fast path) must also be
+/// byte-identical to the scalar link — the "contention-off equals the
+/// matrix model when all rates are equal" pin at trace level. One workload
+/// per family keeps this differential cheap; the dense-table arithmetic it
+/// exercises is node-shape independent.
+#[test]
+fn equal_rate_matrix_is_byte_identical_to_the_link_rate_path() {
+    let lookup = LookupTable::paper();
+    let plain = SystemConfig::paper_4gbps();
+    let matrix = SystemConfig::paper_4gbps()
+        .with_topology(Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8));
+    assert!(matrix.uniform_rate().is_none(), "must take the matrix path");
+    for ty in DfgType::ALL {
+        let dfg = experiment_graphs(ty).remove(4); // 93 kernels — mid-size
+        for (name, make) in policy_roster() {
+            let a = simulate(&dfg, &plain, lookup, make().as_mut()).unwrap();
+            let b = simulate(&dfg, &matrix, lookup, make().as_mut()).unwrap();
+            assert_eq!(
+                a.trace, b.trace,
+                "{ty:?}/{name}: equal-rate matrix diverged from the scalar link"
+            );
+        }
+    }
+}
+
 /// Duplicated-category machines exercise the idle-twin selection paths.
 #[test]
 fn duplicated_categories_are_equivalent() {
