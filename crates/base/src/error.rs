@@ -60,6 +60,30 @@ pub enum BaseError {
         /// Number of kernels that never ran.
         unscheduled: usize,
     },
+    /// A source produced an arrival earlier than its predecessor. Streams
+    /// must be replayed in non-decreasing arrival order; out-of-order
+    /// records end the stream with this error instead of a panic.
+    DisorderedArrival {
+        /// Arrival timestamp of the offending record (ns).
+        at_ns: u64,
+        /// Arrival timestamp of the preceding record (ns).
+        prev_ns: u64,
+    },
+    /// A kernel exhausted its retry budget after repeated injected
+    /// failures (closed-system runs, where shedding the job is not an
+    /// option).
+    RetriesExhausted {
+        /// Arena slot / node id of the kernel that kept failing.
+        node: usize,
+        /// Number of execution attempts made.
+        attempts: u32,
+    },
+    /// A policy assigned work to a processor that is currently crashed
+    /// (masked out of the availability set).
+    ProcUnavailable {
+        /// The down processor's id.
+        proc: usize,
+    },
 }
 
 impl fmt::Display for BaseError {
@@ -91,6 +115,17 @@ impl fmt::Display for BaseError {
                 f,
                 "simulation starved: {unscheduled} kernels were never scheduled"
             ),
+            BaseError::DisorderedArrival { at_ns, prev_ns } => write!(
+                f,
+                "disordered arrival: {at_ns} ns follows {prev_ns} ns (arrivals must be non-decreasing)"
+            ),
+            BaseError::RetriesExhausted { node, attempts } => write!(
+                f,
+                "kernel {node} exhausted its retry budget after {attempts} attempts"
+            ),
+            BaseError::ProcUnavailable { proc } => {
+                write!(f, "processor {proc} is down (crashed and not yet repaired)")
+            }
         }
     }
 }
@@ -113,6 +148,21 @@ mod tests {
 
         let e = BaseError::CyclicGraph { node: 3 };
         assert!(e.to_string().contains("cyclic"));
+
+        let e = BaseError::DisorderedArrival {
+            at_ns: 5,
+            prev_ns: 9,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('9'));
+
+        let e = BaseError::RetriesExhausted {
+            node: 7,
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("retry"));
+
+        let e = BaseError::ProcUnavailable { proc: 2 };
+        assert!(e.to_string().contains("down"));
     }
 
     #[test]

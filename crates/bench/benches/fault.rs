@@ -1,0 +1,24 @@
+//! Fault-injection overhead: the same Poisson APT stream with the fault
+//! machinery fully off (the none-plan path must cost nothing — the
+//! engine's fault runtime is never allocated) and armed with transient
+//! kernel failures, processor crash/repair cycles, and retry/backoff.
+//! `apt-bench` tracks the same configurations as `fault/*` rows in
+//! `BENCH_engine.json`.
+
+use apt_bench::{fault_stream_run, STREAM_BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_fault_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault/poisson_apt");
+    g.throughput(Throughput::Elements(STREAM_BENCH_JOBS));
+    for (name, armed) in [("clean", false), ("armed", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &armed, |b, &armed| {
+            b.iter(|| black_box(fault_stream_run(armed)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_stream);
+criterion_main!(benches);

@@ -14,6 +14,9 @@
 //! * [`engine`](../benches/engine.rs) — raw simulator/generator throughput.
 //! * [`stream`](../benches/stream.rs) — open-stream driver end-to-end and
 //!   the two-level calendar under a deep far-future backlog.
+//! * [`fault`](../benches/fault.rs) — the fault-injection layer: the same
+//!   stream with the machinery off (zero-cost-when-off pin) and armed
+//!   (transient + crash/repair + retry overhead).
 //!
 //! Run with `cargo bench --workspace`; results land in `target/criterion/`.
 
@@ -135,6 +138,50 @@ pub fn slo_stream_run(gated: bool) -> u64 {
     outcome.end.as_ns()
 }
 
+/// One fault-injected stream run: the [`stream_run`] APT configuration
+/// with the fault machinery either fully absent (`armed = false`, the
+/// plain driver) or armed with transient kernel failures plus processor
+/// crash/repair and the default retry/backoff policy (`armed = true`).
+/// Timing both prices fault injection end to end: the clean row tracks
+/// the zero-cost-when-off promise (the none-plan path adds no work), the
+/// armed row the per-execution draw + crash calendar + retry overhead.
+/// Returns the final simulated instant in ns.
+pub fn fault_stream_run(armed: bool) -> u64 {
+    use apt_stream::{simulate_source, DriverOpts, JobFamily, PoissonSource};
+    let mut policy = Apt::new(4.0);
+    let mut source = PoissonSource::new(
+        LookupTable::paper(),
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    );
+    let faults = if armed {
+        FaultPlan::seeded(0xBE9C_FA17)
+            .with_transient(0.02)
+            .with_crashes(SimDuration::from_ms(60_000), SimDuration::from_ms(2_000))
+    } else {
+        FaultPlan::none()
+    };
+    let outcome = simulate_source(
+        &mut source,
+        &SystemConfig::paper_4gbps(),
+        LookupTable::paper(),
+        &mut policy,
+        &DriverOpts {
+            faults,
+            retry: RetryPolicy::default(),
+            ..DriverOpts::default()
+        },
+    )
+    .expect("fault bench run");
+    assert_eq!(
+        outcome.jobs_completed + outcome.jobs_failed,
+        STREAM_BENCH_JOBS
+    );
+    outcome.end.as_ns()
+}
+
 /// Calendar-queue stress for the streaming access pattern: a deep
 /// far-future arrival backlog (near window, far ring, and overflow tiers
 /// all populated) drained batch by batch with near-term completions pushed
@@ -190,5 +237,11 @@ mod tests {
     fn slo_fixture_runs_both_gates() {
         assert!(slo_stream_run(false) > 0);
         assert!(slo_stream_run(true) > 0);
+    }
+
+    #[test]
+    fn fault_fixture_runs_clean_and_armed() {
+        assert!(fault_stream_run(false) > 0);
+        assert!(fault_stream_run(true) > 0);
     }
 }

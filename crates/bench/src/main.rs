@@ -29,8 +29,8 @@
 //! `--label after` run.
 
 use apt_bench::{
-    run, slo_stream_run, stream_calendar_backlog, stream_run, topology_systems, type2_workload,
-    STREAM_BENCH_JOBS,
+    fault_stream_run, run, slo_stream_run, stream_calendar_backlog, stream_run, topology_systems,
+    type2_workload, STREAM_BENCH_JOBS,
 };
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
@@ -131,6 +131,15 @@ fn slo_benches(out: &mut Vec<(String, Measurement)>) {
             format!("slo/poisson_edf_apt_{name}/{STREAM_BENCH_JOBS}"),
             ns,
         ));
+    }
+}
+
+/// Fault machinery off vs armed on the same stream — mirrors
+/// `benches/fault.rs`.
+fn fault_benches(out: &mut Vec<(String, Measurement)>) {
+    for (name, armed) in [("clean", false), ("armed", true)] {
+        let ns = measure(|| fault_stream_run(armed));
+        out.push((format!("fault/poisson_apt_{name}/{STREAM_BENCH_JOBS}"), ns));
     }
 }
 
@@ -348,6 +357,7 @@ fn main() {
     policy_benches(&mut results);
     stream_benches(&mut results);
     slo_benches(&mut results);
+    fault_benches(&mut results);
     topology_benches(&mut results);
 
     if let Some(rows) = recorded {

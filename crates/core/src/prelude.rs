@@ -25,8 +25,9 @@ pub use apt_dfg::generator::{
 pub use apt_dfg::{Dag, Dwarf, Kernel, KernelDag, KernelKind, LookupTable, NodeId, SplitMix64};
 
 pub use apt_hetsim::{
-    simulate, simulate_stream, Assignment, AssignmentBuf, CalendarQueue, CostModel, LinkContention,
-    LinkRate, Policy, PolicyKind, PrepareCtx, ProcSpec, ProcStats, ProcView, ReadySet, SimResult,
+    simulate, simulate_stream, simulate_stream_faulty, Assignment, AssignmentBuf, CalendarQueue,
+    CostModel, FaultPlan, FaultTotals, LinkContention, LinkDegradeSpec, LinkRate, Policy,
+    PolicyKind, PrepareCtx, ProcSpec, ProcStats, ProcView, ReadySet, RetryPolicy, SimResult,
     SimView, SystemConfig, TaskRecord, Topology, Trace,
 };
 

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod faults;
 pub mod figures;
 pub mod runner;
 pub mod slo;
@@ -56,14 +57,16 @@ pub const LAMBDA_FIGURE_IDS: [&str; 2] = ["fig11", "fig12"];
 pub const SUPPLEMENTARY_IDS: [&str; 2] = ["table1", "wins"];
 
 /// Open-stream artifacts (beyond the paper's closed-world evaluation; see
-/// `streaming`, `slo` and `topology`): the λ-saturation sweep, the
-/// burst-absorption comparison, the deadline/admission frontier, and the
-/// multi-link topology saturation comparison.
-pub const STREAM_IDS: [&str; 4] = [
+/// `streaming`, `slo`, `topology` and `faults`): the λ-saturation sweep,
+/// the burst-absorption comparison, the deadline/admission frontier, the
+/// multi-link topology saturation comparison, and the failure-injection
+/// MTTF × λ sweep.
+pub const STREAM_IDS: [&str; 5] = [
     "stream-saturation",
     "stream-bursts",
     "slo-sweep",
     "topology-sweep",
+    "fault-sweep",
 ];
 
 /// Ablation artifacts (beyond the paper's evaluation; see `ablations`).
@@ -126,6 +129,7 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
         "stream-bursts" => Artifact::Table(streaming::stream_burst_comparison()),
         "slo-sweep" => Artifact::Table(slo::slo_sweep()),
         "topology-sweep" => Artifact::Table(topology::topology_sweep()),
+        "fault-sweep" => Artifact::Table(faults::fault_sweep()),
         _ => return None,
     };
     Some(artifact)
@@ -134,7 +138,10 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
 /// True when [`artifact_csv`] has a CSV form for `id` — a static check,
 /// so callers can filter capabilities without triggering the sweep.
 pub fn artifact_has_csv(id: &str) -> bool {
-    matches!(id, "slo-sweep" | "stream-saturation" | "topology-sweep")
+    matches!(
+        id,
+        "slo-sweep" | "stream-saturation" | "topology-sweep" | "fault-sweep"
+    )
 }
 
 /// Long-format CSV companion of an artifact (`apt-repro <id> --csv
@@ -146,6 +153,7 @@ pub fn artifact_csv(id: &str) -> Option<String> {
         "slo-sweep" => Some(slo::slo_sweep_csv()),
         "stream-saturation" => Some(streaming::stream_saturation_csv()),
         "topology-sweep" => Some(topology::topology_sweep_csv()),
+        "fault-sweep" => Some(faults::fault_sweep_csv()),
         _ => None,
     }
 }
@@ -167,6 +175,10 @@ pub fn artifact_with_csv(id: &str) -> Option<(Artifact, String)> {
             let (table, csv) = topology::topology_sweep_with_csv();
             Some((Artifact::Table(table), csv))
         }
+        "fault-sweep" => {
+            let (table, csv) = faults::fault_sweep_with_csv();
+            Some((Artifact::Table(table), csv))
+        }
         _ => None,
     }
 }
@@ -184,9 +196,10 @@ mod tests {
             assert!(run_artifact(id).is_some(), "artifact {id} missing");
         }
         assert!(run_artifact("nope").is_none());
-        assert_eq!(all_artifact_ids().len(), 34);
+        assert_eq!(all_artifact_ids().len(), 35);
         assert!(all_artifact_ids().contains(&"slo-sweep"));
         assert!(all_artifact_ids().contains(&"topology-sweep"));
+        assert!(all_artifact_ids().contains(&"fault-sweep"));
         assert!(
             artifact_csv("table7").is_none(),
             "closed tables have no CSV"
@@ -197,5 +210,6 @@ mod tests {
         assert!(artifact_has_csv("slo-sweep"));
         assert!(artifact_has_csv("stream-saturation"));
         assert!(artifact_has_csv("topology-sweep"));
+        assert!(artifact_has_csv("fault-sweep"));
     }
 }

@@ -56,6 +56,7 @@ use crate::trace::{ProcStats, SimResult, TaskRecord, Trace};
 use crate::view::{ProcView, SimView};
 use apt_base::{BaseError, ProcId, SimDuration, SimTime};
 use apt_dfg::{KernelDag, LookupTable, NodeId};
+use apt_faults::{FaultPlan, FaultState, FaultTotals, LinkDegradeSpec, RetryPolicy};
 use std::collections::VecDeque;
 
 /// Window size for the per-processor execution-time history backing AG's
@@ -72,6 +73,17 @@ pub(crate) struct ProcCore {
     /// Running sum of `history`, so the windowed average is O(1) to refresh.
     history_sum: u64,
     stats: ProcStats,
+    /// Monotone run token, bumped on every kernel start *and* every fault
+    /// kill. `Finish`/`Fail` events carry the token of the start they
+    /// belong to; a mismatch marks the event stale (the kernel was killed
+    /// by a fault before the event fired) and it is ignored.
+    run_token: u32,
+    /// Start instant of the in-flight kernel (valid while `running`).
+    inflight_start: SimTime,
+    /// Its input-transfer duration (valid while `running`).
+    inflight_transfer: SimDuration,
+    /// Its execution duration (valid while `running`).
+    inflight_exec: SimDuration,
 }
 
 impl ProcCore {
@@ -83,6 +95,10 @@ impl ProcCore {
             history: VecDeque::with_capacity(EXEC_HISTORY_WINDOW),
             history_sum: 0,
             stats: ProcStats::default(),
+            run_token: 0,
+            inflight_start: SimTime::ZERO,
+            inflight_transfer: SimDuration::ZERO,
+            inflight_exec: SimDuration::ZERO,
         }
     }
 
@@ -108,10 +124,29 @@ impl ProcCore {
 /// total order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Event {
-    /// The kernel running on this processor completes.
-    Finish(ProcId),
+    /// The kernel running on this processor completes. Carries the start's
+    /// run token; stale tokens (the kernel was killed by a fault first) are
+    /// ignored.
+    Finish(ProcId, u32),
     /// This kernel is submitted to the system (its arrival instant).
     Arrive(NodeId),
+    /// The kernel running on this processor fails transiently partway
+    /// through execution (fault injection). Token-validated like `Finish`.
+    Fail(ProcId, u32),
+    /// The processor crashes: its in-flight kernel is killed, its queue
+    /// drains back to the ready set, and it leaves the availability mask.
+    Crash(ProcId),
+    /// The processor returns from repair and rejoins the availability mask.
+    Repair(ProcId),
+    /// A kernel's retry backoff expires and it re-enters the ready set.
+    /// Carries the retry token; stale tokens (the job was cancelled or the
+    /// slot recycled meanwhile) are ignored.
+    Redispatch(NodeId, u32),
+    /// A link-degradation episode begins (transfers started during it are
+    /// stretched by the plan's slowdown factor).
+    DegradeStart,
+    /// The current link-degradation episode ends.
+    DegradeEnd,
 }
 
 /// The read-only inputs of one simulation, threaded through the core so the
@@ -124,6 +159,38 @@ pub(crate) struct EngineCtx<'r> {
     pub(crate) config: &'r SystemConfig,
     pub(crate) lookup: &'r LookupTable,
     pub(crate) cost: &'r CostModel,
+}
+
+/// Live fault-injection state, allocated only when a non-empty
+/// [`FaultPlan`] is armed. `None` (the default, and the `FaultPlan::none()`
+/// case) leaves the engine byte-identical to a fault-free build: no extra
+/// events, no RNG draws, no bookkeeping.
+pub(crate) struct FaultRuntime {
+    state: FaultState,
+    retry: RetryPolicy,
+    totals: FaultTotals,
+    /// Crash instant of each currently-down processor.
+    down_since: Vec<Option<SimTime>>,
+    /// Failed execution attempts per node (reset when a slot is recycled).
+    attempts: Vec<u32>,
+    /// Monotone per-node retry token validating `Redispatch` events. Never
+    /// reset on slot recycling, so a stale redispatch can never resurrect
+    /// a recycled slot's new occupant.
+    retry_token: Vec<u32>,
+    /// Node is waiting out a retry backoff (neither ready nor running).
+    pending_retry: Vec<bool>,
+    /// A link-degradation episode is currently active.
+    degraded: bool,
+}
+
+impl FaultRuntime {
+    fn grow(&mut self, n: usize) {
+        if self.attempts.len() < n {
+            self.attempts.resize(n, 0);
+            self.retry_token.resize(n, 0);
+            self.pending_retry.resize(n, false);
+        }
+    }
 }
 
 /// The mutable simulation state: clock, ready set, per-node bookkeeping,
@@ -148,6 +215,17 @@ pub(crate) struct EngineCore {
     pub(crate) views: Vec<ProcView>,
     /// Running bitset of idle processors (bit i ⇔ `views[i].is_idle()`).
     pub(crate) idle_mask: u64,
+    /// Running bitset of *up* processors (bit i ⇔ `!views[i].down`). All
+    /// ones unless fault injection crashes a processor.
+    pub(crate) up_mask: u64,
+    /// Fault-injection state; `None` on fault-free runs (the default).
+    pub(crate) faults: Option<Box<FaultRuntime>>,
+    /// Nodes whose jobs must be cancelled (retry budget exhausted), drained
+    /// by the open engine after each advance. Only used in open mode.
+    pub(crate) failed_nodes: Vec<NodeId>,
+    /// Nodes that scheduled a retry since the last drain (for per-job
+    /// retry-budget accounting). Only recorded in open mode.
+    pub(crate) retried_nodes: Vec<NodeId>,
     pub(crate) events: CalendarQueue<Event>,
     pub(crate) finished: usize,
     /// Nodes completed since the last [`EngineCore::take_finished`] drain —
@@ -178,6 +256,7 @@ impl EngineCore {
                 busy_until: SimTime::ZERO,
                 queue_len: 0,
                 recent_avg_exec: SimDuration::ZERO,
+                down: false,
             })
             .collect();
         EngineCore {
@@ -199,6 +278,14 @@ impl EngineCore {
             } else {
                 u64::MAX >> (64 - views.len())
             },
+            up_mask: if views.is_empty() {
+                0
+            } else {
+                u64::MAX >> (64 - views.len())
+            },
+            faults: None,
+            failed_nodes: Vec::new(),
+            retried_nodes: Vec::new(),
             views,
             events: CalendarQueue::new(),
             finished: 0,
@@ -251,6 +338,341 @@ impl EngineCore {
         }
     }
 
+    /// Arm a fault plan: derive its RNG stream and schedule the first
+    /// crash/degradation events from the current instant. A
+    /// [`FaultPlan::none()`] plan is a no-op, leaving the engine on the
+    /// fault-free code path (byte-identical traces).
+    pub(crate) fn arm_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        if plan.is_none() {
+            return;
+        }
+        let mut state = FaultState::new(plan);
+        let nprocs = self.views.len();
+        let mut runtime = Box::new(FaultRuntime {
+            retry,
+            totals: FaultTotals::default(),
+            down_since: vec![None; nprocs],
+            attempts: Vec::new(),
+            retry_token: Vec::new(),
+            pending_retry: Vec::new(),
+            degraded: false,
+            state: FaultState::new(plan),
+        });
+        runtime.grow(self.records.len());
+        // First crash per processor, in ascending id order (deterministic
+        // draw order); first degradation episode after that.
+        for p in 0..nprocs {
+            if let Some(gap) = state.next_crash_gap() {
+                self.events.push(self.now + gap, Event::Crash(ProcId::new(p)));
+            }
+        }
+        if let Some(gap) = state.next_degrade_gap() {
+            self.events.push(self.now + gap, Event::DegradeStart);
+        }
+        runtime.state = state;
+        self.faults = Some(runtime);
+    }
+
+    /// Reset the per-slot fault bookkeeping when the open engine binds a
+    /// (new or recycled) arena slot. The retry token is deliberately *not*
+    /// reset — see [`FaultRuntime::retry_token`].
+    pub(crate) fn fault_reset_slot(&mut self, slot: NodeId, len: usize) {
+        if let Some(f) = self.faults.as_mut() {
+            f.grow(len);
+            f.attempts[slot.index()] = 0;
+            f.pending_retry[slot.index()] = false;
+        }
+    }
+
+    /// Clear a pending retry (job cancellation): the node's queued
+    /// `Redispatch` event becomes stale and will be ignored.
+    pub(crate) fn fault_cancel_pending(&mut self, slot: NodeId) {
+        if let Some(f) = self.faults.as_mut() {
+            f.pending_retry[slot.index()] = false;
+        }
+    }
+
+    /// Count one job shed after exhausting its retry budget.
+    pub(crate) fn note_job_failed(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.totals.jobs_failed += 1;
+        }
+    }
+
+    /// Fault totals as of the current instant, including the partial
+    /// downtime of processors still under repair. All zeros on fault-free
+    /// runs.
+    pub(crate) fn fault_totals(&self) -> FaultTotals {
+        match &self.faults {
+            None => FaultTotals::default(),
+            Some(f) => {
+                let mut t = f.totals;
+                for since in self.views.iter().zip(&f.down_since).filter_map(|(v, s)| {
+                    debug_assert_eq!(v.down, s.is_some());
+                    *s
+                }) {
+                    t.down_ns += self.now.saturating_since(since).as_ns();
+                }
+                t
+            }
+        }
+    }
+
+    /// Kill the kernel in flight on `proc`, if any: invalidate its pending
+    /// `Finish`/`Fail` event, clear its record, and rewind the processor's
+    /// optimistically pre-credited stats to the occupancy actually elapsed
+    /// (transfer first, then execution). The elapsed occupancy is counted
+    /// as wasted work. Returns the killed node.
+    fn kill_running(&mut self, proc: ProcId) -> Option<NodeId> {
+        let node = self.views[proc.index()].running?;
+        let core = &mut self.procs[proc.index()];
+        core.run_token = core.run_token.wrapping_add(1);
+        let elapsed = self.now.saturating_since(core.inflight_start);
+        let transfer_done = elapsed.min(core.inflight_transfer);
+        let exec_done = elapsed - transfer_done;
+        debug_assert!(exec_done <= core.inflight_exec);
+        core.stats.busy = core.stats.busy - core.inflight_exec + exec_done;
+        core.stats.transfer = core.stats.transfer - core.inflight_transfer + transfer_done;
+        core.stats.kernels -= 1;
+        if let Some(f) = self.faults.as_mut() {
+            f.totals.wasted_ns += elapsed.as_ns();
+        }
+        self.records[node.index()] = None;
+        self.update_view(proc, |v| v.running = None);
+        Some(node)
+    }
+
+    /// Handle a (token-valid) transient failure on `proc`: kill the
+    /// attempt, then either schedule a retry (through backoff and the
+    /// normal ready path) or — when the attempt budget is spent — fail the
+    /// run (closed mode) or mark the node for job cancellation (open mode).
+    fn fail_on(&mut self, ctx: EngineCtx<'_>, proc: ProcId, token: u32) -> Result<(), BaseError> {
+        if self.procs[proc.index()].run_token != token {
+            return Ok(()); // stale: the kernel was crashed away first
+        }
+        let node = self
+            .kill_running(proc)
+            .expect("token-valid failure on an idle processor");
+        let (attempts, retry) = {
+            let f = self
+                .faults
+                .as_mut()
+                .expect("transient failure without faults armed");
+            f.totals.kernel_failures += 1;
+            f.attempts[node.index()] += 1;
+            (f.attempts[node.index()], f.retry)
+        };
+        if attempts >= retry.max_attempts {
+            if self.track_finished {
+                self.failed_nodes.push(node);
+            } else {
+                return Err(BaseError::RetriesExhausted {
+                    node: node.index(),
+                    attempts,
+                });
+            }
+        } else {
+            let (backoff, tok) = {
+                let f = self.faults.as_mut().expect("checked above");
+                f.totals.retries += 1;
+                let backoff = f.state.backoff(&retry, attempts + 1);
+                let tok = if backoff.is_zero() {
+                    0
+                } else {
+                    f.retry_token[node.index()] += 1;
+                    f.pending_retry[node.index()] = true;
+                    f.retry_token[node.index()]
+                };
+                (backoff, tok)
+            };
+            if backoff.is_zero() {
+                self.make_ready(node);
+            } else {
+                let at = self.now + backoff;
+                self.events.push(at, Event::Redispatch(node, tok));
+            }
+            if self.track_finished {
+                self.retried_nodes.push(node);
+            }
+        }
+        // The processor itself is fine — start its queued work, if any.
+        self.start_queued(ctx, proc)
+    }
+
+    /// Handle a processor crash: orphan the in-flight kernel and every
+    /// queued assignment back into the ready set (the policy re-places them
+    /// — APT's alternative-within-threshold is the failover), mask the
+    /// processor out of availability, and schedule its repair.
+    fn crash(&mut self, proc: ProcId) {
+        if let Some(node) = self.kill_running(proc) {
+            // A processor death is not the kernel's fault: re-dispatch
+            // without charging a retry attempt.
+            self.make_ready(node);
+            if let Some(f) = self.faults.as_mut() {
+                f.totals.orphaned += 1;
+            }
+        }
+        while let Some(a) = self.procs[proc.index()].queue.pop_front() {
+            self.update_view(proc, |v| v.queue_len -= 1);
+            self.make_ready(a.node);
+        }
+        self.update_view(proc, |v| v.down = true);
+        self.up_mask &= !(1 << proc.index());
+        let now = self.now;
+        let repair = {
+            let f = self.faults.as_mut().expect("crash without faults armed");
+            debug_assert!(f.down_since[proc.index()].is_none(), "crash of a down proc");
+            f.totals.crashes += 1;
+            f.down_since[proc.index()] = Some(now);
+            f.state.repair_time()
+        };
+        self.events.push(now + repair, Event::Repair(proc));
+    }
+
+    /// Handle a repair: the processor rejoins the availability (and idle)
+    /// masks, its downtime is accounted, and its next crash is scheduled.
+    fn repair(&mut self, proc: ProcId) {
+        self.update_view(proc, |v| v.down = false);
+        self.up_mask |= 1 << proc.index();
+        let now = self.now;
+        let gap = {
+            let f = self.faults.as_mut().expect("repair without faults armed");
+            f.totals.repairs += 1;
+            let since = f.down_since[proc.index()]
+                .take()
+                .expect("repair of a processor that never crashed");
+            f.totals.down_ns += now.saturating_since(since).as_ns();
+            f.state
+                .next_crash_gap()
+                .expect("repair without a crash spec")
+        };
+        self.events.push(now + gap, Event::Crash(proc));
+    }
+
+    /// A retry backoff expired: if the token is current and the retry is
+    /// still pending (the job was not cancelled meanwhile), the node
+    /// re-enters the ready set.
+    fn redispatch(&mut self, node: NodeId, token: u32) {
+        {
+            let Some(f) = self.faults.as_mut() else { return };
+            if f.retry_token[node.index()] != token || !f.pending_retry[node.index()] {
+                return; // stale: job cancelled or slot recycled
+            }
+            f.pending_retry[node.index()] = false;
+        }
+        self.make_ready(node);
+    }
+
+    fn degrade_start(&mut self) {
+        let now = self.now;
+        let duration = {
+            let f = self.faults.as_mut().expect("degrade without faults armed");
+            f.degraded = true;
+            f.state.plan().degrade.expect("degrade without a spec").duration
+        };
+        self.events.push(now + duration, Event::DegradeEnd);
+    }
+
+    fn degrade_end(&mut self) {
+        let now = self.now;
+        let gap = {
+            let f = self.faults.as_mut().expect("degrade without faults armed");
+            f.degraded = false;
+            f.state
+                .next_degrade_gap()
+                .expect("degrade end without a spec")
+        };
+        self.events.push(now + gap, Event::DegradeStart);
+    }
+
+    /// The active link-degradation spec, if an episode is in progress.
+    #[inline]
+    fn active_degrade(&self) -> Option<LinkDegradeSpec> {
+        match &self.faults {
+            Some(f) if f.degraded => f.state.plan().degrade,
+            _ => None,
+        }
+    }
+
+    /// Stretch one link transfer by the active degradation episode, if the
+    /// directed pair is affected.
+    #[inline]
+    fn degrade_transfer(
+        dur: SimDuration,
+        spec: &LinkDegradeSpec,
+        src: ProcId,
+        dst: ProcId,
+    ) -> SimDuration {
+        if spec.pair.is_none_or(|p| p == (src, dst)) {
+            SimDuration::from_ns(dur.as_ns().saturating_mul(spec.slowdown as u64))
+        } else {
+            dur
+        }
+    }
+
+    /// Serialized input-transfer duration under an active link-degradation
+    /// episode (the fault-path counterpart of [`EngineCore::transfer_in`]).
+    fn degraded_transfer_in(
+        &self,
+        ctx: EngineCtx<'_>,
+        node: NodeId,
+        proc: ProcId,
+        spec: &LinkDegradeSpec,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &pred in ctx.dfg.preds(node) {
+            let loc = self.locations[pred.index()]
+                .expect("started a kernel whose predecessor never finished");
+            if loc == proc {
+                continue;
+            }
+            let dur = ctx.cost.pair_transfer_time(pred, loc, proc);
+            total += Self::degrade_transfer(dur, spec, loc, proc);
+        }
+        total
+    }
+
+    /// Withdraw one arena slot from the engine wherever it currently is —
+    /// ready set, a processor queue, in flight, or awaiting a retry — used
+    /// by open-engine job cancellation after a kernel exhausts its retry
+    /// budget. A kernel killed mid-run frees its processor for queued work.
+    pub(crate) fn cancel_slot(
+        &mut self,
+        ctx: EngineCtx<'_>,
+        slot: NodeId,
+    ) -> Result<(), BaseError> {
+        self.ready.remove(slot);
+        self.fault_cancel_pending(slot);
+        let running_on = (0..self.views.len()).find(|&p| self.views[p].running == Some(slot));
+        if let Some(p) = running_on {
+            let proc = ProcId::new(p);
+            let killed = self.kill_running(proc);
+            debug_assert_eq!(killed, Some(slot));
+            self.start_queued(ctx, proc)?;
+        } else {
+            for p in 0..self.procs.len() {
+                if let Some(pos) = self.procs[p].queue.iter().position(|a| a.node == slot) {
+                    self.procs[p].queue.remove(pos);
+                    self.update_view(ProcId::new(p), |v| v.queue_len -= 1);
+                    break;
+                }
+            }
+        }
+        self.records[slot.index()] = None;
+        self.locations[slot.index()] = None;
+        Ok(())
+    }
+
+    /// Pop and start the queued head on a (still-up) processor that just
+    /// went idle outside the normal finish path.
+    pub(crate) fn start_queued(&mut self, ctx: EngineCtx<'_>, proc: ProcId) -> Result<(), BaseError> {
+        if let Some(next) = self.procs[proc.index()].queue.pop_front() {
+            self.update_view(proc, |v| v.queue_len -= 1);
+            self.start_node(ctx, next, proc)?;
+        }
+        Ok(())
+    }
+
     /// Input-transfer duration for starting `node` on `proc` now. One shared
     /// implementation with `SimView::transfer_in_time`, so the engine's
     /// recorded transfers can never diverge from the costs policies decided
@@ -280,6 +702,7 @@ impl EngineCore {
         node: NodeId,
         proc: ProcId,
         start: SimTime,
+        degrade: Option<LinkDegradeSpec>,
     ) -> SimTime {
         let np = self.views.len();
         let mut landed = start;
@@ -289,7 +712,10 @@ impl EngineCore {
             if loc == proc {
                 continue;
             }
-            let dur = ctx.cost.pair_transfer_time(pred, loc, proc);
+            let mut dur = ctx.cost.pair_transfer_time(pred, loc, proc);
+            if let Some(spec) = &degrade {
+                dur = Self::degrade_transfer(dur, spec, loc, proc);
+            }
             if dur.is_zero() {
                 continue; // zero-byte moves never occupy a link
             }
@@ -322,10 +748,15 @@ impl EngineCore {
                 ),
             })?;
         let start = self.now;
+        let degrade = self.active_degrade();
         let exec_start = if self.link_busy.is_empty() {
-            start + self.transfer_in(ctx, node, proc)
+            start
+                + match &degrade {
+                    None => self.transfer_in(ctx, node, proc),
+                    Some(spec) => self.degraded_transfer_in(ctx, node, proc, spec),
+                }
         } else {
-            self.contended_transfer_end(ctx, node, proc, start)
+            self.contended_transfer_end(ctx, node, proc, start, degrade)
         };
         let transfer = exec_start.saturating_since(start);
         let finish = exec_start + exec;
@@ -343,6 +774,11 @@ impl EngineCore {
         core.stats.busy += exec;
         core.stats.transfer += transfer;
         core.stats.kernels += 1;
+        core.run_token = core.run_token.wrapping_add(1);
+        core.inflight_start = start;
+        core.inflight_transfer = transfer;
+        core.inflight_exec = exec;
+        let token = core.run_token;
         let avg = core.push_history(exec);
         self.update_view(proc, |v| {
             debug_assert!(v.running.is_none());
@@ -350,7 +786,18 @@ impl EngineCore {
             v.busy_until = finish;
             v.recent_avg_exec = avg;
         });
-        self.events.push(finish, Event::Finish(proc));
+        // Transient-failure draw (one coin flip per execution when armed;
+        // nothing on fault-free runs): a failing kernel fires `Fail` at the
+        // sampled fraction of its execution instead of `Finish`.
+        let fail_frac = self.faults.as_mut().and_then(|f| f.state.transient_failure());
+        match fail_frac {
+            Some(frac) if !exec.is_zero() => {
+                let part = ((exec.as_ns() as f64 * frac) as u64).clamp(1, exec.as_ns());
+                let fail_at = exec_start + SimDuration::from_ns(part);
+                self.events.push(fail_at, Event::Fail(proc, token));
+            }
+            _ => self.events.push(finish, Event::Finish(proc, token)),
+        }
         Ok(())
     }
 
@@ -364,6 +811,11 @@ impl EngineCore {
         if a.proc.index() >= self.procs.len() {
             return Err(BaseError::InvalidAssignment {
                 reason: format!("processor {} does not exist", a.proc),
+            });
+        }
+        if self.up_mask & (1 << a.proc.index()) == 0 {
+            return Err(BaseError::ProcUnavailable {
+                proc: a.proc.index(),
             });
         }
         // Reject unrunnable targets eagerly (even when queueing).
@@ -435,9 +887,35 @@ impl EngineCore {
     #[inline]
     fn handle(&mut self, ctx: EngineCtx<'_>, event: Event) -> Result<(), BaseError> {
         match event {
-            Event::Finish(proc) => self.finish_on(ctx, proc),
+            Event::Finish(proc, token) => {
+                if self.procs[proc.index()].run_token != token {
+                    return Ok(()); // stale: the kernel was killed by a fault
+                }
+                self.finish_on(ctx, proc)
+            }
             Event::Arrive(node) => {
                 self.arrive(node);
+                Ok(())
+            }
+            Event::Fail(proc, token) => self.fail_on(ctx, proc, token),
+            Event::Crash(proc) => {
+                self.crash(proc);
+                Ok(())
+            }
+            Event::Repair(proc) => {
+                self.repair(proc);
+                Ok(())
+            }
+            Event::Redispatch(node, token) => {
+                self.redispatch(node, token);
+                Ok(())
+            }
+            Event::DegradeStart => {
+                self.degrade_start();
+                Ok(())
+            }
+            Event::DegradeEnd => {
+                self.degrade_end();
                 Ok(())
             }
         }
@@ -478,6 +956,7 @@ impl EngineCore {
                     locations: &self.locations,
                     deadlines: &self.deadlines,
                     idle_mask: self.idle_mask,
+                    up_mask: self.up_mask,
                 };
                 policy.decide(&view, out);
             }
@@ -547,6 +1026,12 @@ impl<'a> Engine<'a> {
             // next event instant; the calendar queue hands over everything
             // that fires there in one batch, already in schedule order.
             self.core.fixpoint(self.ctx, policy, &mut out)?;
+            if self.core.finished == self.ctx.dfg.len() {
+                // All work done. With faults armed the calendar still holds
+                // the perpetual crash/repair cycle, so "queue empty" would
+                // never come — the completion count is the stop condition.
+                break;
+            }
             if self.core.advance(self.ctx, &mut batch)?.is_none() {
                 break;
             }
@@ -675,6 +1160,70 @@ pub fn simulate_stream(
         policy: policy.name(),
         trace,
     })
+}
+
+/// [`simulate_stream`] with a [`FaultPlan`] armed: transient kernel
+/// failures, processor crash/repair cycles, and link-degradation episodes
+/// are injected from the plan's own seeded RNG stream, and failed kernels
+/// are retried under `retry`. Returns the fault-side counters next to the
+/// usual result.
+///
+/// With `FaultPlan::none()` this is byte-identical to [`simulate_stream`]:
+/// no fault events are scheduled, no extra random draws happen, and the
+/// returned [`FaultTotals`] is all zeros.
+///
+/// In this closed (whole-DAG) mode a kernel that exhausts its retry budget
+/// aborts the run with [`BaseError::RetriesExhausted`] — there is no job
+/// boundary to shed. Use the open engine / stream driver for
+/// shed-and-continue semantics.
+pub fn simulate_stream_faulty(
+    dfg: &KernelDag,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    arrivals: &[SimTime],
+    plan: FaultPlan,
+    retry: RetryPolicy,
+) -> Result<(SimResult, FaultTotals), BaseError> {
+    config.validate()?;
+    dfg.validate()?;
+    if arrivals.len() != dfg.len() {
+        return Err(BaseError::InvalidAssignment {
+            reason: format!(
+                "arrival vector has {} entries for {} kernels",
+                arrivals.len(),
+                dfg.len()
+            ),
+        });
+    }
+    let cost = CostModel::new(dfg, lookup, config);
+    policy.prepare(PrepareCtx {
+        dfg,
+        lookup,
+        config,
+        cost: &cost,
+    })?;
+    let mut engine = Engine::new(
+        EngineCtx {
+            dfg,
+            config,
+            lookup,
+            cost: &cost,
+        },
+        arrivals,
+    );
+    engine.core.arm_faults(plan, retry);
+    engine.run(policy)?;
+    let totals = engine.core.fault_totals();
+    let trace = engine.into_trace();
+    debug_assert!(trace.validate(dfg).is_ok());
+    Ok((
+        SimResult {
+            policy: policy.name(),
+            trace,
+        },
+        totals,
+    ))
 }
 
 #[cfg(test)]
@@ -1167,5 +1716,191 @@ mod tests {
         if let Ok(res) = res {
             res.trace.validate(&dfg).unwrap();
         }
+    }
+
+    #[test]
+    fn none_plan_is_byte_identical_and_counts_nothing() {
+        let kernels = generate_kernels(&StreamConfig::new(40, 13), apt_dfg::LookupTable::paper());
+        let dfg = build_type1(&kernels);
+        let cfg = SystemConfig::paper_4gbps();
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        let plain = simulate_stream(
+            &dfg,
+            &cfg,
+            apt_dfg::LookupTable::paper(),
+            &mut GreedyBest,
+            &arrivals,
+        )
+        .unwrap();
+        let (faulty, totals) = simulate_stream_faulty(
+            &dfg,
+            &cfg,
+            apt_dfg::LookupTable::paper(),
+            &mut GreedyBest,
+            &arrivals,
+            FaultPlan::none(),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(plain, faulty, "FaultPlan::none() perturbed the schedule");
+        assert_eq!(totals, FaultTotals::default());
+    }
+
+    #[test]
+    fn transient_failures_retry_and_still_complete() {
+        let kernels = generate_kernels(&StreamConfig::new(30, 21), apt_dfg::LookupTable::paper());
+        let dfg = build_type1(&kernels);
+        let cfg = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        let clean = simulate_stream(&dfg, &cfg, lookup, &mut GreedyBest, &arrivals).unwrap();
+        let plan = FaultPlan::seeded(5).with_transient(0.3);
+        let retry = RetryPolicy {
+            max_attempts: 20,
+            ..RetryPolicy::default()
+        };
+        let (res, totals) =
+            simulate_stream_faulty(&dfg, &cfg, lookup, &mut GreedyBest, &arrivals, plan, retry)
+                .unwrap();
+        res.trace.validate(&dfg).unwrap();
+        assert_eq!(res.trace.records.len(), dfg.len(), "every kernel finished");
+        assert!(totals.kernel_failures > 0, "p=0.3 over 30 kernels was silent");
+        assert_eq!(totals.retries, totals.kernel_failures);
+        assert!(totals.wasted_ns > 0, "failed attempts must waste work");
+        assert_eq!(totals.crashes, 0);
+        assert!(
+            res.trace.makespan() > clean.trace.makespan(),
+            "re-execution must cost wall-clock time"
+        );
+    }
+
+    #[test]
+    fn retries_exhausted_aborts_the_closed_run() {
+        let dfg = build_type1(&[bfs()]);
+        let plan = FaultPlan::seeded(1).with_transient(1.0);
+        let err = simulate_stream_faulty(
+            &dfg,
+            &SystemConfig::paper_4gbps(),
+            apt_dfg::LookupTable::paper(),
+            &mut GreedyBest,
+            &[SimTime::ZERO],
+            plan,
+            RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            BaseError::RetriesExhausted { node, attempts } => {
+                assert_eq!(node, 0);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashes_orphan_and_redispatch_without_losing_kernels() {
+        let kernels = generate_kernels(&StreamConfig::new(40, 8), apt_dfg::LookupTable::paper());
+        let dfg = build_type1(&kernels);
+        let cfg = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        // MTTF well inside the fault-free makespan so crashes actually land
+        // mid-run; quick repairs keep capacity recoverable.
+        let plan = FaultPlan::seeded(17).with_crashes(
+            SimDuration::from_ms(400),
+            SimDuration::from_ms(50),
+        );
+        let (res, totals) = simulate_stream_faulty(
+            &dfg,
+            &cfg,
+            lookup,
+            &mut GreedyBest,
+            &arrivals,
+            plan,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        res.trace.validate(&dfg).unwrap();
+        assert_eq!(res.trace.records.len(), dfg.len(), "a kernel was lost");
+        assert!(totals.crashes > 0, "MTTF 400ms never crashed this run");
+        assert!(totals.down_ns > 0);
+        assert!(
+            totals.repairs >= totals.crashes.saturating_sub(3),
+            "repairs must chase crashes (≤ nprocs may be pending at the end)"
+        );
+        // Crash orphans are re-dispatched without charging retry attempts,
+        // so a default budget of 3 attempts never aborts the run.
+        assert_eq!(totals.kernel_failures, 0);
+    }
+
+    #[test]
+    fn link_degradation_stretches_cross_proc_transfers() {
+        // nw on p0 feeds cd pinned to p1: 64 MB crosses the link. A
+        // permanently-degraded fabric (episode far longer than the run)
+        // must stretch exactly that transfer.
+        let dfg = build_type1(&[nw(), cd()]);
+        let lookup = apt_dfg::LookupTable::paper();
+        let cfg = SystemConfig::paper_4gbps();
+        let clean = simulate(&dfg, &cfg, lookup, &mut Pin(vec![0, 1])).unwrap();
+        let plan = FaultPlan::seeded(2).with_link_degrade(LinkDegradeSpec {
+            pair: None,
+            slowdown: 4,
+            mtbf: SimDuration::from_ns(1),
+            duration: SimDuration::from_ms(3_600_000),
+        });
+        let (res, totals) = simulate_stream_faulty(
+            &dfg,
+            &cfg,
+            lookup,
+            &mut Pin(vec![0, 1]),
+            &vec![SimTime::ZERO; dfg.len()],
+            plan,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        res.trace.validate(&dfg).unwrap();
+        let rc = clean.trace.record(NodeId::new(1)).unwrap();
+        let rf = res.trace.record(NodeId::new(1)).unwrap();
+        assert_eq!(
+            rf.transfer_time(),
+            SimDuration::from_ns(rc.transfer_time().as_ns() * 4),
+            "slowdown 4 must scale the degraded transfer"
+        );
+        assert_eq!(totals.crashes, 0);
+        assert_eq!(totals.kernel_failures, 0);
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically_under_one_seed() {
+        let kernels = generate_kernels(&StreamConfig::new(35, 31), apt_dfg::LookupTable::paper());
+        let dfg = build_type1(&kernels);
+        let cfg = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        let plan = FaultPlan::seeded(9)
+            .with_transient(0.2)
+            .with_crashes(SimDuration::from_ms(600), SimDuration::from_ms(40));
+        let retry = RetryPolicy {
+            max_attempts: 25,
+            ..RetryPolicy::default()
+        };
+        let run = || {
+            simulate_stream_faulty(&dfg, &cfg, lookup, &mut GreedyBest, &arrivals, plan, retry)
+                .unwrap()
+        };
+        let (ra, ta) = run();
+        let (rb, tb) = run();
+        assert_eq!(ra, rb, "same fault seed must replay byte-identically");
+        assert_eq!(ta, tb);
+        // A different fault seed changes the outcome (same workload).
+        let other = FaultPlan { seed: 10, ..plan };
+        let (rc, _) = simulate_stream_faulty(
+            &dfg, &cfg, lookup, &mut GreedyBest, &arrivals, other, retry,
+        )
+        .unwrap();
+        assert_ne!(ra, rc, "distinct fault seeds must diverge");
     }
 }

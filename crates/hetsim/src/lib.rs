@@ -67,6 +67,26 @@
 //! straight port of the seed engine's naive bookkeeping and asserts
 //! byte-identical traces, so this hot-path structure cannot silently change
 //! schedules.
+//!
+//! # Failure model
+//!
+//! Both engines can optionally run under an `apt-faults` [`FaultPlan`]
+//! (armed via [`simulate_stream_faulty`] or `OpenEngine::arm_faults`):
+//! transient kernel failures abort a running kernel partway through and
+//! re-execute it under a [`RetryPolicy`] (exponential backoff with jitter);
+//! processor crashes (exponential MTTF/MTTR) kill the in-flight kernel,
+//! flush the processor's queue, and mask the processor out of the idle set
+//! until repair — [`ProcView::down`] is the policy-visible flag, and
+//! [`SimView::up_mask`] / [`SimView::live_procs`] summarize surviving
+//! capacity; link-degradation episodes scale transfer times on one (or
+//! every) processor pair for a bounded interval. All fault draws come from
+//! a dedicated salted RNG stream, so a disabled plan is byte-identical to a
+//! fault-free run and workload generation never shifts under injection.
+//! Orphaned and failed kernels re-enter the ordinary ready path, so any
+//! dynamic policy fails over without fault-specific code — APT picks an
+//! alternative processor within threshold while MET waits for its best
+//! instance to be repaired, which is exactly the contrast the fault sweeps
+//! measure.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -83,9 +103,10 @@ pub mod topology;
 pub mod trace;
 pub mod view;
 
+pub use apt_faults::{FaultPlan, FaultTotals, LinkDegradeSpec, RetryPolicy};
 pub use calendar::CalendarQueue;
 pub use cost::CostModel;
-pub use engine::{simulate, simulate_stream};
+pub use engine::{simulate, simulate_stream, simulate_stream_faulty};
 pub use link::LinkRate;
 pub use open::{validate_job, CompletedJob, JobId, OpenEngine, ReadyOrder};
 pub use policy::{Assignment, AssignmentBuf, Policy, PolicyKind, PrepareCtx};

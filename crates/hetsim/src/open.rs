@@ -47,6 +47,7 @@ use crate::system::SystemConfig;
 use crate::trace::{ProcStats, TaskRecord};
 use apt_base::{BaseError, SimDuration, SimTime};
 use apt_dfg::{Kernel, KernelDag, LookupTable, NodeId};
+use apt_faults::{FaultPlan, FaultTotals, RetryPolicy};
 use std::collections::HashMap;
 
 /// Identifier of one admitted job: its admission index (0, 1, 2, … in
@@ -80,7 +81,16 @@ pub struct CompletedJob {
     pub deadline: Option<SimTime>,
     /// One record per kernel, renumbered to **job-local** node ids
     /// (`0..kernels.len()` in the order they were passed to `admit`).
+    ///
+    /// For a [`failed`](CompletedJob::failed) job this is **partial**: only
+    /// the kernels that completed before the job was shed have records, in
+    /// job-local id order.
     pub records: Vec<TaskRecord>,
+    /// True when the job was shed after a kernel exhausted its retry budget
+    /// (or the job spent its whole per-job retry allowance) under an armed
+    /// fault plan — it did *not* run to completion. Always false on
+    /// fault-free runs.
+    pub failed: bool,
 }
 
 impl CompletedJob {
@@ -145,6 +155,8 @@ struct LiveJob {
     slots: Vec<NodeId>,
     /// Kernels not yet finished.
     remaining: usize,
+    /// Transient-failure retries charged against the job's retry budget.
+    retries: u32,
 }
 
 /// The open-system engine. See the module docs.
@@ -167,6 +179,8 @@ pub struct OpenEngine<'a> {
     /// Global admission sequence feeding the ordered ready set.
     next_seq: u64,
     completed: Vec<CompletedJob>,
+    /// Retry policy in force when a fault plan is armed (budget checks).
+    retry: RetryPolicy,
     in_flight_kernels: usize,
     peak_in_flight_jobs: usize,
     peak_in_flight_kernels: usize,
@@ -206,6 +220,7 @@ impl<'a> OpenEngine<'a> {
             next_job: 0,
             next_seq: 0,
             completed: Vec::new(),
+            retry: RetryPolicy::default(),
             in_flight_kernels: 0,
             peak_in_flight_jobs: 0,
             peak_in_flight_kernels: 0,
@@ -234,6 +249,35 @@ impl<'a> OpenEngine<'a> {
             config: self.config,
             cost: &self.cost,
         })
+    }
+
+    /// Arm a fault plan over this engine: transient kernel failures,
+    /// processor crash/repair cycles, and link-degradation episodes drawn
+    /// from the plan's own seeded RNG stream, with failed kernels retried
+    /// under `retry`. Call once, before stepping; a [`FaultPlan::none()`]
+    /// plan is a no-op and leaves the run byte-identical to a fault-free
+    /// one.
+    ///
+    /// When a kernel exhausts `retry.max_attempts`, or a job spends more
+    /// than `retry.job_retry_budget` retries in total, the **whole job** is
+    /// shed: its unfinished kernels are withdrawn and its [`CompletedJob`]
+    /// is delivered with [`CompletedJob::failed`] set (partial records).
+    pub fn arm_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.retry = retry;
+        self.core.arm_faults(plan, retry);
+    }
+
+    /// Fault counters as of the current instant (all zeros when no plan is
+    /// armed). Downtime of processors still under repair is included.
+    pub fn fault_totals(&self) -> FaultTotals {
+        self.core.fault_totals()
+    }
+
+    /// Processors currently up (not crashed). Equal to the machine size on
+    /// fault-free runs; admission gates scale their capacity model by this.
+    #[inline]
+    pub fn live_procs(&self) -> usize {
+        self.core.up_mask.count_ones() as usize
     }
 
     /// Current simulation time.
@@ -355,6 +399,7 @@ impl<'a> OpenEngine<'a> {
                 }
             };
             self.cost.bind_slot(slot, &kernel, self.lookup, self.config);
+            self.core.fault_reset_slot(slot, self.dag.len());
             self.core.arrived[slot.index()] = false;
             self.core.locations[slot.index()] = None;
             self.core.deadlines[slot.index()] = deadline_at;
@@ -398,6 +443,7 @@ impl<'a> OpenEngine<'a> {
                 deadline,
                 slots,
                 remaining: kernels.len(),
+                retries: 0,
             },
         );
         self.peak_in_flight_jobs = self.peak_in_flight_jobs.max(self.live.len());
@@ -454,6 +500,7 @@ impl<'a> OpenEngine<'a> {
         };
         if advanced.is_some() {
             self.retire_finished();
+            self.settle_faults()?;
         }
         Ok(advanced)
     }
@@ -504,9 +551,86 @@ impl<'a> OpenEngine<'a> {
                 arrival: live.arrival,
                 deadline: live.deadline,
                 records,
+                failed: false,
             });
         }
         self.finished_buf = finished;
+    }
+
+    /// Process fault outcomes of the latest event batch: charge retries
+    /// against per-job budgets and shed every job with an exhausted kernel
+    /// or a spent budget. A no-op (empty drains) when no plan is armed.
+    fn settle_faults(&mut self) -> Result<(), BaseError> {
+        if self.core.retried_nodes.is_empty() && self.core.failed_nodes.is_empty() {
+            return Ok(());
+        }
+        let mut retried = std::mem::take(&mut self.core.retried_nodes);
+        for &node in &retried {
+            let job = self.slot_job[node.index()];
+            let Some(live) = self.live.get_mut(&job) else {
+                continue; // job already shed this batch
+            };
+            live.retries += 1;
+            if live.retries > self.retry.job_retry_budget {
+                self.cancel_job(job)?;
+            }
+        }
+        retried.clear();
+        self.core.retried_nodes = retried;
+        let mut failed = std::mem::take(&mut self.core.failed_nodes);
+        for &node in &failed {
+            let job = self.slot_job[node.index()];
+            if self.live.contains_key(&job) {
+                self.cancel_job(job)?;
+            }
+        }
+        failed.clear();
+        self.core.failed_nodes = failed;
+        Ok(())
+    }
+
+    /// Shed one in-flight job: withdraw its unfinished kernels from the
+    /// engine (ready set, processor queues, in-flight execution, pending
+    /// retries), free its slots, and deliver a [`CompletedJob`] with
+    /// `failed: true` carrying the records of the kernels that did finish.
+    fn cancel_job(&mut self, job: u64) -> Result<(), BaseError> {
+        let live = self.live.remove(&job).expect("cancelling a live job");
+        let mut records = Vec::new();
+        for (local, &slot) in live.slots.iter().enumerate() {
+            if let Some(mut record) = self.core.records[slot.index()].take() {
+                record.node = NodeId::new(local);
+                records.push(record);
+            }
+            {
+                let OpenEngine {
+                    config,
+                    lookup,
+                    dag,
+                    cost,
+                    core,
+                    ..
+                } = &mut *self;
+                let ctx = EngineCtx {
+                    dfg: dag,
+                    config,
+                    lookup,
+                    cost,
+                };
+                core.cancel_slot(ctx, slot)?;
+            }
+            self.dag.detach_node(slot);
+            self.free.push(slot);
+        }
+        self.in_flight_kernels -= live.slots.len();
+        self.core.note_job_failed();
+        self.completed.push(CompletedJob {
+            job: JobId(job),
+            arrival: live.arrival,
+            deadline: live.deadline,
+            records,
+            failed: true,
+        });
+        Ok(())
     }
 }
 
@@ -900,5 +1024,116 @@ mod tests {
             .flat_map(|d| d.records.iter().map(TaskRecord::lambda))
             .sum();
         assert_eq!(open_lambda, closed.trace.lambda_total());
+    }
+
+    #[test]
+    fn retry_exhaustion_sheds_the_job_with_partial_records() {
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        engine.prepare(&mut policy).unwrap();
+        // Every execution fails and nothing retries: the chain's first
+        // kernel fails once, the job is shed, the successor never runs.
+        engine.arm_faults(
+            FaultPlan::seeded(3).with_transient(1.0),
+            RetryPolicy::no_retries(),
+        );
+        engine.admit(&[bfs(), bfs()], &[(0, 1)], SimTime::ZERO).unwrap();
+        run_to_completion(&mut engine, &mut policy);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].failed, "shed job must be marked failed");
+        assert!(
+            done[0].records.is_empty(),
+            "no kernel completed, so no records"
+        );
+        let totals = engine.fault_totals();
+        assert_eq!(totals.jobs_failed, 1);
+        assert_eq!(totals.kernel_failures, 1);
+        assert_eq!(totals.retries, 0, "no_retries must schedule no retry");
+        assert!(totals.wasted_ns > 0, "the failed attempt wasted work");
+        // The slot machinery survives the cancellation: a fresh admission
+        // still flows (and fails again under p = 1, exercising reuse).
+        engine.admit(&[bfs()], &[], engine.now()).unwrap();
+        run_to_completion(&mut engine, &mut policy);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].failed);
+        assert_eq!(engine.fault_totals().jobs_failed, 2);
+    }
+
+    #[test]
+    fn job_retry_budget_bounds_thrash_before_shedding() {
+        let config = SystemConfig::paper_no_transfers();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        engine.prepare(&mut policy).unwrap();
+        // p = 1 with a deep per-kernel attempt allowance: only the job
+        // budget (2 retries) can stop the thrash — on the third retry the
+        // job is over budget and shed.
+        engine.arm_faults(
+            FaultPlan::seeded(7).with_transient(1.0),
+            RetryPolicy {
+                max_attempts: 10,
+                job_retry_budget: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        engine.admit(&[bfs()], &[], SimTime::ZERO).unwrap();
+        run_to_completion(&mut engine, &mut policy);
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].failed);
+        let totals = engine.fault_totals();
+        assert_eq!(totals.jobs_failed, 1);
+        assert_eq!(totals.retries, 3, "retries 1, 2 within budget; 3 over");
+        assert_eq!(totals.kernel_failures, 3);
+    }
+
+    #[test]
+    fn crashes_mask_processors_but_jobs_still_finish() {
+        let config = SystemConfig::paper_4gbps();
+        let lookup = apt_dfg::LookupTable::paper();
+        let mut engine = OpenEngine::new(&config, lookup).unwrap();
+        let mut policy = FirstFit;
+        engine.prepare(&mut policy).unwrap();
+        assert_eq!(engine.live_procs(), 3);
+        engine.arm_faults(
+            FaultPlan::seeded(19).with_crashes(
+                SimDuration::from_ms(500),
+                SimDuration::from_ms(60),
+            ),
+            RetryPolicy::default(),
+        );
+        // A batch of multi-second jobs so crashes land mid-run.
+        for j in 0..6u64 {
+            engine
+                .admit(
+                    &[Kernel::new(KernelKind::MatMul, 4_000_000), bfs()],
+                    &[(0, 1)],
+                    SimTime::from_ms(j),
+                )
+                .unwrap();
+        }
+        // The crash/repair calendar never drains, so loop on live work
+        // instead of event exhaustion (the stream driver does the same).
+        while engine.in_flight_jobs() > 0 {
+            engine.step(&mut policy).unwrap();
+        }
+        let mut done = Vec::new();
+        engine.drain_completed(&mut done);
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().all(|j| !j.failed), "crashes alone shed nothing");
+        assert!(done.iter().all(|j| j.records.len() == 2));
+        let totals = engine.fault_totals();
+        assert!(totals.crashes > 0, "no crash landed in seconds of work");
+        assert!(totals.down_ns > 0);
+        assert_eq!(totals.kernel_failures, 0);
+        assert!(engine.live_procs() <= 3);
     }
 }

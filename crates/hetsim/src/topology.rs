@@ -55,6 +55,24 @@
 //! on routed physical edges: presets that fold multi-hop paths into one
 //! effective rate (the [`Topology::star`] two-hop) do not serialize the
 //! shared segments those paths really traverse — see the star docs.
+//!
+//! ## Failure model
+//!
+//! The interconnect can also *degrade*: an armed
+//! [`crate::FaultPlan`] with a [`crate::LinkDegradeSpec`] overlays
+//! episodic slowdowns on whatever rates the topology supplies. During an
+//! episode every affected transfer time is multiplied by the spec's
+//! `slowdown` factor — either on one directed `(src, dst)` pair or, with
+//! `pair: None`, across the whole fabric — and episodes alternate with
+//! exponentially-drawn healthy intervals (`mtbf`) on the fault plan's own
+//! RNG stream. Degradation composes with everything above: it scales the
+//! *outcome* of the topology lookup (and, under
+//! [`LinkContention::PerLink`], stretches the busy window the transfer
+//! holds on its link), it never rewrites the matrix itself, and policies
+//! still see the healthy estimate — a degraded link, like a busy one, is
+//! engine state the scheduler discovers only through its consequences.
+//! Processor crash/repair and transient kernel failures live one level
+//! up in the engine; see the crate-level "Failure model" section.
 
 use crate::link::LinkRate;
 use apt_base::{BaseError, ProcId, SimDuration};

@@ -41,14 +41,20 @@ pub struct ProcView {
     /// processor (`τ_k` in AG's Eq. 2), rounded to the nearest nanosecond;
     /// zero when nothing has been assigned.
     pub recent_avg_exec: SimDuration,
+    /// True while the processor is crashed (fault injection): it holds no
+    /// work, is never idle, and the engine rejects assignments to it. Always
+    /// `false` on fault-free runs.
+    pub down: bool,
 }
 
 impl ProcView {
-    /// A processor is *available* (in `A`) when it is neither executing nor
-    /// holding queued work.
+    /// A processor is *available* (in `A`) when it is up and neither
+    /// executing nor holding queued work. A crashed processor is never
+    /// idle, which is the single property that keeps every idle-driven
+    /// policy off the down set.
     #[inline]
     pub fn is_idle(&self) -> bool {
-        self.running.is_none() && self.queue_len == 0
+        !self.down && self.running.is_none() && self.queue_len == 0
     }
 
     /// `N_g` of AG's Eq. 2: queued kernel calls, counting the running one.
@@ -93,6 +99,11 @@ pub struct SimView<'a> {
     /// cost model's per-(node, idle-mask) SS stddev cache
     /// ([`CostModel::idle_stddev`]).
     pub idle_mask: u64,
+    /// Bitset of *up* processors (bit `i` ⇔ `!procs[i].down`). All ones on
+    /// fault-free runs; under fault injection the engine clears a bit for
+    /// the crash-to-repair interval. Distinct from `idle_mask`: a busy
+    /// processor is up but not idle.
+    pub up_mask: u64,
 }
 
 impl<'a> SimView<'a> {
@@ -169,9 +180,20 @@ impl<'a> SimView<'a> {
     /// The processor instance with the minimum *execution* time for `node`
     /// (`p_min` and `x` of §3.1). Ties break toward the lowest processor id.
     /// `None` if no processor in the system can run the kernel. Precomputed.
+    /// Deliberately availability-independent: `p_min` is a property of the
+    /// machine, not of the instant — a policy that insists on `p_min` while
+    /// it is crashed simply waits (MET), while threshold policies compare
+    /// against its exec time and fail over to an idle alternative (APT).
     #[inline]
     pub fn best_proc(&self, node: NodeId) -> Option<(ProcId, SimDuration)> {
         self.cost.best_proc(node)
+    }
+
+    /// Number of processors currently up (not crashed). Equals
+    /// `procs.len()` on fault-free runs. O(1) — a popcount of `up_mask`.
+    #[inline]
+    pub fn live_procs(&self) -> usize {
+        self.up_mask.count_ones() as usize
     }
 
     /// Idle processors (the available set `A`), ascending id. A plain scan
@@ -242,6 +264,7 @@ mod tests {
                 busy_until: now,
                 queue_len: 0,
                 recent_avg_exec: SimDuration::ZERO,
+                down: false,
             })
             .collect()
     }
@@ -274,6 +297,11 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(_, p)| p.is_idle())
+                .fold(0u64, |m, (i, _)| m | 1 << i),
+            up_mask: procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.down)
                 .fold(0u64, |m, (i, _)| m | 1 << i),
         }
     }
@@ -386,6 +414,7 @@ mod tests {
             busy_until: SimTime::from_ms(5),
             queue_len: 2,
             recent_avg_exec: SimDuration::from_ms(3),
+            down: false,
         };
         assert!(!p.is_idle());
         assert_eq!(p.ag_queue_count(), 3);
@@ -396,5 +425,23 @@ mod tests {
         };
         assert!(idle.is_idle());
         assert_eq!(idle.ag_queue_count(), 0);
+        // A crashed processor is never idle, even with nothing on it.
+        let crashed = ProcView { down: true, ..idle };
+        assert!(!crashed.is_idle());
+    }
+
+    #[test]
+    fn live_procs_reads_up_mask() {
+        let f = fixture();
+        let mut procs = idle_procs(&f.config, SimTime::ZERO);
+        procs[1].down = true;
+        let locations = vec![None; f.dfg.len()];
+        let ready = ready_of(&f.dfg, &f.dfg.sources());
+        let view = view(&f, &ready, &procs, &locations);
+        assert_eq!(view.up_mask, 0b101);
+        assert_eq!(view.live_procs(), 2);
+        // The down proc also left the idle set.
+        assert_eq!(view.idle_mask, 0b101);
+        assert_eq!(view.idle_count(), 2);
     }
 }

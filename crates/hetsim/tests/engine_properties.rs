@@ -1,10 +1,11 @@
 //! Property-based tests of the event engine on arbitrary dependency
 //! structures (not just the paper's two DFG shapes).
 
-use apt_base::{ProcKind, SimDuration};
+use apt_base::{ProcKind, SimDuration, SimTime};
 use apt_dfg::{Dag, KernelDag, LookupTable, NodeId, SplitMix64};
 use apt_hetsim::{
-    simulate, Assignment, AssignmentBuf, LinkRate, Policy, PolicyKind, SimView, SystemConfig,
+    simulate, simulate_stream_faulty, Assignment, AssignmentBuf, FaultPlan, LinkRate, Policy,
+    PolicyKind, RetryPolicy, SimView, SystemConfig,
 };
 use proptest::prelude::*;
 
@@ -274,6 +275,88 @@ proptest! {
             .sum();
         prop_assert_eq!(res.makespan(), expected);
         prop_assert_eq!(res.trace.lambda_total(), SimDuration::ZERO);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Faulty runs replay byte-identically under one `(workload, fault)`
+    /// seed pair on arbitrary DAGs — determinism survives transient
+    /// retries, crash/repair cycles, and orphan re-dispatch.
+    #[test]
+    fn faulty_runs_are_deterministic_on_arbitrary_dags(
+        n in 1usize..22,
+        density in 0u64..70,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let dfg = random_kernel_dag(n, density, seed);
+        let system = SystemConfig::paper_4gbps();
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        // MTTF well above the longest paper kernel so a crash-looped
+        // kernel always eventually completes; generous attempts so p=0.2
+        // never exhausts the budget.
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_transient(0.2)
+            .with_crashes(SimDuration::from_ms(60_000), SimDuration::from_ms(1_000));
+        let retry = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+        let lookup = LookupTable::paper();
+        let (a, ta) = simulate_stream_faulty(
+            &dfg, &system, lookup, &mut FirstFit, &arrivals, plan, retry,
+        ).unwrap();
+        let (b, tb) = simulate_stream_faulty(
+            &dfg, &system, lookup, &mut FirstFit, &arrivals, plan, retry,
+        ).unwrap();
+        prop_assert_eq!(&a, &b, "same seeds must replay identically");
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(a.trace.records.len(), n, "a kernel was lost");
+        a.trace.validate(&dfg).unwrap();
+    }
+
+    /// Crashes landing mid-transfer are safe: inflated cross-processor
+    /// inputs under aggressive crash cycling still complete every kernel,
+    /// the trace validates, and the waste/downtime books stay consistent
+    /// (wasted occupancy never exceeds total occupancy).
+    #[test]
+    fn crash_during_transfer_is_safe(
+        n in 2usize..12,
+        density in 20u64..80,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let dfg = random_kernel_dag(n, density, seed);
+        // 64 B/element stretches transfers to multi-second spans, so
+        // MTTF 5 s lands crashes inside them routinely.
+        let system = SystemConfig::paper_4gbps().with_bytes_per_element(64);
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_crashes(SimDuration::from_ms(5_000), SimDuration::from_ms(200));
+        let (res, totals) = simulate_stream_faulty(
+            &dfg,
+            &system,
+            LookupTable::paper(),
+            &mut FirstFit,
+            &arrivals,
+            plan,
+            RetryPolicy::default(),
+        ).unwrap();
+        prop_assert_eq!(res.trace.records.len(), n, "a kernel was lost");
+        res.trace.validate(&dfg).unwrap();
+        let occupancy_ns: u64 = res
+            .trace
+            .proc_stats
+            .iter()
+            .map(|s| s.busy.as_ns() + s.transfer.as_ns())
+            .sum();
+        prop_assert!(
+            totals.wasted_ns <= occupancy_ns,
+            "wasted {} ns exceeds total occupancy {} ns",
+            totals.wasted_ns,
+            occupancy_ns
+        );
+        prop_assert_eq!(totals.kernel_failures, 0, "crash-only plan drew a transient");
+        prop_assert!(totals.repairs <= totals.crashes);
     }
 }
 

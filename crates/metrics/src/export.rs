@@ -75,7 +75,8 @@ pub fn summaries_to_csv(summaries: &[RunSummary]) -> String {
 /// CSV header of [`snapshots_to_csv`].
 pub const SNAPSHOT_CSV_HEADER: &str = "label,end_ms,interval_ms,window_jobs,total_jobs,\
      throughput_jps,latency_p50_ms,latency_p90_ms,latency_p99_ms,mean_depth,depth_now,\
-     window_missed,total_missed,total_deadline_jobs,miss_rate,tardiness_p99_ms,util_mean";
+     window_missed,total_missed,total_deadline_jobs,miss_rate,tardiness_p99_ms,util_mean,\
+     window_failed,total_failed,window_kernel_failures,window_retries,availability";
 
 /// Render labelled snapshot series as long-format CSV: one row per
 /// `(label, window)`, windows in emission order. The label identifies the
@@ -98,7 +99,7 @@ pub fn snapshots_to_csv<'a>(
             };
             let _ = writeln!(
                 out,
-                "{},{:.6},{:.6},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.6},{:.6},{:.6}",
+                "{},{:.6},{:.6},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{:.6}",
                 label,
                 s.end.as_ms_f64(),
                 s.interval.as_ms_f64(),
@@ -116,6 +117,11 @@ pub fn snapshots_to_csv<'a>(
                 s.miss_rate(),
                 s.tardiness_p99_ms,
                 util_mean,
+                s.window_failed,
+                s.total_failed,
+                s.window_kernel_failures,
+                s.window_retries,
+                s.availability,
             );
         }
     }
@@ -211,6 +217,13 @@ mod tests {
             total_deadline_jobs: jobs,
             tardiness_p99_ms: 2.0,
             utilization: vec![0.5, 0.25],
+            window_failed: 0,
+            total_failed: 0,
+            window_kernel_failures: 0,
+            window_retries: 0,
+            window_down_ns: 0,
+            window_wasted_ns: 0,
+            availability: 1.0,
         };
         let a = vec![snap(100, 4, 1), snap(200, 2, 0)];
         let b = vec![snap(100, 3, 3)];
@@ -224,8 +237,10 @@ mod tests {
         assert_eq!(lines[3].split(',').count(), cols, "bad row: {}", lines[3]);
         // Miss-rate column: window 1 of run A had 1/4 missed.
         assert!(lines[1].contains(",0.250000,"), "{}", lines[1]);
-        // util_mean averages the per-proc window utilizations.
-        assert!(lines[1].ends_with("0.375000"), "{}", lines[1]);
+        // util_mean averages the per-proc window utilizations; the fault
+        // columns of a fault-free snapshot are zeros with availability 1.
+        assert!(lines[1].contains(",0.375000,"), "{}", lines[1]);
+        assert!(lines[1].ends_with(",0,0,0,0,1.000000"), "{}", lines[1]);
     }
 
     #[test]

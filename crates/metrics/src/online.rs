@@ -186,6 +186,30 @@ pub struct StreamSnapshot {
     pub tardiness_p99_ms: f64,
     /// Per-processor busy+transfer fraction of the window.
     pub utilization: Vec<f64>,
+    /// Jobs shed by the failure model inside this window (retry budget
+    /// exhausted). Zero on fault-free runs.
+    #[serde(default)]
+    pub window_failed: u64,
+    /// Failed jobs since the run started.
+    #[serde(default)]
+    pub total_failed: u64,
+    /// Transient kernel failures injected inside this window.
+    #[serde(default)]
+    pub window_kernel_failures: u64,
+    /// Kernel retries scheduled inside this window.
+    #[serde(default)]
+    pub window_retries: u64,
+    /// Processor downtime accumulated inside this window, ns (summed over
+    /// processors, so it can exceed the interval on multi-crash windows).
+    #[serde(default)]
+    pub window_down_ns: u64,
+    /// Occupancy thrown away inside this window (killed attempts), ns.
+    #[serde(default)]
+    pub window_wasted_ns: u64,
+    /// Fraction of this window's aggregate processor-time that was up:
+    /// `1 − down/(procs × interval)`. Exactly 1.0 on fault-free runs.
+    #[serde(default)]
+    pub availability: f64,
 }
 
 impl StreamSnapshot {
@@ -234,6 +258,13 @@ pub struct OnlineMetrics {
     max_depth: usize,
     // Cumulative per-proc busy+transfer at the last snapshot boundary.
     last_busy_ns: Vec<u64>,
+    // Failure axis: per-window + cumulative shed-job counts, and the
+    // engine's cumulative fault counters as of "now" / the last boundary
+    // (windows report the delta).
+    window_failed: u64,
+    total_failed: u64,
+    fault_now: [u64; 4],
+    fault_at_boundary: [u64; 4],
     snapshots: Vec<StreamSnapshot>,
 }
 
@@ -265,8 +296,39 @@ impl OnlineMetrics {
             depth: 0,
             max_depth: 0,
             last_busy_ns: vec![0; nprocs],
+            window_failed: 0,
+            total_failed: 0,
+            fault_now: [0; 4],
+            fault_at_boundary: [0; 4],
             snapshots: Vec::new(),
         }
+    }
+
+    /// Record one job shed by the failure model (retry budget exhausted).
+    /// Failed jobs are excluded from the latency/tardiness estimators —
+    /// they have no meaningful completion — and counted separately.
+    pub fn observe_job_failed(&mut self) {
+        self.total_failed += 1;
+        self.window_failed += 1;
+    }
+
+    /// Update the engine's *cumulative* fault counters (transient kernel
+    /// failures, retries, wasted occupancy ns, downtime ns) so the next
+    /// snapshot can report this window's delta. Call before
+    /// [`OnlineMetrics::maybe_snapshot`]; a fault-free run never needs to.
+    pub fn note_fault_counters(
+        &mut self,
+        kernel_failures: u64,
+        retries: u64,
+        wasted_ns: u64,
+        down_ns: u64,
+    ) {
+        self.fault_now = [kernel_failures, retries, wasted_ns, down_ns];
+    }
+
+    /// Failure-model job sheds observed so far.
+    pub fn total_failed_jobs(&self) -> u64 {
+        self.total_failed
     }
 
     /// Advance the depth integral to `now` and set the new depth.
@@ -359,6 +421,11 @@ impl OnlineMetrics {
                 .map(|(now_ns, last_ns)| (now_ns - last_ns) as f64 / interval_ns)
                 .collect();
             self.last_busy_ns = busy_now;
+            let [failures, retries, wasted, down] = self.fault_now;
+            let [b_failures, b_retries, b_wasted, b_down] = self.fault_at_boundary;
+            let nprocs = self.last_busy_ns.len().max(1);
+            let window_down_ns = down - b_down;
+            self.fault_at_boundary = self.fault_now;
             self.snapshots.push(StreamSnapshot {
                 end,
                 interval: self.interval,
@@ -375,9 +442,18 @@ impl OnlineMetrics {
                 total_deadline_jobs: self.deadline_jobs,
                 tardiness_p99_ms: self.tardiness_p99.estimate().unwrap_or(0.0),
                 utilization,
+                window_failed: self.window_failed,
+                total_failed: self.total_failed,
+                window_kernel_failures: failures - b_failures,
+                window_retries: retries - b_retries,
+                window_down_ns,
+                window_wasted_ns: wasted - b_wasted,
+                availability: 1.0
+                    - (window_down_ns as f64 / (nprocs as f64 * interval_ns)).min(1.0),
             });
             self.window_jobs = 0;
             self.window_misses = 0;
+            self.window_failed = 0;
             self.window_end = end + self.interval;
             emitted += 1;
         }

@@ -88,6 +88,7 @@ mod tests {
                 busy_until: SimTime::ZERO,
                 queue_len: 0,
                 recent_avg_exec: SimDuration::ZERO,
+                down: false,
             })
             .collect()
     }
@@ -114,6 +115,7 @@ mod tests {
                 .enumerate()
                 .filter(|(_, p)| p.is_idle())
                 .fold(0u64, |m, (i, _)| m | 1 << i),
+            up_mask: (1u64 << procs.len()) - 1,
         };
         check(&view);
     }

@@ -100,8 +100,18 @@ impl AdmissionGate for UtilizationBound<'_> {
                 work as f64 / window as f64
             }
         };
-        if self.load + density > self.bound * self.nprocs as f64 {
-            return false;
+        // The machine the budget is drawn against is the *live* one: under
+        // an armed fault plan crashed processors are masked out of
+        // `req.live_procs`, so admission tightens while capacity is down
+        // (and deadline-carrying jobs are shed outright at zero capacity).
+        // Deadline-free jobs are density-0 and always pass — this gate
+        // bounds SLO load, and standing reservations may legitimately
+        // exceed a freshly shrunken budget.
+        if density > 0.0 {
+            let capacity = req.live_procs.min(self.nprocs);
+            if self.load + density > self.bound * capacity as f64 {
+                return false;
+            }
         }
         self.reserved.insert(req.job_id.0, density);
         self.load += density;
@@ -173,8 +183,16 @@ impl AdmissionGate for FeasibilityGate<'_> {
             return false;
         };
         if let Some(deadline) = req.deadline {
+            // Feasibility is judged against the processors actually up: a
+            // crashed machine (zero live processors) makes every deadline
+            // infeasible, and a degraded one spreads the backlog across
+            // fewer survivors.
+            let live = req.live_procs.min(self.nprocs);
+            if live == 0 {
+                return false;
+            }
             let window = deadline.saturating_since(req.arrival).as_ns();
-            let estimate = self.backlog_ns / self.nprocs as u64
+            let estimate = self.backlog_ns / live as u64
                 + req.job.critical_path_min(self.lookup).as_ns();
             if estimate > window {
                 return false;
@@ -227,6 +245,7 @@ mod tests {
             now: arrival,
             in_flight_jobs: 0,
             in_flight_kernels: 0,
+            live_procs: 3,
         }
     }
 
@@ -236,6 +255,7 @@ mod tests {
             arrival: SimTime::ZERO,
             deadline: None,
             records: Vec::new(),
+            failed: false,
         }
     }
 
@@ -355,6 +375,50 @@ mod tests {
         let ok = job(9);
         assert!(util.admit(&request(1, &ok, at, None)));
         assert!(feas.admit(&request(1, &ok, at, loose)));
+    }
+
+    /// Under an armed fault plan `live_procs` shrinks with crashes; both
+    /// gates must budget against the surviving capacity, and a fully
+    /// crashed machine must shed every deadline-carrying job.
+    #[test]
+    fn gates_tighten_with_lost_capacity() {
+        let lookup = LookupTable::paper();
+        let config = apt_hetsim::SystemConfig::paper_4gbps();
+        let j = job(7);
+        let work = min_work_ns(&j, lookup).expect("diamond jobs are covered");
+        let at = SimTime::ZERO;
+        let deadline = Some(at + SimDuration::from_ns(work)); // density 1.0
+        let degraded = |id: u64, live: usize, deadline| AdmitRequest {
+            live_procs: live,
+            ..request(id, &j, at, deadline)
+        };
+        // Utilization: a 3-proc machine fits three density-1 jobs; with one
+        // processor down only two fit, and at zero capacity none do.
+        let mut gate = UtilizationBound::new(lookup, &config, 1.0);
+        assert!(gate.admit(&degraded(0, 2, deadline)));
+        assert!(gate.admit(&degraded(1, 2, deadline)));
+        assert!(!gate.admit(&degraded(2, 2, deadline)), "2-proc budget full");
+        assert!(gate.admit(&degraded(2, 3, deadline)), "repair restores it");
+        assert!(!gate.admit(&degraded(3, 0, deadline)), "no capacity at all");
+        // Deadline-free jobs are density-0 and pass regardless.
+        assert!(gate.admit(&degraded(3, 0, None)));
+        // Feasibility: backlog spread over fewer survivors pushes the same
+        // tight window over its deadline; zero survivors reject outright.
+        let cp = j.critical_path_min(lookup);
+        let mut feas = FeasibilityGate::new(lookup, &config);
+        for id in 0..6 {
+            assert!(feas.admit(&degraded(id, 3, None)));
+        }
+        let backlog = feas.backlog_ns();
+        let window = SimDuration::from_ns(backlog / 3 + cp.as_ns());
+        assert!(feas.admit(&degraded(6, 3, Some(at + window))));
+        let tighter = SimDuration::from_ns(feas.backlog_ns() / 3 + cp.as_ns());
+        assert!(
+            !feas.admit(&degraded(7, 1, Some(at + tighter))),
+            "one survivor carries triple the backlog"
+        );
+        assert!(!feas.admit(&degraded(7, 0, Some(at + tighter))));
+        assert!(feas.admit(&degraded(7, 0, None)), "deadline-free still ok");
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::source::Source;
 use apt_base::{BaseError, SimDuration, SimTime};
 use apt_dfg::LookupTable;
 use apt_hetsim::{
-    CompletedJob, OpenEngine, Policy, ProcStats, ReadyOrder, SystemConfig, TaskRecord,
+    CompletedJob, FaultPlan, FaultTotals, OpenEngine, Policy, ProcStats, ReadyOrder, RetryPolicy,
+    SystemConfig, TaskRecord,
 };
 use apt_metrics::{OnlineMetrics, StreamSnapshot};
 
@@ -53,6 +54,13 @@ pub struct DriverOpts {
     /// (the default, byte-identical to `simulate_stream`) or
     /// earliest-deadline-first.
     pub ready_order: ReadyOrder,
+    /// Fault-injection plan armed over the run. The default,
+    /// [`FaultPlan::none()`], leaves the driver on the fault-free path —
+    /// byte-identical outcomes, zero fault counters.
+    pub faults: FaultPlan,
+    /// Retry policy for transiently failed kernels (only consulted when
+    /// [`DriverOpts::faults`] is armed).
+    pub retry: RetryPolicy,
 }
 
 /// Everything an admission decision may inspect: the job about to enter
@@ -76,6 +84,10 @@ pub struct AdmitRequest<'a> {
     pub in_flight_jobs: usize,
     /// Kernels currently in flight.
     pub in_flight_kernels: usize,
+    /// Processors currently up (not crashed). Equal to the machine size on
+    /// fault-free runs; capacity-budget gates scale to this so admission
+    /// tightens while the machine is degraded.
+    pub live_procs: usize,
 }
 
 /// The admission hook of [`simulate_source_gated`]: decide per job whether
@@ -112,14 +124,23 @@ pub struct StreamOutcome {
     pub policy: String,
     /// Jobs the driver admitted into the system.
     pub jobs_admitted: u64,
-    /// Jobs that ran to completion (equals `jobs_admitted` on success).
+    /// Jobs that ran to completion (equals `jobs_admitted` on fault-free
+    /// success).
     pub jobs_completed: u64,
-    /// Kernels executed.
+    /// Admitted jobs shed by the failure model after exhausting their
+    /// retry budget. Zero on fault-free runs.
+    pub jobs_failed: u64,
+    /// Kernels executed to completion (including those of failed jobs that
+    /// finished before the job was shed).
     pub kernels_completed: u64,
     /// The instant the last event fired (the open-system "makespan").
     pub end: SimTime,
-    /// Completed jobs per simulated second over the whole run.
+    /// Jobs leaving the system per simulated second — completed *and*
+    /// failed. Equals [`StreamOutcome::goodput_jps`] on fault-free runs.
     pub throughput_jps: f64,
+    /// Successfully completed jobs per simulated second — throughput minus
+    /// the failure-model sheds.
+    pub goodput_jps: f64,
     /// Mean end-to-end job latency (arrival → last kernel finish), ms.
     pub mean_latency_ms: f64,
     /// Streaming quantile estimates of job latency, ms.
@@ -160,6 +181,9 @@ pub struct StreamOutcome {
     pub tardiness_p99_ms: f64,
     /// Mean tardiness over deadline-carrying jobs, ms.
     pub mean_tardiness_ms: f64,
+    /// Fault-injection counters for the run (all zeros when
+    /// [`DriverOpts::faults`] was [`FaultPlan::none()`]).
+    pub faults: FaultTotals,
 }
 
 impl StreamOutcome {
@@ -194,6 +218,35 @@ impl StreamOutcome {
             0.0
         } else {
             self.jobs_shed as f64 / offered as f64
+        }
+    }
+
+    /// Machine availability over the run: the fraction of aggregate
+    /// processor-time that was up, `1 − down/(procs × end)`. Exactly 1 on
+    /// fault-free runs (and degenerate zero-duration runs).
+    pub fn availability(&self) -> f64 {
+        let span = self.end.as_ns().saturating_mul(self.proc_stats.len() as u64);
+        if span == 0 {
+            1.0
+        } else {
+            1.0 - (self.faults.down_ns as f64 / span as f64).min(1.0)
+        }
+    }
+
+    /// Wasted-work fraction: of all processor occupancy (busy + transfer,
+    /// which includes the partial occupancy of killed attempts), the share
+    /// thrown away by transient failures and crashes. Zero on fault-free
+    /// runs.
+    pub fn wasted_work_frac(&self) -> f64 {
+        let occupied: u64 = self
+            .proc_stats
+            .iter()
+            .map(|s| (s.busy + s.transfer).as_ns())
+            .sum();
+        if occupied == 0 {
+            0.0
+        } else {
+            self.faults.wasted_ns as f64 / occupied as f64
         }
     }
 }
@@ -244,6 +297,10 @@ pub fn simulate_source_gated(
 ) -> Result<StreamOutcome, BaseError> {
     let mut engine = OpenEngine::with_order(config, lookup, opts.ready_order)?;
     engine.prepare(policy)?;
+    let faults_armed = !opts.faults.is_none();
+    if faults_armed {
+        engine.arm_faults(opts.faults, opts.retry);
+    }
     // The aggregator always runs; without a snapshot interval its window is
     // pushed past any reachable instant so only the running estimators are
     // exercised.
@@ -256,6 +313,7 @@ pub fn simulate_source_gated(
     let mut admitted = 0u64;
     let mut shed = 0u64;
     let mut completed = 0u64;
+    let mut failed = 0u64;
     let mut kernels = 0u64;
     let mut saturated = false;
     let mut done: Vec<CompletedJob> = Vec::new();
@@ -285,10 +343,9 @@ pub fn simulate_source_gated(
         while !*saturated || opts.shed_when_full {
             let Some((at, _)) = pending else { break };
             if *at < *last_arrival {
-                return Err(BaseError::InvalidAssignment {
-                    reason: format!(
-                        "source arrivals must be non-decreasing: {at} after {last_arrival}"
-                    ),
+                return Err(BaseError::DisorderedArrival {
+                    at_ns: at.as_ns(),
+                    prev_ns: last_arrival.as_ns(),
                 });
             }
             let due = if seed {
@@ -328,6 +385,7 @@ pub fn simulate_source_gated(
                 now: engine.now(),
                 in_flight_jobs: engine.in_flight_jobs(),
                 in_flight_kernels: engine.in_flight_kernels(),
+                live_procs: engine.live_procs(),
             });
             // Shed or admitted, the arrival is consumed either way; the
             // arrival clock keeps its monotonicity check.
@@ -375,13 +433,22 @@ pub fn simulate_source_gated(
         engine.drain_completed(&mut done);
         if !done.is_empty() {
             for job in &done {
-                completed += 1;
                 kernels += job.records.len() as u64;
-                let latency = job.finish().saturating_since(job.arrival);
-                let lambda: SimDuration = job.records.iter().map(TaskRecord::lambda).sum();
-                metrics.observe_job(latency, lambda);
-                if let Some(tardiness) = job.tardiness() {
-                    metrics.observe_tardiness(tardiness);
+                if job.failed {
+                    // A shed job has no meaningful completion: it counts
+                    // toward throughput (it left the system) but never
+                    // toward goodput, latency, or the SLO estimators. The
+                    // gate still hears it, releasing its reservation.
+                    failed += 1;
+                    metrics.observe_job_failed();
+                } else {
+                    completed += 1;
+                    let latency = job.finish().saturating_since(job.arrival);
+                    let lambda: SimDuration = job.records.iter().map(TaskRecord::lambda).sum();
+                    metrics.observe_job(latency, lambda);
+                    if let Some(tardiness) = job.tardiness() {
+                        metrics.observe_tardiness(tardiness);
+                    }
                 }
                 gate.on_complete(job);
                 observe(job);
@@ -389,7 +456,25 @@ pub fn simulate_source_gated(
             metrics.observe_depth(engine.now(), engine.in_flight_jobs());
         }
         if snapshots_enabled && engine.now() >= metrics.window_end() {
+            if faults_armed {
+                let ft = engine.fault_totals();
+                metrics.note_fault_counters(
+                    ft.kernel_failures,
+                    ft.retries,
+                    ft.wasted_ns,
+                    ft.down_ns,
+                );
+            }
             metrics.maybe_snapshot(engine.now(), &engine.proc_stats());
+        }
+        // With a fault plan armed the calendar always holds the perpetual
+        // crash/repair cycle, so `advance` never runs dry — stop once the
+        // source is exhausted (or latched shut) and the system has drained.
+        if faults_armed
+            && engine.in_flight_jobs() == 0
+            && (pending.is_none() || (saturated && !opts.shed_when_full))
+        {
+            break;
         }
 
         if advanced.is_none() {
@@ -417,11 +502,17 @@ pub fn simulate_source_gated(
         policy: policy.name(),
         jobs_admitted: admitted,
         jobs_completed: completed,
+        jobs_failed: failed,
         kernels_completed: kernels,
         end,
         // A stream completing entirely at t = 0 has no meaningful rate; the
         // old `max(f64::MIN_POSITIVE)` clamp reported ~1e308 jobs/s for it.
         throughput_jps: if end.as_ns() == 0 {
+            0.0
+        } else {
+            (completed + failed) as f64 / end.as_secs_f64()
+        },
+        goodput_jps: if end.as_ns() == 0 {
             0.0
         } else {
             completed as f64 / end.as_secs_f64()
@@ -443,6 +534,7 @@ pub fn simulate_source_gated(
         tardiness_p50_ms,
         tardiness_p99_ms,
         mean_tardiness_ms: metrics.mean_tardiness_ms(),
+        faults: engine.fault_totals(),
     })
 }
 
@@ -717,6 +809,40 @@ mod tests {
         .unwrap();
         assert!(!outcome.saturated, "drainable burst latched saturation");
         assert_eq!(outcome.jobs_completed, 9);
+    }
+
+    /// A disordered captured trace fails the run with a typed error (the
+    /// offending pair named in nanoseconds), not a panic — and the jobs
+    /// before the disorder are untouched by the failure path.
+    #[test]
+    fn disordered_trace_yields_typed_error_not_panic() {
+        let (config, lookup) = paper();
+        let mut rng = apt_dfg::SplitMix64::new(7);
+        let jobs: Vec<(SimTime, crate::job::JobTemplate)> = [5u64, 9, 2]
+            .iter()
+            .map(|&ms| {
+                (
+                    SimTime::from_ms(ms),
+                    JobFamily::Single.instantiate(&mut rng, lookup),
+                )
+            })
+            .collect();
+        let mut source = crate::source::TraceSource::new(jobs);
+        let err = simulate_source(
+            &mut source,
+            config,
+            lookup,
+            &mut FirstFit,
+            &DriverOpts::default(),
+        )
+        .unwrap_err();
+        match err {
+            BaseError::DisorderedArrival { at_ns, prev_ns } => {
+                assert_eq!(at_ns, SimTime::from_ms(2).as_ns());
+                assert_eq!(prev_ns, SimTime::from_ms(9).as_ns());
+            }
+            other => panic!("expected DisorderedArrival, got {other:?}"),
+        }
     }
 
     #[test]

@@ -38,6 +38,28 @@
 //! the differential proptests in `tests/`), so every closed-world result in
 //! this repo extends unchanged to the open system.
 //!
+//! ## Failure model
+//!
+//! Setting [`DriverOpts::faults`] to a non-empty [`apt_hetsim::FaultPlan`]
+//! arms `apt-faults`' seeded fault injection inside the engine: transient
+//! kernel failures (the attempt dies partway through and re-executes),
+//! processor crash/repair cycles (a down processor leaves the idle set,
+//! its in-flight kernel is orphaned back into the ready queue, and it
+//! returns after repair), and link-degradation episodes. The driver layers
+//! a [`apt_hetsim::RetryPolicy`] on top — bounded attempts per kernel with
+//! exponential backoff and jitter, plus a per-job retry budget — and a job
+//! that exhausts either bound is *shed*: it retires as
+//! `CompletedJob::failed` with partial records instead of wedging the
+//! stream. [`StreamOutcome`] then splits **goodput** (completed jobs/s)
+//! from raw throughput, and carries the fault bill —
+//! [`StreamOutcome::availability`], [`StreamOutcome::wasted_work_frac`],
+//! and the engine's `FaultTotals` — while the windowed snapshots expose
+//! per-window failure counters and availability for online dashboards.
+//! Fault draws ride a salted RNG stream of their own, so arming a plan
+//! never perturbs arrivals or deadline tags, and a `FaultPlan::none()`
+//! run is byte-identical to the plain driver (pinned in
+//! `tests/stream_equivalence.rs`).
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -324,16 +324,31 @@ pub struct TraceSource {
 }
 
 impl TraceSource {
-    /// A source over an explicit list. Panics unless arrivals are
-    /// non-decreasing.
+    /// A source over an explicit list. Disorder in the list is *not*
+    /// checked here — the driver reports a typed
+    /// [`BaseError::DisorderedArrival`](apt_base::BaseError::DisorderedArrival)
+    /// the moment an out-of-order arrival is pulled, so a bad captured
+    /// trace fails the run gracefully instead of panicking at
+    /// construction. Use [`TraceSource::try_new`] to validate up front.
     pub fn new(jobs: Vec<(SimTime, JobTemplate)>) -> TraceSource {
-        assert!(
-            jobs.windows(2).all(|w| w[0].0 <= w[1].0),
-            "trace arrivals must be non-decreasing"
-        );
         TraceSource {
             jobs: jobs.into_iter(),
         }
+    }
+
+    /// A source over an explicit list, validated eagerly: returns
+    /// [`BaseError::DisorderedArrival`](apt_base::BaseError::DisorderedArrival)
+    /// naming the first offending pair if the arrivals ever decrease.
+    pub fn try_new(jobs: Vec<(SimTime, JobTemplate)>) -> Result<TraceSource, apt_base::BaseError> {
+        if let Some(w) = jobs.windows(2).find(|w| w[1].0 < w[0].0) {
+            return Err(apt_base::BaseError::DisorderedArrival {
+                at_ns: w[1].0.as_ns(),
+                prev_ns: w[0].0.as_ns(),
+            });
+        }
+        Ok(TraceSource {
+            jobs: jobs.into_iter(),
+        })
     }
 }
 
@@ -544,9 +559,24 @@ mod tests {
         assert_eq!(s.next_job(), Some((SimTime::from_ms(5), t0.clone())));
         assert_eq!(s.next_job(), Some((SimTime::from_ms(9), t1.clone())));
         assert_eq!(s.next_job(), None);
-        let result = std::panic::catch_unwind(|| {
-            TraceSource::new(vec![(SimTime::from_ms(9), t0), (SimTime::from_ms(5), t1)])
-        });
-        assert!(result.is_err(), "disordered trace must be rejected");
+        assert_eq!(s.next_job(), None, "end of trace stays a clean None");
+        assert_eq!(s.remaining_hint(), Some(0));
+        // Eager validation names the first offending pair with a typed
+        // error instead of a panic.
+        let result =
+            TraceSource::try_new(vec![(SimTime::from_ms(9), t0.clone()), (SimTime::from_ms(5), t1.clone())]);
+        match result {
+            Err(apt_base::BaseError::DisorderedArrival { at_ns, prev_ns }) => {
+                assert_eq!(at_ns, SimTime::from_ms(5).as_ns());
+                assert_eq!(prev_ns, SimTime::from_ms(9).as_ns());
+            }
+            other => panic!("expected DisorderedArrival, got {other:?}"),
+        }
+        // The unchecked constructor never panics; the driver rejects the
+        // stream at run time instead (see driver::tests).
+        let mut lazy = TraceSource::new(vec![(SimTime::from_ms(9), t0), (SimTime::from_ms(5), t1)]);
+        assert!(lazy.next_job().is_some());
+        assert!(lazy.next_job().is_some());
+        assert!(TraceSource::try_new(vec![]).is_ok(), "empty trace is a valid (instantly dry) source");
     }
 }

@@ -391,6 +391,97 @@ fn deadline_tagged_streams_replay_deterministically() {
     }
 }
 
+/// Armed-but-inert fault machinery differential: a non-`none` plan that
+/// can never inject (transient p = 0) arms the whole fault path — run
+/// tokens, availability masks, per-execution failure draws — yet must
+/// stream byte-identically to the fault-free driver across the full
+/// dynamic roster. This pins that the machinery is schedule-invisible
+/// until a fault actually fires (and that `FaultPlan::none()`, the
+/// `DriverOpts` default, is the same schedule).
+#[test]
+fn inert_fault_plans_stream_byte_identically() {
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let jobs = job_list(0xFA17, 14, &[0, 1_000_000, 400_000_000, 17_000_000_000]);
+    for (name, make) in policies() {
+        let run = |faults: FaultPlan| {
+            let mut records: Vec<TaskRecord> = Vec::new();
+            let mut source = TraceSource::new(jobs.clone());
+            let mut policy = make();
+            let outcome = simulate_source_observed(
+                &mut source,
+                &config,
+                lookup,
+                policy.as_mut(),
+                &DriverOpts {
+                    snapshot_interval: Some(SimDuration::from_ms(60_000)),
+                    faults,
+                    ..DriverOpts::default()
+                },
+                |done| records.extend(done.records.iter().copied()),
+            )
+            .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+            (outcome, records)
+        };
+        let (plain, recs_plain) = run(FaultPlan::none());
+        let (inert, recs_inert) = run(FaultPlan::seeded(3).with_transient(0.0));
+        assert_eq!(recs_plain, recs_inert, "{name}: inert plan moved a kernel");
+        assert_eq!(plain.end, inert.end, "{name}");
+        assert_eq!(plain.proc_stats, inert.proc_stats, "{name}");
+        assert_eq!(plain.snapshots, inert.snapshots, "{name}");
+        assert_eq!(plain.jobs_completed, inert.jobs_completed, "{name}");
+        assert_eq!(inert.faults, FaultTotals::default(), "{name}: phantom faults");
+        assert_eq!(inert.jobs_failed, 0, "{name}");
+        assert_eq!(
+            inert.goodput_jps, inert.throughput_jps,
+            "{name}: goodput must equal throughput with nothing failing"
+        );
+    }
+}
+
+/// Faulty streams replay deterministically under `(workload seed, fault
+/// seed)`, and changing only the fault seed diverges the run while the
+/// offered load (arrival process) stays on its own RNG stream.
+#[test]
+fn faulty_streams_replay_deterministically_under_seed() {
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let run = |fault_seed: u64| {
+        let mut source = PoissonSource::new(lookup, 0.4, 120, JobFamily::Chain { len: 2 }, 7);
+        simulate_source(
+            &mut source,
+            &config,
+            lookup,
+            &mut Apt::new(4.0),
+            &DriverOpts {
+                snapshot_interval: Some(SimDuration::from_ms(60_000)),
+                faults: FaultPlan::seeded(fault_seed)
+                    .with_transient(0.05)
+                    .with_crashes(SimDuration::from_ms(30_000), SimDuration::from_ms(2_000)),
+                ..DriverOpts::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.end, b.end);
+    assert_eq!(a.proc_stats, b.proc_stats);
+    assert_eq!(a.jobs_completed, b.jobs_completed);
+    assert_eq!(a.jobs_failed, b.jobs_failed);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.snapshots, b.snapshots);
+    assert!(
+        a.faults.crashes > 0,
+        "MTTF 30 s over a ~5 min stream never crashed"
+    );
+    let c = run(12);
+    assert!(
+        c.proc_stats != a.proc_stats || c.faults != a.faults,
+        "different fault seeds produced identical runs"
+    );
+}
+
 /// A long stream's arena stays bounded by the in-flight peak — the
 /// million-job guarantee, sized down to keep debug-mode CI fast (the full
 /// 1e6 run lives in `examples/million_jobs.rs`).

@@ -130,6 +130,7 @@ impl<'a> RefEngine<'a> {
                 busy_until: p.busy_until.max(self.now),
                 queue_len: p.queue.len(),
                 recent_avg_exec: p.recent_avg_exec(),
+                down: false,
             })
             .collect()
     }
@@ -254,6 +255,7 @@ impl<'a> RefEngine<'a> {
                             .enumerate()
                             .filter(|(_, p)| p.is_idle())
                             .fold(0u64, |m, (i, _)| m | 1 << i),
+                        up_mask: (1u64 << views.len()) - 1,
                     };
                     policy.decide(&view, &mut assignments);
                 }
@@ -457,6 +459,43 @@ fn equal_rate_matrix_is_byte_identical_to_the_link_rate_path() {
                 a.trace, b.trace,
                 "{ty:?}/{name}: equal-rate matrix diverged from the scalar link"
             );
+        }
+    }
+}
+
+/// The fault-machinery differential: arming [`FaultPlan::none()`] must be
+/// *byte-identical* to the plain engine across the full policy roster —
+/// the failure model's availability masks, run tokens, and fault calendar
+/// hooks may not perturb a fault-free schedule in any way, and the
+/// returned totals must be all zeros.
+#[test]
+fn none_fault_plan_is_byte_identical_across_the_roster() {
+    let lookup = LookupTable::paper();
+    let system = SystemConfig::paper_4gbps();
+    for ty in DfgType::ALL {
+        // One mid-size workload per family: the fault hooks sit on
+        // node-start/finish edges, which every workload shape exercises.
+        let dfg = experiment_graphs(ty).remove(4);
+        let arrivals = vec![SimTime::ZERO; dfg.len()];
+        for (name, make) in policy_roster() {
+            let tag = format!("{ty:?}/{name}");
+            let plain = simulate(&dfg, &system, lookup, make().as_mut())
+                .unwrap_or_else(|e| panic!("{tag}: plain run failed: {e}"));
+            let (faulty, totals) = simulate_stream_faulty(
+                &dfg,
+                &system,
+                lookup,
+                make().as_mut(),
+                &arrivals,
+                FaultPlan::none(),
+                RetryPolicy::default(),
+            )
+            .unwrap_or_else(|e| panic!("{tag}: none-plan run failed: {e}"));
+            assert_eq!(
+                plain.trace, faulty.trace,
+                "{tag}: FaultPlan::none() perturbed the schedule"
+            );
+            assert_eq!(totals, FaultTotals::default(), "{tag}: phantom fault counts");
         }
     }
 }
