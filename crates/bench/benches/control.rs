@@ -1,0 +1,26 @@
+//! Control-plane overhead: the same deadline-tagged, gated, windowed
+//! Poisson stream bare and with the `apt-control` AIMD loop driven at
+//! every window close — parked inside its hysteresis band, so the armed
+//! run schedules byte-identical work and the delta prices the pure
+//! control machinery (snapshot handoff, controller evaluation, the
+//! action-application path). The target is <5% on this hot path.
+//! `apt-bench` tracks the same configurations as `control/*` rows in
+//! `BENCH_engine.json`.
+
+use apt_bench::{control_stream_run, STREAM_BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_control_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control/poisson_edf_apt");
+    g.throughput(Throughput::Elements(STREAM_BENCH_JOBS));
+    for (name, armed) in [("bare", false), ("armed", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &armed, |b, &armed| {
+            b.iter(|| black_box(control_stream_run(armed)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_control_stream);
+criterion_main!(benches);

@@ -17,6 +17,10 @@
 //! * [`fault`](../benches/fault.rs) — the fault-injection layer: the same
 //!   stream with the machinery off (zero-cost-when-off pin) and armed
 //!   (transient + crash/repair + retry overhead).
+//! * [`control`](../benches/control.rs) — the adaptive control plane: the
+//!   same gated windowed stream bare vs with the AIMD loop evaluated at
+//!   every window close inside its hysteresis band, so the delta is pure
+//!   machinery on byte-identical work (<5% target).
 //!
 //! Run with `cargo bench --workspace`; results land in `target/criterion/`.
 
@@ -182,6 +186,84 @@ pub fn fault_stream_run(armed: bool) -> u64 {
     outcome.end.as_ns()
 }
 
+/// One control-plane stream run: the [`stream_run`] Poisson hot path
+/// (deadline-tagged, `UtilizationBound`-gated, 60 s metrics windows)
+/// either bare (`armed = false`, the plain gated driver) or with the
+/// `apt-control` AIMD admission loop driven at every window close
+/// (`armed = true`).
+///
+/// The AIMD loop is deliberately parked: both setpoints sit at 1.0, so
+/// the armed controller evaluates every window but can never act (the
+/// paper lookup table leaves a constant background of uncovered-job gate
+/// sheds that would otherwise read as congestion). The scheduled work is
+/// therefore **byte-identical** to the bare run (the pinned
+/// inert-equivalence invariant) and the armed-vs-bare delta prices the
+/// pure control-plane machinery: per-window snapshot handoff and the
+/// controller's evaluation (<5% target). A controller whose actions
+/// *land* would change the workload itself and measure behavior, not
+/// overhead (the α hill-climb steps every epoch by design, which is why
+/// the stack here is AIMD-only). Returns the final simulated instant in
+/// ns.
+pub fn control_stream_run(armed: bool) -> u64 {
+    use apt_control::{AimdAdmission, AimdConfig, ControllerStack};
+    use apt_slo::UtilizationBound;
+    use apt_stream::{DeadlineSpec, DriverOpts, JobFamily, PoissonSource};
+    let lookup = LookupTable::paper();
+    let config = SystemConfig::paper_4gbps();
+    let mut policy = EdfApt::new(4.0);
+    let mut source = PoissonSource::new(
+        lookup,
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    )
+    .with_deadlines(DeadlineSpec::ProportionalCp { factor: 8.0 });
+    let mut gate = UtilizationBound::new(lookup, &config, 4.0);
+    let opts = DriverOpts {
+        snapshot_interval: Some(SimDuration::from_ms(60_000)),
+        ..DriverOpts::default()
+    };
+    let outcome = if armed {
+        let mut stack = ControllerStack::new(vec![Box::new(AimdAdmission::new(
+            4.0,
+            AimdConfig {
+                miss_setpoint: 1.0,
+                miss_low_water: 1.0,
+                shed_setpoint: 1.0,
+                ..AimdConfig::default()
+            },
+        ))]);
+        apt_stream::simulate_source_controlled(
+            &mut source,
+            &config,
+            lookup,
+            &mut policy,
+            &opts,
+            &mut gate,
+            &mut stack,
+            |_| {},
+        )
+    } else {
+        apt_stream::simulate_source_gated(
+            &mut source,
+            &config,
+            lookup,
+            &mut policy,
+            &opts,
+            &mut gate,
+            |_| {},
+        )
+    }
+    .expect("control bench run");
+    assert_eq!(outcome.jobs_admitted + outcome.jobs_shed, STREAM_BENCH_JOBS);
+    assert!(
+        outcome.control_log.is_empty(),
+        "the overhead fixture's parked loop must never act"
+    );
+    outcome.end.as_ns()
+}
+
 /// Calendar-queue stress for the streaming access pattern: a deep
 /// far-future arrival backlog (near window, far ring, and overflow tiers
 /// all populated) drained batch by batch with near-term completions pushed
@@ -243,5 +325,11 @@ mod tests {
     fn fault_fixture_runs_clean_and_armed() {
         assert!(fault_stream_run(false) > 0);
         assert!(fault_stream_run(true) > 0);
+    }
+
+    #[test]
+    fn control_fixture_runs_bare_and_armed() {
+        assert!(control_stream_run(false) > 0);
+        assert!(control_stream_run(true) > 0);
     }
 }

@@ -29,8 +29,8 @@
 //! `--label after` run.
 
 use apt_bench::{
-    fault_stream_run, run, slo_stream_run, stream_calendar_backlog, stream_run, topology_systems,
-    type2_workload, STREAM_BENCH_JOBS,
+    control_stream_run, fault_stream_run, run, slo_stream_run, stream_calendar_backlog, stream_run,
+    topology_systems, type2_workload, STREAM_BENCH_JOBS,
 };
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
@@ -140,6 +140,18 @@ fn fault_benches(out: &mut Vec<(String, Measurement)>) {
     for (name, armed) in [("clean", false), ("armed", true)] {
         let ns = measure(|| fault_stream_run(armed));
         out.push((format!("fault/poisson_apt_{name}/{STREAM_BENCH_JOBS}"), ns));
+    }
+}
+
+/// Controller stack off vs closing the loop at every window on the same
+/// gated stream — mirrors `benches/control.rs`.
+fn control_benches(out: &mut Vec<(String, Measurement)>) {
+    for (name, armed) in [("bare", false), ("armed", true)] {
+        let ns = measure(|| control_stream_run(armed));
+        out.push((
+            format!("control/poisson_edf_apt_{name}/{STREAM_BENCH_JOBS}"),
+            ns,
+        ));
     }
 }
 
@@ -358,6 +370,7 @@ fn main() {
     stream_benches(&mut results);
     slo_benches(&mut results);
     fault_benches(&mut results);
+    control_benches(&mut results);
     topology_benches(&mut results);
 
     if let Some(rows) = recorded {

@@ -1,0 +1,215 @@
+//! Epoch hill-climb on the APT-family threshold α.
+
+use crate::{ControlAction, Controller};
+use apt_metrics::StreamSnapshot;
+
+/// Gains of [`AlphaController`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaConfig {
+    /// Probe step added to (or subtracted from) α per epoch.
+    pub step: f64,
+    /// Lowest α the controller will probe (the APT family clamps at 1
+    /// anyway; keep ≥ 1 so controller state matches policy state).
+    pub min_alpha: f64,
+    /// Highest α the controller will probe.
+    pub max_alpha: f64,
+    /// Windows per epoch: how long each probe is held before it is
+    /// scored. Longer epochs average out burst noise at the cost of
+    /// slower convergence.
+    pub settle: u32,
+}
+
+impl Default for AlphaConfig {
+    fn default() -> Self {
+        AlphaConfig {
+            step: 0.5,
+            min_alpha: 1.0,
+            max_alpha: 16.0,
+            settle: 3,
+        }
+    }
+}
+
+/// Deterministic hill-climb over α (actuated via
+/// [`ControlAction::SetAlpha`]).
+///
+/// The controller accumulates each epoch's completions, misses, and
+/// failures over `settle` windows, then scores the epoch as
+/// `(jobs − 2·missed − failed) / jobs` — on-time throughput net of the
+/// damage, normalized by volume so diurnal load swings do not read as α
+/// effects. While the score improves it keeps stepping α in the same
+/// direction; when the score worsens it reverses. At a clamp boundary the
+/// direction flips inward. The result oscillates in a ±step neighbourhood
+/// of the miss-rate knee — which is the point: the paper's Fig. 6 shows
+/// the knee *moves* with load, so a fixed tuned α is only right at the
+/// load it was tuned for.
+///
+/// Empty epochs (no completions) are scored neutral-worst and trigger a
+/// reversal, so a starved probe direction is abandoned rather than
+/// pursued.
+#[derive(Debug, Clone)]
+pub struct AlphaController {
+    cfg: AlphaConfig,
+    alpha: f64,
+    dir: f64,
+    prev_score: Option<f64>,
+    acc_jobs: u64,
+    acc_missed: u64,
+    acc_failed: u64,
+    windows: u32,
+}
+
+impl AlphaController {
+    /// A controller probing from `initial_alpha` (pass the α the policy
+    /// was constructed with), stepping upward first.
+    ///
+    /// # Panics
+    ///
+    /// On a non-positive step, `settle == 0`, an empty or non-finite
+    /// probe range, or `initial_alpha` outside it.
+    pub fn new(initial_alpha: f64, cfg: AlphaConfig) -> Self {
+        assert!(
+            cfg.step.is_finite() && cfg.step > 0.0,
+            "step must be finite and positive"
+        );
+        assert!(cfg.settle > 0, "settle must be at least one window");
+        assert!(
+            cfg.min_alpha >= 1.0 && cfg.min_alpha <= cfg.max_alpha && cfg.max_alpha.is_finite(),
+            "probe range must satisfy 1 ≤ min ≤ max < ∞"
+        );
+        assert!(
+            (cfg.min_alpha..=cfg.max_alpha).contains(&initial_alpha),
+            "initial_alpha must lie in [min_alpha, max_alpha]"
+        );
+        AlphaController {
+            cfg,
+            alpha: initial_alpha,
+            dir: 1.0,
+            prev_score: None,
+            acc_jobs: 0,
+            acc_missed: 0,
+            acc_failed: 0,
+            windows: 0,
+        }
+    }
+
+    /// The α the controller currently believes the policy is running.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Controller for AlphaController {
+    fn name(&self) -> String {
+        format!(
+            "alpha-climb(±{}, settle={})",
+            self.cfg.step, self.cfg.settle
+        )
+    }
+
+    fn on_window(&mut self, snapshot: &StreamSnapshot, out: &mut Vec<ControlAction>) {
+        self.acc_jobs += snapshot.window_jobs;
+        self.acc_missed += snapshot.window_missed;
+        self.acc_failed += snapshot.window_failed;
+        self.windows += 1;
+        if self.windows < self.cfg.settle {
+            return;
+        }
+        let score = if self.acc_jobs == 0 {
+            f64::NEG_INFINITY
+        } else {
+            (self.acc_jobs as f64 - 2.0 * self.acc_missed as f64 - self.acc_failed as f64)
+                / self.acc_jobs as f64
+        };
+        if let Some(prev) = self.prev_score {
+            if score < prev {
+                self.dir = -self.dir;
+            }
+        }
+        self.prev_score = Some(score);
+        self.acc_jobs = 0;
+        self.acc_missed = 0;
+        self.acc_failed = 0;
+        self.windows = 0;
+        let next =
+            (self.alpha + self.dir * self.cfg.step).clamp(self.cfg.min_alpha, self.cfg.max_alpha);
+        if next != self.alpha {
+            // Flip inward when the step landed on a clamp boundary, so the
+            // next probe leaves it instead of pushing into the wall.
+            if next == self.cfg.min_alpha || next == self.cfg.max_alpha {
+                self.dir = -self.dir;
+            }
+            self.alpha = next;
+            out.push(ControlAction::SetAlpha(next));
+        } else {
+            // Clamped in place (already at the boundary): reverse.
+            self.dir = -self.dir;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_snapshot;
+
+    fn epoch(ctrl: &mut AlphaController, missed: u64) -> Vec<ControlAction> {
+        let mut out = Vec::new();
+        for _ in 0..ctrl.cfg.settle {
+            ctrl.on_window(&test_snapshot(100, 100, missed, 100, 100, 0), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn improving_epochs_keep_the_direction_worsening_reverses() {
+        let mut ctrl = AlphaController::new(4.0, AlphaConfig::default());
+        // First epoch: no baseline yet — step upward.
+        assert_eq!(epoch(&mut ctrl, 10), vec![ControlAction::SetAlpha(4.5)]);
+        // Better epoch: keep climbing.
+        assert_eq!(epoch(&mut ctrl, 5), vec![ControlAction::SetAlpha(5.0)]);
+        // Worse epoch: reverse.
+        assert_eq!(epoch(&mut ctrl, 20), vec![ControlAction::SetAlpha(4.5)]);
+        assert_eq!(ctrl.alpha(), 4.5);
+    }
+
+    #[test]
+    fn nothing_is_emitted_mid_epoch() {
+        let mut ctrl = AlphaController::new(4.0, AlphaConfig::default());
+        let mut out = Vec::new();
+        ctrl.on_window(&test_snapshot(100, 100, 0, 100, 100, 0), &mut out);
+        ctrl.on_window(&test_snapshot(200, 100, 0, 100, 100, 0), &mut out);
+        assert!(out.is_empty(), "settle=3: two windows are not an epoch");
+    }
+
+    #[test]
+    fn probes_bounce_off_the_clamp_boundaries() {
+        let cfg = AlphaConfig {
+            step: 2.0,
+            min_alpha: 1.0,
+            max_alpha: 5.0,
+            settle: 1,
+        };
+        let mut ctrl = AlphaController::new(4.0, cfg);
+        // Improving epochs walk up, saturate at 5, then bounce back down.
+        assert_eq!(epoch(&mut ctrl, 0), vec![ControlAction::SetAlpha(5.0)]);
+        assert_eq!(epoch(&mut ctrl, 0), vec![ControlAction::SetAlpha(3.0)]);
+        assert!(ctrl.alpha() >= 1.0 && ctrl.alpha() <= 5.0);
+    }
+
+    #[test]
+    fn empty_epochs_reverse_the_probe() {
+        let cfg = AlphaConfig {
+            settle: 1,
+            ..AlphaConfig::default()
+        };
+        let mut ctrl = AlphaController::new(4.0, cfg);
+        let mut out = Vec::new();
+        // A productive epoch, then a starved one: direction flips.
+        ctrl.on_window(&test_snapshot(100, 100, 0, 100, 100, 0), &mut out);
+        assert_eq!(out, vec![ControlAction::SetAlpha(4.5)]);
+        out.clear();
+        ctrl.on_window(&test_snapshot(200, 0, 0, 0, 0, 0), &mut out);
+        assert_eq!(out, vec![ControlAction::SetAlpha(4.0)]);
+    }
+}

@@ -56,6 +56,16 @@ impl Apt {
         self.alpha
     }
 
+    /// Set the flexibility factor at runtime, clamped to the valid range
+    /// (finite, ≥ 1 — the same invariant [`Apt::new`] enforces by panic).
+    /// Non-finite requests are ignored. This is the knob the `apt-control`
+    /// α controller turns between metrics windows.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        if alpha.is_finite() {
+            self.alpha = alpha.max(1.0);
+        }
+    }
+
     /// The admission threshold for a kernel whose best execution time is
     /// `x`: `α · x`.
     pub fn threshold(&self, x: SimDuration) -> SimDuration {
@@ -117,6 +127,15 @@ impl Policy for Apt {
 
     fn kind(&self) -> PolicyKind {
         PolicyKind::Dynamic
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(self.alpha)
+    }
+
+    fn set_alpha(&mut self, alpha: f64) -> bool {
+        Apt::set_alpha(self, alpha);
+        true
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
@@ -315,5 +334,24 @@ mod tests {
     fn name_includes_alpha() {
         assert_eq!(Apt::new(4.0).name(), "APT(α=4)");
         assert_eq!(Apt::new(1.5).name(), "APT(α=1.5)");
+    }
+
+    /// The runtime setter clamps instead of panicking: below-1 requests
+    /// pin to 1 (Eq. 8's floor), non-finite requests are ignored, and the
+    /// `Policy` hook reports the knob.
+    #[test]
+    fn set_alpha_clamps_to_the_valid_range() {
+        let mut apt = Apt::new(4.0);
+        assert_eq!(Policy::alpha(&apt), Some(4.0));
+        assert!(Policy::set_alpha(&mut apt, 2.5));
+        assert_eq!(apt.alpha(), 2.5);
+        apt.set_alpha(0.25);
+        assert_eq!(apt.alpha(), 1.0, "below-1 clamps to the Eq. 8 floor");
+        apt.set_alpha(f64::NAN);
+        assert_eq!(apt.alpha(), 1.0, "non-finite requests are ignored");
+        apt.set_alpha(f64::INFINITY);
+        assert_eq!(apt.alpha(), 1.0);
+        apt.set_alpha(16.0);
+        assert_eq!(apt.alpha(), 16.0);
     }
 }

@@ -100,6 +100,14 @@ impl EdfApt {
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
+
+    /// Set the flexibility factor at runtime, clamped like
+    /// [`crate::Apt::set_alpha`] (finite, ≥ 1; non-finite ignored).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        if alpha.is_finite() {
+            self.alpha = alpha.max(1.0);
+        }
+    }
 }
 
 impl Policy for EdfApt {
@@ -109,6 +117,15 @@ impl Policy for EdfApt {
 
     fn kind(&self) -> PolicyKind {
         PolicyKind::Dynamic
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(self.alpha)
+    }
+
+    fn set_alpha(&mut self, alpha: f64) -> bool {
+        EdfApt::set_alpha(self, alpha);
+        true
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
@@ -159,6 +176,14 @@ impl LlApt {
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
+
+    /// Set the flexibility factor at runtime, clamped like
+    /// [`crate::Apt::set_alpha`] (finite, ≥ 1; non-finite ignored).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        if alpha.is_finite() {
+            self.alpha = alpha.max(1.0);
+        }
+    }
 }
 
 impl Policy for LlApt {
@@ -168,6 +193,15 @@ impl Policy for LlApt {
 
     fn kind(&self) -> PolicyKind {
         PolicyKind::Dynamic
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(self.alpha)
+    }
+
+    fn set_alpha(&mut self, alpha: f64) -> bool {
+        LlApt::set_alpha(self, alpha);
+        true
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
@@ -235,6 +269,28 @@ mod tests {
         assert_eq!(LlApt::new(1.5).name(), "LL-APT(α=1.5)");
         assert_eq!(EdfApt::new(2.0).alpha(), 2.0);
         assert_eq!(LlApt::new(2.0).alpha(), 2.0);
+    }
+
+    /// Both deadline variants expose the same clamped runtime α knob as
+    /// plain APT, through the inherent setter and the `Policy` hook alike.
+    #[test]
+    fn deadline_variants_clamp_runtime_alpha() {
+        let mut edf = EdfApt::new(4.0);
+        let mut ll = LlApt::new(4.0);
+        assert_eq!(Policy::alpha(&edf), Some(4.0));
+        assert_eq!(Policy::alpha(&ll), Some(4.0));
+        assert!(Policy::set_alpha(&mut edf, 0.5));
+        assert!(Policy::set_alpha(&mut ll, f64::NAN));
+        assert_eq!(edf.alpha(), 1.0, "below-1 clamps to the Eq. 8 floor");
+        assert_eq!(ll.alpha(), 4.0, "non-finite requests are ignored");
+        edf.set_alpha(8.0);
+        ll.set_alpha(2.0);
+        assert_eq!(edf.alpha(), 8.0);
+        assert_eq!(ll.alpha(), 2.0);
+        assert!(
+            !Policy::switch_to(&mut edf, 1),
+            "leaf policies have no roster"
+        );
     }
 
     /// On deadline-free (closed-world) workloads both variants reduce to

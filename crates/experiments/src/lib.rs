@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod control;
 pub mod faults;
 pub mod figures;
 pub mod runner;
@@ -59,14 +60,15 @@ pub const SUPPLEMENTARY_IDS: [&str; 2] = ["table1", "wins"];
 /// Open-stream artifacts (beyond the paper's closed-world evaluation; see
 /// `streaming`, `slo`, `topology` and `faults`): the λ-saturation sweep,
 /// the burst-absorption comparison, the deadline/admission frontier, the
-/// multi-link topology saturation comparison, and the failure-injection
-/// MTTF × λ sweep.
-pub const STREAM_IDS: [&str; 5] = [
+/// multi-link topology saturation comparison, the failure-injection
+/// MTTF × λ sweep, and the adaptive-control-plane sweep.
+pub const STREAM_IDS: [&str; 6] = [
     "stream-saturation",
     "stream-bursts",
     "slo-sweep",
     "topology-sweep",
     "fault-sweep",
+    "control-sweep",
 ];
 
 /// Ablation artifacts (beyond the paper's evaluation; see `ablations`).
@@ -130,6 +132,7 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
         "slo-sweep" => Artifact::Table(slo::slo_sweep()),
         "topology-sweep" => Artifact::Table(topology::topology_sweep()),
         "fault-sweep" => Artifact::Table(faults::fault_sweep()),
+        "control-sweep" => Artifact::Table(control::control_sweep()),
         _ => return None,
     };
     Some(artifact)
@@ -140,7 +143,7 @@ pub fn run_artifact(id: &str) -> Option<Artifact> {
 pub fn artifact_has_csv(id: &str) -> bool {
     matches!(
         id,
-        "slo-sweep" | "stream-saturation" | "topology-sweep" | "fault-sweep"
+        "slo-sweep" | "stream-saturation" | "topology-sweep" | "fault-sweep" | "control-sweep"
     )
 }
 
@@ -154,6 +157,7 @@ pub fn artifact_csv(id: &str) -> Option<String> {
         "stream-saturation" => Some(streaming::stream_saturation_csv()),
         "topology-sweep" => Some(topology::topology_sweep_csv()),
         "fault-sweep" => Some(faults::fault_sweep_csv()),
+        "control-sweep" => Some(control::control_sweep_csv()),
         _ => None,
     }
 }
@@ -179,6 +183,10 @@ pub fn artifact_with_csv(id: &str) -> Option<(Artifact, String)> {
             let (table, csv) = faults::fault_sweep_with_csv();
             Some((Artifact::Table(table), csv))
         }
+        "control-sweep" => {
+            let (table, csv) = control::control_sweep_with_csv();
+            Some((Artifact::Table(table), csv))
+        }
         _ => None,
     }
 }
@@ -196,10 +204,11 @@ mod tests {
             assert!(run_artifact(id).is_some(), "artifact {id} missing");
         }
         assert!(run_artifact("nope").is_none());
-        assert_eq!(all_artifact_ids().len(), 35);
+        assert_eq!(all_artifact_ids().len(), 36);
         assert!(all_artifact_ids().contains(&"slo-sweep"));
         assert!(all_artifact_ids().contains(&"topology-sweep"));
         assert!(all_artifact_ids().contains(&"fault-sweep"));
+        assert!(all_artifact_ids().contains(&"control-sweep"));
         assert!(
             artifact_csv("table7").is_none(),
             "closed tables have no CSV"
@@ -211,5 +220,6 @@ mod tests {
         assert!(artifact_has_csv("stream-saturation"));
         assert!(artifact_has_csv("topology-sweep"));
         assert!(artifact_has_csv("fault-sweep"));
+        assert!(artifact_has_csv("control-sweep"));
     }
 }

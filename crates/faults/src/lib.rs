@@ -196,6 +196,38 @@ impl RetryPolicy {
             job_retry_budget: 0,
         }
     }
+
+    /// The policy with its degenerate fields clamped to their effective
+    /// values — what the engines actually arm:
+    ///
+    /// * `backoff_factor: 0` clamps to 1 (constant backoff). The raw zero
+    ///   used to collapse every backoff after the first retry to
+    ///   jitter-only (`0^exp == 0` for `exp ≥ 1`), silently turning
+    ///   exponential backoff into an immediate-retry storm.
+    /// * `max_attempts: 0` clamps to 1 (a single attempt, no retries) —
+    ///   zero executions is unsatisfiable: the kernel has already run by
+    ///   the time the policy is consulted, so 0 always *behaved* as 1.
+    ///   The clamp makes that pinned semantic explicit.
+    ///
+    /// The fields are public (sweep configs build policies as literals),
+    /// so normalization happens where the policy is armed rather than at
+    /// construction; call this before doing backoff arithmetic by hand.
+    pub const fn normalized(self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: if self.max_attempts == 0 {
+                1
+            } else {
+                self.max_attempts
+            },
+            backoff_base: self.backoff_base,
+            backoff_factor: if self.backoff_factor == 0 {
+                1
+            } else {
+                self.backoff_factor
+            },
+            job_retry_budget: self.job_retry_budget,
+        }
+    }
 }
 
 /// Running totals the engines accumulate while a plan is active.
@@ -296,13 +328,17 @@ impl FaultState {
 
     /// Backoff before retry number `attempt` (2 = first retry):
     /// `base × factor^(attempt-2)` plus uniform jitter in `[0, base]`.
+    /// A `backoff_factor` of 0 is clamped to 1 ([`RetryPolicy::normalized`]):
+    /// `0^exp` used to zero out every backoff past the first retry,
+    /// silently degrading exponential backoff to jitter-only.
     pub fn backoff(&mut self, policy: &RetryPolicy, attempt: u32) -> SimDuration {
         let base = policy.backoff_base.as_ns();
         if base == 0 {
             return SimDuration::ZERO;
         }
         let exp = attempt.saturating_sub(2);
-        let scaled = base.saturating_mul((policy.backoff_factor as u64).saturating_pow(exp));
+        let factor = (policy.backoff_factor as u64).max(1);
+        let scaled = base.saturating_mul(factor.saturating_pow(exp));
         let jitter = self.rng.gen_range(base + 1);
         SimDuration::from_ns(scaled.saturating_add(jitter))
     }
@@ -369,7 +405,9 @@ mod tests {
         let plan = FaultPlan::seeded(11).with_crashes(mttf, SimDuration::from_ms(5));
         let mut state = FaultState::new(plan);
         let n = 20_000u64;
-        let total: u64 = (0..n).map(|_| state.next_crash_gap().unwrap().as_ns()).sum();
+        let total: u64 = (0..n)
+            .map(|_| state.next_crash_gap().unwrap().as_ns())
+            .sum();
         let mean = total / n;
         let target = mttf.as_ns();
         assert!(
@@ -402,6 +440,66 @@ mod tests {
         assert_eq!(
             state.next_crash_gap().is_none(),
             s1.next_crash_gap().is_none()
+        );
+    }
+
+    /// Satellite regression: `backoff_factor: 0` used to collapse every
+    /// backoff after the first retry to jitter-only (`0^exp == 0` for
+    /// `exp ≥ 1`). It now clamps to factor 1 — constant `base + jitter` —
+    /// so attempt 3+ can never wait *less* than attempt 2's floor.
+    #[test]
+    fn backoff_factor_zero_clamps_to_constant_backoff() {
+        let broken = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: SimDuration::from_ms(1),
+            backoff_factor: 0,
+            job_retry_budget: 16,
+        };
+        let base = broken.backoff_base.as_ns();
+        let mut state = FaultState::new(FaultPlan::seeded(9));
+        for attempt in 2..=5 {
+            let b = state.backoff(&broken, attempt);
+            assert!(
+                (base..=2 * base).contains(&b.as_ns()),
+                "attempt {attempt}: {} outside base..=2*base — the 0^exp collapse is back",
+                b.as_ns()
+            );
+        }
+        // The clamped-zero policy draws exactly what factor 1 would: the
+        // two replay identically on the same stream.
+        let one = RetryPolicy {
+            backoff_factor: 1,
+            ..broken
+        };
+        let mut a = FaultState::new(FaultPlan::seeded(9));
+        let mut b = FaultState::new(FaultPlan::seeded(9));
+        for attempt in 2..=5 {
+            assert_eq!(a.backoff(&broken, attempt), b.backoff(&one, attempt));
+        }
+    }
+
+    /// `normalized()` pins the degenerate-field semantics: factor 0 → 1,
+    /// `max_attempts: 0` → 1 (zero executions is unsatisfiable — the
+    /// kernel already ran when the policy is consulted), everything else
+    /// untouched.
+    #[test]
+    fn normalized_clamps_degenerate_retry_fields() {
+        let degenerate = RetryPolicy {
+            max_attempts: 0,
+            backoff_base: SimDuration::from_ms(2),
+            backoff_factor: 0,
+            job_retry_budget: 7,
+        };
+        let norm = degenerate.normalized();
+        assert_eq!(norm.max_attempts, 1, "0 attempts behaves as no_retries");
+        assert_eq!(norm.backoff_factor, 1);
+        assert_eq!(norm.backoff_base, SimDuration::from_ms(2));
+        assert_eq!(norm.job_retry_budget, 7);
+        // Well-formed policies pass through unchanged.
+        assert_eq!(RetryPolicy::default().normalized(), RetryPolicy::default());
+        assert_eq!(
+            RetryPolicy::no_retries().normalized(),
+            RetryPolicy::no_retries()
         );
     }
 

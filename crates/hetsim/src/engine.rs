@@ -349,7 +349,9 @@ impl EngineCore {
         let mut state = FaultState::new(plan);
         let nprocs = self.views.len();
         let mut runtime = Box::new(FaultRuntime {
-            retry,
+            // Degenerate retry knobs (`backoff_factor: 0`, `max_attempts: 0`)
+            // are clamped to their documented effective values up front.
+            retry: retry.normalized(),
             totals: FaultTotals::default(),
             down_since: vec![None; nprocs],
             attempts: Vec::new(),
@@ -363,7 +365,8 @@ impl EngineCore {
         // draw order); first degradation episode after that.
         for p in 0..nprocs {
             if let Some(gap) = state.next_crash_gap() {
-                self.events.push(self.now + gap, Event::Crash(ProcId::new(p)));
+                self.events
+                    .push(self.now + gap, Event::Crash(ProcId::new(p)));
             }
         }
         if let Some(gap) = state.next_degrade_gap() {
@@ -554,7 +557,9 @@ impl EngineCore {
     /// re-enters the ready set.
     fn redispatch(&mut self, node: NodeId, token: u32) {
         {
-            let Some(f) = self.faults.as_mut() else { return };
+            let Some(f) = self.faults.as_mut() else {
+                return;
+            };
             if f.retry_token[node.index()] != token || !f.pending_retry[node.index()] {
                 return; // stale: job cancelled or slot recycled
             }
@@ -568,7 +573,11 @@ impl EngineCore {
         let duration = {
             let f = self.faults.as_mut().expect("degrade without faults armed");
             f.degraded = true;
-            f.state.plan().degrade.expect("degrade without a spec").duration
+            f.state
+                .plan()
+                .degrade
+                .expect("degrade without a spec")
+                .duration
         };
         self.events.push(now + duration, Event::DegradeEnd);
     }
@@ -665,7 +674,11 @@ impl EngineCore {
 
     /// Pop and start the queued head on a (still-up) processor that just
     /// went idle outside the normal finish path.
-    pub(crate) fn start_queued(&mut self, ctx: EngineCtx<'_>, proc: ProcId) -> Result<(), BaseError> {
+    pub(crate) fn start_queued(
+        &mut self,
+        ctx: EngineCtx<'_>,
+        proc: ProcId,
+    ) -> Result<(), BaseError> {
         if let Some(next) = self.procs[proc.index()].queue.pop_front() {
             self.update_view(proc, |v| v.queue_len -= 1);
             self.start_node(ctx, next, proc)?;
@@ -789,7 +802,10 @@ impl EngineCore {
         // Transient-failure draw (one coin flip per execution when armed;
         // nothing on fault-free runs): a failing kernel fires `Fail` at the
         // sampled fraction of its execution instead of `Finish`.
-        let fail_frac = self.faults.as_mut().and_then(|f| f.state.transient_failure());
+        let fail_frac = self
+            .faults
+            .as_mut()
+            .and_then(|f| f.state.transient_failure());
         match fail_frac {
             Some(frac) if !exec.is_zero() => {
                 let part = ((exec.as_ns() as f64 * frac) as u64).clamp(1, exec.as_ns());
@@ -1764,7 +1780,10 @@ mod tests {
                 .unwrap();
         res.trace.validate(&dfg).unwrap();
         assert_eq!(res.trace.records.len(), dfg.len(), "every kernel finished");
-        assert!(totals.kernel_failures > 0, "p=0.3 over 30 kernels was silent");
+        assert!(
+            totals.kernel_failures > 0,
+            "p=0.3 over 30 kernels was silent"
+        );
         assert_eq!(totals.retries, totals.kernel_failures);
         assert!(totals.wasted_ns > 0, "failed attempts must waste work");
         assert_eq!(totals.crashes, 0);
@@ -1809,10 +1828,8 @@ mod tests {
         let arrivals = vec![SimTime::ZERO; dfg.len()];
         // MTTF well inside the fault-free makespan so crashes actually land
         // mid-run; quick repairs keep capacity recoverable.
-        let plan = FaultPlan::seeded(17).with_crashes(
-            SimDuration::from_ms(400),
-            SimDuration::from_ms(50),
-        );
+        let plan =
+            FaultPlan::seeded(17).with_crashes(SimDuration::from_ms(400), SimDuration::from_ms(50));
         let (res, totals) = simulate_stream_faulty(
             &dfg,
             &cfg,
@@ -1897,10 +1914,9 @@ mod tests {
         assert_eq!(ta, tb);
         // A different fault seed changes the outcome (same workload).
         let other = FaultPlan { seed: 10, ..plan };
-        let (rc, _) = simulate_stream_faulty(
-            &dfg, &cfg, lookup, &mut GreedyBest, &arrivals, other, retry,
-        )
-        .unwrap();
+        let (rc, _) =
+            simulate_stream_faulty(&dfg, &cfg, lookup, &mut GreedyBest, &arrivals, other, retry)
+                .unwrap();
         assert_ne!(ra, rc, "distinct fault seeds must diverge");
     }
 }

@@ -1039,7 +1039,9 @@ mod tests {
             FaultPlan::seeded(3).with_transient(1.0),
             RetryPolicy::no_retries(),
         );
-        engine.admit(&[bfs(), bfs()], &[(0, 1)], SimTime::ZERO).unwrap();
+        engine
+            .admit(&[bfs(), bfs()], &[(0, 1)], SimTime::ZERO)
+            .unwrap();
         run_to_completion(&mut engine, &mut policy);
         let mut done = Vec::new();
         engine.drain_completed(&mut done);
@@ -1104,10 +1106,7 @@ mod tests {
         engine.prepare(&mut policy).unwrap();
         assert_eq!(engine.live_procs(), 3);
         engine.arm_faults(
-            FaultPlan::seeded(19).with_crashes(
-                SimDuration::from_ms(500),
-                SimDuration::from_ms(60),
-            ),
+            FaultPlan::seeded(19).with_crashes(SimDuration::from_ms(500), SimDuration::from_ms(60)),
             RetryPolicy::default(),
         );
         // A batch of multi-second jobs so crashes land mid-run.

@@ -189,6 +189,29 @@ pub trait Policy {
     ///
     /// Every pushed node must currently be in `view.ready`.
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf);
+
+    /// The policy's runtime-tunable APT-family threshold α, when it has
+    /// one. Controllers read this to seed their probing state; policies
+    /// without the knob (everything but the APT family) report `None`.
+    fn alpha(&self) -> Option<f64> {
+        None
+    }
+
+    /// Set the runtime-tunable threshold α between events. Implementations
+    /// clamp to their valid range (finite, ≥ 1 for the APT family — Eq. 8
+    /// rules out thresholds below the best execution time) rather than
+    /// panicking, so a controller's probe step can never poison a run.
+    /// Returns `false` when the policy has no such knob (the default).
+    fn set_alpha(&mut self, _alpha: f64) -> bool {
+        false
+    }
+
+    /// Switch a roster/supervising policy to member `index` at the next
+    /// decision. Returns `false` when unsupported (every leaf policy) or
+    /// when `index` is out of range.
+    fn switch_to(&mut self, _index: usize) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -309,8 +309,8 @@ mod tests {
         );
 
         // Uniform preset: still a uniform machine, at the preset's rate.
-        let uni = SystemConfig::paper_4gbps()
-            .with_topology(Topology::uniform(3, LinkRate::PCIE2_X16));
+        let uni =
+            SystemConfig::paper_4gbps().with_topology(Topology::uniform(3, LinkRate::PCIE2_X16));
         assert_eq!(uni.uniform_rate(), Some(LinkRate::PCIE2_X16));
         uni.validate().unwrap();
 
@@ -343,8 +343,7 @@ mod tests {
 
     #[test]
     fn topology_size_mismatch_fails_validation() {
-        let s = SystemConfig::paper_4gbps()
-            .with_topology(Topology::uniform(5, LinkRate::PCIE2_X8));
+        let s = SystemConfig::paper_4gbps().with_topology(Topology::uniform(5, LinkRate::PCIE2_X8));
         assert!(matches!(s.validate(), Err(BaseError::InvalidSystem { .. })));
     }
 

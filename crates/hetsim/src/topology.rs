@@ -255,7 +255,9 @@ impl Topology {
         for s in 0..self.nprocs {
             for d in 0..self.nprocs {
                 if s != d {
-                    sum += self.rates[s * self.nprocs + d].transfer_time(bytes).as_ms_f64();
+                    sum += self.rates[s * self.nprocs + d]
+                        .transfer_time(bytes)
+                        .as_ms_f64();
                     pairs += 1;
                 }
             }
@@ -389,7 +391,10 @@ mod tests {
         });
         assert!((m.mean_pair_transfer_ms(bytes) - 12.0).abs() < 1e-9);
         // Degenerate single-proc matrix has no pairs.
-        assert_eq!(Topology::from_fn(1, |_, _| LinkRate::gbps(4)).mean_pair_transfer_ms(5), 0.0);
+        assert_eq!(
+            Topology::from_fn(1, |_, _| LinkRate::gbps(4)).mean_pair_transfer_ms(5),
+            0.0
+        );
     }
 
     #[test]

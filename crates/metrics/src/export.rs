@@ -76,7 +76,8 @@ pub fn summaries_to_csv(summaries: &[RunSummary]) -> String {
 pub const SNAPSHOT_CSV_HEADER: &str = "label,end_ms,interval_ms,window_jobs,total_jobs,\
      throughput_jps,latency_p50_ms,latency_p90_ms,latency_p99_ms,mean_depth,depth_now,\
      window_missed,total_missed,total_deadline_jobs,miss_rate,tardiness_p99_ms,util_mean,\
-     window_failed,total_failed,window_kernel_failures,window_retries,availability";
+     window_failed,total_failed,window_kernel_failures,window_retries,availability,\
+     window_admitted,window_shed,total_shed,window_deadline_jobs,window_miss_rate";
 
 /// Render labelled snapshot series as long-format CSV: one row per
 /// `(label, window)`, windows in emission order. The label identifies the
@@ -99,7 +100,7 @@ pub fn snapshots_to_csv<'a>(
             };
             let _ = writeln!(
                 out,
-                "{},{:.6},{:.6},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{:.6}",
+                "{},{:.6},{:.6},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{:.6},{},{},{},{},{:.6}",
                 label,
                 s.end.as_ms_f64(),
                 s.interval.as_ms_f64(),
@@ -122,6 +123,11 @@ pub fn snapshots_to_csv<'a>(
                 s.window_kernel_failures,
                 s.window_retries,
                 s.availability,
+                s.window_admitted,
+                s.window_shed,
+                s.total_shed,
+                s.window_deadline_jobs,
+                s.window_miss_rate(),
             );
         }
     }
@@ -224,6 +230,10 @@ mod tests {
             window_down_ns: 0,
             window_wasted_ns: 0,
             availability: 1.0,
+            window_admitted: jobs,
+            window_shed: 0,
+            total_shed: 0,
+            window_deadline_jobs: jobs,
         };
         let a = vec![snap(100, 4, 1), snap(200, 2, 0)];
         let b = vec![snap(100, 3, 3)];
@@ -240,7 +250,13 @@ mod tests {
         // util_mean averages the per-proc window utilizations; the fault
         // columns of a fault-free snapshot are zeros with availability 1.
         assert!(lines[1].contains(",0.375000,"), "{}", lines[1]);
-        assert!(lines[1].ends_with(",0,0,0,0,1.000000"), "{}", lines[1]);
+        // Fault columns are zeros with availability 1; the admission tail
+        // carries the window's admitted/shed counts and windowed miss rate.
+        assert!(
+            lines[1].ends_with(",0,0,0,0,1.000000,4,0,0,4,0.250000"),
+            "{}",
+            lines[1]
+        );
     }
 
     #[test]

@@ -210,6 +210,22 @@ pub struct StreamSnapshot {
     /// `1 − down/(procs × interval)`. Exactly 1.0 on fault-free runs.
     #[serde(default)]
     pub availability: f64,
+    /// Jobs the driver admitted into the engine inside this window (the
+    /// windowed shed-rate denominator, together with `window_shed`).
+    #[serde(default)]
+    pub window_admitted: u64,
+    /// Arrivals shed *before* entering the system inside this window —
+    /// admission-gate rejections plus overload sheds (failure-model sheds
+    /// of admitted jobs are `window_failed`).
+    #[serde(default)]
+    pub window_shed: u64,
+    /// Shed arrivals since the run started.
+    #[serde(default)]
+    pub total_shed: u64,
+    /// Deadline-carrying jobs completed inside this window (the windowed
+    /// miss-rate denominator).
+    #[serde(default)]
+    pub window_deadline_jobs: u64,
 }
 
 impl StreamSnapshot {
@@ -220,6 +236,30 @@ impl StreamSnapshot {
             0.0
         } else {
             self.total_missed as f64 / self.total_deadline_jobs as f64
+        }
+    }
+
+    /// *Windowed* miss fraction: tardy completions over deadline-carrying
+    /// completions inside this window alone (0 when the window completed
+    /// none). This is the signal `apt-control`'s AIMD setpoint tests —
+    /// cumulative [`StreamSnapshot::miss_rate`] lags the live operating
+    /// point by the whole history of the run.
+    pub fn window_miss_rate(&self) -> f64 {
+        if self.window_deadline_jobs == 0 {
+            0.0
+        } else {
+            self.window_missed as f64 / self.window_deadline_jobs as f64
+        }
+    }
+
+    /// *Windowed* shed fraction: shed arrivals over offered arrivals
+    /// (`shed + admitted`) inside this window (0 when none were offered).
+    pub fn window_shed_rate(&self) -> f64 {
+        let offered = self.window_shed + self.window_admitted;
+        if offered == 0 {
+            0.0
+        } else {
+            self.window_shed as f64 / offered as f64
         }
     }
 }
@@ -265,6 +305,13 @@ pub struct OnlineMetrics {
     total_failed: u64,
     fault_now: [u64; 4],
     fault_at_boundary: [u64; 4],
+    // Admission axis: arrivals admitted/shed before entering the engine,
+    // per window plus cumulative — the shed-rate signal controllers react
+    // to (distinct from the failure-model sheds above).
+    window_admitted: u64,
+    window_shed: u64,
+    total_shed: u64,
+    window_deadline_jobs: u64,
     snapshots: Vec<StreamSnapshot>,
 }
 
@@ -300,8 +347,32 @@ impl OnlineMetrics {
             total_failed: 0,
             fault_now: [0; 4],
             fault_at_boundary: [0; 4],
+            window_admitted: 0,
+            window_shed: 0,
+            total_shed: 0,
+            window_deadline_jobs: 0,
             snapshots: Vec::new(),
         }
+    }
+
+    /// Record one job admitted into the engine (the windowed shed-rate
+    /// denominator, together with [`OnlineMetrics::observe_job_shed`]).
+    pub fn observe_job_admitted(&mut self) {
+        self.window_admitted += 1;
+    }
+
+    /// Record one arrival shed *before* entering the system — an
+    /// admission-gate rejection or an overload shed. Failure-model sheds
+    /// of already-admitted jobs go through
+    /// [`OnlineMetrics::observe_job_failed`] instead.
+    pub fn observe_job_shed(&mut self) {
+        self.window_shed += 1;
+        self.total_shed += 1;
+    }
+
+    /// Shed arrivals observed so far.
+    pub fn total_shed_jobs(&self) -> u64 {
+        self.total_shed
     }
 
     /// Record one job shed by the failure model (retry budget exhausted).
@@ -376,6 +447,7 @@ impl OnlineMetrics {
         self.tardiness_p99.observe(ms);
         self.tardiness_sum_ms += ms;
         self.deadline_jobs += 1;
+        self.window_deadline_jobs += 1;
         if !tardiness.is_zero() {
             self.deadline_misses += 1;
             self.window_misses += 1;
@@ -406,57 +478,108 @@ impl OnlineMetrics {
                     i
                 }
             };
-            let interval_ns = self.interval.as_ns() as f64;
-            let busy_now: Vec<u64> = proc_stats
-                .iter()
-                .map(|s| (s.busy + s.transfer).as_ns())
-                .collect();
-            // Cumulative busy time can only be apportioned to the window it
-            // was *observed* in; with multi-window gaps the delta lands in
-            // the first window of the gap, which slightly front-loads
-            // utilization but never loses any.
-            let utilization: Vec<f64> = busy_now
-                .iter()
-                .zip(&self.last_busy_ns)
-                .map(|(now_ns, last_ns)| (now_ns - last_ns) as f64 / interval_ns)
-                .collect();
-            self.last_busy_ns = busy_now;
-            let [failures, retries, wasted, down] = self.fault_now;
-            let [b_failures, b_retries, b_wasted, b_down] = self.fault_at_boundary;
-            let nprocs = self.last_busy_ns.len().max(1);
-            let window_down_ns = down - b_down;
-            self.fault_at_boundary = self.fault_now;
-            self.snapshots.push(StreamSnapshot {
-                end,
-                interval: self.interval,
-                window_jobs: self.window_jobs,
-                total_jobs: self.total_jobs,
-                throughput_jps: self.window_jobs as f64 / self.interval.as_secs_f64(),
-                latency_p50_ms: self.p50.estimate().unwrap_or(0.0),
-                latency_p90_ms: self.p90.estimate().unwrap_or(0.0),
-                latency_p99_ms: self.p99.estimate().unwrap_or(0.0),
-                mean_depth: window_integral / interval_ns,
-                depth_now: self.depth,
-                window_missed: self.window_misses,
-                total_missed: self.deadline_misses,
-                total_deadline_jobs: self.deadline_jobs,
-                tardiness_p99_ms: self.tardiness_p99.estimate().unwrap_or(0.0),
-                utilization,
-                window_failed: self.window_failed,
-                total_failed: self.total_failed,
-                window_kernel_failures: failures - b_failures,
-                window_retries: retries - b_retries,
-                window_down_ns,
-                window_wasted_ns: wasted - b_wasted,
-                availability: 1.0
-                    - (window_down_ns as f64 / (nprocs as f64 * interval_ns)).min(1.0),
-            });
-            self.window_jobs = 0;
-            self.window_misses = 0;
-            self.window_failed = 0;
+            self.close_window(end, self.interval, window_integral, proc_stats);
             self.window_end = end + self.interval;
             emitted += 1;
         }
+        emitted
+    }
+
+    /// Append one snapshot covering the `span` ending at `end`, from the
+    /// current window counters and the given depth integral, then reset the
+    /// per-window state. Shared by the whole-window path
+    /// ([`OnlineMetrics::maybe_snapshot`]) and the end-of-stream partial
+    /// flush ([`OnlineMetrics::flush_partial`]).
+    fn close_window(
+        &mut self,
+        end: SimTime,
+        span: SimDuration,
+        window_integral: f64,
+        proc_stats: &[ProcStats],
+    ) {
+        let span_ns = span.as_ns() as f64;
+        let busy_now: Vec<u64> = proc_stats
+            .iter()
+            .map(|s| (s.busy + s.transfer).as_ns())
+            .collect();
+        // Cumulative busy time can only be apportioned to the window it
+        // was *observed* in; with multi-window gaps the delta lands in
+        // the first window of the gap, which slightly front-loads
+        // utilization but never loses any.
+        let utilization: Vec<f64> = busy_now
+            .iter()
+            .zip(&self.last_busy_ns)
+            .map(|(now_ns, last_ns)| (now_ns - last_ns) as f64 / span_ns)
+            .collect();
+        self.last_busy_ns = busy_now;
+        let [failures, retries, wasted, down] = self.fault_now;
+        let [b_failures, b_retries, b_wasted, b_down] = self.fault_at_boundary;
+        let nprocs = self.last_busy_ns.len().max(1);
+        let window_down_ns = down - b_down;
+        self.fault_at_boundary = self.fault_now;
+        self.snapshots.push(StreamSnapshot {
+            end,
+            interval: span,
+            window_jobs: self.window_jobs,
+            total_jobs: self.total_jobs,
+            throughput_jps: self.window_jobs as f64 / span.as_secs_f64(),
+            latency_p50_ms: self.p50.estimate().unwrap_or(0.0),
+            latency_p90_ms: self.p90.estimate().unwrap_or(0.0),
+            latency_p99_ms: self.p99.estimate().unwrap_or(0.0),
+            mean_depth: window_integral / span_ns,
+            depth_now: self.depth,
+            window_missed: self.window_misses,
+            total_missed: self.deadline_misses,
+            total_deadline_jobs: self.deadline_jobs,
+            tardiness_p99_ms: self.tardiness_p99.estimate().unwrap_or(0.0),
+            utilization,
+            window_failed: self.window_failed,
+            total_failed: self.total_failed,
+            window_kernel_failures: failures - b_failures,
+            window_retries: retries - b_retries,
+            window_down_ns,
+            window_wasted_ns: wasted - b_wasted,
+            availability: 1.0 - (window_down_ns as f64 / (nprocs as f64 * span_ns)).min(1.0),
+            window_admitted: self.window_admitted,
+            window_shed: self.window_shed,
+            total_shed: self.total_shed,
+            window_deadline_jobs: self.window_deadline_jobs,
+        });
+        self.window_jobs = 0;
+        self.window_misses = 0;
+        self.window_failed = 0;
+        self.window_admitted = 0;
+        self.window_shed = 0;
+        self.window_deadline_jobs = 0;
+    }
+
+    /// Close the final **partial** window at stream end: emit one snapshot
+    /// covering `(last boundary, now]` so window-driven consumers and the
+    /// CSV exporters see the tail of the run. Whole windows still pending
+    /// at `now` are flushed first, exactly as by
+    /// [`OnlineMetrics::maybe_snapshot`]. A run ending exactly on a window
+    /// boundary (or before any time elapsed in the open window) emits no
+    /// extra snapshot — the tail would be empty. The partial snapshot's
+    /// `interval` is the actual covered span, shorter than the configured
+    /// interval; rate-like fields (throughput, utilization, mean depth,
+    /// availability) are normalized over it. Returns how many snapshots
+    /// were appended, tail included. Terminal: feed no more observations
+    /// after flushing.
+    pub fn flush_partial(&mut self, now: SimTime, proc_stats: &[ProcStats]) -> usize {
+        let mut emitted = self.maybe_snapshot(now, proc_stats);
+        let span = self.interval - self.window_end.saturating_since(now);
+        if span.is_zero() {
+            return emitted;
+        }
+        // `maybe_snapshot` advanced the depth integral to `now`; with
+        // `now < window_end` nothing spilled, so the open integral is
+        // exactly this partial window's share.
+        debug_assert!(self.depth_spill.is_empty());
+        let window_integral = self.depth_integral;
+        self.depth_integral = 0.0;
+        self.depth_at = now;
+        self.close_window(now, span, window_integral, proc_stats);
+        emitted += 1;
         emitted
     }
 
@@ -792,6 +915,90 @@ mod tests {
         assert_eq!(p50, 5.0);
         assert_eq!(p99, 25.0);
         assert!((m.mean_tardiness_ms() - 10.0).abs() < 1e-9);
+    }
+
+    /// Satellite regression: a run ending mid-window flushes the tail as a
+    /// partial snapshot whose `interval` is the actual covered span, with
+    /// rates normalized over it — and a run ending exactly on a boundary
+    /// flushes nothing extra.
+    #[test]
+    fn flush_partial_emits_the_tail_window_once() {
+        let stats = vec![ProcStats {
+            busy: SimDuration::from_ms(25),
+            transfer: SimDuration::ZERO,
+            kernels: 1,
+        }];
+        // Mid-window end: one full window, then 50 ms of tail at depth 1
+        // with one completion.
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        m.observe_depth(SimTime::ZERO, 1);
+        m.observe_job(SimDuration::from_ms(10), SimDuration::ZERO);
+        assert_eq!(
+            m.maybe_snapshot(SimTime::from_ms(100), &[ProcStats::default()]),
+            1
+        );
+        m.observe_job(SimDuration::from_ms(20), SimDuration::ZERO);
+        assert_eq!(m.flush_partial(SimTime::from_ms(150), &stats), 1);
+        let s = m.snapshots().last().unwrap();
+        assert_eq!(s.end, SimTime::from_ms(150));
+        assert_eq!(s.interval, SimDuration::from_ms(50), "partial span");
+        assert_eq!(s.window_jobs, 1);
+        assert_eq!(s.total_jobs, 2);
+        assert!((s.throughput_jps - 20.0).abs() < 1e-9, "1 job / 50 ms");
+        assert!((s.mean_depth - 1.0).abs() < 1e-9);
+        assert!((s.utilization[0] - 0.5).abs() < 1e-9, "25 ms busy / 50 ms");
+        assert_eq!(s.availability, 1.0);
+
+        // Boundary-exact end: the whole-window snapshot already covered the
+        // run; the flush must not append an empty duplicate.
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        m.observe_job(SimDuration::from_ms(10), SimDuration::ZERO);
+        assert_eq!(
+            m.flush_partial(SimTime::from_ms(200), &[ProcStats::default()]),
+            2
+        );
+        assert_eq!(m.snapshots().len(), 2);
+        assert_eq!(m.snapshots()[1].end, SimTime::from_ms(200));
+        assert_eq!(m.snapshots()[1].interval, SimDuration::from_ms(100));
+        // A zero-duration run has no tail either.
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        assert_eq!(m.flush_partial(SimTime::ZERO, &[ProcStats::default()]), 0);
+    }
+
+    /// The admission axis: admitted/shed counts split per window, the
+    /// windowed miss/shed rates read from the window's own counters, and
+    /// cumulative sheds keep running.
+    #[test]
+    fn admission_counters_split_per_window() {
+        let stats = vec![ProcStats::default()];
+        let mut m = OnlineMetrics::new(SimDuration::from_ms(100), 1);
+        for _ in 0..3 {
+            m.observe_job_admitted();
+        }
+        m.observe_job_shed();
+        // One deadline job completes tardy, one on time.
+        m.observe_job(SimDuration::from_ms(10), SimDuration::ZERO);
+        m.observe_tardiness(SimDuration::from_ms(5));
+        m.observe_job(SimDuration::from_ms(10), SimDuration::ZERO);
+        m.observe_tardiness(SimDuration::ZERO);
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(100), &stats), 1);
+        let s = &m.snapshots()[0];
+        assert_eq!(s.window_admitted, 3);
+        assert_eq!(s.window_shed, 1);
+        assert_eq!(s.total_shed, 1);
+        assert_eq!(s.window_deadline_jobs, 2);
+        assert!((s.window_shed_rate() - 0.25).abs() < 1e-9);
+        assert!((s.window_miss_rate() - 0.5).abs() < 1e-9);
+        // Next window: counters restarted, cumulative sheds kept.
+        m.observe_job_shed();
+        assert_eq!(m.maybe_snapshot(SimTime::from_ms(200), &stats), 1);
+        let s = &m.snapshots()[1];
+        assert_eq!(s.window_admitted, 0);
+        assert_eq!(s.window_shed, 1);
+        assert_eq!(s.total_shed, 2);
+        assert_eq!(s.window_deadline_jobs, 0);
+        assert_eq!(s.window_miss_rate(), 0.0, "no deadline completions");
+        assert_eq!(m.total_shed_jobs(), 2);
     }
 
     /// Deadline-free streams never contribute to the SLO counters.

@@ -83,7 +83,20 @@ impl<'a> UtilizationBound<'a> {
     pub fn load(&self) -> f64 {
         self.load
     }
+
+    /// The current bound ρ (the budget is `ρ × live processors`).
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
 }
+
+/// Floor of the runtime-settable ρ: a controller can choke admission down
+/// to a trickle but never wedge the gate fully shut.
+pub const MIN_RUNTIME_BOUND: f64 = 1e-3;
+/// Ceiling of the runtime-settable ρ: far past saturation for any real
+/// machine, so "effectively open" is reachable without risking an
+/// unbounded budget.
+pub const MAX_RUNTIME_BOUND: f64 = 64.0;
 
 impl AdmissionGate for UtilizationBound<'_> {
     fn admit(&mut self, req: &AdmitRequest<'_>) -> bool {
@@ -127,6 +140,23 @@ impl AdmissionGate for UtilizationBound<'_> {
                 self.load = 0.0;
             }
         }
+    }
+
+    /// Runtime retuning of ρ, clamped to
+    /// [[`MIN_RUNTIME_BOUND`], [`MAX_RUNTIME_BOUND`]] so a runaway
+    /// controller can neither wedge admission shut nor unbound the
+    /// budget. Standing reservations are untouched — a tightened bound
+    /// applies to the *next* admission decision, not retroactively.
+    fn set_utilization_bound(&mut self, bound: f64) -> bool {
+        if !bound.is_finite() {
+            return false;
+        }
+        self.bound = bound.clamp(MIN_RUNTIME_BOUND, MAX_RUNTIME_BOUND);
+        true
+    }
+
+    fn utilization_bound(&self) -> Option<f64> {
+        Some(self.bound)
     }
 }
 
@@ -192,8 +222,8 @@ impl AdmissionGate for FeasibilityGate<'_> {
                 return false;
             }
             let window = deadline.saturating_since(req.arrival).as_ns();
-            let estimate = self.backlog_ns / live as u64
-                + req.job.critical_path_min(self.lookup).as_ns();
+            let estimate =
+                self.backlog_ns / live as u64 + req.job.critical_path_min(self.lookup).as_ns();
             if estimate > window {
                 return false;
             }
@@ -299,6 +329,41 @@ mod tests {
             gate.on_complete(&completed(id));
         }
         assert_eq!(gate.load(), 0.0);
+    }
+
+    #[test]
+    fn utilization_bound_is_runtime_tunable_within_clamps() {
+        let lookup = LookupTable::paper();
+        let config = apt_hetsim::SystemConfig::paper_4gbps();
+        let mut gate = UtilizationBound::new(lookup, &config, 1.0);
+        assert_eq!(gate.utilization_bound(), Some(1.0));
+        let j = job(2);
+        let work = min_work_ns(&j, lookup).expect("diamond jobs are covered");
+        let at = SimTime::ZERO;
+        let deadline = Some(at + SimDuration::from_ns(work));
+        // Tighten to a trickle: a density-1 job no longer fits.
+        assert!(gate.set_utilization_bound(0.1));
+        assert_eq!(gate.bound(), 0.1);
+        assert!(!gate.admit(&request(0, &j, at, deadline)));
+        // Reopen: the same request passes.
+        assert!(gate.set_utilization_bound(1.0));
+        assert!(gate.admit(&request(0, &j, at, deadline)));
+        // Standing reservations survive a retune (next decision only).
+        assert!(gate.set_utilization_bound(0.1));
+        assert!((gate.load() - 1.0).abs() < 1e-9);
+        // The clamps hold against runaway controllers; non-finite
+        // requests are refused outright.
+        assert!(gate.set_utilization_bound(0.0));
+        assert_eq!(gate.bound(), MIN_RUNTIME_BOUND);
+        assert!(gate.set_utilization_bound(1e12));
+        assert_eq!(gate.bound(), MAX_RUNTIME_BOUND);
+        assert!(!gate.set_utilization_bound(f64::NAN));
+        assert!(!gate.set_utilization_bound(f64::INFINITY));
+        assert_eq!(gate.bound(), MAX_RUNTIME_BOUND);
+        // Gates without the knob keep the defaults.
+        let mut open = AcceptAll;
+        assert!(!open.set_utilization_bound(0.5));
+        assert_eq!(open.utilization_bound(), None);
     }
 
     #[test]

@@ -78,5 +78,8 @@
 pub mod admission;
 pub mod runner;
 
-pub use admission::{AcceptAll, AdmissionPolicy, FeasibilityGate, UtilizationBound};
+pub use admission::{
+    AcceptAll, AdmissionPolicy, FeasibilityGate, UtilizationBound, MAX_RUNTIME_BOUND,
+    MIN_RUNTIME_BOUND,
+};
 pub use runner::{simulate_source_slo, simulate_source_slo_observed};

@@ -22,6 +22,7 @@
 use crate::job::JobTemplate;
 use crate::source::Source;
 use apt_base::{BaseError, SimDuration, SimTime};
+use apt_control::{ControlAction, ControlEvent, Controller};
 use apt_dfg::LookupTable;
 use apt_hetsim::{
     CompletedJob, FaultPlan, FaultTotals, OpenEngine, Policy, ProcStats, ReadyOrder, RetryPolicy,
@@ -103,6 +104,19 @@ pub trait AdmissionGate {
     /// Called for every completed job, in completion order, before the
     /// driver's own observer.
     fn on_complete(&mut self, _job: &CompletedJob) {}
+
+    /// Set the gate's utilization bound ρ at runtime — how
+    /// `apt-control`'s AIMD admission loop reaches the gate. The gate
+    /// clamps to its own valid range; the default (`false`) means "no
+    /// such knob" and the driver records the action unapplied.
+    fn set_utilization_bound(&mut self, _bound: f64) -> bool {
+        false
+    }
+
+    /// The gate's current utilization bound, when it has one.
+    fn utilization_bound(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The open gate: admit everything (plain [`simulate_source`] behaviour).
@@ -184,6 +198,12 @@ pub struct StreamOutcome {
     /// Fault-injection counters for the run (all zeros when
     /// [`DriverOpts::faults`] was [`FaultPlan::none()`]).
     pub faults: FaultTotals,
+    /// Every action a controller emitted, in emission order, with whether
+    /// the run had the knob. Empty on uncontrolled runs *and* under an
+    /// armed controller that never acted — an inert-armed run's outcome
+    /// is byte-identical to a controller-off run (pinned in this crate's
+    /// equivalence suite).
+    pub control_log: Vec<ControlEvent>,
 }
 
 impl StreamOutcome {
@@ -225,7 +245,10 @@ impl StreamOutcome {
     /// processor-time that was up, `1 − down/(procs × end)`. Exactly 1 on
     /// fault-free runs (and degenerate zero-duration runs).
     pub fn availability(&self) -> f64 {
-        let span = self.end.as_ns().saturating_mul(self.proc_stats.len() as u64);
+        let span = self
+            .end
+            .as_ns()
+            .saturating_mul(self.proc_stats.len() as u64);
         if span == 0 {
             1.0
         } else {
@@ -293,6 +316,64 @@ pub fn simulate_source_gated(
     policy: &mut dyn Policy,
     opts: &DriverOpts,
     gate: &mut dyn AdmissionGate,
+    observe: impl FnMut(&CompletedJob),
+) -> Result<StreamOutcome, BaseError> {
+    simulate_source_inner(source, config, lookup, policy, opts, gate, None, observe)
+}
+
+/// [`simulate_source_gated`] with an `apt-control` [`Controller`] closing
+/// the loop: at every metrics-window close the controller observes the
+/// window's [`StreamSnapshot`] and may emit bounded [`ControlAction`]s,
+/// which the driver applies *between* events — α retunes via
+/// [`Policy::set_alpha`], the admission bound via
+/// [`AdmissionGate::set_utilization_bound`], roster switches via
+/// [`Policy::switch_to`] — and records in
+/// [`StreamOutcome::control_log`] (including rejected actions, with
+/// `applied: false`). Controllers are deterministic functions of the
+/// window sequence, so controlled runs replay bit-for-bit under a seed.
+///
+/// Windows are the controller's clock, so a snapshot interval is
+/// mandatory here; the final *partial* window flushed at stream end is
+/// not delivered (nothing is left to control).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_source_controlled(
+    source: &mut dyn Source,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    opts: &DriverOpts,
+    gate: &mut dyn AdmissionGate,
+    controller: &mut dyn Controller,
+    observe: impl FnMut(&CompletedJob),
+) -> Result<StreamOutcome, BaseError> {
+    if opts.snapshot_interval.is_none() {
+        return Err(BaseError::InvalidSystem {
+            reason: "a controlled run needs DriverOpts::snapshot_interval — metrics windows \
+                     are the controller's clock"
+                .into(),
+        });
+    }
+    simulate_source_inner(
+        source,
+        config,
+        lookup,
+        policy,
+        opts,
+        gate,
+        Some(controller),
+        observe,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_source_inner(
+    source: &mut dyn Source,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    opts: &DriverOpts,
+    gate: &mut dyn AdmissionGate,
+    mut controller: Option<&mut dyn Controller>,
     mut observe: impl FnMut(&CompletedJob),
 ) -> Result<StreamOutcome, BaseError> {
     let mut engine = OpenEngine::with_order(config, lookup, opts.ready_order)?;
@@ -317,6 +398,8 @@ pub fn simulate_source_gated(
     let mut kernels = 0u64;
     let mut saturated = false;
     let mut done: Vec<CompletedJob> = Vec::new();
+    let mut control_log: Vec<ControlEvent> = Vec::new();
+    let mut actions: Vec<ControlAction> = Vec::new();
 
     // Admit every due job — at most one job plus its same-instant
     // companions sit outside the engine at any moment. Called *after* the
@@ -372,6 +455,7 @@ pub fn simulate_source_gated(
                 let (at, _) = pending.take().expect("checked above");
                 *last_arrival = at;
                 *shed += 1;
+                metrics.observe_job_shed();
                 *pending = source.next_job();
                 continue;
             }
@@ -393,9 +477,11 @@ pub fn simulate_source_gated(
             if accept {
                 engine.admit_with_deadline(job.kernels(), job.edges(), at, deadline)?;
                 *admitted += 1;
+                metrics.observe_job_admitted();
                 metrics.observe_depth(engine.now(), engine.in_flight_jobs());
             } else {
                 *shed += 1;
+                metrics.observe_job_shed();
             }
             *pending = source.next_job();
         }
@@ -465,7 +551,33 @@ pub fn simulate_source_gated(
                     ft.down_ns,
                 );
             }
+            let before = metrics.snapshots().len();
             metrics.maybe_snapshot(engine.now(), &engine.proc_stats());
+            // Deliver each newly closed window to the controller, in
+            // emission order, applying its actions before the next event —
+            // every window's statistics therefore describe exactly one
+            // operating point.
+            if let Some(ctrl) = controller.as_mut() {
+                for idx in before..metrics.snapshots().len() {
+                    let snap = metrics.snapshots()[idx].clone();
+                    actions.clear();
+                    ctrl.on_window(&snap, &mut actions);
+                    for action in actions.drain(..) {
+                        let applied = match action {
+                            ControlAction::SetAlpha(alpha) => policy.set_alpha(alpha),
+                            ControlAction::SetAdmissionBound(bound) => {
+                                gate.set_utilization_bound(bound)
+                            }
+                            ControlAction::SwitchPolicy(member) => policy.switch_to(member),
+                        };
+                        control_log.push(ControlEvent {
+                            at: snap.end,
+                            action,
+                            applied,
+                        });
+                    }
+                }
+            }
         }
         // With a fault plan armed the calendar always holds the perpetual
         // crash/repair cycle, so `advance` never runs dry — stop once the
@@ -496,6 +608,16 @@ pub fn simulate_source_gated(
     }
 
     let end = engine.now();
+    // Flush the final *partial* window so window-driven consumers (CSV
+    // exporters, controller post-mortems) see the tail of the run; a run
+    // ending exactly on a boundary flushes nothing extra.
+    if snapshots_enabled {
+        if faults_armed {
+            let ft = engine.fault_totals();
+            metrics.note_fault_counters(ft.kernel_failures, ft.retries, ft.wasted_ns, ft.down_ns);
+        }
+        metrics.flush_partial(end, &engine.proc_stats());
+    }
     let (p50, p90, p99) = metrics.latency_quantiles_ms();
     let (tardiness_p50_ms, tardiness_p99_ms) = metrics.tardiness_quantiles_ms();
     Ok(StreamOutcome {
@@ -535,6 +657,7 @@ pub fn simulate_source_gated(
         tardiness_p99_ms,
         mean_tardiness_ms: metrics.mean_tardiness_ms(),
         faults: engine.fault_totals(),
+        control_log,
     })
 }
 
@@ -756,9 +879,8 @@ mod tests {
             data_size: 10,
             times: [SimDuration::ZERO; 3],
         });
-        let job =
-            crate::job::JobTemplate::new(vec![Kernel::new(KernelKind::Bfs, 10)], Vec::new())
-                .unwrap();
+        let job = crate::job::JobTemplate::new(vec![Kernel::new(KernelKind::Bfs, 10)], Vec::new())
+            .unwrap();
         let mut source = crate::source::TraceSource::new(vec![(SimTime::ZERO, job)]);
         let outcome = simulate_source(
             &mut source,
@@ -935,6 +1057,152 @@ mod tests {
         let windowed: u64 = outcome.snapshots.iter().map(|s| s.window_missed).sum();
         assert_eq!(windowed, outcome.snapshots.last().unwrap().total_missed);
         assert!(outcome.snapshots.last().unwrap().miss_rate() > 0.99);
+    }
+
+    /// Satellite pin: the driver flushes the final *partial* metrics
+    /// window, so the tail of every run reaches window-driven consumers.
+    /// A run ending exactly on a window boundary flushes nothing extra.
+    #[test]
+    fn final_partial_window_is_flushed_at_stream_end() {
+        use apt_dfg::{Kernel, KernelKind};
+        let config = SystemConfig::paper_no_transfers();
+        let mut table = LookupTable::from_rows([]);
+        table.insert(apt_dfg::lookup::LookupRow {
+            kind: KernelKind::Bfs,
+            data_size: 10,
+            times: [SimDuration::from_ms(100); 3],
+        });
+        let run = |interval_ms: u64| {
+            let job =
+                crate::job::JobTemplate::new(vec![Kernel::new(KernelKind::Bfs, 10)], Vec::new())
+                    .unwrap();
+            let mut source = crate::source::TraceSource::new(vec![(SimTime::ZERO, job)]);
+            simulate_source(
+                &mut source,
+                &config,
+                &table,
+                &mut FirstFit,
+                &DriverOpts {
+                    snapshot_interval: Some(SimDuration::from_ms(interval_ms)),
+                    ..DriverOpts::default()
+                },
+            )
+            .unwrap()
+        };
+        // The single 100 ms job ends the run mid-window under an 80 ms
+        // interval: one whole window plus a flushed 20 ms tail.
+        let mid = run(80);
+        assert_eq!(mid.end, SimTime::from_ms(100));
+        assert_eq!(mid.snapshots.len(), 2, "whole window + flushed tail");
+        let tail = mid.snapshots.last().unwrap();
+        assert_eq!(tail.end, SimTime::from_ms(100));
+        assert_eq!(tail.interval, SimDuration::from_ms(20));
+        assert_eq!(
+            mid.snapshots.iter().map(|s| s.window_jobs).sum::<u64>(),
+            mid.jobs_completed
+        );
+        assert_eq!(
+            mid.snapshots.iter().map(|s| s.window_admitted).sum::<u64>(),
+            mid.jobs_admitted
+        );
+        // Ending exactly on the boundary: one window, no zero-span tail.
+        let exact = run(100);
+        assert_eq!(exact.end, SimTime::from_ms(100));
+        assert_eq!(exact.snapshots.len(), 1, "no empty tail on a boundary");
+        assert_eq!(exact.snapshots[0].interval, SimDuration::from_ms(100));
+        assert_eq!(exact.snapshots[0].window_jobs, 1);
+    }
+
+    /// The controlled driver delivers every closed window to the
+    /// controller and applies/logs its actions — including actions the
+    /// run has no knob for, which are logged unapplied.
+    #[test]
+    fn controlled_run_applies_and_logs_actions() {
+        use apt_control::{ControlAction, Controller};
+        /// Emits one action of each kind on the first window, then rests.
+        struct OneShot {
+            fired: bool,
+            windows_seen: u32,
+        }
+        impl Controller for OneShot {
+            fn name(&self) -> String {
+                "one-shot".into()
+            }
+            fn on_window(&mut self, _s: &StreamSnapshot, out: &mut Vec<ControlAction>) {
+                self.windows_seen += 1;
+                if !self.fired {
+                    self.fired = true;
+                    out.push(ControlAction::SetAlpha(8.0));
+                    out.push(ControlAction::SetAdmissionBound(0.5));
+                    out.push(ControlAction::SwitchPolicy(1));
+                }
+            }
+        }
+        let (config, lookup) = paper();
+        let mut source = PoissonSource::new(lookup, 0.2, 120, JobFamily::Diamond { width: 2 }, 17);
+        let mut policy = apt_core::Apt::new(4.0);
+        let mut ctrl = OneShot {
+            fired: false,
+            windows_seen: 0,
+        };
+        let outcome = simulate_source_controlled(
+            &mut source,
+            config,
+            lookup,
+            &mut policy,
+            &DriverOpts {
+                snapshot_interval: Some(SimDuration::from_ms(60_000)),
+                ..DriverOpts::default()
+            },
+            &mut AdmitAll,
+            &mut ctrl,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome.jobs_completed, 120);
+        assert!(ctrl.windows_seen > 0, "the controller never saw a window");
+        // The flushed tail window is not delivered: closed windows only.
+        let tail_flushed =
+            outcome.snapshots.last().unwrap().interval != SimDuration::from_ms(60_000);
+        assert_eq!(
+            ctrl.windows_seen as usize,
+            outcome.snapshots.len() - usize::from(tail_flushed),
+            "the controller must see exactly the closed windows"
+        );
+        assert_eq!(outcome.control_log.len(), 3);
+        let log = &outcome.control_log;
+        // α retunes on an APT policy; the other two knobs don't exist
+        // here (AdmitAll, leaf policy) and are logged unapplied.
+        assert_eq!(log[0].action, ControlAction::SetAlpha(8.0));
+        assert!(log[0].applied);
+        assert_eq!(log[1].action, ControlAction::SetAdmissionBound(0.5));
+        assert!(!log[1].applied);
+        assert_eq!(log[2].action, ControlAction::SwitchPolicy(1));
+        assert!(!log[2].applied);
+        assert!(log.iter().all(|e| e.at > SimTime::ZERO));
+        // The α write actually landed on the policy.
+        assert_eq!(Policy::alpha(&policy), Some(8.0));
+    }
+
+    /// Windows are the controller's clock: a controlled run without a
+    /// snapshot interval is a typed error, not a silently inert loop.
+    #[test]
+    fn controlled_run_requires_a_snapshot_interval() {
+        use apt_control::InertController;
+        let (config, lookup) = paper();
+        let mut source = PoissonSource::new(lookup, 1.0, 3, JobFamily::Single, 1);
+        let err = simulate_source_controlled(
+            &mut source,
+            config,
+            lookup,
+            &mut apt_policies::Met::new(),
+            &DriverOpts::default(),
+            &mut AdmitAll,
+            &mut InertController,
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, BaseError::InvalidSystem { .. }));
     }
 
     #[test]

@@ -563,8 +563,10 @@ mod tests {
         assert_eq!(s.remaining_hint(), Some(0));
         // Eager validation names the first offending pair with a typed
         // error instead of a panic.
-        let result =
-            TraceSource::try_new(vec![(SimTime::from_ms(9), t0.clone()), (SimTime::from_ms(5), t1.clone())]);
+        let result = TraceSource::try_new(vec![
+            (SimTime::from_ms(9), t0.clone()),
+            (SimTime::from_ms(5), t1.clone()),
+        ]);
         match result {
             Err(apt_base::BaseError::DisorderedArrival { at_ns, prev_ns }) => {
                 assert_eq!(at_ns, SimTime::from_ms(5).as_ns());
@@ -577,6 +579,9 @@ mod tests {
         let mut lazy = TraceSource::new(vec![(SimTime::from_ms(9), t0), (SimTime::from_ms(5), t1)]);
         assert!(lazy.next_job().is_some());
         assert!(lazy.next_job().is_some());
-        assert!(TraceSource::try_new(vec![]).is_ok(), "empty trace is a valid (instantly dry) source");
+        assert!(
+            TraceSource::try_new(vec![]).is_ok(),
+            "empty trace is a valid (instantly dry) source"
+        );
     }
 }

@@ -238,8 +238,8 @@ fn uniform_topology_streams_byte_identically_to_the_link_rate_path() {
     let plain = SystemConfig::paper_4gbps();
     let uniform =
         SystemConfig::paper_4gbps().with_topology(Topology::uniform(3, LinkRate::PCIE2_X8));
-    let matrix = SystemConfig::paper_4gbps()
-        .with_topology(Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8));
+    let matrix =
+        SystemConfig::paper_4gbps().with_topology(Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8));
     assert!(matrix.uniform_rate().is_none(), "must take the matrix path");
     for (name, make) in policies() {
         assert_configs_equivalent(
@@ -430,7 +430,11 @@ fn inert_fault_plans_stream_byte_identically() {
         assert_eq!(plain.proc_stats, inert.proc_stats, "{name}");
         assert_eq!(plain.snapshots, inert.snapshots, "{name}");
         assert_eq!(plain.jobs_completed, inert.jobs_completed, "{name}");
-        assert_eq!(inert.faults, FaultTotals::default(), "{name}: phantom faults");
+        assert_eq!(
+            inert.faults,
+            FaultTotals::default(),
+            "{name}: phantom faults"
+        );
         assert_eq!(inert.jobs_failed, 0, "{name}");
         assert_eq!(
             inert.goodput_jps, inert.throughput_jps,
@@ -480,6 +484,130 @@ fn faulty_streams_replay_deterministically_under_seed() {
         c.proc_stats != a.proc_stats || c.faults != a.faults,
         "different fault seeds produced identical runs"
     );
+}
+
+/// Armed-but-inert *controller* differential: running the controlled
+/// driver with the no-op [`InertController`] arms the whole control path
+/// — window delivery, action application, the control log — yet must
+/// stream byte-identically to a controller-off run across the dynamic
+/// roster. This pins that the control plane is schedule-invisible until a
+/// controller actually acts.
+#[test]
+fn inert_controller_streams_byte_identically_to_controller_off() {
+    use apt_control::InertController;
+    use apt_stream::{simulate_source_controlled, AdmitAll};
+    let config = SystemConfig::paper_4gbps();
+    let lookup = LookupTable::paper();
+    let jobs = job_list(
+        0x0C01_1701,
+        14,
+        &[0, 1_000_000, 400_000_000, 17_000_000_000],
+    );
+    let opts = DriverOpts {
+        snapshot_interval: Some(SimDuration::from_ms(60_000)),
+        ..DriverOpts::default()
+    };
+    for (name, make) in policies() {
+        let mut recs_off: Vec<TaskRecord> = Vec::new();
+        let mut source = TraceSource::new(jobs.clone());
+        let mut policy = make();
+        let off = simulate_source_observed(
+            &mut source,
+            &config,
+            lookup,
+            policy.as_mut(),
+            &opts,
+            |done| recs_off.extend(done.records.iter().copied()),
+        )
+        .unwrap_or_else(|e| panic!("{name}: controller-off run failed: {e}"));
+
+        let mut recs_inert: Vec<TaskRecord> = Vec::new();
+        let mut source = TraceSource::new(jobs.clone());
+        let mut policy = make();
+        let inert = simulate_source_controlled(
+            &mut source,
+            &config,
+            lookup,
+            policy.as_mut(),
+            &opts,
+            &mut AdmitAll,
+            &mut InertController,
+            |done| recs_inert.extend(done.records.iter().copied()),
+        )
+        .unwrap_or_else(|e| panic!("{name}: inert-controller run failed: {e}"));
+
+        assert_eq!(
+            recs_off, recs_inert,
+            "{name}: inert controller moved a kernel"
+        );
+        assert_eq!(off.end, inert.end, "{name}");
+        assert_eq!(off.proc_stats, inert.proc_stats, "{name}");
+        assert_eq!(off.snapshots, inert.snapshots, "{name}");
+        assert_eq!(off.jobs_completed, inert.jobs_completed, "{name}");
+        assert_eq!(off.lambda_total, inert.lambda_total, "{name}");
+        assert!(inert.control_log.is_empty(), "{name}: phantom actions");
+        assert!(off.control_log.is_empty(), "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism under seed with a *live* controller armed: the same
+    /// seed must replay to an identical outcome and an identical action
+    /// log — controllers are pure functions of the observed windows, so
+    /// arming them adds no new nondeterminism.
+    #[test]
+    fn controlled_streams_replay_deterministically(seed in 0u64..100_000) {
+        use apt_control::{
+            AimdAdmission, AimdConfig, AlphaConfig, AlphaController, ControllerStack,
+        };
+        use apt_stream::{simulate_source_controlled, AdmitAll, DeadlineSpec};
+        let config = SystemConfig::paper_4gbps();
+        let lookup = LookupTable::paper();
+        let run = || {
+            let mut source =
+                PoissonSource::new(lookup, 0.5, 120, JobFamily::Diamond { width: 2 }, seed)
+                    .with_deadlines(DeadlineSpec::ProportionalCp { factor: 1.5 });
+            let mut ctrl = ControllerStack::new(vec![
+                Box::new(AimdAdmission::new(1.0, AimdConfig::default())),
+                Box::new(AlphaController::new(
+                    4.0,
+                    AlphaConfig {
+                        settle: 1,
+                        ..AlphaConfig::default()
+                    },
+                )),
+            ]);
+            simulate_source_controlled(
+                &mut source,
+                &config,
+                lookup,
+                &mut Apt::new(4.0),
+                &DriverOpts {
+                    snapshot_interval: Some(SimDuration::from_ms(30_000)),
+                    ..DriverOpts::default()
+                },
+                &mut AdmitAll,
+                &mut ctrl,
+                |_| {},
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
+        prop_assert_eq!(&a.proc_stats, &b.proc_stats);
+        prop_assert_eq!(&a.snapshots, &b.snapshots);
+        prop_assert_eq!(&a.control_log, &b.control_log);
+        // The α climber emits every settled window, so a multi-window run
+        // has a live (non-empty) log — this is a *live*-controller pin,
+        // not a vacuous empty-log comparison.
+        if a.snapshots.len() > 2 {
+            prop_assert!(!a.control_log.is_empty());
+        }
+    }
 }
 
 /// A long stream's arena stays bounded by the in-flight peak — the

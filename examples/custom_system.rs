@@ -103,7 +103,12 @@ fn main() {
             .iter()
             .map(|s| (s.busy + s.transfer).as_ms_f64())
             .sum();
-        let xfer: f64 = apt.trace.proc_stats.iter().map(|s| s.transfer.as_ms_f64()).sum();
+        let xfer: f64 = apt
+            .trace
+            .proc_stats
+            .iter()
+            .map(|s| s.transfer.as_ms_f64())
+            .sum();
         println!(
             "  {name:42} APT {:>12}   xfer {:4.1}%   vs MET {:+.1}%",
             format!("{}", apt.makespan()),

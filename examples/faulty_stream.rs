@@ -27,12 +27,10 @@ fn main() {
 
     let lookup = LookupTable::paper();
     let system = SystemConfig::paper_4gbps();
-    let plan = FaultPlan::seeded(0xFA17)
-        .with_transient(0.05)
-        .with_crashes(
-            SimDuration::from_ms(mttf_s * 1_000),
-            SimDuration::from_ms(4_000),
-        );
+    let plan = FaultPlan::seeded(0xFA17).with_transient(0.05).with_crashes(
+        SimDuration::from_ms(mttf_s * 1_000),
+        SimDuration::from_ms(4_000),
+    );
     println!(
         "Faulty stream: {jobs} diamond jobs at {rate} jobs/s; faults = transient p=0.05 \
          + crashes (MTTF {mttf_s}s, MTTR 4s), 3 attempts/kernel with exponential backoff\n"

@@ -21,6 +21,11 @@ pub use apt_core::prelude::*;
 // would be more confusing than helpful.
 pub use apt_slo as slo;
 
+// Same for the adaptive control plane: controllers are built, configured
+// and handed to the driver explicitly, so the namespace keeps the
+// closed-loop surface discoverable as a unit.
+pub use apt_control as control;
+
 /// Workspace version, for the examples' banners.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 

@@ -418,8 +418,7 @@ fn figure5_walkthrough_is_equivalent() {
 fn uniform_topology_is_byte_identical_to_the_link_rate_path() {
     let lookup = LookupTable::paper();
     let plain = SystemConfig::paper_4gbps();
-    let topo =
-        SystemConfig::paper_4gbps().with_topology(Topology::uniform(3, LinkRate::PCIE2_X8));
+    let topo = SystemConfig::paper_4gbps().with_topology(Topology::uniform(3, LinkRate::PCIE2_X8));
     for ty in DfgType::ALL {
         for (i, dfg) in experiment_graphs(ty).iter().enumerate() {
             for (name, make) in policy_roster() {
@@ -447,8 +446,8 @@ fn uniform_topology_is_byte_identical_to_the_link_rate_path() {
 fn equal_rate_matrix_is_byte_identical_to_the_link_rate_path() {
     let lookup = LookupTable::paper();
     let plain = SystemConfig::paper_4gbps();
-    let matrix = SystemConfig::paper_4gbps()
-        .with_topology(Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8));
+    let matrix =
+        SystemConfig::paper_4gbps().with_topology(Topology::from_fn(3, |_, _| LinkRate::PCIE2_X8));
     assert!(matrix.uniform_rate().is_none(), "must take the matrix path");
     for ty in DfgType::ALL {
         let dfg = experiment_graphs(ty).remove(4); // 93 kernels — mid-size
@@ -495,7 +494,11 @@ fn none_fault_plan_is_byte_identical_across_the_roster() {
                 plain.trace, faulty.trace,
                 "{tag}: FaultPlan::none() perturbed the schedule"
             );
-            assert_eq!(totals, FaultTotals::default(), "{tag}: phantom fault counts");
+            assert_eq!(
+                totals,
+                FaultTotals::default(),
+                "{tag}: phantom fault counts"
+            );
         }
     }
 }
