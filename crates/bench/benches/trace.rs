@@ -1,0 +1,27 @@
+//! The tracing layer's armed hot path: the same Poisson APT stream with
+//! tracing fully absent (bare) and under an armed `NullSink` (every
+//! emission site fires, nothing retained). The schedules are
+//! byte-identical, so the delta prices pure emission overhead — the
+//! zero-cost promise's armed half (<5% target; the off half is the
+//! untraced equivalence suites). `apt-bench` tracks the same pair in
+//! `BENCH_engine.json`.
+
+use apt_bench::{traced_stream_run, STREAM_BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_traced_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace/poisson_apt");
+    g.throughput(Throughput::Elements(STREAM_BENCH_JOBS));
+    for (name, null_sink) in [("bare", false), ("null_sink", true)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &null_sink,
+            |b, &null_sink| b.iter(|| black_box(traced_stream_run(null_sink))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_traced_stream);
+criterion_main!(benches);

@@ -21,6 +21,10 @@
 //!   same gated windowed stream bare vs with the AIMD loop evaluated at
 //!   every window close inside its hysteresis band, so the delta is pure
 //!   machinery on byte-identical work (<5% target).
+//! * [`trace`](../benches/trace.rs) — the tracing layer's armed hot path:
+//!   the same Poisson APT stream untraced vs under an armed
+//!   [`apt_trace::NullSink`], so the delta is pure emission-site overhead
+//!   on byte-identical schedules (<5% target).
 //!
 //! Run with `cargo bench --workspace`; results land in `target/criterion/`.
 
@@ -139,6 +143,54 @@ pub fn slo_stream_run(gated: bool) -> u64 {
     )
     .expect("slo bench run");
     assert_eq!(outcome.jobs_admitted + outcome.jobs_shed, STREAM_BENCH_JOBS);
+    outcome.end.as_ns()
+}
+
+/// One traced stream run: the [`stream_run`] APT configuration with the
+/// tracing layer either fully absent (`null_sink = false`, the plain
+/// driver — the bare baseline) or armed with an [`apt_trace::NullSink`]
+/// (`null_sink = true` — every emission site fires, nothing is retained).
+/// Timing both prices the armed hot path: the schedules are
+/// byte-identical, so the delta is pure emission overhead. Returns the
+/// final simulated instant in ns.
+pub fn traced_stream_run(null_sink: bool) -> u64 {
+    use apt_stream::{
+        simulate_source, simulate_source_traced, AdmitAll, DriverOpts, JobFamily, PoissonSource,
+    };
+    use apt_trace::NullSink;
+    let mut policy = Apt::new(4.0);
+    let mut source = PoissonSource::new(
+        LookupTable::paper(),
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    );
+    let opts = DriverOpts::default();
+    let outcome = if null_sink {
+        simulate_source_traced(
+            &mut source,
+            &SystemConfig::paper_4gbps(),
+            LookupTable::paper(),
+            &mut policy,
+            &opts,
+            &mut AdmitAll,
+            None,
+            Box::new(NullSink),
+            |_| {},
+        )
+        .map(|(outcome, _sink)| outcome)
+    } else {
+        simulate_source(
+            &mut source,
+            &SystemConfig::paper_4gbps(),
+            LookupTable::paper(),
+            &mut policy,
+            &opts,
+        )
+    }
+    .expect("traced bench run");
+    assert_eq!(outcome.jobs_completed, STREAM_BENCH_JOBS);
     outcome.end.as_ns()
 }
 

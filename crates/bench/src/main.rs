@@ -30,7 +30,7 @@
 
 use apt_bench::{
     control_stream_run, fault_stream_run, run, slo_stream_run, stream_calendar_backlog, stream_run,
-    topology_systems, type2_workload, STREAM_BENCH_JOBS,
+    topology_systems, traced_stream_run, type2_workload, STREAM_BENCH_JOBS,
 };
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
@@ -152,6 +152,15 @@ fn control_benches(out: &mut Vec<(String, Measurement)>) {
             format!("control/poisson_edf_apt_{name}/{STREAM_BENCH_JOBS}"),
             ns,
         ));
+    }
+}
+
+/// Tracing absent vs an armed `NullSink` on the same stream — mirrors
+/// `benches/trace.rs`.
+fn trace_benches(out: &mut Vec<(String, Measurement)>) {
+    for (name, null_sink) in [("bare", false), ("null_sink", true)] {
+        let ns = measure(|| traced_stream_run(null_sink));
+        out.push((format!("trace/poisson_apt_{name}/{STREAM_BENCH_JOBS}"), ns));
     }
 }
 
@@ -371,6 +380,7 @@ fn main() {
     slo_benches(&mut results);
     fault_benches(&mut results);
     control_benches(&mut results);
+    trace_benches(&mut results);
     topology_benches(&mut results);
 
     if let Some(rows) = recorded {

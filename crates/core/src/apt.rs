@@ -29,7 +29,7 @@
 //! engine-equivalence suite) at a fraction of the ready-list rescans.
 
 use apt_base::{ProcId, SimDuration};
-use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, DecisionMeta, Policy, PolicyKind, SimView};
 use apt_policies::common::best_instance_in;
 
 /// The Alternative-Processor-within-Threshold policy.
@@ -81,7 +81,7 @@ impl Apt {
         p_min: ProcId,
         threshold: SimDuration,
         idle_mask: u64,
-    ) -> Option<ProcId> {
+    ) -> Option<(ProcId, SimDuration)> {
         find_alternative_in(view, node, p_min, threshold, idle_mask)
     }
 }
@@ -90,7 +90,9 @@ impl Apt {
 /// minimum `exec + transfer` cost for `node`, if that cost is within the
 /// threshold. Excludes `p_min` itself (which is busy when this runs).
 /// `idle_mask` is the batch's *remaining* idle set — ties break to the
-/// lowest id, same as the snapshot-scan form. Shared by [`Apt`] and the
+/// lowest id, same as the snapshot-scan form. Returns the chosen processor
+/// *with* its `exec + transfer` cost, so callers can record the decision's
+/// provenance without recomputing it. Shared by [`Apt`] and the
 /// deadline-aware variants ([`crate::EdfApt`], [`crate::LlApt`]) so the
 /// alternative-admission rule can never drift between them.
 pub(crate) fn find_alternative_in(
@@ -99,7 +101,7 @@ pub(crate) fn find_alternative_in(
     p_min: ProcId,
     threshold: SimDuration,
     idle_mask: u64,
-) -> Option<ProcId> {
+) -> Option<(ProcId, SimDuration)> {
     let mut best: Option<(ProcId, SimDuration)> = None;
     let mut bits = idle_mask;
     while bits != 0 {
@@ -115,7 +117,7 @@ pub(crate) fn find_alternative_in(
         }
     }
     match best {
-        Some((proc, cost)) if cost <= threshold => Some(proc),
+        Some((proc, cost)) if cost <= threshold => Some((proc, cost)),
         _ => None,
     }
 }
@@ -158,9 +160,19 @@ impl Policy for Apt {
             }
             // Lines 9–14: look for p_alt within α·x.
             let threshold = self.threshold(best.exec);
-            if let Some(p_alt) = self.find_alternative(view, node, best.proc, threshold, idle) {
+            if let Some((p_alt, cost)) = self.find_alternative(view, node, best.proc, threshold, idle)
+            {
                 idle &= !(1 << p_alt.index());
-                out.push(Assignment::alternative(node, p_alt));
+                out.push_explained(
+                    Assignment::alternative(node, p_alt),
+                    DecisionMeta {
+                        best_proc: best.proc,
+                        best_exec: best.exec,
+                        best_busy_until: view.proc(best.proc).busy_until,
+                        threshold,
+                        alt_cost: cost,
+                    },
+                );
             }
             // No admissible alternative: wait for p_min, try the next kernel.
         }

@@ -27,7 +27,7 @@
 //! by the engine-equivalence suite).
 
 use apt_base::{ProcId, SimDuration, SimTime};
-use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, DecisionMeta, Policy, PolicyKind, SimView};
 use apt_policies::common::best_instance_in;
 
 /// APT with remaining-time awareness (future-work heuristic).
@@ -122,7 +122,16 @@ impl Policy for AptR {
                     claimed_until[proc.index()] = finish_of(node, proc, view);
                     claimed |= 1 << proc.index();
                     idle &= !(1 << proc.index());
-                    out.push(Assignment::alternative(node, proc));
+                    out.push_explained(
+                        Assignment::alternative(node, proc),
+                        DecisionMeta {
+                            best_proc: best.proc,
+                            best_exec: best.exec,
+                            best_busy_until: busy_until,
+                            threshold,
+                            alt_cost: cost,
+                        },
+                    );
                 }
             }
         }

@@ -37,7 +37,7 @@
 use crate::apt::find_alternative_in;
 use apt_base::SimDuration;
 use apt_dfg::NodeId;
-use apt_hetsim::{Assignment, AssignmentBuf, Policy, PolicyKind, SimView};
+use apt_hetsim::{Assignment, AssignmentBuf, DecisionMeta, Policy, PolicyKind, SimView};
 use apt_policies::common::best_instance_in;
 
 /// Sort the ready set into `buf` by an explicit per-node key, FCFS within
@@ -57,21 +57,42 @@ fn order_ready(
 
 /// One APT processor-selection step for `node` against the batch's
 /// remaining idle set, with an explicit admission threshold. Returns the
-/// claimed processor (and whether it was an alternative), or `None` to
-/// keep waiting for `p_min`.
+/// claimed assignment, with decision provenance on the alternative path
+/// (best-processor placements need no explanation), or `None` to keep
+/// waiting for `p_min`.
 fn apt_step(
     view: &SimView<'_>,
     node: NodeId,
     threshold_of: impl FnOnce(SimDuration) -> SimDuration,
     idle: u64,
-) -> Option<Assignment> {
+) -> Option<(Assignment, Option<DecisionMeta>)> {
     let best = best_instance_in(view, node, idle)?;
     if best.idle {
-        return Some(Assignment::new(node, best.proc));
+        return Some((Assignment::new(node, best.proc), None));
     }
     let threshold = threshold_of(best.exec);
-    find_alternative_in(view, node, best.proc, threshold, idle)
-        .map(|p_alt| Assignment::alternative(node, p_alt))
+    find_alternative_in(view, node, best.proc, threshold, idle).map(|(p_alt, cost)| {
+        (
+            Assignment::alternative(node, p_alt),
+            Some(DecisionMeta {
+                best_proc: best.proc,
+                best_exec: best.exec,
+                best_busy_until: view.proc(best.proc).busy_until,
+                threshold,
+                alt_cost: cost,
+            }),
+        )
+    })
+}
+
+/// Apply one [`apt_step`] result: route explained (alternative) decisions
+/// through [`AssignmentBuf::push_explained`], plain ones through `push`.
+#[inline]
+fn push_step(out: &mut AssignmentBuf, a: Assignment, why: Option<DecisionMeta>) {
+    match why {
+        Some(m) => out.push_explained(a, m),
+        None => out.push(a),
+    }
 }
 
 /// APT with the ready list in earliest-absolute-deadline order.
@@ -141,9 +162,9 @@ impl Policy for EdfApt {
                 break;
             }
             let alpha = self.alpha;
-            if let Some(a) = apt_step(view, node, |x| x.scale_alpha(alpha), idle) {
+            if let Some((a, why)) = apt_step(view, node, |x| x.scale_alpha(alpha), idle) {
                 idle &= !(1 << a.proc.index());
-                out.push(a);
+                push_step(out, a, why);
             }
         }
         self.order = order;
@@ -233,9 +254,9 @@ impl Policy for LlApt {
                     None => full,
                 }
             };
-            if let Some(a) = apt_step(view, node, threshold_of, idle) {
+            if let Some((a, why)) = apt_step(view, node, threshold_of, idle) {
                 idle &= !(1 << a.proc.index());
-                out.push(a);
+                push_step(out, a, why);
             }
         }
         self.order = order;

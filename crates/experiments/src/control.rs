@@ -31,7 +31,7 @@
 //! control actions were applied. `--csv` exports one row per cell.
 
 use crate::runner::run_pool;
-use apt_control::{AimdAdmission, AimdConfig, AlphaController, ControllerStack};
+use apt_control::{AimdAdmission, AimdConfig, AlphaController, ControlAction, ControllerStack};
 use apt_core::prelude::*;
 use apt_metrics::TextTable;
 use apt_slo::UtilizationBound;
@@ -412,16 +412,60 @@ fn render_control_csv(coords: &[GridCell], runs: &[ControlRun]) -> String {
     csv
 }
 
+/// Header of the control-log block appended after the per-cell summary:
+/// one row per logged control action across the grid — what each
+/// controller asked for, when, and whether the run had the knob.
+pub const CONTROL_LOG_CSV_HEADER: &str = "scenario,config,at_ms,action,value,applied";
+
+fn render_control_log_csv(coords: &[GridCell], runs: &[ControlRun]) -> String {
+    let scenarios = control_scenarios();
+    let cells = control_cells();
+    let mut csv = String::from(CONTROL_LOG_CSV_HEADER);
+    csv.push('\n');
+    for (i, run) in runs.iter().enumerate() {
+        let (s, c) = coords[i];
+        for e in &run.outcome.control_log {
+            let (action, value) = match e.action {
+                ControlAction::SetAlpha(v) => ("set-alpha", v),
+                ControlAction::SetAdmissionBound(v) => ("set-admission-bound", v),
+                ControlAction::SwitchPolicy(m) => ("switch-policy", m as f64),
+            };
+            csv.push_str(&format!(
+                "{},{},{:.3},{},{:.6},{}\n",
+                scenarios[s].name,
+                cells[c].label(),
+                e.at.as_ms_f64(),
+                action,
+                value,
+                e.applied as u8,
+            ));
+        }
+    }
+    csv
+}
+
+/// Both CSV blocks of one grid run: the per-cell summary
+/// ([`CONTROL_CSV_HEADER`]), one blank line, then the control-action log
+/// ([`CONTROL_LOG_CSV_HEADER`]) — the adaptive cells' full decision
+/// history rides along with the summary they produced.
+fn render_control_csv_full(coords: &[GridCell], runs: &[ControlRun]) -> String {
+    let mut csv = render_control_csv(coords, runs);
+    csv.push('\n');
+    csv.push_str(&render_control_log_csv(coords, runs));
+    csv
+}
+
 /// The scenario × (fixed-grid ∪ adaptive) control sweep (module docs).
 pub fn control_sweep() -> TextTable {
     let (coords, runs) = run_grid();
     render_control_table(&coords, &runs)
 }
 
-/// Per-cell summary CSV over the same grid ([`CONTROL_CSV_HEADER`]).
+/// Per-cell summary CSV plus the control-log block over the same grid
+/// (see [`render_control_csv_full`]'s two headers).
 pub fn control_sweep_csv() -> String {
     let (coords, runs) = run_grid();
-    render_control_csv(&coords, &runs)
+    render_control_csv_full(&coords, &runs)
 }
 
 /// One grid run rendered both ways, so `apt-repro control-sweep --csv
@@ -430,7 +474,7 @@ pub fn control_sweep_with_csv() -> (TextTable, String) {
     let (coords, runs) = run_grid();
     (
         render_control_table(&coords, &runs),
-        render_control_csv(&coords, &runs),
+        render_control_csv_full(&coords, &runs),
     )
 }
 
@@ -548,5 +592,29 @@ mod tests {
         assert!(lines[2].starts_with("diurnal,adaptive,1,4,1,"));
         let fields: Vec<&str> = lines[2].split(',').collect();
         assert_eq!(fields.len(), CONTROL_CSV_HEADER.split(',').count());
+
+        // The full export appends the control-log block after one blank
+        // line: every logged action of every cell becomes one row.
+        let full = render_control_csv_full(&coords, &runs);
+        let (summary, log) = full
+            .split_once("\n\n")
+            .expect("summary and log blocks separated by a blank line");
+        assert_eq!(summary.lines().count(), 3);
+        let log_lines: Vec<&str> = log.lines().collect();
+        assert_eq!(log_lines[0], CONTROL_LOG_CSV_HEADER);
+        let logged: usize = runs.iter().map(|r| r.outcome.control_log.len()).sum();
+        assert_eq!(log_lines.len(), 1 + logged);
+        assert!(logged > 0, "the adaptive cell logged no actions");
+        for line in &log_lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), CONTROL_LOG_CSV_HEADER.split(',').count());
+            assert_eq!(fields[0], "diurnal");
+            assert_eq!(fields[1], "adaptive", "a fixed cell has no controller");
+            assert!(matches!(
+                fields[3],
+                "set-alpha" | "set-admission-bound" | "switch-policy"
+            ));
+            assert!(fields[5] == "0" || fields[5] == "1");
+        }
     }
 }

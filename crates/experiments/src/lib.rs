@@ -21,7 +21,10 @@ pub mod slo;
 pub mod streaming;
 pub mod tables;
 pub mod topology;
+pub mod traced;
 pub mod workloads;
+
+pub use traced::{artifact_has_trace, artifact_trace, TraceExport};
 
 use apt_metrics::TextTable;
 

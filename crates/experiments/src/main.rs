@@ -12,9 +12,17 @@
 //! requested artifact that has one (the open-stream scenarios); with
 //! several CSV-capable artifacts requested, the artifact id is appended
 //! to the path (`slo.csv.slo-sweep.csv`).
+//!
+//! `--trace <path>` additionally runs one *representative* traced cell of
+//! every requested open-stream scenario, writes its Chrome trace-event
+//! JSON (loadable in `chrome://tracing` / Perfetto), and prints the
+//! `trace-summary` λ-delay report under the artifact. With several
+//! trace-capable artifacts requested, the id is appended to the path
+//! (`out.json.stream-saturation.json`).
 
 use apt_experiments::{
-    all_artifact_ids, artifact_has_csv, artifact_with_csv, run_artifact, Artifact,
+    all_artifact_ids, artifact_has_csv, artifact_has_trace, artifact_trace, artifact_with_csv,
+    run_artifact, Artifact,
 };
 use std::io::Write as _;
 
@@ -37,8 +45,22 @@ fn main() {
     } else {
         None
     };
+    let trace_path = if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        args.remove(pos);
+        if pos < args.len() {
+            Some(args.remove(pos))
+        } else {
+            eprintln!("--trace needs a path");
+            std::process::exit(2);
+        }
+    } else {
+        None
+    };
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: apt-repro [--markdown] [--csv <path>] <artifact-id>... | all | list");
+        eprintln!(
+            "usage: apt-repro [--markdown] [--csv <path>] [--trace <path>] \
+             <artifact-id>... | all | list"
+        );
         eprintln!("artifacts: {}", all_artifact_ids().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -66,6 +88,11 @@ fn main() {
     let csv_capable = ids.iter().filter(|id| artifact_has_csv(id)).count();
     if csv_path.is_some() && csv_capable == 0 {
         eprintln!("--csv: none of the requested artifacts has a CSV form");
+        failed = true;
+    }
+    let trace_capable = ids.iter().filter(|id| artifact_has_trace(id)).count();
+    if trace_path.is_some() && trace_capable == 0 {
+        eprintln!("--trace: none of the requested artifacts has a traced form");
         failed = true;
     }
     for id in ids {
@@ -97,6 +124,23 @@ fn main() {
                     // Downstream pipe closed (e.g. `apt-repro all | head`):
                     // stop quietly instead of panicking.
                     return;
+                }
+                if let (Some(base), true) = (&trace_path, artifact_has_trace(id)) {
+                    let export = artifact_trace(id).expect("capability checked");
+                    let path = if trace_capable == 1 {
+                        base.clone()
+                    } else {
+                        format!("{base}.{id}.json")
+                    };
+                    if let Err(e) = std::fs::write(&path, &export.chrome) {
+                        eprintln!("--trace: cannot write {path}: {e}");
+                        failed = true;
+                    } else {
+                        eprintln!("wrote {path}");
+                    }
+                    if writeln!(out, "{}", export.summary).is_err() {
+                        return;
+                    }
                 }
             }
             None => {

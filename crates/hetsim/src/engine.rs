@@ -57,6 +57,7 @@ use crate::view::{ProcView, SimView};
 use apt_base::{BaseError, ProcId, SimDuration, SimTime};
 use apt_dfg::{KernelDag, LookupTable, NodeId};
 use apt_faults::{FaultPlan, FaultState, FaultTotals, LinkDegradeSpec, RetryPolicy};
+use apt_trace::{DecisionRecord, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// Window size for the per-processor execution-time history backing AG's
@@ -220,6 +221,10 @@ pub(crate) struct EngineCore {
     pub(crate) up_mask: u64,
     /// Fault-injection state; `None` on fault-free runs (the default).
     pub(crate) faults: Option<Box<FaultRuntime>>,
+    /// Armed trace sink; `None` (the default) leaves every emission site a
+    /// single never-taken branch, so untraced runs are byte-identical to a
+    /// build without tracing (pinned by both equivalence suites).
+    pub(crate) tracer: Option<Box<dyn TraceSink>>,
     /// Nodes whose jobs must be cancelled (retry budget exhausted), drained
     /// by the open engine after each advance. Only used in open mode.
     pub(crate) failed_nodes: Vec<NodeId>,
@@ -284,6 +289,7 @@ impl EngineCore {
                 u64::MAX >> (64 - views.len())
             },
             faults: None,
+            tracer: None,
             failed_nodes: Vec::new(),
             retried_nodes: Vec::new(),
             views,
@@ -323,6 +329,38 @@ impl EngineCore {
             }
         }
         core
+    }
+
+    /// Emit one trace event if a sink is armed. The `is_some` branch is the
+    /// entire untraced cost; callers constructing multi-field events guard
+    /// with [`tracing`](EngineCore::tracing) first so argument evaluation
+    /// is skipped too.
+    #[inline]
+    pub(crate) fn trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(ev);
+        }
+    }
+
+    /// True when a trace sink is armed.
+    #[inline]
+    pub(crate) fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Arm a trace sink: every subsequent engine event is recorded into it.
+    pub(crate) fn arm_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Some(sink);
+    }
+
+    /// The armed sink, for driver-level emission.
+    pub(crate) fn tracer_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Disarm and hand back the sink (end of a traced run).
+    pub(crate) fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
     }
 
     /// Mutate one processor's view, keeping the running idle bitset exact.
@@ -442,6 +480,14 @@ impl EngineCore {
         }
         self.records[node.index()] = None;
         self.update_view(proc, |v| v.running = None);
+        if self.tracing() {
+            let at = self.now;
+            self.trace(TraceEvent::KernelKilled {
+                node: node.index() as u32,
+                proc,
+                at,
+            });
+        }
         Some(node)
     }
 
@@ -488,6 +534,15 @@ impl EngineCore {
                 };
                 (backoff, tok)
             };
+            if self.tracing() {
+                let at = self.now;
+                self.trace(TraceEvent::RetryAttempt {
+                    node: node.index() as u32,
+                    at,
+                    attempt: attempts,
+                    backoff,
+                });
+            }
             if backoff.is_zero() {
                 self.make_ready(node);
             } else {
@@ -521,6 +576,10 @@ impl EngineCore {
         }
         self.update_view(proc, |v| v.down = true);
         self.up_mask &= !(1 << proc.index());
+        if self.tracing() {
+            let at = self.now;
+            self.trace(TraceEvent::ProcCrash { proc, at });
+        }
         let now = self.now;
         let repair = {
             let f = self.faults.as_mut().expect("crash without faults armed");
@@ -537,6 +596,10 @@ impl EngineCore {
     fn repair(&mut self, proc: ProcId) {
         self.update_view(proc, |v| v.down = false);
         self.up_mask |= 1 << proc.index();
+        if self.tracing() {
+            let at = self.now;
+            self.trace(TraceEvent::ProcRepair { proc, at });
+        }
         let now = self.now;
         let gap = {
             let f = self.faults.as_mut().expect("repair without faults armed");
@@ -569,6 +632,10 @@ impl EngineCore {
     }
 
     fn degrade_start(&mut self) {
+        if self.tracing() {
+            let at = self.now;
+            self.trace(TraceEvent::LinkDegrade { at, active: true });
+        }
         let now = self.now;
         let duration = {
             let f = self.faults.as_mut().expect("degrade without faults armed");
@@ -583,6 +650,10 @@ impl EngineCore {
     }
 
     fn degrade_end(&mut self) {
+        if self.tracing() {
+            let at = self.now;
+            self.trace(TraceEvent::LinkDegrade { at, active: false });
+        }
         let now = self.now;
         let gap = {
             let f = self.faults.as_mut().expect("degrade without faults armed");
@@ -783,6 +854,29 @@ impl EngineCore {
             finish,
             alt: a.alt,
         });
+        if self.tracing() {
+            let node32 = node.index() as u32;
+            self.trace(TraceEvent::KernelDispatch {
+                node: node32,
+                kernel: *ctx.dfg.node(node),
+                proc,
+                at: start,
+                alt: a.alt,
+            });
+            if !transfer.is_zero() {
+                self.trace(TraceEvent::TransferStart {
+                    node: node32,
+                    proc,
+                    at: start,
+                    until: exec_start,
+                });
+            }
+            self.trace(TraceEvent::ExecStart {
+                node: node32,
+                proc,
+                at: exec_start,
+            });
+        }
         let core = &mut self.procs[proc.index()];
         core.stats.busy += exec;
         core.stats.transfer += transfer;
@@ -864,6 +958,14 @@ impl EngineCore {
         self.update_view(proc, |v| v.running = None);
         self.locations[node.index()] = Some(proc);
         self.finished += 1;
+        if self.tracing() {
+            let at = self.now;
+            self.trace(TraceEvent::KernelComplete {
+                node: node.index() as u32,
+                proc,
+                at,
+            });
+        }
         if self.track_finished {
             self.finished_nodes.push(node);
         }
@@ -890,6 +992,13 @@ impl EngineCore {
         self.ready_time[node.index()] = self.now.max(self.ready_time[node.index()]);
         let inserted = self.ready.insert(node);
         debug_assert!(inserted, "node became ready twice");
+        if self.tracing() {
+            let at = self.ready_time[node.index()];
+            self.trace(TraceEvent::KernelReady {
+                node: node.index() as u32,
+                at,
+            });
+        }
     }
 
     pub(crate) fn arrive(&mut self, node: NodeId) {
@@ -979,8 +1088,22 @@ impl EngineCore {
             if out.is_empty() {
                 return Ok(());
             }
-            for &a in out.as_slice() {
+            for (i, &a) in out.as_slice().iter().enumerate() {
                 self.apply(ctx, a)?;
+                // Decision provenance: policies that explained an
+                // alternative placement get it stamped into the trace at
+                // the instant the assignment was applied.
+                if self.tracing() {
+                    if let Some(meta) = out.meta_for(i) {
+                        let at = self.now;
+                        self.trace(TraceEvent::Decision(DecisionRecord {
+                            at,
+                            node: a.node.index() as u32,
+                            chosen: a.proc,
+                            meta,
+                        }));
+                    }
+                }
             }
         }
     }

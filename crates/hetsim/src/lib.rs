@@ -104,6 +104,7 @@ pub mod trace;
 pub mod view;
 
 pub use apt_faults::{FaultPlan, FaultTotals, LinkDegradeSpec, RetryPolicy};
+pub use apt_trace::{DecisionMeta, DecisionRecord, NullSink, TraceEvent, TraceSink, VecSink};
 pub use calendar::CalendarQueue;
 pub use cost::CostModel;
 pub use engine::{simulate, simulate_stream, simulate_stream_faulty};

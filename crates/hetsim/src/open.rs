@@ -48,6 +48,7 @@ use crate::trace::{ProcStats, TaskRecord};
 use apt_base::{BaseError, SimDuration, SimTime};
 use apt_dfg::{Kernel, KernelDag, LookupTable, NodeId};
 use apt_faults::{FaultPlan, FaultTotals, RetryPolicy};
+use apt_trace::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 
 /// Identifier of one admitted job: its admission index (0, 1, 2, … in
@@ -273,6 +274,28 @@ impl<'a> OpenEngine<'a> {
         self.core.fault_totals()
     }
 
+    /// Arm an event-trace sink. From here on every admission, dispatch,
+    /// transfer, completion, fault, and APT decision record flows into the
+    /// sink, stamped with simulation time. Tracing is purely observational:
+    /// an armed sink never changes a schedule, and an unarmed engine pays a
+    /// single branch per would-be event.
+    pub fn arm_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.core.arm_trace(sink);
+    }
+
+    /// The armed trace sink, for driver-level events (job shed, window
+    /// counters, control actions) that the engine itself cannot see.
+    /// `None` when tracing is off.
+    pub fn tracer_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.core.tracer_mut()
+    }
+
+    /// Disarm tracing and hand the sink back, typically at the end of a
+    /// traced run to export its events.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.core.take_trace()
+    }
+
     /// Processors currently up (not crashed). Equal to the machine size on
     /// fault-free runs; admission gates scale their capacity model by this.
     #[inline]
@@ -425,6 +448,24 @@ impl<'a> OpenEngine<'a> {
             // Provisional readiness clock, finalized when the node becomes
             // ready — the same convention as the closed-world constructor.
             self.core.ready_time[slot.index()] = at;
+        }
+        if self.core.tracing() {
+            // Bind slots to the job *before* any KernelReady fires (the
+            // `at <= now` arrive path emits readiness immediately), so a
+            // replayer always knows which job a recycled slot belongs to.
+            self.core.trace(TraceEvent::JobAdmitted {
+                job,
+                at,
+                kernels: kernels.len() as u32,
+                deadline,
+            });
+            for &slot in &slots {
+                self.core.trace(TraceEvent::KernelBound {
+                    node: slot.index() as u32,
+                    job,
+                    at,
+                });
+            }
         }
         if at <= self.core.now {
             for &slot in &slots {

@@ -20,6 +20,7 @@ use crate::system::SystemConfig;
 use crate::view::SimView;
 use apt_base::{BaseError, ProcId};
 use apt_dfg::{KernelDag, LookupTable, NodeId};
+use apt_trace::DecisionMeta;
 
 /// Whether a policy plans ahead or reacts to live state (Table 2 row 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,18 +115,24 @@ impl Assignment {
 #[derive(Debug, Default, Clone)]
 pub struct AssignmentBuf {
     items: Vec<Assignment>,
+    /// Sparse decision provenance: `(index into items, meta)` pairs pushed
+    /// by [`push_explained`](AssignmentBuf::push_explained). Alternative
+    /// assignments are a small fraction of a decision wave, so a flat pair
+    /// list beats a parallel `Vec<Option<_>>` in both space and clear cost.
+    metas: Vec<(u32, DecisionMeta)>,
 }
 
 impl AssignmentBuf {
     /// An empty buffer.
     pub fn new() -> Self {
-        AssignmentBuf { items: Vec::new() }
+        AssignmentBuf::default()
     }
 
     /// An empty buffer with room for `cap` assignments.
     pub fn with_capacity(cap: usize) -> Self {
         AssignmentBuf {
             items: Vec::with_capacity(cap),
+            metas: Vec::new(),
         }
     }
 
@@ -135,10 +142,31 @@ impl AssignmentBuf {
         self.items.push(a);
     }
 
+    /// Emit one assignment together with its decision provenance (the APT
+    /// family's alternative-processor choices). When a trace sink is armed
+    /// the engine turns the meta into a
+    /// [`DecisionRecord`](apt_trace::DecisionRecord) event; untraced runs
+    /// pay only this vector push.
+    #[inline]
+    pub fn push_explained(&mut self, a: Assignment, why: DecisionMeta) {
+        self.metas.push((self.items.len() as u32, why));
+        self.items.push(a);
+    }
+
+    /// The provenance recorded for the `idx`-th pushed assignment, if any.
+    #[inline]
+    pub fn meta_for(&self, idx: usize) -> Option<DecisionMeta> {
+        self.metas
+            .iter()
+            .find(|(i, _)| *i as usize == idx)
+            .map(|(_, m)| *m)
+    }
+
     /// Drop all assignments, keeping the capacity.
     #[inline]
     pub fn clear(&mut self) {
         self.items.clear();
+        self.metas.clear();
     }
 
     /// Number of pushed assignments.

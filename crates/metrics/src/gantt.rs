@@ -21,6 +21,9 @@ use std::fmt::Write as _;
 /// End time: 212.093
 /// ```
 pub fn state_log(trace: &Trace, config: &SystemConfig) -> String {
+    if trace.records.is_empty() {
+        return String::from("(empty trace: no scheduled kernels)\nEnd time: 0.000\n");
+    }
     // Event instants: every start and finish, deduplicated, ascending.
     let mut instants: Vec<SimTime> = trace
         .records
@@ -55,9 +58,17 @@ pub fn state_log(trace: &Trace, config: &SystemConfig) -> String {
 /// Each kernel paints its execution interval with a letter (a, b, c …
 /// cycling by node id); transfer intervals paint as `·`, idle as spaces.
 pub fn gantt(trace: &Trace, config: &SystemConfig, width: usize) -> String {
+    // Degenerate inputs render a labeled placeholder instead of an
+    // unscalable (or division-by-zero) chart.
+    if trace.records.is_empty() {
+        return String::from("(empty schedule: no scheduled kernels)\n");
+    }
+    if width == 0 {
+        return String::from("(empty schedule: zero chart width)\n");
+    }
     let makespan = trace.makespan();
-    if makespan.as_ns() == 0 || width == 0 {
-        return String::from("(empty schedule)\n");
+    if makespan.as_ns() == 0 {
+        return String::from("(empty schedule: zero-duration makespan)\n");
     }
     let scale = |t: SimTime| -> usize {
         ((t.as_ns() as u128 * width as u128) / makespan.as_ns() as u128) as usize
@@ -154,7 +165,50 @@ mod tests {
             proc_stats: vec![],
         };
         let config = SystemConfig::paper_4gbps();
-        assert_eq!(gantt(&trace, &config, 40), "(empty schedule)\n");
+        assert_eq!(
+            gantt(&trace, &config, 40),
+            "(empty schedule: no scheduled kernels)\n"
+        );
+        let log = state_log(&trace, &config);
+        assert!(log.contains("(empty trace"));
+        assert!(log.contains("End time: 0.000"));
+    }
+
+    #[test]
+    fn zero_width_gantt_renders_labeled_placeholder() {
+        let (trace, config) = figure5_trace();
+        assert_eq!(
+            gantt(&trace, &config, 0),
+            "(empty schedule: zero chart width)\n"
+        );
+    }
+
+    #[test]
+    fn zero_duration_makespan_renders_labeled_placeholder() {
+        use apt_base::{ProcId, SimTime};
+        use apt_dfg::{Kernel, KernelKind, NodeId};
+        use apt_hetsim::TaskRecord;
+        // A single instantaneous record: makespan is zero even though the
+        // trace is non-empty, so nothing can scale to a chart column.
+        let trace = Trace {
+            records: vec![TaskRecord {
+                node: NodeId::new(0),
+                kernel: Kernel::canonical(KernelKind::Bfs),
+                proc: ProcId::new(0),
+                alt: false,
+                ready: SimTime::ZERO,
+                start: SimTime::ZERO,
+                exec_start: SimTime::ZERO,
+                finish: SimTime::ZERO,
+            }],
+            proc_stats: vec![],
+        };
+        let config = SystemConfig::paper_4gbps();
+        assert_eq!(
+            gantt(&trace, &config, 40),
+            "(empty schedule: zero-duration makespan)\n"
+        );
+        // The state log still renders: one instant plus the end line.
         let log = state_log(&trace, &config);
         assert!(log.contains("End time: 0.000"));
     }

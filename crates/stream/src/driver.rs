@@ -29,6 +29,7 @@ use apt_hetsim::{
     SystemConfig, TaskRecord,
 };
 use apt_metrics::{OnlineMetrics, StreamSnapshot};
+use apt_trace::{ControlKind, CounterKind, ShedReason, TraceEvent, TraceSink};
 
 /// Driver knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -365,6 +366,45 @@ pub fn simulate_source_controlled(
     )
 }
 
+/// [`simulate_source_controlled`] (with the controller optional) under an
+/// armed [`TraceSink`]: the engine records every admission, dispatch,
+/// transfer, completion, fault, and APT decision record; the driver adds
+/// what only it can see — gate/capacity sheds, job retirements, per-window
+/// counter samples (α, ρ, in-flight jobs, queue depth, window miss rate),
+/// and control actions. Returns the outcome *and* the sink back, loaded
+/// with the run's events, ready for `apt-trace`'s Chrome exporter or
+/// wait-decomposition summary.
+///
+/// Tracing is purely observational: a traced run's [`StreamOutcome`] is
+/// byte-identical to the untraced equivalent (pinned in `tests/`).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_source_traced(
+    source: &mut dyn Source,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    opts: &DriverOpts,
+    gate: &mut dyn AdmissionGate,
+    controller: Option<&mut dyn Controller>,
+    sink: Box<dyn TraceSink>,
+    observe: impl FnMut(&CompletedJob),
+) -> Result<(StreamOutcome, Box<dyn TraceSink>), BaseError> {
+    if controller.is_some() && opts.snapshot_interval.is_none() {
+        return Err(BaseError::InvalidSystem {
+            reason: "a controlled run needs DriverOpts::snapshot_interval — metrics windows \
+                     are the controller's clock"
+                .into(),
+        });
+    }
+    let mut sink = Some(sink);
+    let outcome =
+        simulate_source_inner_traced(source, config, lookup, policy, opts, gate, controller, &mut sink, observe)?;
+    Ok((
+        outcome,
+        sink.expect("the driver hands the armed sink back at stream end"),
+    ))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simulate_source_inner(
     source: &mut dyn Source,
@@ -373,7 +413,25 @@ fn simulate_source_inner(
     policy: &mut dyn Policy,
     opts: &DriverOpts,
     gate: &mut dyn AdmissionGate,
+    controller: Option<&mut dyn Controller>,
+    observe: impl FnMut(&CompletedJob),
+) -> Result<StreamOutcome, BaseError> {
+    let mut no_sink = None;
+    simulate_source_inner_traced(
+        source, config, lookup, policy, opts, gate, controller, &mut no_sink, observe,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_source_inner_traced(
+    source: &mut dyn Source,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    opts: &DriverOpts,
+    gate: &mut dyn AdmissionGate,
     mut controller: Option<&mut dyn Controller>,
+    sink: &mut Option<Box<dyn TraceSink>>,
     mut observe: impl FnMut(&CompletedJob),
 ) -> Result<StreamOutcome, BaseError> {
     let mut engine = OpenEngine::with_order(config, lookup, opts.ready_order)?;
@@ -381,6 +439,9 @@ fn simulate_source_inner(
     let faults_armed = !opts.faults.is_none();
     if faults_armed {
         engine.arm_faults(opts.faults, opts.retry);
+    }
+    if let Some(s) = sink.take() {
+        engine.arm_trace(s);
     }
     // The aggregator always runs; without a snapshot interval its window is
     // pushed past any reachable instant so only the running estimators are
@@ -456,6 +517,12 @@ fn simulate_source_inner(
                 *last_arrival = at;
                 *shed += 1;
                 metrics.observe_job_shed();
+                if let Some(t) = engine.tracer_mut() {
+                    t.record(TraceEvent::JobShed {
+                        at,
+                        reason: ShedReason::CapacityFull,
+                    });
+                }
                 *pending = source.next_job();
                 continue;
             }
@@ -482,6 +549,12 @@ fn simulate_source_inner(
             } else {
                 *shed += 1;
                 metrics.observe_job_shed();
+                if let Some(t) = engine.tracer_mut() {
+                    t.record(TraceEvent::JobShed {
+                        at,
+                        reason: ShedReason::Gate,
+                    });
+                }
             }
             *pending = source.next_job();
         }
@@ -539,6 +612,21 @@ fn simulate_source_inner(
                 gate.on_complete(job);
                 observe(job);
             }
+            if engine.tracer_mut().is_some() {
+                let now = engine.now();
+                for job in &done {
+                    let ev = TraceEvent::JobRetired {
+                        job: job.job.0,
+                        at: now,
+                        failed: job.failed,
+                        missed_deadline: job.missed_deadline(),
+                    };
+                    engine
+                        .tracer_mut()
+                        .expect("checked above")
+                        .record(ev);
+                }
+            }
             metrics.observe_depth(engine.now(), engine.in_flight_jobs());
         }
         if snapshots_enabled && engine.now() >= metrics.window_end() {
@@ -553,6 +641,51 @@ fn simulate_source_inner(
             }
             let before = metrics.snapshots().len();
             metrics.maybe_snapshot(engine.now(), &engine.proc_stats());
+            // Sample the operating point at every window close: live α and
+            // ρ, the backlog, and the window's miss rate — the counter
+            // tracks of the Chrome timeline.
+            if engine.tracer_mut().is_some() {
+                let alpha = policy.alpha();
+                let rho = gate.utilization_bound();
+                let in_flight = engine.in_flight_jobs() as f64;
+                let queued = engine.in_flight_kernels() as f64;
+                for idx in before..metrics.snapshots().len() {
+                    let (at, miss) = {
+                        let snap = &metrics.snapshots()[idx];
+                        (snap.end, snap.miss_rate())
+                    };
+                    let t = engine.tracer_mut().expect("checked above");
+                    t.record(TraceEvent::Counter {
+                        at,
+                        kind: CounterKind::InFlightJobs,
+                        value: in_flight,
+                    });
+                    t.record(TraceEvent::Counter {
+                        at,
+                        kind: CounterKind::QueueDepth,
+                        value: queued,
+                    });
+                    if let Some(a) = alpha {
+                        t.record(TraceEvent::Counter {
+                            at,
+                            kind: CounterKind::Alpha,
+                            value: a,
+                        });
+                    }
+                    if let Some(r) = rho {
+                        t.record(TraceEvent::Counter {
+                            at,
+                            kind: CounterKind::Rho,
+                            value: r,
+                        });
+                    }
+                    t.record(TraceEvent::Counter {
+                        at,
+                        kind: CounterKind::WindowMissRate,
+                        value: miss,
+                    });
+                }
+            }
             // Deliver each newly closed window to the controller, in
             // emission order, applying its actions before the next event —
             // every window's statistics therefore describe exactly one
@@ -570,6 +703,23 @@ fn simulate_source_inner(
                             }
                             ControlAction::SwitchPolicy(member) => policy.switch_to(member),
                         };
+                        if let Some(t) = engine.tracer_mut() {
+                            let (kind, value) = match action {
+                                ControlAction::SetAlpha(a) => (ControlKind::Alpha, a),
+                                ControlAction::SetAdmissionBound(b) => {
+                                    (ControlKind::AdmissionBound, b)
+                                }
+                                ControlAction::SwitchPolicy(m) => {
+                                    (ControlKind::SwitchPolicy, m as f64)
+                                }
+                            };
+                            t.record(TraceEvent::Control {
+                                at: snap.end,
+                                kind,
+                                value,
+                                applied,
+                            });
+                        }
                         control_log.push(ControlEvent {
                             at: snap.end,
                             action,
@@ -608,6 +758,8 @@ fn simulate_source_inner(
     }
 
     let end = engine.now();
+    // Hand the sink back to the traced entry point, loaded with the run.
+    *sink = engine.take_trace();
     // Flush the final *partial* window so window-driven consumers (CSV
     // exporters, controller post-mortems) see the tail of the run; a run
     // ending exactly on a boundary flushes nothing extra.

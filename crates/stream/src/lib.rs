@@ -95,7 +95,7 @@ pub mod source;
 pub use deadline::DeadlineSpec;
 pub use driver::{
     simulate_source, simulate_source_controlled, simulate_source_gated, simulate_source_observed,
-    AdmissionGate, AdmitAll, AdmitRequest, DriverOpts, StreamOutcome,
+    simulate_source_traced, AdmissionGate, AdmitAll, AdmitRequest, DriverOpts, StreamOutcome,
 };
 pub use job::{JobFamily, JobTemplate};
 pub use source::{DiurnalSource, OnOffSource, PoissonSource, Source, TraceSource};

@@ -1,0 +1,337 @@
+//! `trace-summary`: the §2.5.1 λ-delay decomposition over a recorded
+//! event stream.
+//!
+//! The paper defines λ as the delay a kernel accumulates between
+//! submission and execution. From the event stream each completed kernel
+//! instance decomposes into:
+//!
+//! * **dependency-wait** — job admission → all predecessors done
+//!   (`ready - bound`): time spent waiting on the DFG, not the scheduler;
+//! * **scheduler-wait** — ready → dispatch (`start - ready`): the λ the
+//!   closed-trace [`lambda`](https://docs.rs) column reports — the policy
+//!   withholding the kernel (MET/APT waiting on a busy best processor);
+//! * **processor-wait** — dispatch → execution start: input transfer and
+//!   interconnect contention before the kernel actually runs.
+//!
+//! [`render_summary`] ranks instances by total wait and prints the top-N
+//! table the `--trace` CLI path appends to its report.
+
+use crate::TraceEvent;
+use apt_base::{ProcId, SimDuration, SimTime};
+use apt_dfg::Kernel;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One completed kernel instance's reconstructed wait decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelWait {
+    /// Engine node slot (recycled across jobs; `job` disambiguates).
+    pub node: u32,
+    /// Owning job, when the stream recorded the binding.
+    pub job: Option<u64>,
+    /// Kernel identity.
+    pub kernel: Kernel,
+    /// Processor that ran it.
+    pub proc: ProcId,
+    /// Whether it ran on an APT alternative processor.
+    pub alt: bool,
+    /// Job admission → ready (waiting on predecessors).
+    pub dependency_wait: SimDuration,
+    /// Ready → dispatch (the scheduler's λ).
+    pub scheduler_wait: SimDuration,
+    /// Dispatch → execution start (transfer/contention).
+    pub processor_wait: SimDuration,
+    /// Execution start → completion.
+    pub exec: SimDuration,
+}
+
+impl KernelWait {
+    /// Everything before execution began.
+    pub fn total_wait(&self) -> SimDuration {
+        self.dependency_wait + self.scheduler_wait + self.processor_wait
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotState {
+    job: Option<u64>,
+    bound_at: Option<SimTime>,
+    ready: Option<SimTime>,
+    dispatch: Option<(SimTime, bool)>,
+    kernel: Option<Kernel>,
+    proc: Option<ProcId>,
+    exec_start: Option<SimTime>,
+}
+
+/// Reconstruct per-kernel wait decompositions from an event stream.
+/// Instances whose dispatch or readiness fell outside the recorded window
+/// (ring truncation) are skipped rather than guessed.
+pub fn kernel_waits(events: &[TraceEvent]) -> Vec<KernelWait> {
+    let mut slots: BTreeMap<u32, SlotState> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        match *e {
+            TraceEvent::KernelBound { node, job, at } => {
+                let s = slots.entry(node).or_default();
+                *s = SlotState {
+                    job: Some(job),
+                    bound_at: Some(at),
+                    ..SlotState::default()
+                };
+            }
+            TraceEvent::KernelReady { node, at } => {
+                let s = slots.entry(node).or_default();
+                s.ready = Some(at);
+                // A fresh readiness invalidates any earlier dispatch state
+                // (retry / re-dispatch path).
+                s.dispatch = None;
+                s.exec_start = None;
+            }
+            TraceEvent::KernelDispatch {
+                node,
+                kernel,
+                proc,
+                at,
+                alt,
+            } => {
+                let s = slots.entry(node).or_default();
+                s.dispatch = Some((at, alt));
+                s.kernel = Some(kernel);
+                s.proc = Some(proc);
+                s.exec_start = None;
+            }
+            TraceEvent::ExecStart { node, at, .. } => {
+                if let Some(s) = slots.get_mut(&node) {
+                    s.exec_start = Some(at);
+                }
+            }
+            TraceEvent::KernelComplete { node, proc, at } => {
+                if let Some(s) = slots.get_mut(&node) {
+                    if let (Some(ready), Some((start, alt)), Some(kernel)) =
+                        (s.ready, s.dispatch, s.kernel)
+                    {
+                        let exec_start = s.exec_start.unwrap_or(start);
+                        out.push(KernelWait {
+                            node,
+                            job: s.job,
+                            kernel,
+                            proc: s.proc.unwrap_or(proc),
+                            alt,
+                            dependency_wait: ready
+                                .saturating_since(s.bound_at.unwrap_or(ready)),
+                            scheduler_wait: start.saturating_since(ready),
+                            processor_wait: exec_start.saturating_since(start),
+                            exec: at.saturating_since(exec_start),
+                        });
+                    }
+                    s.ready = None;
+                    s.dispatch = None;
+                    s.exec_start = None;
+                }
+            }
+            TraceEvent::KernelKilled { node, .. } => {
+                if let Some(s) = slots.get_mut(&node) {
+                    s.dispatch = None;
+                    s.exec_start = None;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn ms(d: SimDuration) -> String {
+    format!("{:.3}", d.as_ms_f64())
+}
+
+/// Render the top-`top_n` kernels by total wait as an aligned text table
+/// (§2.5.1 decomposition), plus a one-line aggregate footer.
+pub fn render_summary(events: &[TraceEvent], top_n: usize) -> String {
+    let mut waits = kernel_waits(events);
+    let completed = waits.len();
+    if completed == 0 {
+        return "trace-summary: no completed kernel instances in the recorded window\n"
+            .to_string();
+    }
+    waits.sort_by(|a, b| {
+        b.total_wait()
+            .cmp(&a.total_wait())
+            .then(a.node.cmp(&b.node))
+    });
+    let total: SimDuration = waits.iter().map(|w| w.total_wait()).sum();
+    let sched: SimDuration = waits.iter().map(|w| w.scheduler_wait).sum();
+    let dep: SimDuration = waits.iter().map(|w| w.dependency_wait).sum();
+    let proc: SimDuration = waits.iter().map(|w| w.processor_wait).sum();
+
+    let mut rows: Vec<[String; 8]> = Vec::new();
+    for w in waits.iter().take(top_n) {
+        rows.push([
+            w.kernel.kind.tag().to_string(),
+            w.job.map(|j| j.to_string()).unwrap_or_else(|| "-".into()),
+            format!("{}{}", w.proc, if w.alt { "*" } else { "" }),
+            ms(w.dependency_wait),
+            ms(w.scheduler_wait),
+            ms(w.processor_wait),
+            ms(w.exec),
+            ms(w.total_wait()),
+        ]);
+    }
+    let header = [
+        "kernel", "job", "proc", "dep-wait", "sched-wait", "proc-wait", "exec", "total-wait",
+    ];
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = format!(
+        "trace-summary — top {} of {} completed kernel instances by total wait (ms); \
+         `*` marks APT alternative placements\n",
+        rows.len(),
+        completed
+    );
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "{:<w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "aggregate wait: {} ms total = {} dependency + {} scheduler (λ) + {} processor/transfer",
+        ms(total),
+        ms(dep),
+        ms(sched),
+        ms(proc)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_dfg::KernelKind;
+
+    fn events_one_kernel() -> Vec<TraceEvent> {
+        let p = ProcId::new(1);
+        vec![
+            TraceEvent::KernelBound {
+                node: 5,
+                job: 9,
+                at: SimTime::from_ms(10),
+            },
+            TraceEvent::KernelReady {
+                node: 5,
+                at: SimTime::from_ms(14),
+            },
+            TraceEvent::KernelDispatch {
+                node: 5,
+                kernel: Kernel::new(KernelKind::Bfs, 1_000_000),
+                proc: p,
+                at: SimTime::from_ms(20),
+                alt: true,
+            },
+            TraceEvent::ExecStart {
+                node: 5,
+                proc: p,
+                at: SimTime::from_ms(23),
+            },
+            TraceEvent::KernelComplete {
+                node: 5,
+                proc: p,
+                at: SimTime::from_ms(130),
+            },
+        ]
+    }
+
+    #[test]
+    fn decomposes_the_three_wait_components() {
+        let waits = kernel_waits(&events_one_kernel());
+        assert_eq!(waits.len(), 1);
+        let w = waits[0];
+        assert_eq!(w.job, Some(9));
+        assert_eq!(w.dependency_wait, SimDuration::from_ms(4));
+        assert_eq!(w.scheduler_wait, SimDuration::from_ms(6));
+        assert_eq!(w.processor_wait, SimDuration::from_ms(3));
+        assert_eq!(w.exec, SimDuration::from_ms(107));
+        assert_eq!(w.total_wait(), SimDuration::from_ms(13));
+        assert!(w.alt);
+    }
+
+    #[test]
+    fn slot_recycling_pairs_instances_in_sequence() {
+        let mut events = events_one_kernel();
+        // The slot is re-bound to a new job and runs again.
+        let p = ProcId::new(0);
+        events.extend([
+            TraceEvent::KernelBound {
+                node: 5,
+                job: 10,
+                at: SimTime::from_ms(200),
+            },
+            TraceEvent::KernelReady {
+                node: 5,
+                at: SimTime::from_ms(200),
+            },
+            TraceEvent::KernelDispatch {
+                node: 5,
+                kernel: Kernel::new(KernelKind::Srad, 2048),
+                proc: p,
+                at: SimTime::from_ms(201),
+                alt: false,
+            },
+            TraceEvent::KernelComplete {
+                node: 5,
+                proc: p,
+                at: SimTime::from_ms(210),
+            },
+        ]);
+        let waits = kernel_waits(&events);
+        assert_eq!(waits.len(), 2);
+        assert_eq!(waits[1].job, Some(10));
+        assert_eq!(waits[1].scheduler_wait, SimDuration::from_ms(1));
+        // No ExecStart recorded: processor-wait collapses to zero.
+        assert_eq!(waits[1].processor_wait, SimDuration::ZERO);
+        assert_eq!(waits[1].exec, SimDuration::from_ms(9));
+    }
+
+    #[test]
+    fn killed_instances_do_not_produce_rows() {
+        let p = ProcId::new(1);
+        let events = vec![
+            TraceEvent::KernelReady {
+                node: 1,
+                at: SimTime::ZERO,
+            },
+            TraceEvent::KernelDispatch {
+                node: 1,
+                kernel: Kernel::new(KernelKind::Bfs, 1_000_000),
+                proc: p,
+                at: SimTime::from_ms(1),
+                alt: false,
+            },
+            TraceEvent::KernelKilled {
+                node: 1,
+                proc: p,
+                at: SimTime::from_ms(2),
+            },
+        ];
+        assert!(kernel_waits(&events).is_empty());
+    }
+
+    #[test]
+    fn render_handles_empty_and_populated_streams() {
+        assert!(render_summary(&[], 10).contains("no completed kernel instances"));
+        let text = render_summary(&events_one_kernel(), 10);
+        assert!(text.contains("top 1 of 1"));
+        assert!(text.contains("bfs"));
+        assert!(text.contains("p1*"), "alt placements are starred");
+        assert!(text.contains("aggregate wait: 13.000 ms"));
+    }
+}

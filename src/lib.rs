@@ -9,6 +9,38 @@
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! ## Observability
+//!
+//! The [`trace`] layer (`apt-trace`) records what the simulator *did*,
+//! instant by instant, without perturbing it. Arm a
+//! [`trace::TraceSink`] on a run — [`trace::VecSink`] to keep
+//! everything, [`trace::RingSink`] to bound memory on long streams —
+//! and every layer emits typed [`trace::TraceEvent`]s: kernel
+//! dispatch/transfer/exec/completion on each processor, job
+//! admission/shed/retirement, fault and retry instants, control-plane
+//! actions, per-window counters (in-flight jobs, queue depth, live α/ρ,
+//! miss rate), and a [`trace::DecisionRecord`] for every APT
+//! alternative-processor choice with its full Eq.-8 provenance.
+//!
+//! Tracing is **off by default and free when off**: an untraced run
+//! executes byte-identically to a run built before the trace layer
+//! existed (pinned by the equivalence suites), and an armed
+//! [`trace::NullSink`] prices the hot path within a few percent of bare
+//! (`trace/poisson_apt` benches).
+//!
+//! Render a recorded stream with [`trace::chrome::chrome_trace`]
+//! (Chrome trace-event JSON — open it in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)) or
+//! [`trace::summary::render_summary`] (the §2.5.1 λ-delay decomposition:
+//! dependency- vs scheduler- vs processor-wait per kernel). The same
+//! exports are wired into the CLI as `apt-repro <scenario> --trace
+//! <path>`, and `examples/traced_stream.rs` produces a loadable timeline
+//! from a faulty, controlled diurnal stream:
+//!
+//! ```bash
+//! cargo run --release -p apt-suite --example traced_stream trace.json
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +57,10 @@ pub use apt_slo as slo;
 // and handed to the driver explicitly, so the namespace keeps the
 // closed-loop surface discoverable as a unit.
 pub use apt_control as control;
+
+// And for observability: sinks, events and exporters form one opt-in
+// surface (see the "Observability" section above).
+pub use apt_trace as trace;
 
 /// Workspace version, for the examples' banners.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
