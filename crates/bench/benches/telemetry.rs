@@ -1,0 +1,26 @@
+//! The metrics registry's armed hot path: the same Poisson APT stream
+//! with telemetry fully absent (bare) and under an armed
+//! `StreamTelemetry` (every driver hook fires into the registry —
+//! counter adds and log-histogram observes; no heartbeat, no engine
+//! profiling). The schedules are byte-identical, so the delta prices
+//! pure instrument bookkeeping (<5% target; the untelemetered
+//! equivalence pin is `apt-stream/tests/telemetered_stream.rs`).
+//! `apt-bench` tracks the same pair in `BENCH_engine.json`.
+
+use apt_bench::{telemetry_stream_run, STREAM_BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_telemetry_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/poisson_apt");
+    g.throughput(Throughput::Elements(STREAM_BENCH_JOBS));
+    for (name, armed) in [("bare", false), ("armed", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &armed, |b, &armed| {
+            b.iter(|| black_box(telemetry_stream_run(armed)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_stream);
+criterion_main!(benches);

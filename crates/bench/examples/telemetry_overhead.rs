@@ -1,0 +1,44 @@
+//! Noise-robust check of the armed-registry overhead bar (<5% of bare).
+//!
+//! The `telemetry/poisson_apt` Criterion rows time the same fixture, but
+//! on a busy or virtualized host their two groups run far apart in time
+//! and absorb different noise. This probe interleaves bare and armed
+//! runs round-robin and reports the minimum of each — minima drawn from
+//! the same measurement window, so host jitter largely cancels out of
+//! the ratio. Use it when a Criterion row looks out of line before
+//! treating the gap as real.
+//!
+//! ```bash
+//! cargo run --release -p apt-bench --example telemetry_overhead [rounds]
+//! ```
+
+use std::time::Instant;
+
+fn time_once(armed: bool) -> f64 {
+    let t = Instant::now();
+    let end = apt_bench::telemetry_stream_run(armed);
+    let dt = t.elapsed().as_secs_f64();
+    assert!(end > 0);
+    dt
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    // Warmup
+    time_once(false);
+    time_once(true);
+    let (mut best_bare, mut best_armed) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        best_bare = best_bare.min(time_once(false));
+        best_armed = best_armed.min(time_once(true));
+    }
+    println!(
+        "bare {:.3} ms | armed {:.3} ms | overhead {:+.2}%",
+        best_bare * 1e3,
+        best_armed * 1e3,
+        100.0 * (best_armed - best_bare) / best_bare
+    );
+}

@@ -25,6 +25,13 @@
 //!   the same Poisson APT stream untraced vs under an armed
 //!   [`apt_trace::NullSink`], so the delta is pure emission-site overhead
 //!   on byte-identical schedules (<5% target).
+//! * [`telemetry`](../benches/telemetry.rs) — the metrics registry's armed
+//!   hot path: the same Poisson APT stream bare vs under an armed
+//!   [`apt_stream::StreamTelemetry`], so the delta is pure instrument
+//!   bookkeeping (counter adds, histogram observes) on byte-identical
+//!   schedules (<5% target; `examples/telemetry_overhead.rs` re-checks
+//!   the ratio with interleaved minima when a noisy host makes the
+//!   Criterion rows disagree).
 //!
 //! Run with `cargo bench --workspace`; results land in `target/criterion/`.
 
@@ -192,6 +199,105 @@ pub fn traced_stream_run(null_sink: bool) -> u64 {
     .expect("traced bench run");
     assert_eq!(outcome.jobs_completed, STREAM_BENCH_JOBS);
     outcome.end.as_ns()
+}
+
+/// One telemetered stream run: the [`stream_run`] APT configuration with
+/// the metrics registry either fully absent (`armed = false`, the plain
+/// driver — the bare baseline) or armed with a default
+/// [`apt_stream::StreamTelemetry`] (`armed = true` — every driver hook
+/// fires into the registry: admission/completion counters, latency and
+/// tardiness histogram observes; no heartbeat, no engine profiling, so
+/// the delta is the pure instrument hot path). The schedules are
+/// byte-identical (pinned in `tests/telemetered_stream.rs`), so the
+/// armed-vs-bare delta prices registry bookkeeping alone (<5% target).
+/// Returns the final simulated instant in ns.
+pub fn telemetry_stream_run(armed: bool) -> u64 {
+    use apt_stream::{
+        simulate_source, simulate_source_telemetered, AdmitAll, DriverOpts, JobFamily,
+        PoissonSource, StreamTelemetry,
+    };
+    let mut policy = Apt::new(4.0);
+    let mut source = PoissonSource::new(
+        LookupTable::paper(),
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    );
+    let opts = DriverOpts::default();
+    let outcome = if armed {
+        let mut tel = StreamTelemetry::new();
+        simulate_source_telemetered(
+            &mut source,
+            &SystemConfig::paper_4gbps(),
+            LookupTable::paper(),
+            &mut policy,
+            &opts,
+            &mut AdmitAll,
+            None,
+            None,
+            &mut tel,
+            |_| {},
+        )
+        .map(|(outcome, _sink)| {
+            assert_eq!(
+                tel.registry()
+                    .counter_named("jobs_completed_total", &[])
+                    .expect("registered"),
+                STREAM_BENCH_JOBS
+            );
+            outcome
+        })
+    } else {
+        simulate_source(
+            &mut source,
+            &SystemConfig::paper_4gbps(),
+            LookupTable::paper(),
+            &mut policy,
+            &opts,
+        )
+    }
+    .expect("telemetry bench run");
+    assert_eq!(outcome.jobs_completed, STREAM_BENCH_JOBS);
+    outcome.end.as_ns()
+}
+
+/// One *profiled* telemetered stream run: [`telemetry_stream_run`] with
+/// engine phase profiling requested on top of the armed registry
+/// (`apt-bench` builds `apt-stream` with the `self-profile` feature).
+/// Returns the run's [`apt_telemetry::PhaseReport`] for the phase-breakdown
+/// table `apt-bench` prints — the self-profiling acceptance surface
+/// (phase wall-clock sum ≥ 90% of engine total).
+pub fn profiled_stream_report() -> apt_telemetry::PhaseReport {
+    use apt_stream::{
+        simulate_source_telemetered, AdmitAll, DriverOpts, JobFamily, PoissonSource,
+        StreamTelemetry,
+    };
+    let mut policy = Apt::new(4.0);
+    let mut source = PoissonSource::new(
+        LookupTable::paper(),
+        0.5,
+        STREAM_BENCH_JOBS,
+        JobFamily::Single,
+        0xBE9C_5EED,
+    );
+    let mut tel = StreamTelemetry::new().with_engine_profile();
+    let (outcome, _) = simulate_source_telemetered(
+        &mut source,
+        &SystemConfig::paper_4gbps(),
+        LookupTable::paper(),
+        &mut policy,
+        &DriverOpts::default(),
+        &mut AdmitAll,
+        None,
+        None,
+        &mut tel,
+        |_| {},
+    )
+    .expect("profiled bench run");
+    assert_eq!(outcome.jobs_completed, STREAM_BENCH_JOBS);
+    tel.take_phase_report()
+        .expect("apt-bench compiles apt-stream with self-profile")
 }
 
 /// One fault-injected stream run: the [`stream_run`] APT configuration
@@ -383,5 +489,21 @@ mod tests {
     fn control_fixture_runs_bare_and_armed() {
         assert!(control_stream_run(false) > 0);
         assert!(control_stream_run(true) > 0);
+    }
+
+    #[test]
+    fn telemetry_fixture_runs_bare_and_armed_identically() {
+        assert_eq!(telemetry_stream_run(false), telemetry_stream_run(true));
+    }
+
+    #[test]
+    fn profiled_fixture_reports_with_coverage() {
+        let report = profiled_stream_report();
+        assert!(report.decide_calls > 0);
+        assert!(
+            report.coverage() >= 0.90,
+            "phase sum covers only {:.1}% of engine wall-clock",
+            100.0 * report.coverage()
+        );
     }
 }

@@ -26,11 +26,19 @@
 //! `--check` re-times every bench and exits non-zero if any of them is more
 //! than the tolerance slower than the checked-in `after_ns` median. It
 //! never writes the file — refreshing the medians stays an explicit
-//! `--label after` run.
+//! `--label after` run. `--check --json verdict.json` additionally writes
+//! the per-bench verdict (recorded/measured ns, signed delta %, tolerance,
+//! pass/fail) as machine-readable JSON for CI annotations.
+//!
+//! `--profile` runs the telemetered stream fixture once with engine
+//! self-profiling armed and prints the phase-breakdown table (where a
+//! driver iteration's wall-clock goes: decide / apply / calendar / handle
+//! / retire / admit / account / window), then exits.
 
 use apt_bench::{
-    control_stream_run, fault_stream_run, run, slo_stream_run, stream_calendar_backlog, stream_run,
-    topology_systems, traced_stream_run, type2_workload, STREAM_BENCH_JOBS,
+    control_stream_run, fault_stream_run, profiled_stream_report, run, slo_stream_run,
+    stream_calendar_backlog, stream_run, telemetry_stream_run, topology_systems, traced_stream_run,
+    type2_workload, STREAM_BENCH_JOBS,
 };
 use apt_core::prelude::*;
 use std::collections::BTreeMap;
@@ -164,6 +172,18 @@ fn trace_benches(out: &mut Vec<(String, Measurement)>) {
     }
 }
 
+/// Telemetry registry absent vs armed on the same stream — mirrors
+/// `benches/telemetry.rs`.
+fn telemetry_benches(out: &mut Vec<(String, Measurement)>) {
+    for (name, armed) in [("bare", false), ("armed", true)] {
+        let ns = measure(|| telemetry_stream_run(armed));
+        out.push((
+            format!("telemetry/poisson_apt_{name}/{STREAM_BENCH_JOBS}"),
+            ns,
+        ));
+    }
+}
+
 /// Uniform-scalar vs clustered-matrix transfer layer on the six-processor
 /// transfer-heavy machine — mirrors the `topology/*` group in
 /// `benches/engine.rs`.
@@ -272,22 +292,38 @@ fn render(rows: &BTreeMap<String, Row>) -> String {
 }
 
 /// Compare re-timed medians against the checked-in `after_ns` rows;
-/// returns the process exit code (0 = within tolerance).
+/// returns the process exit code (0 = within tolerance). With `json_path`
+/// set, also writes a machine-readable verdict (one object per bench:
+/// recorded/measured ns, signed delta %, the tolerance, pass/fail) for CI
+/// annotations and dashboards.
 fn check(
     out_path: &str,
     tolerance_percent: u64,
     rows: &BTreeMap<String, Row>,
     results: &[(String, Measurement)],
+    json_path: Option<&str>,
 ) -> i32 {
     let mut regressions = 0usize;
+    let mut json_rows = Vec::new();
     for (name, m) in results {
         let ns = m.median_ns;
         let Some(recorded) = rows.get(name).and_then(|r| r.after_ns) else {
             eprintln!("{name:<45} {ns:>12} ns  [new — no recorded median]");
+            json_rows.push(format!(
+                "    {{ \"bench\": \"{name}\", \"recorded_ns\": null, \"measured_ns\": {ns}, \
+                 \"delta_pct\": null, \"tolerance_pct\": {tolerance_percent}, \"pass\": true }}"
+            ));
             continue;
         };
         let limit = recorded + recorded * tolerance_percent / 100;
-        if ns > limit {
+        let pass = ns <= limit;
+        let delta_pct = 100.0 * (ns as f64 - recorded as f64) / recorded.max(1) as f64;
+        json_rows.push(format!(
+            "    {{ \"bench\": \"{name}\", \"recorded_ns\": {recorded}, \"measured_ns\": {ns}, \
+             \"delta_pct\": {delta_pct:.2}, \"tolerance_pct\": {tolerance_percent}, \
+             \"pass\": {pass} }}"
+        ));
+        if !pass {
             regressions += 1;
             eprintln!(
                 "{name:<45} {ns:>12} ns  REGRESSED (recorded {recorded} ns, limit {limit} ns)"
@@ -295,6 +331,16 @@ fn check(
         } else {
             eprintln!("{name:<45} {ns:>12} ns  ok (recorded {recorded} ns)");
         }
+    }
+    if let Some(path) = json_path {
+        let verdict = format!(
+            "{{\n  \"schema\": \"apt-bench-check-v1\",\n  \"baseline\": \"{out_path}\",\n  \
+             \"tolerance_pct\": {tolerance_percent},\n  \"pass\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            regressions == 0,
+            json_rows.join(",\n"),
+        );
+        std::fs::write(path, verdict).expect("write --json verdict");
+        eprintln!("wrote {path}");
     }
     if regressions > 0 {
         eprintln!(
@@ -313,6 +359,8 @@ fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut check_mode = false;
     let mut tolerance_percent = 10u64;
+    let mut json_path: Option<String> = None;
+    let mut profile_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -334,6 +382,17 @@ fn main() {
                 check_mode = true;
                 i += 1;
             }
+            "--json" => {
+                json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--profile" => {
+                profile_mode = true;
+                i += 1;
+            }
             "--tolerance" => {
                 tolerance_percent =
                     args.get(i + 1)
@@ -347,7 +406,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: apt-bench [--label before|after] [--out BENCH_engine.json] \
-                     [--check [--tolerance PERCENT]]"
+                     [--check [--tolerance PERCENT] [--json PATH]] [--profile]"
                 );
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -357,6 +416,21 @@ fn main() {
     if label != "before" && label != "after" {
         eprintln!("--label must be `before` or `after`, got {label}");
         std::process::exit(2);
+    }
+
+    // `--profile`: time nothing — run the profiled stream once and print
+    // the engine's phase breakdown (where a driver iteration's wall-clock
+    // actually goes), then exit.
+    if profile_mode {
+        let report = profiled_stream_report();
+        println!("{}", report.render());
+        if report.coverage() < 0.90 {
+            eprintln!(
+                "warning: phases cover only {:.1}% of engine wall-clock",
+                100.0 * report.coverage()
+            );
+        }
+        return;
     }
 
     // Fail fast in check mode: validate the recorded medians *before*
@@ -381,10 +455,17 @@ fn main() {
     fault_benches(&mut results);
     control_benches(&mut results);
     trace_benches(&mut results);
+    telemetry_benches(&mut results);
     topology_benches(&mut results);
 
     if let Some(rows) = recorded {
-        std::process::exit(check(&out_path, tolerance_percent, &rows, &results));
+        std::process::exit(check(
+            &out_path,
+            tolerance_percent,
+            &rows,
+            &results,
+            json_path.as_deref(),
+        ));
     }
 
     let mut rows = std::fs::read_to_string(&out_path)

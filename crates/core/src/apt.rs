@@ -160,7 +160,8 @@ impl Policy for Apt {
             }
             // Lines 9–14: look for p_alt within α·x.
             let threshold = self.threshold(best.exec);
-            if let Some((p_alt, cost)) = self.find_alternative(view, node, best.proc, threshold, idle)
+            if let Some((p_alt, cost)) =
+                self.find_alternative(view, node, best.proc, threshold, idle)
             {
                 idle &= !(1 << p_alt.index());
                 out.push_explained(

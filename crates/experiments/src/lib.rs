@@ -20,10 +20,12 @@ pub mod runner;
 pub mod slo;
 pub mod streaming;
 pub mod tables;
+pub mod telemetered;
 pub mod topology;
 pub mod traced;
 pub mod workloads;
 
+pub use telemetered::{artifact_has_metrics, artifact_metrics, MetricsExport};
 pub use traced::{artifact_has_trace, artifact_trace, TraceExport};
 
 use apt_metrics::TextTable;

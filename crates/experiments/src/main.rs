@@ -19,10 +19,19 @@
 //! `trace-summary` λ-delay report under the artifact. With several
 //! trace-capable artifacts requested, the id is appended to the path
 //! (`out.json.stream-saturation.json`).
+//!
+//! `--metrics <path>` runs one representative *telemetered* cell of every
+//! requested open-stream scenario (the same cell `--trace` draws), writes
+//! the validated Prometheus exposition to `<path>` and the per-window
+//! JSONL snapshot stream to `<path>.jsonl`, and prints the engine's
+//! phase-breakdown report under the artifact. `--progress` additionally
+//! ticks a throttled stderr heartbeat (jobs/s, in-flight, miss rate, live
+//! α/ρ, ETA) while those telemetered cells run — the soak-run operator
+//! surface.
 
 use apt_experiments::{
-    all_artifact_ids, artifact_has_csv, artifact_has_trace, artifact_trace, artifact_with_csv,
-    run_artifact, Artifact,
+    all_artifact_ids, artifact_has_csv, artifact_has_metrics, artifact_has_trace, artifact_metrics,
+    artifact_trace, artifact_with_csv, run_artifact, Artifact,
 };
 use std::io::Write as _;
 
@@ -56,10 +65,27 @@ fn main() {
     } else {
         None
     };
+    let metrics_path = if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        args.remove(pos);
+        if pos < args.len() {
+            Some(args.remove(pos))
+        } else {
+            eprintln!("--metrics needs a path");
+            std::process::exit(2);
+        }
+    } else {
+        None
+    };
+    let progress = if let Some(pos) = args.iter().position(|a| a == "--progress") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
             "usage: apt-repro [--markdown] [--csv <path>] [--trace <path>] \
-             <artifact-id>... | all | list"
+             [--progress] [--metrics <path>] <artifact-id>... | all | list"
         );
         eprintln!("artifacts: {}", all_artifact_ids().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -93,6 +119,11 @@ fn main() {
     let trace_capable = ids.iter().filter(|id| artifact_has_trace(id)).count();
     if trace_path.is_some() && trace_capable == 0 {
         eprintln!("--trace: none of the requested artifacts has a traced form");
+        failed = true;
+    }
+    let metrics_capable = ids.iter().filter(|id| artifact_has_metrics(id)).count();
+    if metrics_path.is_some() && metrics_capable == 0 {
+        eprintln!("--metrics: none of the requested artifacts has a telemetered form");
         failed = true;
     }
     for id in ids {
@@ -139,6 +170,30 @@ fn main() {
                         eprintln!("wrote {path}");
                     }
                     if writeln!(out, "{}", export.summary).is_err() {
+                        return;
+                    }
+                }
+                if let (Some(base), true) = (&metrics_path, artifact_has_metrics(id)) {
+                    let export = artifact_metrics(id, progress).expect("capability checked");
+                    let path = if metrics_capable == 1 {
+                        base.clone()
+                    } else {
+                        format!("{base}.{id}.prom")
+                    };
+                    if let Err(e) = std::fs::write(&path, &export.prometheus) {
+                        eprintln!("--metrics: cannot write {path}: {e}");
+                        failed = true;
+                    } else {
+                        eprintln!("wrote {path} ({} samples)", export.samples);
+                    }
+                    let jsonl_path = format!("{path}.jsonl");
+                    if let Err(e) = std::fs::write(&jsonl_path, &export.jsonl) {
+                        eprintln!("--metrics: cannot write {jsonl_path}: {e}");
+                        failed = true;
+                    } else {
+                        eprintln!("wrote {jsonl_path} ({} windows)", export.lines);
+                    }
+                    if writeln!(out, "{}", export.report).is_err() {
                         return;
                     }
                 }

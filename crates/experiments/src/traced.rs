@@ -23,9 +23,7 @@
 use crate::control::{control_stack, CONTROL_WINDOW};
 use apt_core::prelude::*;
 use apt_slo::UtilizationBound;
-use apt_stream::{
-    DeadlineSpec, DriverOpts, JobFamily, OnOffSource, PoissonSource, Source,
-};
+use apt_stream::{DeadlineSpec, DriverOpts, JobFamily, OnOffSource, PoissonSource, Source};
 use apt_trace::chrome::{chrome_trace, validate, ChromeConfig, ChromeStats};
 use apt_trace::summary::render_summary;
 use apt_trace::VecSink;
@@ -71,7 +69,9 @@ pub fn artifact_has_trace(id: &str) -> bool {
 
 /// The representative stream of one scenario id: an arrival source shaped
 /// like the sweep's traffic, plus the fault plan the timeline should show.
-fn traced_source(id: &str) -> Option<(Box<dyn Source>, FaultPlan)> {
+/// Shared with the telemetered form (`--metrics` observes the same cell
+/// the `--trace` timeline draws).
+pub(crate) fn traced_source(id: &str) -> Option<(Box<dyn Source>, FaultPlan)> {
     let lookup = LookupTable::paper();
     let deadlines = DeadlineSpec::ProportionalCp { factor: 6.0 };
     let family = JobFamily::Diamond { width: 2 };
@@ -183,8 +183,7 @@ pub fn artifact_trace(id: &str) -> Option<TraceExport> {
 
     let names = config.procs().iter().map(|p| p.name.clone()).collect();
     let chrome = chrome_trace(&events, &ChromeConfig::with_proc_names(names));
-    let stats =
-        validate(&chrome).expect("exported timeline violates the Chrome field contract");
+    let stats = validate(&chrome).expect("exported timeline violates the Chrome field contract");
 
     let mut summary = String::new();
     let _ = writeln!(

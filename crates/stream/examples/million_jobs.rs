@@ -7,17 +7,30 @@
 //! peak (reported below), not the million-job stream.
 //!
 //! ```bash
-//! cargo run --release -p apt-stream --example million_jobs [jobs] [rate_jps]
+//! cargo run --release -p apt-stream --example million_jobs [--progress] [jobs] [rate_jps]
 //! ```
+//!
+//! `--progress` arms the telemetry heartbeat: a throttled stderr line with
+//! live jobs/s, in-flight depth, miss rate, and ETA to the job target.
 
 use apt_core::Apt;
 use apt_dfg::LookupTable;
 use apt_hetsim::SystemConfig;
 use apt_policies::Met;
-use apt_stream::{simulate_source, DriverOpts, JobFamily, PoissonSource};
+use apt_stream::{
+    simulate_source, simulate_source_telemetered, AdmitAll, DriverOpts, JobFamily, PoissonSource,
+    StreamTelemetry,
+};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let progress = if let Some(pos) = args.iter().position(|a| a == "--progress") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let mut args = args.into_iter();
     let jobs: u64 = args
         .next()
         .and_then(|a| a.parse().ok())
@@ -34,14 +47,32 @@ fn main() {
     ] {
         let mut source = PoissonSource::new(lookup, rate, jobs, JobFamily::Single, 42);
         let wall = std::time::Instant::now();
-        let o = simulate_source(
-            &mut source,
-            &config,
-            lookup,
-            policy.as_mut(),
-            &DriverOpts::default(),
-        )
-        .expect("stream run");
+        let o = if progress {
+            let mut tel = StreamTelemetry::new().with_progress(Some(jobs));
+            let (o, _) = simulate_source_telemetered(
+                &mut source,
+                &config,
+                lookup,
+                policy.as_mut(),
+                &DriverOpts::default(),
+                &mut AdmitAll,
+                None,
+                None,
+                &mut tel,
+                |_| {},
+            )
+            .expect("stream run");
+            o
+        } else {
+            simulate_source(
+                &mut source,
+                &config,
+                lookup,
+                policy.as_mut(),
+                &DriverOpts::default(),
+            )
+            .expect("stream run")
+        };
         let wall = wall.elapsed();
         println!(
             "{:10}  {} jobs in {:.1} simulated hours  ({:.1}s wall, {:.2} Mjobs/s wall)",

@@ -21,6 +21,7 @@
 
 use crate::job::JobTemplate;
 use crate::source::Source;
+use crate::telemetry::StreamTelemetry;
 use apt_base::{BaseError, SimDuration, SimTime};
 use apt_control::{ControlAction, ControlEvent, Controller};
 use apt_dfg::LookupTable;
@@ -397,12 +398,64 @@ pub fn simulate_source_traced(
         });
     }
     let mut sink = Some(sink);
-    let outcome =
-        simulate_source_inner_traced(source, config, lookup, policy, opts, gate, controller, &mut sink, observe)?;
+    let outcome = simulate_source_inner_traced(
+        source, config, lookup, policy, opts, gate, controller, &mut sink, None, observe,
+    )?;
     Ok((
         outcome,
         sink.expect("the driver hands the armed sink back at stream end"),
     ))
+}
+
+/// [`simulate_source_traced`] (with the sink optional) under an armed
+/// [`StreamTelemetry`]: the driver publishes admissions, sheds,
+/// completions, latency/tardiness histograms and per-window operating
+/// points (live α/ρ, backlog, miss rate, availability) into the
+/// telemetry registry, emits one JSONL line per closed metrics window,
+/// ticks the `--progress` heartbeat when one is armed, and — when the
+/// `self-profile` feature is compiled in and
+/// [`StreamTelemetry::with_engine_profile`] was requested — arms the
+/// engine's phase profiler and freezes its report at stream end. When a
+/// trace sink rides along, its `recorded`/`dropped` totals surface as
+/// `trace_events_total` / `trace_events_dropped_total`.
+///
+/// Telemetry is purely observational: a telemetered run's
+/// [`StreamOutcome`] is byte-identical to the bare equivalent (pinned
+/// in `tests/telemetered_stream.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_source_telemetered(
+    source: &mut dyn Source,
+    config: &SystemConfig,
+    lookup: &LookupTable,
+    policy: &mut dyn Policy,
+    opts: &DriverOpts,
+    gate: &mut dyn AdmissionGate,
+    controller: Option<&mut dyn Controller>,
+    sink: Option<Box<dyn TraceSink>>,
+    tel: &mut StreamTelemetry,
+    observe: impl FnMut(&CompletedJob),
+) -> Result<(StreamOutcome, Option<Box<dyn TraceSink>>), BaseError> {
+    if controller.is_some() && opts.snapshot_interval.is_none() {
+        return Err(BaseError::InvalidSystem {
+            reason: "a controlled run needs DriverOpts::snapshot_interval — metrics windows \
+                     are the controller's clock"
+                .into(),
+        });
+    }
+    let mut sink = sink;
+    let outcome = simulate_source_inner_traced(
+        source,
+        config,
+        lookup,
+        policy,
+        opts,
+        gate,
+        controller,
+        &mut sink,
+        Some(tel),
+        observe,
+    )?;
+    Ok((outcome, sink))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -418,7 +471,16 @@ fn simulate_source_inner(
 ) -> Result<StreamOutcome, BaseError> {
     let mut no_sink = None;
     simulate_source_inner_traced(
-        source, config, lookup, policy, opts, gate, controller, &mut no_sink, observe,
+        source,
+        config,
+        lookup,
+        policy,
+        opts,
+        gate,
+        controller,
+        &mut no_sink,
+        None,
+        observe,
     )
 }
 
@@ -432,6 +494,7 @@ fn simulate_source_inner_traced(
     gate: &mut dyn AdmissionGate,
     mut controller: Option<&mut dyn Controller>,
     sink: &mut Option<Box<dyn TraceSink>>,
+    mut tel: Option<&mut StreamTelemetry>,
     mut observe: impl FnMut(&CompletedJob),
 ) -> Result<StreamOutcome, BaseError> {
     let mut engine = OpenEngine::with_order(config, lookup, opts.ready_order)?;
@@ -443,6 +506,17 @@ fn simulate_source_inner_traced(
     if let Some(s) = sink.take() {
         engine.arm_trace(s);
     }
+    // Total engine wall-clock, the denominator of the phase report's
+    // coverage fraction.
+    #[cfg(feature = "self-profile")]
+    let run_started = std::time::Instant::now();
+    #[cfg(feature = "self-profile")]
+    if tel
+        .as_deref()
+        .is_some_and(StreamTelemetry::wants_engine_profile)
+    {
+        engine.arm_profiler(Box::new(apt_telemetry::PhaseProfiler::new()));
+    }
     // The aggregator always runs; without a snapshot interval its window is
     // pushed past any reachable instant so only the running estimators are
     // exercised.
@@ -450,6 +524,9 @@ fn simulate_source_inner_traced(
     let mut metrics = OnlineMetrics::new(opts.snapshot_interval.unwrap_or(far), config.len());
     let snapshots_enabled = opts.snapshot_interval.is_some();
 
+    // Hoisted heartbeat gate: a telemetered run without `--progress`
+    // pays one local bool per iteration, not a method call.
+    let heartbeat_armed = tel.as_deref().is_some_and(StreamTelemetry::heartbeat_armed);
     let mut pending = source.next_job();
     let mut last_arrival = SimTime::ZERO;
     let mut admitted = 0u64;
@@ -480,6 +557,7 @@ fn simulate_source_inner_traced(
                          admitted: &mut u64,
                          shed: &mut u64,
                          metrics: &mut OnlineMetrics,
+                         tel: &mut Option<&mut StreamTelemetry>,
                          seed: bool|
      -> Result<(), BaseError> {
         // The latch (default) stops admission permanently once tripped; in
@@ -517,6 +595,9 @@ fn simulate_source_inner_traced(
                 *last_arrival = at;
                 *shed += 1;
                 metrics.observe_job_shed();
+                if let Some(t) = tel.as_deref_mut() {
+                    t.on_shed();
+                }
                 if let Some(t) = engine.tracer_mut() {
                     t.record(TraceEvent::JobShed {
                         at,
@@ -546,9 +627,15 @@ fn simulate_source_inner_traced(
                 *admitted += 1;
                 metrics.observe_job_admitted();
                 metrics.observe_depth(engine.now(), engine.in_flight_jobs());
+                if let Some(t) = tel.as_deref_mut() {
+                    t.on_admit();
+                }
             } else {
                 *shed += 1;
                 metrics.observe_job_shed();
+                if let Some(t) = tel.as_deref_mut() {
+                    t.on_shed();
+                }
                 if let Some(t) = engine.tracer_mut() {
                     t.record(TraceEvent::JobShed {
                         at,
@@ -562,6 +649,8 @@ fn simulate_source_inner_traced(
     };
 
     // Seed the engine with the t = 0 cohort before the first fixpoint.
+    #[cfg(feature = "self-profile")]
+    engine.prof_enter(apt_telemetry::Phase::Admit);
     admit_due(
         &mut engine,
         &mut pending,
@@ -571,11 +660,14 @@ fn simulate_source_inner_traced(
         &mut admitted,
         &mut shed,
         &mut metrics,
+        &mut tel,
         true,
     )?;
 
     loop {
         engine.decide(policy)?;
+        #[cfg(feature = "self-profile")]
+        engine.prof_enter(apt_telemetry::Phase::Admit);
         admit_due(
             &mut engine,
             &mut pending,
@@ -585,10 +677,13 @@ fn simulate_source_inner_traced(
             &mut admitted,
             &mut shed,
             &mut metrics,
+            &mut tel,
             false,
         )?;
         let advanced = engine.advance()?;
 
+        #[cfg(feature = "self-profile")]
+        engine.prof_enter(apt_telemetry::Phase::Account);
         engine.drain_completed(&mut done);
         if !done.is_empty() {
             for job in &done {
@@ -600,13 +695,21 @@ fn simulate_source_inner_traced(
                     // gate still hears it, releasing its reservation.
                     failed += 1;
                     metrics.observe_job_failed();
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.on_job_failed(job);
+                    }
                 } else {
                     completed += 1;
-                    let latency = job.finish().saturating_since(job.arrival);
+                    let finish = job.finish();
+                    let latency = finish.saturating_since(job.arrival);
+                    let tardiness = job.deadline.map(|d| finish.saturating_since(d));
                     let lambda: SimDuration = job.records.iter().map(TaskRecord::lambda).sum();
                     metrics.observe_job(latency, lambda);
-                    if let Some(tardiness) = job.tardiness() {
+                    if let Some(tardiness) = tardiness {
                         metrics.observe_tardiness(tardiness);
+                    }
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.on_job_done(job, latency, tardiness);
                     }
                 }
                 gate.on_complete(job);
@@ -621,15 +724,30 @@ fn simulate_source_inner_traced(
                         failed: job.failed,
                         missed_deadline: job.missed_deadline(),
                     };
-                    engine
-                        .tracer_mut()
-                        .expect("checked above")
-                        .record(ev);
+                    engine.tracer_mut().expect("checked above").record(ev);
                 }
             }
             metrics.observe_depth(engine.now(), engine.in_flight_jobs());
         }
+        if heartbeat_armed {
+            if let Some(t) = tel.as_deref_mut() {
+                // The heartbeat first checks cheaply whether it is even
+                // due — the common case is one branch per loop iteration.
+                if t.progress_due() {
+                    t.emit_progress(
+                        completed + failed,
+                        engine.in_flight_jobs(),
+                        metrics.miss_rate(),
+                        policy.alpha(),
+                        gate.utilization_bound(),
+                        engine.now().as_secs_f64(),
+                    );
+                }
+            }
+        }
         if snapshots_enabled && engine.now() >= metrics.window_end() {
+            #[cfg(feature = "self-profile")]
+            engine.prof_enter(apt_telemetry::Phase::Window);
             if faults_armed {
                 let ft = engine.fault_totals();
                 metrics.note_fault_counters(
@@ -642,13 +760,20 @@ fn simulate_source_inner_traced(
             let before = metrics.snapshots().len();
             metrics.maybe_snapshot(engine.now(), &engine.proc_stats());
             // Sample the operating point at every window close: live α and
-            // ρ, the backlog, and the window's miss rate — the counter
-            // tracks of the Chrome timeline.
+            // ρ, the backlog, and the window's miss rate — shared by the
+            // Chrome-timeline counter tracks and the telemetry registry.
+            let alpha = policy.alpha();
+            let rho = gate.utilization_bound();
+            let in_flight = engine.in_flight_jobs();
+            let queued = engine.in_flight_kernels();
+            if let Some(t) = tel.as_deref_mut() {
+                for idx in before..metrics.snapshots().len() {
+                    t.on_window(&metrics.snapshots()[idx], alpha, rho, in_flight, queued);
+                }
+            }
             if engine.tracer_mut().is_some() {
-                let alpha = policy.alpha();
-                let rho = gate.utilization_bound();
-                let in_flight = engine.in_flight_jobs() as f64;
-                let queued = engine.in_flight_kernels() as f64;
+                let in_flight = in_flight as f64;
+                let queued = queued as f64;
                 for idx in before..metrics.snapshots().len() {
                     let (at, miss) = {
                         let snap = &metrics.snapshots()[idx];
@@ -760,6 +885,14 @@ fn simulate_source_inner_traced(
     let end = engine.now();
     // Hand the sink back to the traced entry point, loaded with the run.
     *sink = engine.take_trace();
+    // Freeze the phase report before the tail flush so its wall-clock
+    // denominator covers exactly the profiled span.
+    #[cfg(feature = "self-profile")]
+    if let Some(p) = engine.take_profiler() {
+        if let Some(t) = tel.as_deref_mut() {
+            t.set_phase_report(p.report(&policy.name(), run_started.elapsed()));
+        }
+    }
     // Flush the final *partial* window so window-driven consumers (CSV
     // exporters, controller post-mortems) see the tail of the run; a run
     // ending exactly on a boundary flushes nothing extra.
@@ -768,7 +901,28 @@ fn simulate_source_inner_traced(
             let ft = engine.fault_totals();
             metrics.note_fault_counters(ft.kernel_failures, ft.retries, ft.wasted_ns, ft.down_ns);
         }
+        let before_flush = metrics.snapshots().len();
         metrics.flush_partial(end, &engine.proc_stats());
+        if let Some(t) = tel.as_deref_mut() {
+            let alpha = policy.alpha();
+            let rho = gate.utilization_bound();
+            let in_flight = engine.in_flight_jobs();
+            let queued = engine.in_flight_kernels();
+            for idx in before_flush..metrics.snapshots().len() {
+                t.on_window(&metrics.snapshots()[idx], alpha, rho, in_flight, queued);
+            }
+        }
+    }
+    if let Some(t) = tel {
+        if let Some(s) = sink.as_deref() {
+            t.on_trace_sink(s.recorded(), s.dropped());
+        }
+        t.on_end(
+            end.as_secs_f64(),
+            completed + failed,
+            engine.in_flight_jobs(),
+            metrics.miss_rate(),
+        );
     }
     let (p50, p90, p99) = metrics.latency_quantiles_ms();
     let (tardiness_p50_ms, tardiness_p99_ms) = metrics.tardiness_quantiles_ms();

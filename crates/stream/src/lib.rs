@@ -91,14 +91,17 @@ pub mod deadline;
 pub mod driver;
 pub mod job;
 pub mod source;
+pub mod telemetry;
 
 pub use deadline::DeadlineSpec;
 pub use driver::{
     simulate_source, simulate_source_controlled, simulate_source_gated, simulate_source_observed,
-    simulate_source_traced, AdmissionGate, AdmitAll, AdmitRequest, DriverOpts, StreamOutcome,
+    simulate_source_telemetered, simulate_source_traced, AdmissionGate, AdmitAll, AdmitRequest,
+    DriverOpts, StreamOutcome,
 };
 pub use job::{JobFamily, JobTemplate};
 pub use source::{DiurnalSource, OnOffSource, PoissonSource, Source, TraceSource};
+pub use telemetry::StreamTelemetry;
 
 // Completed-job types come from the engine; re-export for one-stop imports.
 pub use apt_hetsim::{CompletedJob, JobId, ReadyOrder};

@@ -9,15 +9,15 @@
 use apt_base::{SimDuration, SimTime};
 use apt_control::{ControlAction, Controller};
 use apt_core::Apt;
+use apt_dfg::LookupTable;
 use apt_hetsim::FaultPlan;
+use apt_hetsim::SystemConfig;
 use apt_metrics::StreamSnapshot;
 use apt_stream::{
     simulate_source_traced, AdmitAll, DeadlineSpec, DriverOpts, JobFamily, PoissonSource,
     StreamOutcome,
 };
 use apt_trace::{CounterKind, NullSink, TraceEvent, TraceSink, VecSink};
-use apt_dfg::LookupTable;
-use apt_hetsim::SystemConfig;
 
 /// Emits one action of each driver-visible kind on the first window.
 struct OneShot {
@@ -116,7 +116,8 @@ fn traced_run_is_identical_and_fully_accounted() {
 
     let events = sink.unwrap().snapshot();
     assert!(!events.is_empty());
-    let count = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| pred(e)).count() as u64;
+    let count =
+        |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| pred(e)).count() as u64;
 
     // Driver bookkeeping: every admission, shed, and retirement is an event.
     assert_eq!(
@@ -138,9 +139,7 @@ fn traced_run_is_identical_and_fully_accounted() {
         count(&|e| matches!(e, TraceEvent::KernelComplete { .. })),
         traced.kernels_completed
     );
-    assert!(
-        count(&|e| matches!(e, TraceEvent::KernelDispatch { .. })) >= traced.kernels_completed
-    );
+    assert!(count(&|e| matches!(e, TraceEvent::KernelDispatch { .. })) >= traced.kernels_completed);
     assert!(count(&|e| matches!(e, TraceEvent::ExecStart { .. })) >= traced.kernels_completed);
     // Every kernel slot was bound to its job at admission.
     assert_eq!(

@@ -689,7 +689,10 @@ mod tests {
     #[test]
     fn validator_rejects_broken_documents() {
         assert!(validate("not json").is_err());
-        assert!(validate(r#"{"traceEvents": [{"ts": 1}]}"#).is_err(), "no ph");
+        assert!(
+            validate(r#"{"traceEvents": [{"ts": 1}]}"#).is_err(),
+            "no ph"
+        );
         assert!(
             validate(r#"{"traceEvents": [{"ph":"X","ts":1,"dur":1,"pid":1}]}"#).is_err(),
             "span without tid"

@@ -337,6 +337,17 @@ pub trait TraceSink {
         0
     }
 
+    /// Total events this sink was asked to record, including any later
+    /// discarded (`recorded = retained + dropped` for bounded sinks).
+    /// Telemetry surfaces this as `trace_events_total` next to
+    /// `trace_events_dropped_total`, so silent ring truncation on long
+    /// soak runs is visible without snapshotting the sink. The default
+    /// counts the retained snapshot — discarding sinks that never
+    /// retain (e.g. [`NullSink`]) report 0.
+    fn recorded(&self) -> u64 {
+        self.snapshot().len() as u64 + self.dropped()
+    }
+
     /// Sink label for reports.
     fn name(&self) -> &'static str;
 }
@@ -384,6 +395,10 @@ impl TraceSink for VecSink {
 
     fn snapshot(&self) -> Vec<TraceEvent> {
         self.events.clone()
+    }
+
+    fn recorded(&self) -> u64 {
+        self.events.len() as u64
     }
 
     fn name(&self) -> &'static str {
@@ -456,6 +471,10 @@ impl TraceSink for RingSink {
         self.dropped
     }
 
+    fn recorded(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+
     fn name(&self) -> &'static str {
         "ring"
     }
@@ -507,6 +526,21 @@ mod tests {
     }
 
     #[test]
+    fn recorded_counts_retained_plus_dropped() {
+        let mut ring = RingSink::new(3);
+        let mut vec = VecSink::new();
+        let mut null = NullSink;
+        for i in 0..7 {
+            ring.record(ev(i));
+            vec.record(ev(i));
+            null.record(ev(i));
+        }
+        assert_eq!(ring.recorded(), 7, "ring: retained 3 + dropped 4");
+        assert_eq!(vec.recorded(), 7);
+        assert_eq!(null.recorded(), 0, "null retains nothing and drops nothing");
+    }
+
+    #[test]
     fn ring_sink_below_capacity_is_lossless() {
         let mut s = RingSink::new(8);
         for i in 0..3 {
@@ -549,7 +583,10 @@ mod tests {
                 kind: CounterKind::Alpha,
                 value: 4.0,
             },
-            TraceEvent::LinkDegrade { at: t, active: true },
+            TraceEvent::LinkDegrade {
+                at: t,
+                active: true,
+            },
         ] {
             assert_eq!(e.at(), t);
         }

@@ -117,8 +117,7 @@ pub fn kernel_waits(events: &[TraceEvent]) -> Vec<KernelWait> {
                             kernel,
                             proc: s.proc.unwrap_or(proc),
                             alt,
-                            dependency_wait: ready
-                                .saturating_since(s.bound_at.unwrap_or(ready)),
+                            dependency_wait: ready.saturating_since(s.bound_at.unwrap_or(ready)),
                             scheduler_wait: start.saturating_since(ready),
                             processor_wait: exec_start.saturating_since(start),
                             exec: at.saturating_since(exec_start),
@@ -151,8 +150,7 @@ pub fn render_summary(events: &[TraceEvent], top_n: usize) -> String {
     let mut waits = kernel_waits(events);
     let completed = waits.len();
     if completed == 0 {
-        return "trace-summary: no completed kernel instances in the recorded window\n"
-            .to_string();
+        return "trace-summary: no completed kernel instances in the recorded window\n".to_string();
     }
     waits.sort_by(|a, b| {
         b.total_wait()
@@ -178,7 +176,14 @@ pub fn render_summary(events: &[TraceEvent], top_n: usize) -> String {
         ]);
     }
     let header = [
-        "kernel", "job", "proc", "dep-wait", "sched-wait", "proc-wait", "exec", "total-wait",
+        "kernel",
+        "job",
+        "proc",
+        "dep-wait",
+        "sched-wait",
+        "proc-wait",
+        "exec",
+        "total-wait",
     ];
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in &rows {

@@ -41,6 +41,43 @@
 //! ```bash
 //! cargo run --release -p apt-suite --example traced_stream trace.json
 //! ```
+//!
+//! The [`telemetry`] layer (`apt-telemetry`) answers the *other*
+//! observability question — not "what happened, instant by instant?" but
+//! "how is the run doing, right now, in aggregate?". A
+//! [`telemetry::Registry`] of counters, gauges and log-bucketed
+//! histograms rides along a stream run
+//! ([`apt_stream::simulate_source_telemetered`]), rendering three
+//! surfaces: a Prometheus text exposition
+//! ([`telemetry::render_prometheus`], re-checked by
+//! [`telemetry::validate`]), a JSONL snapshot stream (one flat object per
+//! closed metrics window), and a throttled stderr heartbeat for soak
+//! runs. With the `self-profile` feature the engine itself is profiled:
+//! contiguous wall-clock phase accounting (decide / apply / calendar /
+//! handle / retire / admit / account / window) plus per-policy decision
+//! counters, rendered as a [`telemetry::PhaseReport`].
+//!
+//! Which layer to reach for:
+//!
+//! | | `trace` (apt-trace) | `telemetry` (apt-telemetry) |
+//! |---|---|---|
+//! | question | what did the machine do, instant by instant? | how is the run doing, in aggregate? |
+//! | unit | typed event per occurrence | monotone counter / gauge / histogram bucket |
+//! | memory | grows with events ([`trace::RingSink`] to bound) | fixed, independent of run length |
+//! | mergeable | concat event streams | [`telemetry::Registry::merge`] across shards |
+//! | exports | Chrome/Perfetto JSON, λ-delay summary | Prometheus text, JSONL windows, heartbeat |
+//! | consumers | humans debugging one run | dashboards, CI gates, soak monitors |
+//! | cost when off | zero (byte-identical runs) | zero (byte-identical runs) |
+//!
+//! Both ride the same run if you want both: `apt-repro stream-saturation
+//! --trace t.json --progress --metrics m.prom` draws the timeline *and*
+//! exports the registry from the same representative cell.
+//! `examples/telemetry_soak.rs` is the soak-run shape — heartbeat on,
+//! registry armed, engine profiled:
+//!
+//! ```bash
+//! cargo run --release -p apt-suite --example telemetry_soak soak.prom
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -61,6 +98,11 @@ pub use apt_control as control;
 // And for observability: sinks, events and exporters form one opt-in
 // surface (see the "Observability" section above).
 pub use apt_trace as trace;
+
+// The aggregate half of observability: the shard-mergeable metrics
+// registry, Prometheus/JSONL exposition and engine phase profiling (see
+// the decision table above for trace-vs-telemetry guidance).
+pub use apt_telemetry as telemetry;
 
 /// Workspace version, for the examples' banners.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -8,11 +8,11 @@
 //! pins that a timeline produced by the actual driver satisfies them and
 //! that the document survives re-serialization without semantic drift.
 
+use apt_stream::{DeadlineSpec, DriverOpts, JobFamily, PoissonSource};
 use apt_suite::prelude::*;
 use apt_suite::trace::chrome::{chrome_trace, validate, ChromeConfig};
 use apt_suite::trace::json::{parse, JsonValue};
 use apt_suite::trace::VecSink;
-use apt_stream::{DeadlineSpec, DriverOpts, JobFamily, PoissonSource};
 
 /// One small but fully-featured traced run: saturating arrivals so APT
 /// takes alternatives, deadlines and windows so counters appear,
@@ -53,7 +53,10 @@ fn exported_chrome_json_round_trips_and_meets_the_field_contract() {
     // stack-disciplined nesting per track — all enforced by validate().
     let stats = validate(&text).expect("export violates the Chrome field contract");
     assert!(stats.spans > 0, "no kernel spans in the export");
-    assert!(stats.alt_spans > 0, "no APT alternative placements recorded");
+    assert!(
+        stats.alt_spans > 0,
+        "no APT alternative placements recorded"
+    );
     assert_eq!(
         stats.alt_decisions, stats.alt_spans,
         "every alt span carries exactly one DecisionRecord annotation"
