@@ -69,6 +69,9 @@
 //! wedge or poison it — the driver records rejected actions in the
 //! control log with `applied: false` instead of failing the run.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use apt_base::SimTime;
 use apt_metrics::StreamSnapshot;
 

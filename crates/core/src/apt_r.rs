@@ -75,6 +75,8 @@ impl Policy for AptR {
         let finish_of = |node, proc: ProcId, view: &SimView<'_>| {
             view.now
                 + view.transfer_in_time(node, proc)
+                // apt-lint: allow(hot-path-panic, the claim mask is restricted to processors
+                // that can run the node)
                 + view.exec_time(node, proc).expect("claimed proc runs node")
         };
         for node in view.ready.iter() {

@@ -178,9 +178,16 @@ pub fn build_type1(kernels: &[Kernel]) -> KernelDag {
     g
 }
 
+/// Salt for the Type-2 partition RNG stream: layout draws must not share
+/// a stream with the kernel-series draws of the same `seed`, or changing
+/// the partition logic would retroactively shift every kernel size. Named
+/// per the workspace RNG-stream discipline (`apt-lint` `rng-salt` rule):
+/// every derived stream is `seed ^ *_STREAM_SALT`, greppable by suffix.
+pub const TYPE2_PARTITION_STREAM_SALT: u64 = 0x5EED_D1A6;
+
 /// Compute the Type-2 partition of `n` kernels (deterministic in `seed`).
 pub fn type2_layout(n: usize, seed: u64, cfg: &Type2Config) -> Type2Layout {
-    let mut rng = SplitMix64::new(seed ^ 0x5EED_D1A6);
+    let mut rng = SplitMix64::new(seed ^ TYPE2_PARTITION_STREAM_SALT);
     // Each diamond needs top + bottom + ≥1 middle. If n is too small for the
     // configured block count, scale the block count down.
     let blocks = cfg.diamond_blocks.min(n / 3);

@@ -109,6 +109,8 @@ impl ProcCore {
     /// is pinned by `recent_avg_rounds_to_nearest` below.)
     fn push_history(&mut self, exec: SimDuration) -> SimDuration {
         if self.history.len() == EXEC_HISTORY_WINDOW {
+            // apt-lint: allow(hot-path-panic, the len == window check one line up guarantees a
+            // front element)
             let evicted = self.history.pop_front().expect("window nonempty");
             self.history_sum -= evicted.as_ns();
         }
@@ -538,11 +540,15 @@ impl EngineCore {
         }
         let node = self
             .kill_running(proc)
+            // apt-lint: allow(hot-path-panic, the run_token matched, so the processor is
+            // provably busy with this kernel)
             .expect("token-valid failure on an idle processor");
         let (attempts, retry) = {
             let f = self
                 .faults
                 .as_mut()
+                // apt-lint: allow(hot-path-panic, transient-failure events exist only when the
+                // fault runtime is armed)
                 .expect("transient failure without faults armed");
             f.totals.kernel_failures += 1;
             f.attempts[node.index()] += 1;
@@ -559,6 +565,8 @@ impl EngineCore {
             }
         } else {
             let (backoff, tok) = {
+                // apt-lint: allow(hot-path-panic, faults proven armed a few lines up in this
+                // same handler)
                 let f = self.faults.as_mut().expect("checked above");
                 f.totals.retries += 1;
                 let backoff = f.state.backoff(&retry, attempts + 1);
@@ -619,6 +627,8 @@ impl EngineCore {
         }
         let now = self.now;
         let repair = {
+            // apt-lint: allow(hot-path-panic, Crash events are only scheduled by the armed
+            // fault runtime)
             let f = self.faults.as_mut().expect("crash without faults armed");
             debug_assert!(f.down_since[proc.index()].is_none(), "crash of a down proc");
             f.totals.crashes += 1;
@@ -639,14 +649,20 @@ impl EngineCore {
         }
         let now = self.now;
         let gap = {
+            // apt-lint: allow(hot-path-panic, Repair events are only scheduled by crash(),
+            // which requires armed faults)
             let f = self.faults.as_mut().expect("repair without faults armed");
             f.totals.repairs += 1;
             let since = f.down_since[proc.index()]
                 .take()
+                // apt-lint: allow(hot-path-panic, crash() recorded down_since before scheduling
+                // this Repair)
                 .expect("repair of a processor that never crashed");
             f.totals.down_ns += now.saturating_since(since).as_ns();
             f.state
                 .next_crash_gap()
+                // apt-lint: allow(hot-path-panic, a Repair event implies a crash spec exists to
+                // draw the next gap from)
                 .expect("repair without a crash spec")
         };
         self.events.push(now + gap, Event::Crash(proc));
@@ -675,11 +691,15 @@ impl EngineCore {
         }
         let now = self.now;
         let duration = {
+            // apt-lint: allow(hot-path-panic, DegradeStart events are only scheduled by the
+            // armed fault runtime)
             let f = self.faults.as_mut().expect("degrade without faults armed");
             f.degraded = true;
             f.state
                 .plan()
                 .degrade
+                // apt-lint: allow(hot-path-panic, a DegradeStart event implies the degrade spec
+                // exists)
                 .expect("degrade without a spec")
                 .duration
         };
@@ -693,10 +713,14 @@ impl EngineCore {
         }
         let now = self.now;
         let gap = {
+            // apt-lint: allow(hot-path-panic, DegradeEnd events are only scheduled by
+            // degrade_start(), faults armed)
             let f = self.faults.as_mut().expect("degrade without faults armed");
             f.degraded = false;
             f.state
                 .next_degrade_gap()
+                // apt-lint: allow(hot-path-panic, a DegradeEnd event implies the degrade spec
+                // exists)
                 .expect("degrade end without a spec")
         };
         self.events.push(now + gap, Event::DegradeStart);
@@ -739,6 +763,8 @@ impl EngineCore {
         let mut total = SimDuration::ZERO;
         for &pred in ctx.dfg.preds(node) {
             let loc = self.locations[pred.index()]
+                // apt-lint: allow(hot-path-panic, DAG edges force every predecessor to finish
+                // before a kernel starts)
                 .expect("started a kernel whose predecessor never finished");
             if loc == proc {
                 continue;
@@ -829,6 +855,8 @@ impl EngineCore {
         let mut landed = start;
         for &pred in ctx.dfg.preds(node) {
             let loc = self.locations[pred.index()]
+                // apt-lint: allow(hot-path-panic, DAG edges force every predecessor to finish
+                // before a kernel starts)
                 .expect("started a kernel whose predecessor never finished");
             if loc == proc {
                 continue;
@@ -991,6 +1019,8 @@ impl EngineCore {
     fn finish_on(&mut self, ctx: EngineCtx<'_>, proc: ProcId) -> Result<(), BaseError> {
         let node = self.views[proc.index()]
             .running
+            // apt-lint: allow(hot-path-panic, a completion event is queued only when a kernel
+            // starts on the processor)
             .expect("completion event for an idle processor");
         self.update_view(proc, |v| v.running = None);
         self.locations[node.index()] = Some(proc);
@@ -1239,6 +1269,8 @@ impl<'a> Engine<'a> {
             .core
             .records
             .into_iter()
+            // apt-lint: allow(hot-path-panic, run() returns an error before into_trace() if any
+            // record is missing)
             .map(|r| r.expect("run() verified completion"))
             .collect();
         records.sort_unstable_by_key(|r| (r.start, r.node));

@@ -98,6 +98,8 @@ pub mod link;
 pub mod open;
 pub mod policy;
 pub mod ready;
+#[cfg(test)]
+mod shard_ready;
 pub mod system;
 pub mod topology;
 pub mod trace;

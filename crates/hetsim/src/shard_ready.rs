@@ -1,0 +1,57 @@
+//! Shard-readiness assertions for the engine state.
+//!
+//! The "sharded multi-core streaming" roadmap item moves whole engines
+//! (tracer and fault runtime included) onto worker threads, one shard per
+//! core. That only works if every piece of engine state is [`Send`] — and
+//! `Send`-ness is exactly the kind of property that erodes silently: one
+//! `Rc`, one `*mut`, one non-`Send` trait object added to a deeply nested
+//! field and the whole engine quietly stops being movable, discovered only
+//! when the threading code finally lands.
+//!
+//! These are *compile-time* checks: `assert_send::<T>()` fails to build —
+//! naming the offending field chain in the error — the moment a `!Send`
+//! type sneaks in. They live here rather than in `apt-lint` because
+//! [`EngineCore`] is deliberately `pub(crate)`: only this crate can name
+//! it. (`apt-lint` covers the source-level invariants; this module covers
+//! the type-level one.)
+//!
+//! The one deliberate bound behind these assertions: [`TraceSink`] carries
+//! a `Send` supertrait, so `Box<dyn TraceSink>` — the armed tracer slot in
+//! [`EngineCore`] — is `Send` by construction.
+
+use crate::engine::{EngineCore, Event, FaultRuntime};
+use crate::{CalendarQueue, CostModel, OpenEngine, ReadySet, SystemConfig, TraceSink};
+use apt_dfg::LookupTable;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+/// Every owned piece of closed- and open-engine state moves across
+/// threads: a shard can own its engine outright.
+#[test]
+fn engine_state_is_send() {
+    assert_send::<EngineCore>();
+    assert_send::<CostModel>();
+    assert_send::<ReadySet>();
+    assert_send::<CalendarQueue<Event>>();
+    assert_send::<FaultRuntime>();
+    assert_send::<Box<dyn TraceSink>>();
+}
+
+/// The open engine as a whole is `Send`. `OpenEngine<'a>` borrows the
+/// machine description, so this additionally needs the borrowed types
+/// `Sync` (asserted on their own below) — the bound is independent of the
+/// concrete lifetime, so `'static` proves it for all of them.
+#[test]
+fn open_engine_is_send() {
+    assert_send::<OpenEngine<'static>>();
+}
+
+/// Shards *share* one machine description, lookup table, and cost model by
+/// reference — `&T: Send` needs `T: Sync`.
+#[test]
+fn shared_machine_state_is_sync() {
+    assert_sync::<SystemConfig>();
+    assert_sync::<LookupTable>();
+    assert_sync::<CostModel>();
+}

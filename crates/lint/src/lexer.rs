@@ -1,0 +1,482 @@
+//! A small self-contained Rust lexer: just enough token structure for the
+//! rule engine to match on real code while never seeing the inside of a
+//! string, raw string, char literal, or comment.
+//!
+//! The lexer is deliberately *not* a full Rust front end — no keywords, no
+//! macro expansion, no spans beyond line numbers. What it does get right,
+//! because every rule depends on it:
+//!
+//! * `//` line comments (including `///` and `//!` doc comments) and
+//!   *nested* `/* .. /* .. */ .. */` block comments are lexed as trivia,
+//!   kept separately so the escape-comment scanner can read them but the
+//!   code rules never can;
+//! * `"…"` strings with escapes, `r"…"` / `r#"…"#` raw strings (any hash
+//!   count), byte/C variants (`b"`, `br#"`, `c"`, `cr#"`), and byte chars
+//!   (`b'x'`) are opaque — a `HashMap` spelled inside a string is not a
+//!   token;
+//! * `'a'` char literals vs `'a` lifetimes are disambiguated the same way
+//!   rustc does (a quote two ahead means a char);
+//! * integer literals (decimal / hex / octal / binary, `_` separators,
+//!   type suffixes) lex as single [`TokKind::Int`] tokens so the RNG-salt
+//!   rule can ask "is there a magic number in this argument list?".
+
+/// What a token is; only the distinctions the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules match on spelling).
+    Ident,
+    /// Integer literal, any base, including `_` separators and suffix.
+    Int,
+    /// Float literal.
+    Float,
+    /// Any string literal (plain, raw, byte, C); contents are opaque.
+    Str,
+    /// Char or byte-char literal; contents are opaque.
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source spelling for `Ident` / `Int` / `Float`; empty otherwise
+    /// (string and char contents are deliberately not retained).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-based starting line. Doc
+/// comments are comments too.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens and comment trivia, separated.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Code tokens in source order; no comments, no literal contents.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src` into tokens and comments. Never panics on malformed input:
+/// an unterminated string or comment simply consumes to end of file.
+pub fn lex(src: &str) -> LexOut {
+    let b = src.as_bytes();
+    let mut out = LexOut::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let tline = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tline,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A char literal has a closing
+                // quote right after one (possibly escaped) character; a
+                // lifetime is `'` + ident with no closing quote.
+                let is_lifetime = i + 1 < b.len()
+                    && is_ident_start(b[i + 1])
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let tline = line;
+                    let mut j = i + 1;
+                    while j < b.len() {
+                        match b[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                // Stray quote; don't eat the rest of the
+                                // file.
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tline,
+                    });
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                // A string prefix (`r"`, `b"`, `br#"`, `c"`, `b'`)
+                // takes priority over identifier lexing.
+                if let Some(next) = string_prefix_end(b, i) {
+                    let tline = line;
+                    let (j, kind) = next;
+                    let end = match kind {
+                        PrefixKind::Raw(hashes) => skip_raw_string(b, j, hashes, &mut line),
+                        PrefixKind::Plain => skip_string(b, j, &mut line),
+                        PrefixKind::ByteChar => {
+                            let mut k = j + 1;
+                            while k < b.len() {
+                                match b[k] {
+                                    b'\\' => k += 2,
+                                    b'\'' => {
+                                        k += 1;
+                                        break;
+                                    }
+                                    b'\n' => break,
+                                    _ => k += 1,
+                                }
+                            }
+                            k
+                        }
+                    };
+                    out.tokens.push(Tok {
+                        kind: if matches!(kind, PrefixKind::ByteChar) {
+                            TokKind::Char
+                        } else {
+                            TokKind::Str
+                        },
+                        text: String::new(),
+                        line: tline,
+                    });
+                    i = end;
+                } else {
+                    let start = i;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                // Digits, hex/oct/bin bodies, `_`, and type suffixes all
+                // lex as one alphanumeric run.
+                while i < b.len() && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+                // Fractional part: a dot followed by a digit.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                // Exponent sign: `1e-3` stops the alphanumeric run at `-`.
+                if is_float
+                    && i + 1 < b.len()
+                    && (b[i] == b'-' || b[i] == b'+')
+                    && (b[i - 1] == b'e' || b[i - 1] == b'E')
+                    && b[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: if is_float {
+                        TokKind::Float
+                    } else {
+                        TokKind::Int
+                    },
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c < 0x80 => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                // Multibyte UTF-8 outside strings/comments (e.g. a Greek
+                // letter in a const name would be unusual but legal):
+                // advance by the full character, emit an opaque punct.
+                let ch = src[i..].chars().next().unwrap_or('\u{FFFD}');
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct('\u{FFFD}'),
+                    text: String::new(),
+                    line,
+                });
+                i += ch.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+enum PrefixKind {
+    /// Raw string with this many `#`s.
+    Raw(usize),
+    /// Plain (possibly byte/C) string.
+    Plain,
+    /// `b'x'` byte char.
+    ByteChar,
+}
+
+/// If the identifier starting at `i` is a string-literal prefix (`r`,
+/// `b`, `br`, `rb`, `c`, `cr` followed by a quote or `#"`), return the
+/// index of the opening quote/hash run and the literal kind.
+fn string_prefix_end(b: &[u8], i: usize) -> Option<(usize, PrefixKind)> {
+    let mut j = i;
+    let mut saw_r = false;
+    while j < b.len() && j - i < 2 && matches!(b[j], b'r' | b'b' | b'c') {
+        if b[j] == b'r' {
+            saw_r = true;
+        }
+        j += 1;
+    }
+    if j == i || (j < b.len() && is_ident_continue(b[j]) && b[j] != b'_') && b[j] != b'"' {
+        // Not a short r/b/c run followed by a quote — plain identifier.
+        if j < b.len() && (b[j] == b'"' || b[j] == b'\'' || b[j] == b'#') {
+            // fall through to the quote checks below
+        } else {
+            return None;
+        }
+    }
+    if j >= b.len() {
+        return None;
+    }
+    match b[j] {
+        b'"' if saw_r => Some((j, PrefixKind::Raw(0))),
+        b'"' => Some((j, PrefixKind::Plain)),
+        b'#' if saw_r => {
+            let mut hashes = 0usize;
+            let mut k = j;
+            while k < b.len() && b[k] == b'#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < b.len() && b[k] == b'"' {
+                Some((k, PrefixKind::Raw(hashes)))
+            } else {
+                None
+            }
+        }
+        b'\'' if !saw_r && j == i + 1 && b[i] == b'b' => Some((j, PrefixKind::ByteChar)),
+        _ => None,
+    }
+}
+
+/// Skip a plain string starting at the opening quote `i`; returns the
+/// index just past the closing quote. Tracks newlines.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                // A `\` line continuation still ends a source line.
+                if j + 1 < b.len() && b[j + 1] == b'\n' {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string whose opening quote is at `i` with `hashes` hash
+/// marks; returns the index just past the closing delimiter.
+fn skip_raw_string(b: &[u8], i: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && seen < hashes && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block */
+            /// HashMap in a doc comment
+            let s = "HashMap::iter()";
+            let r = r#"SplitMix64::new(42)"#;
+            let c = 'H';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SplitMix64".to_string()));
+        let out = lex(src);
+        assert_eq!(out.comments.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\\''; }";
+        let out = lex(src);
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn int_literals_lex_whole() {
+        let out = lex("let x = 0x5EED_D1A6u64 ^ 1_000; let f = 1.5e-3;");
+        let ints: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ints, vec!["0x5EED_D1A6u64", "1_000"]);
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Float)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_trivia() {
+        let src = "/* a\nb\nc */\nfn after() {}\n\"x\ny\"\nlast";
+        let out = lex(src);
+        let after = out.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+        let last = out.tokens.iter().find(|t| t.text == "last").unwrap();
+        assert_eq!(last.line, 7);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes() {
+        let src = r##"let a = b"bytes"; let b2 = br#"raw"#; let c = b'z'; let rn = r"raw2";"##;
+        let out = lex(src);
+        assert!(!out.tokens.iter().any(|t| t.text == "bytes"));
+        assert!(!out.tokens.iter().any(|t| t.text == "raw2"));
+    }
+}

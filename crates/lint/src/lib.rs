@@ -1,0 +1,45 @@
+//! # apt-lint — workspace invariant linter
+//!
+//! Nine PRs of "byte-identical or it doesn't merge" made determinism the
+//! workspace's load-bearing invariant, enforced *dynamically* by
+//! differential suites. This crate enforces the same invariants
+//! *statically*, at check time, so a nondeterministic `HashMap`
+//! iteration or an unsalted RNG stream is a CI failure before it can
+//! corrupt a trace — and so the sharded multi-core arc can enumerate its
+//! `Send` blockers by the type checker instead of mid-refactor.
+//!
+//! The linter is dependency-free (vendored-offline friendly): its own
+//! small Rust lexer ([`lexer`]) skips strings, raw strings, chars and
+//! (doc-)comments correctly, and the rule engine ([`rules`]) pattern
+//! matches on the token stream. See the rule table in [`rules`] and the
+//! per-crate scoping in [`config`].
+//!
+//! Run it:
+//!
+//! ```bash
+//! cargo run -p apt-lint -- --check          # human text, exit 1 on findings
+//! cargo run -p apt-lint -- --check --json   # stable apt-lint-v1 JSON
+//! ```
+//!
+//! Escape a justified exception in place:
+//!
+//! ```text
+//! // apt-lint: allow(hot-path-panic, slot was bound by admit() above)
+//! ```
+//!
+//! Reasons are mandatory — a reasonless escape suppresses nothing and is
+//! itself a finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::LintConfig;
+pub use findings::{Finding, Report, RULES};
+pub use rules::scan_source;
+pub use walk::{find_root, scan_workspace};

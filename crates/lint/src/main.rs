@@ -1,0 +1,58 @@
+//! `apt-lint` CLI: scan the workspace, print findings, gate CI.
+//!
+//! ```text
+//! apt-lint [--check] [--json] [--root <path>]
+//!   --check   exit 1 when any finding survives (CI gate mode)
+//!   --json    emit the stable apt-lint-v1 JSON schema instead of text
+//!   --root    workspace root (default: auto-discovered)
+//! ```
+
+use apt_lint::{find_root, scan_workspace, LintConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut root_arg: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(r) => root_arg = Some(r),
+                None => {
+                    eprintln!("apt-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("apt-lint [--check] [--json] [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("apt-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = find_root(root_arg.as_deref());
+    let cfg = LintConfig::workspace_default();
+    let report = match scan_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("apt-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if check && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,122 @@
+//! Workspace walking: find every first-party `.rs` file (root `src/`
+//! plus `crates/*/src/`), scan each, and assemble the sorted
+//! [`Report`]. Vendored shims under `vendor/` are third-party stand-ins
+//! and are not walked; crate `tests/`, `benches/` and `examples/`
+//! directories are test scope and are skipped too (the in-file
+//! `#[cfg(test)]` tracking covers unit tests).
+
+use crate::config::LintConfig;
+use crate::findings::Report;
+use crate::rules::scan_source;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect the workspace-relative paths of every first-party source
+/// file, sorted for deterministic reports.
+fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let src = d.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace rooted at `root` with `cfg`.
+pub fn scan_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
+    let mut report = Report {
+        root: root.display().to_string(),
+        ..Report::default()
+    };
+    for path in source_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report.findings.extend(scan_source(&rel, &src, cfg));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Locate the workspace root: an explicit `--root`, else walk up from
+/// `CARGO_MANIFEST_DIR` (set by `cargo run`) or the current directory
+/// until a directory containing both `Cargo.toml` and `crates/` appears.
+pub fn find_root(explicit: Option<&str>) -> PathBuf {
+    if let Some(r) = explicit {
+        return PathBuf::from(r);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_reaches_the_workspace() {
+        let root = find_root(None);
+        assert!(root.join("crates").join("lint").is_dir(), "root: {root:?}");
+    }
+
+    #[test]
+    fn walker_sees_this_crate_but_not_vendor() {
+        let root = find_root(None);
+        let files = source_files(&root).unwrap();
+        assert!(files.iter().any(|p| p.ends_with("crates/lint/src/walk.rs")));
+        assert!(!files
+            .iter()
+            .any(|p| p.to_string_lossy().contains("vendor/")));
+        assert!(!files
+            .iter()
+            .any(|p| p.to_string_lossy().contains("target/")));
+    }
+}

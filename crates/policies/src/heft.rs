@@ -42,6 +42,8 @@ impl Policy for Heft {
     fn prepare(&mut self, ctx: PrepareCtx<'_>) -> Result<(), BaseError> {
         let ranks = upward_ranks(ctx.dfg, ctx.lookup, ctx.config);
         let plan = build_plan(&ctx, &ranks, |_node, candidates| {
+            // apt-lint: allow(hot-path-panic, build_plan only invokes the selector with a
+            // nonempty candidate list)
             argmin_by_key(candidates, |c| c.finish).expect("candidates nonempty")
         });
         self.plan = Some(plan);
@@ -51,6 +53,8 @@ impl Policy for Heft {
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         self.plan
             .as_mut()
+            // apt-lint: allow(hot-path-panic, the engine contract runs prepare() before any
+            // decide())
             .expect("prepare() runs before decide()")
             .release(view, out)
     }

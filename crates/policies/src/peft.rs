@@ -48,6 +48,8 @@ impl Policy for Peft {
                 let oct_ms = oct[node.index()][c.proc.index()];
                 FiniteF64(c.finish.as_ms_f64() + oct_ms)
             })
+            // apt-lint: allow(hot-path-panic, build_plan only invokes the selector with a
+            // nonempty candidate list)
             .expect("candidates nonempty")
         });
         self.plan = Some(plan);
@@ -57,6 +59,8 @@ impl Policy for Peft {
     fn decide(&mut self, view: &SimView<'_>, out: &mut AssignmentBuf) {
         self.plan
             .as_mut()
+            // apt-lint: allow(hot-path-panic, the engine contract runs prepare() before any
+            // decide())
             .expect("prepare() runs before decide()")
             .release(view, out)
     }

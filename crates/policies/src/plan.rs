@@ -153,6 +153,8 @@ pub fn build_plan(
                     // reversed indices so max picks the smaller id.
                     .then_with(|| ib.cmp(ia))
             })
+            // apt-lint: allow(hot-path-panic, release() pops only while the ready list is
+            // nonempty)
             .expect("ready nonempty");
         let node = ready.swap_remove(pos);
 

@@ -56,6 +56,7 @@ pub fn avg_comm_cost(dfg: &KernelDag, config: &SystemConfig, from: NodeId) -> f6
 /// Upward ranks (Eq. 3–4), indexed by node.
 pub fn upward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<f64> {
     let w = avg_comp_costs(dfg, lookup, config);
+    // apt-lint: allow(hot-path-panic, policy prepare() validated the DAG before ranking)
     let order = dfg.topo_order().expect("caller validated the DAG");
     let mut rank = vec![0.0f64; dfg.len()];
     for &n in order.iter().rev() {
@@ -74,6 +75,7 @@ pub fn upward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig
 /// Downward ranks (Eq. 5), indexed by node. Entry tasks rank 0.
 pub fn downward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<f64> {
     let w = avg_comp_costs(dfg, lookup, config);
+    // apt-lint: allow(hot-path-panic, policy prepare() validated the DAG before ranking)
     let order = dfg.topo_order().expect("caller validated the DAG");
     let mut rank = vec![0.0f64; dfg.len()];
     for &n in &order {
@@ -95,6 +97,7 @@ pub fn downward_ranks(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConf
 /// because each successor independently picks its own best processor.
 pub fn oct_matrix(dfg: &KernelDag, lookup: &LookupTable, config: &SystemConfig) -> Vec<Vec<f64>> {
     let nprocs = config.len();
+    // apt-lint: allow(hot-path-panic, policy prepare() validated the DAG before ranking)
     let order = dfg.topo_order().expect("caller validated the DAG");
     let mut oct = vec![vec![0.0f64; nprocs]; dfg.len()];
     // Execution time of node on proc, ∞ when unrunnable.

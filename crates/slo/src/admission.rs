@@ -10,7 +10,7 @@
 use apt_dfg::LookupTable;
 use apt_hetsim::{CompletedJob, SystemConfig};
 use apt_stream::{AdmissionGate, AdmitRequest, JobTemplate};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A named admission gate: the driver-facing decision/feedback hooks come
 /// from the `apt_stream::AdmissionGate` supertrait (`admit` /
@@ -57,7 +57,7 @@ pub struct UtilizationBound<'a> {
     bound: f64,
     /// Density reserved per admitted in-flight job, keyed by its engine
     /// `JobId` (from [`AdmitRequest::job_id`]).
-    reserved: HashMap<u64, f64>,
+    reserved: BTreeMap<u64, f64>,
     load: f64,
 }
 
@@ -74,7 +74,7 @@ impl<'a> UtilizationBound<'a> {
             lookup,
             nprocs: config.len(),
             bound,
-            reserved: HashMap::new(),
+            reserved: BTreeMap::new(),
             load: 0.0,
         }
     }
@@ -184,7 +184,7 @@ pub struct FeasibilityGate<'a> {
     nprocs: usize,
     /// Minimum work reserved per in-flight job, keyed by its engine
     /// `JobId` (from [`AdmitRequest::job_id`]).
-    reserved: HashMap<u64, u64>,
+    reserved: BTreeMap<u64, u64>,
     backlog_ns: u64,
 }
 
@@ -194,7 +194,7 @@ impl<'a> FeasibilityGate<'a> {
         FeasibilityGate {
             lookup,
             nprocs: config.len().max(1),
-            reserved: HashMap::new(),
+            reserved: BTreeMap::new(),
             backlog_ns: 0,
         }
     }

@@ -90,6 +90,8 @@
 pub mod deadline;
 pub mod driver;
 pub mod job;
+#[cfg(test)]
+mod shard_ready;
 pub mod source;
 pub mod telemetry;
 

@@ -1,0 +1,34 @@
+//! Shard-readiness assertions for the workload sources.
+//!
+//! The sharded-streaming roadmap item hands each worker thread its own
+//! arrival stream (disjoint RNG streams via `*_STREAM_SALT` constants), so
+//! every [`Source`] implementation must be [`Send`]. Like
+//! `apt_hetsim::shard_ready`, these are compile-time checks: a `!Send`
+//! field added to any source stops this module compiling and names the
+//! offender in the error.
+
+use crate::source::{DiurnalSource, OnOffSource, PoissonSource, Source, TraceSource};
+use crate::{DeadlineSpec, JobTemplate};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+/// Every in-tree source moves across threads. The lookup-borrowing sources
+/// are `Send` independent of the concrete lifetime (the borrowed
+/// `LookupTable` is `Sync`, asserted in `apt_hetsim::shard_ready`), so
+/// `'static` proves it for all of them.
+#[test]
+fn sources_are_send() {
+    assert_send::<PoissonSource<'static>>();
+    assert_send::<OnOffSource<'static>>();
+    assert_send::<DiurnalSource<'static>>();
+    assert_send::<TraceSource>();
+    assert_send::<Box<dyn Source + Send>>();
+}
+
+/// Shards share the workload description by reference.
+#[test]
+fn workload_description_is_sync() {
+    assert_sync::<JobTemplate>();
+    assert_sync::<DeadlineSpec>();
+}

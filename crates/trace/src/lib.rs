@@ -325,7 +325,14 @@ impl TraceEvent {
 /// Receives [`TraceEvent`]s from an armed engine/driver. Implementations
 /// must be cheap in [`record`](TraceSink::record): it sits on the hot path
 /// whenever tracing is on.
-pub trait TraceSink {
+///
+/// `Send` is a supertrait so an armed engine stays shard-ready: the
+/// sharded-streaming roadmap moves whole engines (tracer included) onto
+/// worker threads, and a `!Send` sink would silently pin every armed run
+/// to one core. All in-tree sinks are plain owned data, so the bound
+/// costs nothing; `apt-lint`'s `shard_readiness` suite asserts it holds
+/// transitively.
+pub trait TraceSink: Send {
     /// Record one event.
     fn record(&mut self, ev: TraceEvent);
 

@@ -78,6 +78,38 @@
 //! ```bash
 //! cargo run --release -p apt-suite --example telemetry_soak soak.prom
 //! ```
+//!
+//! ## Invariants
+//!
+//! Three properties hold everywhere in this workspace, and `apt-lint`
+//! (the workspace's own dependency-free static analyzer) enforces them
+//! mechanically — in CI and in `apt-lint`'s `workspace_is_lint_clean`
+//! test:
+//!
+//! * **Determinism** — same seed, same trace, byte for byte. Simulation
+//!   crates never iterate a `HashMap`/`HashSet` (ordered containers or
+//!   sorted key lists only; keyed lookup is fine) and never read the wall
+//!   clock (`Instant::now`/`SystemTime` live only in the bench, profiler
+//!   and progress modules). Time is the event clock; randomness is
+//!   [`SplitMix64`].
+//! * **RNG-stream discipline** — every RNG stream derives from a config
+//!   seed or a named `*_STREAM_SALT` constant (e.g.
+//!   `FAULT_STREAM_SALT`), never an inline magic number, so streams stay
+//!   disjoint, greppable, and reproducible from the config alone.
+//! * **Panic-freedom tiers** — on hot-path modules (the engine fixpoint,
+//!   the open driver, policy decide paths) every `unwrap`/`expect`/panic
+//!   macro either becomes a typed `apt_base` error or carries a reasoned
+//!   escape comment — `// apt-lint: allow(rule, why the invariant
+//!   holds)` — with the reason mandatory. All lib crates carry
+//!   `#![forbid(unsafe_code)]`, inherited workspace-wide via
+//!   `[workspace.lints]`.
+//!
+//! Run the linter locally with `cargo run -p apt-lint -- --check`
+//! (`--json` for the stable `apt-lint-v1` machine schema). A fourth,
+//! type-level invariant — engine and source state stay [`Send`] so the
+//! sharded-streaming roadmap item can move whole engines onto worker
+//! threads — is compile-time-asserted by the `shard_ready` test modules
+//! in `apt-hetsim` and `apt-stream`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
